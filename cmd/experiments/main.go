@@ -1,0 +1,143 @@
+// Command experiments regenerates the paper's evaluation (§4) as text
+// tables: Fig. 4 (memory timelines), Fig. 10 (peak memory), Fig. 11
+// (inference time), Fig. 12 (accuracy preservation), and the A1/A2
+// ablations from DESIGN.md.
+//
+// Usage:
+//
+//	experiments -exp peak -res 64 -batch 4
+//	experiments -exp timeline -res 64 -batch 4
+//	experiments -exp time -res 32 -batches 4,32 -reps 3
+//	experiments -exp accuracy
+//	experiments -exp ablation
+//	experiments -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"temco/internal/decompose"
+	"temco/internal/experiments"
+	"temco/internal/models"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: peak|timeline|time|accuracy|ablation|all")
+		res     = flag.Int("res", 64, "input resolution for memory experiments")
+		timeRes = flag.Int("time-res", 32, "input resolution for timing experiments")
+		batch   = flag.Int("batch", 4, "batch size for memory experiments")
+		batches = flag.String("batches", "4,32", "comma-separated batch sizes for timing")
+		reps    = flag.Int("reps", 3, "timing repetitions (median reported)")
+		ratio   = flag.Float64("ratio", 0.1, "decomposition ratio")
+		only    = flag.String("models", "", "comma-separated model subset (default: all 10)")
+		epochs  = flag.Int("epochs", 25, "training epochs for the accuracy case studies")
+	)
+	flag.Parse()
+	if err := run(*exp, *res, *timeRes, *batch, *batches, *reps, *ratio, *only, *epochs); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, res, timeRes, batch int, batchesCSV string, reps int, ratio float64, only string, epochs int) error {
+	names := models.Names()
+	if only != "" {
+		names = strings.Split(only, ",")
+	}
+	mcfg := models.DefaultConfig()
+	mcfg.H, mcfg.W = res, res
+	dopts := decompose.DefaultOptions()
+	dopts.Ratio = ratio
+
+	all := exp == "all"
+	if all || exp == "timeline" {
+		if err := timeline(mcfg, dopts, batch); err != nil {
+			return err
+		}
+	}
+	if all || exp == "peak" {
+		r, err := experiments.PeakMemory(names, mcfg, dopts, batch)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	if all || exp == "time" {
+		var bs []int
+		for _, s := range strings.Split(batchesCSV, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -batches: %w", err)
+			}
+			bs = append(bs, v)
+		}
+		tcfg := mcfg
+		tcfg.H, tcfg.W = timeRes, timeRes
+		r, err := experiments.InferenceTime(names, tcfg, dopts, bs, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	if all || exp == "accuracy" {
+		acfg := mcfg
+		acfg.H, acfg.W = 32, 32
+		r, err := experiments.AgreementAll(names, acfg, dopts, 16)
+		if err != nil {
+			return err
+		}
+		cls, err := experiments.TrainedClassifierCaseStudy(epochs)
+		if err != nil {
+			return err
+		}
+		seg, err := experiments.TrainedUNetCaseStudy(epochs * 2)
+		if err != nil {
+			return err
+		}
+		r.Rows = append(r.Rows, cls, seg)
+		fmt.Println(r)
+	}
+	if all || exp == "ablation" {
+		var skipModels []string
+		for _, n := range names {
+			if s, err := models.Get(n); err == nil && s.HasSkips {
+				skipModels = append(skipModels, n)
+			}
+		}
+		if len(skipModels) == 0 {
+			skipModels = []string{"resnet18", "unet-s"}
+		}
+		a1, err := experiments.AblateOverheadGate(skipModels, mcfg, dopts, batch)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A1: Overhead gate (paper §4.2 ResNet discussion)")
+		fmt.Println(a1)
+		a2, err := experiments.AblateTransforms(skipModels, mcfg, dopts, batch)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A2: layer transformations (paper §3.3)")
+		fmt.Println(a2)
+	}
+	return nil
+}
+
+func timeline(mcfg models.Config, dopts decompose.Options, batch int) error {
+	fmt.Println("Memory usage by internal tensors (paper Fig. 4)")
+	for _, name := range []string{"unet", "vgg16"} {
+		for _, v := range []experiments.Variant{experiments.Original, experiments.Decomposed} {
+			s, err := experiments.Timeline(name, v, mcfg, dopts, batch)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s.Sparkline(60))
+		}
+	}
+	return nil
+}

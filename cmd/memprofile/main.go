@@ -1,0 +1,49 @@
+// Command memprofile prints the internal-tensor memory timeline of one
+// model variant (paper Fig. 4) either as a textual plot or as CSV suitable
+// for external plotting.
+//
+// Usage:
+//
+//	memprofile -model unet -variant Decomposed -batch 4
+//	memprofile -model vgg16 -variant Original -csv > vgg16.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"temco/internal/decompose"
+	"temco/internal/experiments"
+	"temco/internal/models"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "unet", "model name")
+		variant = flag.String("variant", "Decomposed", "Original|Decomposed|Fusion|Skip-Opt|Skip-Opt+Fusion")
+		res     = flag.Int("res", 64, "input resolution")
+		batch   = flag.Int("batch", 4, "batch size")
+		ratio   = flag.Float64("ratio", 0.1, "decomposition ratio")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a plot")
+		width   = flag.Int("width", 60, "plot width")
+	)
+	flag.Parse()
+	mcfg := models.DefaultConfig()
+	mcfg.H, mcfg.W = *res, *res
+	dopts := decompose.DefaultOptions()
+	dopts.Ratio = *ratio
+	s, err := experiments.Timeline(*model, experiments.Variant(*variant), mcfg, dopts, *batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Println("index,layer,live_bytes,skip_bytes")
+		for _, p := range s.Points {
+			fmt.Printf("%d,%s,%d,%d\n", p.Index, p.Layer, p.LiveBytes, p.SkipBytes)
+		}
+		return
+	}
+	fmt.Print(s.Sparkline(*width))
+}

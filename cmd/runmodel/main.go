@@ -1,0 +1,88 @@
+// Command runmodel loads a compiled graph written by `temco -save` and
+// runs inference inside a single planned memory arena — the deploy half of
+// the compile-once/run-anywhere story. It reports the arena size (the
+// process's entire internal-tensor allocation) and basic timing.
+//
+// Usage:
+//
+//	temco -model unet-s -res 32 -save unet-s.temco
+//	runmodel -graph unet-s.temco -batch 4 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"temco/internal/exec"
+	"temco/internal/graphio"
+	"temco/internal/memplan"
+	"temco/internal/tensor"
+)
+
+func main() {
+	var (
+		path  = flag.String("graph", "", "graph file written by temco -save")
+		batch = flag.Int("batch", 4, "batch size")
+		reps  = flag.Int("reps", 3, "timed repetitions")
+		seed  = flag.Uint64("seed", 7, "input seed")
+	)
+	flag.Parse()
+	if err := run(*path, *batch, *reps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "runmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, batch, reps int, seed uint64) error {
+	if path == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := graphio.Load(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d layers, %.2f MB weights\n", g.Name, len(g.Nodes),
+		float64(g.WeightBytes())/(1<<20))
+
+	asg := memplan.AssignOffsets(g, batch)
+	if err := asg.Check(); err != nil {
+		return err
+	}
+	fmt.Printf("arena: %.2f MB for batch %d (live peak %.2f MB, fragmentation %.1f%%)\n",
+		float64(asg.ArenaBytes)/(1<<20), batch,
+		float64(asg.PeakInternal)/(1<<20), asg.Fragmentation()*100)
+
+	inputs := make([]*tensor.Tensor, len(g.Inputs))
+	rng := tensor.NewRNG(seed)
+	for i, in := range g.Inputs {
+		t := tensor.New(append([]int{batch}, in.Shape...)...)
+		t.FillNormal(rng, 0, 1)
+		inputs[i] = t
+	}
+	var best time.Duration
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, err := exec.RunArena(g, asg, inputs...)
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		if best == 0 || el < best {
+			best = el
+		}
+		if i == 0 {
+			for j, o := range res.Outputs {
+				fmt.Printf("output %d: shape %v\n", j, o.Shape)
+			}
+		}
+	}
+	fmt.Printf("best of %d runs: %v\n", reps, best.Round(time.Microsecond))
+	return nil
+}

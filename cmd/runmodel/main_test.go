@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"temco/internal/graphio"
+	"temco/internal/ir"
+)
+
+func TestRunModelRoundTrip(t *testing.T) {
+	// Build and save a tiny graph, then drive the deploy path.
+	b := ir.NewBuilder("deploy", 3)
+	in := b.Input(3, 8, 8)
+	x := b.ReLU(b.Conv(in, 8, 3, 1, 1))
+	b.Output(x)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.temco")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Save(f, b.G); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, 2, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModelErrors(t *testing.T) {
+	if err := run("", 1, 1, 1); err == nil {
+		t.Fatal("missing -graph must error")
+	}
+	if err := run("/nonexistent/file", 1, 1, 1); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

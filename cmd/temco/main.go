@@ -1,0 +1,143 @@
+// Command temco is the TeMCO compiler driver: it builds one of the
+// evaluation models, applies tensor decomposition, runs the TeMCO
+// optimization pipeline, and reports peak memory, FLOPs, pass statistics,
+// and (optionally) a numerical equivalence check against the decomposed
+// baseline.
+//
+// Usage:
+//
+//	temco -model vgg16 -res 64 -batch 4 -ratio 0.1 -method tucker -verify
+//	temco -model unet -dot out.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"temco/internal/core"
+	"temco/internal/decompose"
+	"temco/internal/exec"
+	"temco/internal/graphio"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/models"
+	"temco/internal/tensor"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "vgg16", "model name (see -list)")
+		list    = flag.Bool("list", false, "list available models and exit")
+		res     = flag.Int("res", 64, "input resolution")
+		classes = flag.Int("classes", 100, "classifier output width")
+		batch   = flag.Int("batch", 4, "batch size for memory accounting")
+		ratio   = flag.Float64("ratio", 0.1, "decomposition ratio")
+		method  = flag.String("method", "tucker", "decomposition method: tucker|cp|tt")
+		skipOpt = flag.Bool("skipopt", true, "enable skip connection optimization")
+		fusion  = flag.Bool("fusion", true, "enable activation layer fusion")
+		trans   = flag.Bool("transforms", true, "enable layer transformations")
+		verify  = flag.Bool("verify", false, "run both graphs on random data and compare outputs")
+		dot     = flag.String("dot", "", "write the optimized graph in DOT format to this file")
+		save    = flag.String("save", "", "write the optimized graph (weights included) to this file")
+		seed    = flag.Uint64("seed", 42, "weight initialization seed")
+	)
+	flag.Parse()
+	if *list {
+		for _, n := range models.Names() {
+			s, _ := models.Get(n)
+			fmt.Printf("%-12s arch=%-9s skips=%v\n", n, s.Arch, s.HasSkips)
+		}
+		return
+	}
+	if err := run(*model, *res, *classes, *batch, *ratio, *method, *skipOpt, *fusion, *trans, *verify, *dot, *save, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "temco:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, res, classes, batch int, ratio float64, method string,
+	skipOpt, fusion, trans, verify bool, dot, save string, seed uint64) error {
+	mcfg := models.Config{H: res, W: res, Classes: classes, Seed: seed}
+	g, err := models.Build(model, mcfg)
+	if err != nil {
+		return err
+	}
+	core.FoldBatchNorm(g)
+
+	dopts := decompose.DefaultOptions()
+	dopts.Ratio = ratio
+	switch method {
+	case "tucker":
+		dopts.Method = decompose.Tucker
+	case "cp":
+		dopts.Method = decompose.CPD
+	case "tt":
+		dopts.Method = decompose.TensorTrain
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+
+	fmt.Printf("model %s @ %dx%d, batch %d, %s ratio %.2f\n\n", model, res, res, batch, method, ratio)
+	report(fmt.Sprintf("original (%d layers)", len(g.Nodes)), g, batch)
+
+	dg, rep := decompose.Decompose(g, dopts)
+	ow, nw := rep.TotalWeightBytes()
+	report(fmt.Sprintf("decomposed (%d layers, %d convs decomposed, weights %.2f→%.2f MB)",
+		len(dg.Nodes), len(rep.Layers), mbf(ow), mbf(nw)), dg, batch)
+
+	cfg := core.DefaultConfig()
+	cfg.SkipOpt = skipOpt
+	cfg.Fusion = fusion
+	cfg.Transforms = trans
+	og, st := core.Optimize(dg, cfg)
+	report(fmt.Sprintf("TeMCO (%d layers)", len(og.Nodes)), og, batch)
+	fmt.Printf("\npasses: %d/%d skip connections optimized (%d rejected by gate), "+
+		"%d restore layers copied, %d fused kernels, %d concat splits, %d merged lconvs, %d add merges\n",
+		st.SkipConnectionsOptimized, st.SkipConnectionsFound, st.SkipConnectionsRejected,
+		st.RestoreLayersCopied, st.FusedKernels, st.ConcatSplits, st.MergedLConvs, st.AddMerges)
+
+	if verify {
+		x := tensor.New(2, 3, res, res)
+		x.FillNormal(tensor.NewRNG(7), 0, 1)
+		rd, err := exec.Run(dg, x)
+		if err != nil {
+			return err
+		}
+		ro, err := exec.Run(og, x)
+		if err != nil {
+			return err
+		}
+		d := tensor.MaxAbsDiff(rd.Outputs[0], ro.Outputs[0])
+		fmt.Printf("\nverify: max |decomposed − optimized| = %.3e over %d outputs\n", d, rd.Outputs[0].Len())
+		if d > 0.05 {
+			return fmt.Errorf("verification failed: outputs deviate by %v", d)
+		}
+	}
+	if dot != "" {
+		if err := os.WriteFile(dot, []byte(og.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", dot)
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := graphio.Save(f, og); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", save)
+	}
+	return nil
+}
+
+func report(label string, g *ir.Graph, batch int) {
+	p := memplan.Simulate(g, batch, 0)
+	fmt.Printf("%-72s internal %8.2f MB  weights %8.2f MB  %8.3f GFLOPs\n",
+		label, mbf(p.PeakInternal), mbf(p.WeightBytes), float64(ir.GraphFLOPs(g))/1e9)
+}
+
+func mbf(b int64) float64 { return float64(b) / (1 << 20) }

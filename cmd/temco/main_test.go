@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallModelEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "g.dot")
+	save := filepath.Join(dir, "g.temco")
+	err := run("unet-s", 16, 10, 2, 0.2, "tucker", true, true, true, true, dot, save, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{dot, save} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("%s missing or empty: %v", p, err)
+		}
+	}
+}
+
+func TestRunAllMethods(t *testing.T) {
+	for _, m := range []string{"tucker", "cp", "tt"} {
+		if err := run("alexnet", 32, 10, 1, 0.2, m, false, true, false, true, "", "", 1); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+	if err := run("alexnet", 32, 10, 1, 0.2, "bogus", false, true, false, false, "", "", 1); err == nil {
+		t.Fatal("unknown method must error")
+	}
+	if err := run("nope", 32, 10, 1, 0.2, "tucker", false, true, false, false, "", "", 1); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}

@@ -1,0 +1,34 @@
+// Package temco is a from-scratch Go reproduction of "TeMCO: Tensor Memory
+// Compiler Optimization across Tensor Decompositions in Deep Learning
+// Inference" (Song et al., ICPP 2024).
+//
+// The library decomposes convolution layers of CNN inference graphs with
+// Tucker-2 / CP / Tensor-Train decompositions and then applies TeMCO's two
+// compiler optimizations — skip-connection optimization and activation
+// layer fusion, extended by concat/add layer transformations — so that
+// only the small reduced tensors produced inside decomposed convolution
+// sequences stay live during inference, cutting peak internal-tensor
+// memory (the paper reports 75.7% geomean over ten models).
+//
+// Layout:
+//
+//	internal/tensor      dense float32 NCHW tensors + deterministic RNG
+//	internal/linalg      Jacobi SVD, randomized truncated SVD, solvers
+//	internal/ir          SSA layer-graph IR, shape inference, PDG, DCE
+//	internal/ops         CPU kernels incl. the fused lconv-act-[pool]-fconv
+//	internal/decompose   Tucker-2 / CP-ALS / TT-SVD conv rewrites
+//	internal/memplan     liveness analysis + peak-memory simulator
+//	internal/core        the TeMCO passes (paper Alg. 1/2, §3.2, §3.3)
+//	internal/models      AlexNet/VGG/ResNet/DenseNet/UNet (10 models)
+//	internal/exec        graph executor
+//	internal/train       reverse-mode autodiff + SGD
+//	internal/data        synthetic ILSVRC/Carvana stand-ins + metrics
+//	internal/experiments evaluation harness (paper Figs. 4, 10, 11, 12)
+//	cmd/temco            compiler driver CLI
+//	cmd/experiments      regenerates every evaluation table
+//	cmd/memprofile       Fig. 4 timelines as plots or CSV
+//
+// The benchmarks in bench_test.go regenerate each figure's measurement;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results.
+package temco

@@ -1,0 +1,41 @@
+// Timeline renders the paper's Fig. 4: internal-tensor memory usage over
+// the layer schedule for UNet and VGG-16, Original vs Decomposed, showing
+// why tensor decomposition alone does not reduce peak memory — skip
+// connections (UNet) and non-decomposed activations (VGG) pin the peak.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"temco/internal/decompose"
+	"temco/internal/experiments"
+	"temco/internal/models"
+)
+
+func main() {
+	mcfg := models.DefaultConfig()
+	mcfg.H, mcfg.W = 64, 64
+	dopts := decompose.DefaultOptions()
+
+	for _, name := range []string{"unet", "vgg16"} {
+		for _, v := range []experiments.Variant{
+			experiments.Original, experiments.Decomposed, experiments.SkipOptFusion, experiments.Fusion,
+		} {
+			// Match the paper's variant sets per architecture.
+			spec, err := models.Get(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if (v == experiments.SkipOptFusion && !spec.HasSkips) ||
+				(v == experiments.Fusion && spec.HasSkips) {
+				continue
+			}
+			s, err := experiments.Timeline(name, v, mcfg, dopts, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(s.Sparkline(60))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module temco
+
+go 1.22

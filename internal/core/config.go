@@ -1,0 +1,93 @@
+// Package core implements TeMCO, the tensor memory compiler optimization
+// of the paper: skip-connection optimization (Alg. 1 + Alg. 2), activation
+// layer fusion (§3.2), and the concat/add layer transformations (§3.3),
+// composed into a configurable pass pipeline over the layer-graph IR.
+package core
+
+// Config controls which TeMCO passes run and their thresholds.
+type Config struct {
+	// SkipOpt enables skip-connection optimization (paper §3.1).
+	SkipOpt bool
+	// Fusion enables activation layer fusion (paper §3.2).
+	Fusion bool
+	// Transforms enables the concatenation/add layer transformations
+	// (paper §3.3) that widen fusion applicability.
+	Transforms bool
+	// DistanceThreshold is the tensor lifespan (schedule slots) beyond
+	// which a tensor is treated as a skip connection (paper Alg. 1
+	// DISTANCE_THRESHOLD).
+	DistanceThreshold int
+	// MaxRestoreLayers rejects restore plans longer than this many layers:
+	// "if the length of the restore layer list is long ... the algorithm
+	// decides not to copy the layers" (paper §3.1).
+	MaxRestoreLayers int
+	// ComputeScale scales the FLOPs threshold of the Overhead gate. 1.0
+	// reproduces the paper's setting (the FLOPs of the corresponding part
+	// of the original, non-decomposed model).
+	ComputeScale float64
+	// DisableOverheadGate turns the Overhead test off (ablation A1).
+	DisableOverheadGate bool
+}
+
+// DefaultConfig returns the full TeMCO pipeline with the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		SkipOpt:           true,
+		Fusion:            true,
+		Transforms:        true,
+		DistanceThreshold: 2,
+		MaxRestoreLayers:  8,
+		ComputeScale:      1.0,
+	}
+}
+
+// FusionOnly returns the configuration used for models without skip
+// connections (AlexNet, VGG in the paper's evaluation).
+func FusionOnly() Config {
+	c := DefaultConfig()
+	c.SkipOpt = false
+	c.Transforms = false
+	return c
+}
+
+// SkipOptOnly returns the configuration of the paper's "Skip-Opt" bars.
+func SkipOptOnly() Config {
+	c := DefaultConfig()
+	c.Fusion = false
+	c.Transforms = false
+	return c
+}
+
+// Stats reports what the pipeline did.
+type Stats struct {
+	SkipConnectionsFound     int
+	SkipConnectionsOptimized int
+	SkipConnectionsRejected  int
+	RestoreLayersCopied      int
+	FusedKernels             int
+	TailFusedKernels         int
+	ConcatSplits             int
+	ConcatsFlattened         int
+	MergedLConvs             int
+	UpsampleSinks            int
+	AddMerges                int
+	BatchNormsFolded         int
+	DeadNodesRemoved         int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.SkipConnectionsFound += other.SkipConnectionsFound
+	s.SkipConnectionsOptimized += other.SkipConnectionsOptimized
+	s.SkipConnectionsRejected += other.SkipConnectionsRejected
+	s.RestoreLayersCopied += other.RestoreLayersCopied
+	s.FusedKernels += other.FusedKernels
+	s.TailFusedKernels += other.TailFusedKernels
+	s.ConcatSplits += other.ConcatSplits
+	s.ConcatsFlattened += other.ConcatsFlattened
+	s.MergedLConvs += other.MergedLConvs
+	s.UpsampleSinks += other.UpsampleSinks
+	s.AddMerges += other.AddMerges
+	s.BatchNormsFolded += other.BatchNormsFolded
+	s.DeadNodesRemoved += other.DeadNodesRemoved
+}

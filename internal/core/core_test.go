@@ -1,0 +1,398 @@
+package core
+
+import (
+	"testing"
+
+	"temco/internal/decompose"
+	"temco/internal/exec"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/tensor"
+)
+
+func randIn(seed uint64, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.FillNormal(tensor.NewRNG(seed), 0, 1)
+	return t
+}
+
+// mustMatch runs both graphs on x and fails if outputs deviate.
+func mustMatch(t *testing.T, a, b *ir.Graph, x *tensor.Tensor, tol float64, what string) {
+	t.Helper()
+	ra, err := exec.Run(a, x)
+	if err != nil {
+		t.Fatalf("%s: run baseline: %v", what, err)
+	}
+	rb, err := exec.Run(b, x)
+	if err != nil {
+		t.Fatalf("%s: run optimized: %v", what, err)
+	}
+	if len(ra.Outputs) != len(rb.Outputs) {
+		t.Fatalf("%s: output arity changed", what)
+	}
+	for i := range ra.Outputs {
+		if d := tensor.MaxAbsDiff(ra.Outputs[i], rb.Outputs[i]); d > tol {
+			t.Fatalf("%s: output %d deviates by %v (tol %v)", what, i, d, tol)
+		}
+	}
+}
+
+// vggChain builds a small VGG-style linear model and decomposes it.
+func vggChain(t *testing.T) (*ir.Graph, *ir.Graph) {
+	t.Helper()
+	b := ir.NewBuilder("vggchain", 7)
+	in := b.Input(16, 16, 16)
+	x := b.ReLU(b.Conv(in, 32, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2)
+	x = b.ReLU(b.Conv(x, 64, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2)
+	x = b.ReLU(b.Conv(x, 64, 3, 1, 1))
+	b.Output(x)
+	opts := decompose.DefaultOptions()
+	opts.Ratio = 0.25
+	dg, _ := decompose.Decompose(b.G, opts)
+	return b.G, dg
+}
+
+func TestFusionOnVGGChain(t *testing.T) {
+	_, dg := vggChain(t)
+	og, st := Optimize(dg, FusionOnly())
+	// conv1: lconv1-relu-pool-fconv2; conv2: lconv2-relu-pool-fconv3.
+	if st.FusedKernels != 2 {
+		t.Fatalf("fused kernels = %d, want 2", st.FusedKernels)
+	}
+	x := randIn(3, 2, 16, 16, 16)
+	mustMatch(t, dg, og, x, 1e-3, "fusion")
+	// Peak internal memory must drop: the full-size relu intermediates are
+	// gone from the middle of the network.
+	pd := memplan.Simulate(dg, 4, 0)
+	po := memplan.Simulate(og, 4, 0)
+	if po.PeakInternal >= pd.PeakInternal {
+		t.Fatalf("fusion did not reduce peak: %d → %d", pd.PeakInternal, po.PeakInternal)
+	}
+}
+
+func TestFusionRequiresSingleUse(t *testing.T) {
+	// If the activation output is also consumed elsewhere, fusion must not
+	// fire for that chain.
+	b := ir.NewBuilder("mu", 1)
+	in := b.Input(4, 8, 8)
+	l := b.ConvNamed("l", in, 32, 1, 1, 1, 1, 0, 0, 1) // lconv
+	r := b.ReLU(l)
+	f := b.ConvNamed("f", r, 4, 1, 1, 1, 1, 0, 0, 1) // fconv
+	g2 := b.GlobalAvgPool(r)                         // second consumer of r
+	b.Output(f)
+	b.Output(g2)
+	og, st := Optimize(b.G, FusionOnly())
+	if st.FusedKernels != 0 {
+		t.Fatalf("fused across a multi-use intermediate: %d", st.FusedKernels)
+	}
+	mustMatch(t, b.G, og, randIn(2, 1, 4, 8, 8), 1e-4, "no-fuse")
+}
+
+// unetMini builds a small hourglass with one concat skip connection.
+func unetMini(t *testing.T) *ir.Graph {
+	t.Helper()
+	b := ir.NewBuilder("unetmini", 11)
+	in := b.Input(16, 16, 16)
+	d1 := b.ReLU(b.Conv(in, 32, 3, 1, 1)) // skip source
+	p := b.MaxPool(d1, 2, 2)
+	mid := b.ReLU(b.Conv(p, 64, 3, 1, 1))
+	up := b.Upsample(mid, 2)
+	cat := b.Concat(up, d1) // d1 lives across the bottleneck
+	out := b.ReLU(b.Conv(cat, 32, 3, 1, 1))
+	b.Output(out)
+	return b.G
+}
+
+func TestSkipOptOnUNetMini(t *testing.T) {
+	g := unetMini(t)
+	opts := decompose.DefaultOptions()
+	opts.Ratio = 0.2
+	dg, _ := decompose.Decompose(g, opts)
+
+	cfg := SkipOptOnly()
+	og, st := Optimize(dg, cfg)
+	if st.SkipConnectionsFound == 0 {
+		t.Fatal("no skip connections found in a UNet-style graph")
+	}
+	if st.SkipConnectionsOptimized == 0 {
+		t.Fatalf("no skip connections optimized: %+v", st)
+	}
+	if st.RestoreLayersCopied == 0 {
+		t.Fatal("no restore layers copied")
+	}
+	x := randIn(5, 2, 16, 16, 16)
+	mustMatch(t, dg, og, x, 1e-3, "skip-opt")
+
+	// Skip-opt alone rematerializes the restored tensor at each use, so the
+	// peak (which sits at the concat, where the full tensor must exist
+	// either way) cannot grow — and the memory held *across* the bottleneck
+	// must shrink: the reduced core output replaces the full restored d1.
+	pd := memplan.Simulate(dg, 4, 0)
+	po := memplan.Simulate(og, 4, 0)
+	if po.PeakInternal > pd.PeakInternal {
+		t.Fatalf("skip-opt increased peak: %d → %d", pd.PeakInternal, po.PeakInternal)
+	}
+	atMid := func(p memplan.Profile) int64 {
+		for _, e := range p.Events {
+			if e.Name == "relu2" { // the bottleneck activation
+				return e.LiveBytes
+			}
+		}
+		t.Fatal("relu2 event not found")
+		return 0
+	}
+	if atMid(po) >= atMid(pd) {
+		t.Fatalf("skip-opt did not reduce bottleneck memory: %d → %d", atMid(pd), atMid(po))
+	}
+}
+
+func TestFullPipelineOnUNetMini(t *testing.T) {
+	g := unetMini(t)
+	opts := decompose.DefaultOptions()
+	opts.Ratio = 0.2
+	dg, _ := decompose.Decompose(g, opts)
+	og, st := Optimize(dg, DefaultConfig())
+	x := randIn(9, 2, 16, 16, 16)
+	mustMatch(t, dg, og, x, 1e-2, "full-pipeline")
+	pd := memplan.Simulate(dg, 4, 0)
+	po := memplan.Simulate(og, 4, 0)
+	if po.PeakInternal >= pd.PeakInternal {
+		t.Fatalf("pipeline did not reduce peak: %d → %d", pd.PeakInternal, po.PeakInternal)
+	}
+	if st.FusedKernels == 0 {
+		t.Fatalf("pipeline produced no fused kernels: %+v", st)
+	}
+}
+
+func TestFindReducedFigure7(t *testing.T) {
+	// Reproduce the paper's Fig. 7 shape: b = relu(a), a = lconv(a2);
+	// FindReduced(b) must return [lconv, relu].
+	b := ir.NewBuilder("fig7", 1)
+	in := b.Input(4, 8, 8)
+	a2 := b.ConvNamed("core", in, 4, 3, 3, 1, 1, 1, 1, 1)
+	a := b.ConvNamed("conv1.lconv", a2, 32, 1, 1, 1, 1, 0, 0, 1)
+	rl := b.ReLU(a)
+	b.Output(rl)
+	plan, ok := findReduced(rl, 8)
+	if !ok {
+		t.Fatal("FindReduced failed on the paper's example")
+	}
+	if len(plan.list) != 2 || plan.list[0] != a || plan.list[1] != rl {
+		t.Fatalf("plan = %v, want [lconv, relu]", plan.list)
+	}
+	if plan.size != rl.OutBytes(1) {
+		t.Fatalf("plan size = %d, want %d", plan.size, rl.OutBytes(1))
+	}
+	if plan.peak < plan.size {
+		t.Fatal("plan peak below its own result size")
+	}
+}
+
+func TestFindReducedWithoutLConvIsRejected(t *testing.T) {
+	b := ir.NewBuilder("nolconv", 1)
+	in := b.Input(4, 8, 8)
+	c := b.Conv(in, 8, 3, 1, 1) // a 3×3 conv is not an lconv
+	r := b.ReLU(c)
+	b.Output(r)
+	// The keep-live fallback yields a plan (recompute relu, keep the conv
+	// output live), but it holds as many bytes as the skip itself — the
+	// Overhead gate must reject it as a non-improvement.
+	plan, ok := findReduced(r, 8)
+	if !ok {
+		t.Fatal("keep-live fallback should produce a plan")
+	}
+	if plan.held < plan.size {
+		t.Fatalf("held %d < size %d: plan claims a free lunch", plan.held, plan.size)
+	}
+	if overheadOK(plan, 1, DefaultConfig()) {
+		t.Fatal("gate must reject a plan that keeps as many bytes live as the skip")
+	}
+}
+
+func TestFindReducedThroughAddAndConcat(t *testing.T) {
+	b := ir.NewBuilder("merge", 1)
+	in := b.Input(4, 8, 8)
+	l1 := b.ConvNamed("l1", in, 16, 1, 1, 1, 1, 0, 0, 1)
+	l2 := b.ConvNamed("l2", in, 16, 1, 1, 1, 1, 0, 0, 1)
+	a := b.Add(l1, l2)
+	r := b.ReLU(a)
+	b.Output(r)
+	plan, ok := findReduced(r, 8)
+	if !ok {
+		t.Fatal("FindReduced must traverse add")
+	}
+	if len(plan.list) != 4 {
+		t.Fatalf("plan length = %d, want 4 (two lconvs, add, relu)", len(plan.list))
+	}
+}
+
+func TestOverheadGateRejectsLongPlans(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRestoreLayers = 2
+	plan := restorePlan{list: make([]*ir.Node, 3)}
+	if overheadOK(plan, 1, cfg) {
+		t.Fatal("gate must reject plans longer than MaxRestoreLayers")
+	}
+	cfg.DisableOverheadGate = true
+	if !overheadOK(plan, 1, cfg) {
+		t.Fatal("disabled gate must accept everything")
+	}
+}
+
+func TestComparePlansAndPeak(t *testing.T) {
+	a := restorePlan{size: 10, peak: 100}
+	b := restorePlan{size: 50, peak: 60}
+	// a first: 10 + 60 = 70; b first: 50 + 100 = 150 → a before b.
+	if !comparePlans(a, b) {
+		t.Fatal("Compare should schedule the small-result/large-peak plan first")
+	}
+	ordered := orderPlans([]restorePlan{b, a})
+	if ordered[0].size != 10 {
+		t.Fatal("orderPlans did not sort by Compare")
+	}
+	n := &ir.Node{Shape: []int{1, 1, 5}} // 20 bytes
+	p := planPeak(ordered, n)
+	// exec a (peak 100), retain 10, exec b (10+60=70), retain 60, +20 = 80.
+	if p != 100 {
+		t.Fatalf("planPeak = %d, want 100", p)
+	}
+}
+
+func TestBNFoldEquivalence(t *testing.T) {
+	b := ir.NewBuilder("bn", 5)
+	in := b.Input(8, 8, 8)
+	c := b.Conv(in, 16, 3, 1, 1)
+	bn := b.BatchNorm(c)
+	r := b.ReLU(bn)
+	b.Output(r)
+	og := b.G.Clone()
+	st := FoldBatchNorm(og)
+	if st.BatchNormsFolded != 1 {
+		t.Fatalf("folded = %d, want 1", st.BatchNormsFolded)
+	}
+	for _, n := range og.Nodes {
+		if n.Kind == ir.KindBatchNorm {
+			t.Fatal("batchnorm survived folding")
+		}
+	}
+	mustMatch(t, b.G, og, randIn(2, 2, 8, 8, 8), 1e-4, "bnfold")
+}
+
+func TestBNFoldSkipsMultiUseConv(t *testing.T) {
+	b := ir.NewBuilder("bn2", 5)
+	in := b.Input(4, 4, 4)
+	c := b.Conv(in, 8, 3, 1, 1)
+	bn := b.BatchNorm(c)
+	b.Output(bn)
+	b.Output(c) // conv used twice: folding would corrupt the second use
+	og := b.G.Clone()
+	st := FoldBatchNorm(og)
+	if st.BatchNormsFolded != 0 {
+		t.Fatal("must not fold through a multi-use conv")
+	}
+}
+
+func TestMergeLConvsAtConcat(t *testing.T) {
+	b := ir.NewBuilder("mlc", 3)
+	in := b.Input(4, 8, 8)
+	r1 := b.ConvNamed("red1", in, 3, 3, 3, 1, 1, 1, 1, 1) // small reduced tensor 1
+	r2 := b.ConvNamed("red2", in, 5, 3, 3, 1, 1, 1, 1, 1) // small reduced tensor 2
+	l1 := b.ConvNamed("l1", r1, 24, 1, 1, 1, 1, 0, 0, 1)
+	l2 := b.ConvNamed("l2", r2, 40, 1, 1, 1, 1, 0, 0, 1)
+	a1 := b.ReLU(l1)
+	a2 := b.ReLU(l2)
+	cc := b.Concat(a1, a2)
+	f := b.ConvNamed("f", cc, 8, 1, 1, 1, 1, 0, 0, 1) // fconv over 64ch
+	b.Output(f)
+
+	og := b.G.Clone()
+	st := Transform(og, DefaultConfig())
+	if st.MergedLConvs != 1 {
+		t.Fatalf("merged lconvs = %d, want 1 (stats %+v)", st.MergedLConvs, st)
+	}
+	mustMatch(t, b.G, og, randIn(7, 2, 4, 8, 8), 1e-3, "merged-lconv")
+
+	// After merging, fusion should produce a single fused kernel.
+	st2 := FuseActivations(og, DefaultConfig())
+	if st2.FusedKernels != 1 {
+		t.Fatalf("fused kernels after merge = %d, want 1", st2.FusedKernels)
+	}
+	mustMatch(t, b.G, og, randIn(8, 2, 4, 8, 8), 1e-3, "merged-lconv+fusion")
+}
+
+func TestSplitConcatFConv(t *testing.T) {
+	// Different activations per branch block the merge; the split must
+	// fire instead and produce per-branch fusible chains.
+	b := ir.NewBuilder("split", 3)
+	in := b.Input(4, 8, 8)
+	l1 := b.ConvNamed("l1", in, 24, 1, 1, 1, 1, 0, 0, 1)
+	l2 := b.ConvNamed("l2", in, 40, 1, 1, 1, 1, 0, 0, 1)
+	a1 := b.ReLU(l1)
+	a2 := b.SiLU(l2) // different activation → no lconv merge
+	cc := b.Concat(a1, a2)
+	f := b.ConvNamed("f", cc, 8, 1, 1, 1, 1, 0, 0, 1)
+	b.Output(f)
+
+	og := b.G.Clone()
+	st := Transform(og, DefaultConfig())
+	if st.MergedLConvs != 0 {
+		t.Fatal("must not merge lconvs across different activations")
+	}
+	if st.ConcatSplits != 1 {
+		t.Fatalf("concat splits = %d, want 1", st.ConcatSplits)
+	}
+	mustMatch(t, b.G, og, randIn(9, 2, 4, 8, 8), 1e-3, "concat-split")
+
+	st2 := FuseActivations(og, DefaultConfig())
+	if st2.FusedKernels != 2 {
+		t.Fatalf("fused kernels after split = %d, want 2", st2.FusedKernels)
+	}
+	mustMatch(t, b.G, og, randIn(10, 2, 4, 8, 8), 1e-3, "concat-split+fusion")
+}
+
+func TestMergeAddOfConvs(t *testing.T) {
+	b := ir.NewBuilder("addm", 3)
+	in := b.Input(4, 8, 8)
+	u := b.ConvNamed("u", in, 3, 3, 3, 1, 1, 1, 1, 1)
+	v := b.ConvNamed("v", in, 5, 3, 3, 1, 1, 1, 1, 1)
+	p := b.ConvNamed("p", u, 16, 1, 1, 1, 1, 0, 0, 1)
+	q := b.ConvNamed("q", v, 16, 1, 1, 1, 1, 0, 0, 1)
+	a := b.Add(p, q)
+	b.Output(b.ReLU(a))
+
+	og := b.G.Clone()
+	st := Transform(og, DefaultConfig())
+	if st.AddMerges != 1 {
+		t.Fatalf("add merges = %d, want 1 (stats %+v)", st.AddMerges, st)
+	}
+	mustMatch(t, b.G, og, randIn(11, 2, 4, 8, 8), 1e-3, "add-merge")
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	_, dg := vggChain(t)
+	before := len(dg.Nodes)
+	Optimize(dg, DefaultConfig())
+	if len(dg.Nodes) != before {
+		t.Fatal("Optimize mutated its input graph")
+	}
+	if err := dg.Validate(); err != nil {
+		t.Fatalf("input graph invalid after Optimize: %v", err)
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	if c := FusionOnly(); c.SkipOpt || !c.Fusion {
+		t.Fatal("FusionOnly wrong")
+	}
+	if c := SkipOptOnly(); !c.SkipOpt || c.Fusion || c.Transforms {
+		t.Fatal("SkipOptOnly wrong")
+	}
+	var s Stats
+	s.Add(Stats{FusedKernels: 2, SkipConnectionsFound: 1})
+	s.Add(Stats{FusedKernels: 1})
+	if s.FusedKernels != 3 || s.SkipConnectionsFound != 1 {
+		t.Fatal("Stats.Add wrong")
+	}
+}

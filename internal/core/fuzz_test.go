@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"temco/internal/decompose"
+	"temco/internal/exec"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/tensor"
+)
+
+// randomModel builds a random but well-formed CNN: a chain of conv/act/
+// pool stages with occasional residual adds, concat skips, and upsamples —
+// the structural vocabulary of the ten evaluation models.
+func randomModel(seed uint64) *ir.Graph {
+	r := tensor.NewRNG(seed)
+	b := ir.NewBuilder("fuzz", seed)
+	x := b.Input(2+r.Intn(6), 16, 16)
+	// Track candidates for skip connections at each spatial size.
+	bySize := map[int][]*ir.Node{16: {x}}
+	cur := 16
+	depth := 3 + r.Intn(6)
+	for i := 0; i < depth; i++ {
+		switch r.Intn(6) {
+		case 0, 1: // conv + act
+			c := b.Conv(x, 4+r.Intn(24), 3, 1, 1)
+			if r.Intn(2) == 0 {
+				x = b.ReLU(c)
+			} else {
+				x = b.SiLU(c)
+			}
+		case 2: // pool (halve) when possible
+			if cur >= 8 {
+				x = b.MaxPool(x, 2, 2)
+				cur /= 2
+			} else {
+				x = b.ReLU(x)
+			}
+		case 3: // residual add with a same-shape predecessor
+			for _, cand := range bySize[cur] {
+				if cand != x && cand.Shape[0] == x.Shape[0] && cand.Shape[1] == x.Shape[1] {
+					x = b.Add(x, cand)
+					break
+				}
+			}
+		case 4: // concat skip with a same-size predecessor
+			for _, cand := range bySize[cur] {
+				if cand != x && cand.Shape[1] == x.Shape[1] {
+					x = b.Concat(x, cand)
+					break
+				}
+			}
+		case 5: // upsample (double) when it will not explode
+			if cur <= 8 {
+				x = b.Upsample(x, 2)
+				cur *= 2
+			} else {
+				x = b.Sigmoid(x)
+			}
+		}
+		bySize[cur] = append(bySize[cur], x)
+	}
+	// Head: one more conv so the tail is realistic.
+	x = b.Conv(x, 4, 3, 1, 1)
+	b.Output(x)
+	return b.G
+}
+
+// TestQuickPipelineOnRandomModels is the end-to-end fuzz gate: for random
+// CNNs, decompose → TeMCO must (a) produce a valid graph, (b) preserve the
+// decomposed model's outputs, and (c) never increase the simulated peak.
+func TestQuickPipelineOnRandomModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz pipeline is slow")
+	}
+	f := func(seed uint64) bool {
+		g := randomModel(seed)
+		if g.Validate() != nil {
+			return false
+		}
+		opts := decompose.DefaultOptions()
+		opts.Ratio = 0.3
+		dg, _ := decompose.Decompose(g, opts)
+		og, _ := Optimize(dg, DefaultConfig())
+		if og.Validate() != nil {
+			return false
+		}
+		r := tensor.NewRNG(seed ^ 0xfeed)
+		x := tensor.New(1, g.Inputs[0].Shape[0], 16, 16)
+		x.FillNormal(r, 0, 1)
+		want, err := exec.Run(dg, x)
+		if err != nil {
+			t.Logf("seed %d: run decomposed: %v", seed, err)
+			return false
+		}
+		got, err := exec.Run(og, x)
+		if err != nil {
+			t.Logf("seed %d: run optimized: %v", seed, err)
+			return false
+		}
+		if d := tensor.MaxAbsDiff(want.Outputs[0], got.Outputs[0]); d > 2e-2 {
+			t.Logf("seed %d: outputs deviate by %v", seed, d)
+			return false
+		}
+		pd := memplan.Simulate(dg, 2, 0)
+		po := memplan.Simulate(og, 2, 0)
+		if po.PeakInternal > pd.PeakInternal {
+			t.Logf("seed %d: peak grew %d → %d", seed, pd.PeakInternal, po.PeakInternal)
+			return false
+		}
+		// The arena layout of the optimized graph must stay conflict-free.
+		asg := memplan.AssignOffsets(og, 2)
+		if asg.Check() != nil {
+			t.Logf("seed %d: arena layout conflict", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

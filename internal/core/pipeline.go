@@ -1,0 +1,33 @@
+package core
+
+import "temco/internal/ir"
+
+// Optimize runs the TeMCO pass pipeline (paper Fig. 6) on a decomposed
+// model graph and returns the optimized clone plus pass statistics. The
+// input graph is never modified.
+//
+// Pipeline order: fold batchnorm → skip-connection optimization → layer
+// transformations → activation layer fusion → dead code elimination.
+// Skip-opt runs first so the restore-layer copies it inserts before concat
+// and add consumers become visible to the transformations, which in turn
+// produce the lconv→act→fconv chains the fusion pass consumes — the
+// composition the paper describes for DenseNet and UNet (§4.2).
+func Optimize(g *ir.Graph, cfg Config) (*ir.Graph, Stats) {
+	ng := g.Clone()
+	var st Stats
+	st.Add(FoldBatchNorm(ng))
+	if cfg.SkipOpt {
+		st.Add(SkipOptimize(ng, cfg))
+	}
+	if cfg.Transforms {
+		st.Add(Transform(ng, cfg))
+	}
+	if cfg.Fusion {
+		st.Add(FuseActivations(ng, cfg))
+	}
+	st.DeadNodesRemoved += ng.DeadCodeElim()
+	if err := ng.Validate(); err != nil {
+		panic("core: Optimize produced invalid graph: " + err.Error())
+	}
+	return ng, st
+}

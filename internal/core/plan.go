@@ -1,0 +1,200 @@
+package core
+
+import (
+	"temco/internal/ir"
+)
+
+// restorePlan is the result record of paper Alg. 2 FindReduced: the ordered
+// list of restore layers needed to recompute a skip-connection tensor from
+// reduced tensors, the tensor size, the peak memory of executing the list,
+// and the set of tensors the plan keeps live instead of rematerializing.
+//
+// The paper's FindReduced terminates only at lconv leaves. This
+// implementation adds *keep-live leaves*: a predecessor branch that cannot
+// reach an lconv (or would exceed the layer budget) is referenced directly,
+// keeping that tensor live across the skip instead of failing the whole
+// plan. The Overhead gate then insists the bytes held live after the
+// rewrite are strictly below the skip tensor's size, so the fallback never
+// degrades memory. This is what lets dense concat chains (DenseNet) be
+// optimized layer by layer even though their recursion bottoms out at the
+// non-decomposed stem.
+type restorePlan struct {
+	list []*ir.Node
+	size int64
+	peak int64
+	// held is the total bytes the plan keeps live across the skip: the
+	// reduced inputs of lconv leaves plus all keep-live leaves.
+	held int64
+}
+
+// sizeOf is the paper's SIZE(v): the output bytes of a node at batch 1.
+// Only relative comparisons matter here, so batch cancels.
+func sizeOf(n *ir.Node) int64 { return n.OutBytes(1) }
+
+// traversable reports whether FindReduced may walk through node kind k on
+// its way from a skip connection back to the lconv leaves: elementwise
+// layers, pooling, upsampling, and tensor-merge ops preserve the "derived
+// from reduced tensors" property.
+func traversable(k ir.Kind) bool {
+	switch k {
+	case ir.KindReLU, ir.KindSiLU, ir.KindSigmoid, ir.KindBatchNorm,
+		ir.KindAdd, ir.KindConcat, ir.KindMaxPool, ir.KindAvgPool, ir.KindUpsample:
+		return true
+	default:
+		return false
+	}
+}
+
+// comparePlans is the paper's Compare(a,b): schedule a before b iff
+// a.size + b.peak < b.size + a.peak (executing the plan whose resident
+// result is smaller first lowers the combined peak).
+func comparePlans(a, b restorePlan) bool {
+	return a.size+b.peak < b.size+a.peak
+}
+
+// planPeak is the paper's Peak(l, v): the running peak of executing the
+// ordered child plans and then materializing v on top of their results.
+func planPeak(ordered []restorePlan, v *ir.Node) int64 {
+	var peak, resided int64
+	for _, e := range ordered {
+		if resided+e.peak > peak {
+			peak = resided + e.peak
+		}
+		resided += e.size
+	}
+	if resided+sizeOf(v) > peak {
+		peak = resided + sizeOf(v)
+	}
+	return peak
+}
+
+// findReduced implements paper Alg. 2 with the keep-live extension:
+// starting from skip-connection node v, recursively collect the restore
+// layers down to lconv leaves (ordering sibling sub-plans with
+// comparePlans) within a total budget of maxOps copied layers. It fails
+// only when v itself yields no restore layers at all.
+func findReduced(v *ir.Node, maxOps int) (restorePlan, bool) {
+	budget := maxOps
+	plan := findReducedRec(v, &budget, make(map[*ir.Node]bool))
+	if len(plan.list) == 0 {
+		return restorePlan{}, false
+	}
+	plan.list = dedupe(plan.list)
+	return plan, true
+}
+
+// keepLive returns the leaf plan that references v directly.
+func keepLive(v *ir.Node) restorePlan {
+	return restorePlan{size: sizeOf(v), peak: sizeOf(v), held: sizeOf(v)}
+}
+
+func findReducedRec(v *ir.Node, budget *int, onPath map[*ir.Node]bool) restorePlan {
+	if onPath[v] {
+		// Layer graphs are DAGs; a repeat means a diamond was entered
+		// twice. The value is already produced by the earlier visit.
+		return restorePlan{size: sizeOf(v)}
+	}
+	if v.IsLConv() && *budget > 0 {
+		*budget--
+		return restorePlan{
+			list: []*ir.Node{v},
+			size: sizeOf(v),
+			peak: sizeOf(v) + sizeOf(v.Inputs[0]),
+			held: sizeOf(v.Inputs[0]),
+		}
+	}
+	if !traversable(v.Kind) || len(v.Inputs) == 0 || *budget <= len(v.Inputs) {
+		return keepLive(v)
+	}
+	onPath[v] = true
+	defer delete(onPath, v)
+	*budget-- // the copy of v itself
+	var preds []restorePlan
+	for _, p := range v.Inputs {
+		preds = append(preds, findReducedRec(p, budget, onPath))
+	}
+	ordered := orderPlans(preds)
+	var list []*ir.Node
+	var held int64
+	for _, e := range ordered {
+		list = append(list, e.list...)
+		held += e.held
+	}
+	list = append(list, v)
+	return restorePlan{
+		list: list,
+		size: sizeOf(v),
+		peak: planPeak(ordered, v),
+		held: held,
+	}
+}
+
+// orderPlans is the paper's ORDER(Compare, predList): a stable insertion
+// sort under the (non-total) Compare relation.
+func orderPlans(ps []restorePlan) []restorePlan {
+	out := append([]restorePlan(nil), ps...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && comparePlans(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func dedupe(list []*ir.Node) []*ir.Node {
+	seen := make(map[*ir.Node]bool, len(list))
+	out := list[:0]
+	for _, n := range list {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// planFLOPs sums the compute cost of one execution of the restore plan.
+func planFLOPs(plan restorePlan) int64 {
+	var f int64
+	for _, n := range plan.list {
+		f += ir.FLOPs(n)
+	}
+	return f
+}
+
+// originalConvFLOPs estimates the FLOPs of the original (non-decomposed)
+// convolution an lconv came from, by walking its decomposed sequence back
+// through the core conv(s) to the fconv: FLOPs = OutC·H'·W'·InC·ΠK·2.
+// This is the paper's COMPUTE_THRESHOLD ("FLOPS of the corresponding parts
+// of the original model without decomposition"). When the provenance
+// structure is absent it falls back to the lconv's own cost.
+func originalConvFLOPs(lconv *ir.Node) int64 {
+	outC := lconv.Conv().OutC
+	hw := int64(lconv.Shape[1]) * int64(lconv.Shape[2])
+	kProd := int64(1)
+	cur := lconv.Inputs[0]
+	for cur.Kind == ir.KindConv2D && cur.Role == ir.RoleCore {
+		a := cur.Conv()
+		kProd *= int64(a.KH) * int64(a.KW)
+		cur = cur.Inputs[0]
+	}
+	if cur.Kind == ir.KindConv2D && cur.Role == ir.RoleFConv {
+		inC := int64(cur.Conv().InC)
+		return int64(outC) * hw * inC * kProd * 2
+	}
+	return ir.FLOPs(lconv)
+}
+
+// planComputeThreshold sums originalConvFLOPs over the plan's lconv leaves
+// and the original cost of the copied elementwise layers.
+func planComputeThreshold(plan restorePlan) int64 {
+	var t int64
+	for _, n := range plan.list {
+		if n.IsLConv() {
+			t += originalConvFLOPs(n)
+		} else {
+			t += ir.FLOPs(n)
+		}
+	}
+	return t
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"temco/internal/ir"
+	"temco/internal/memplan"
+)
+
+// ScheduleForMemory reorders g's schedule to reduce peak internal-tensor
+// memory, keeping the data dependences intact. The paper defers execution
+// scheduling to prior work ([19, 31, 50] in its references) and notes that
+// TeMCO "reorders the execution scheduling of the layers"; this pass
+// implements the standard greedy list-scheduling heuristic those works
+// build on: at every step, among the ready nodes, run the one whose
+// execution minimizes the resulting live-set size (breaking ties by
+// freed-bytes-minus-allocated-bytes, then by original order for
+// determinism).
+//
+// It returns the peak before and after. The reordering never changes
+// semantics: only the relative order of independent layers moves.
+func ScheduleForMemory(g *ir.Graph, cfg Config) (before, after int64) {
+	before = memplan.Simulate(g, 1, cfg.DistanceThreshold).PeakInternal
+
+	orig := append([]*ir.Node(nil), g.Nodes...)
+	pos := make(map[*ir.Node]int, len(orig))
+	for i, n := range orig {
+		pos[n] = i
+	}
+	// Remaining-use counts drive the free decisions.
+	remaining := make(map[*ir.Node]int, len(orig))
+	for _, n := range orig {
+		for _, in := range n.Inputs {
+			remaining[in]++
+		}
+	}
+	for _, o := range g.Outputs {
+		remaining[o]++
+	}
+	// Dependency counts drive readiness.
+	deps := make(map[*ir.Node]int, len(orig))
+	succs := g.Succs()
+	for _, n := range orig {
+		deps[n] = len(n.Inputs)
+	}
+
+	var ready []*ir.Node
+	for _, n := range orig {
+		if deps[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	liveBytes := int64(0)
+	schedule := make([]*ir.Node, 0, len(orig))
+	scheduled := make(map[*ir.Node]bool, len(orig))
+
+	// delta returns the live-set change of executing n: its output is
+	// allocated; inputs whose remaining count drops to zero are freed.
+	delta := func(n *ir.Node) int64 {
+		d := n.OutBytes(1)
+		seen := map[*ir.Node]bool{}
+		for _, in := range n.Inputs {
+			if seen[in] {
+				continue
+			}
+			seen[in] = true
+			uses := remaining[in]
+			// Count duplicate edges from n.
+			dup := 0
+			for _, in2 := range n.Inputs {
+				if in2 == in {
+					dup++
+				}
+			}
+			if uses-dup == 0 {
+				d -= in.OutBytes(1)
+			}
+		}
+		if remaining[n] == 0 {
+			// Output unused (shouldn't happen post-DCE): freed immediately.
+			d -= n.OutBytes(1)
+		}
+		return d
+	}
+
+	for len(schedule) < len(orig) {
+		if len(ready) == 0 {
+			panic("core: ScheduleForMemory: dependency cycle")
+		}
+		// Pick the ready node minimizing transient peak, then net delta,
+		// then original position (stability/determinism).
+		best := 0
+		bestPeak := liveBytes + ready[0].OutBytes(1)
+		bestDelta := delta(ready[0])
+		for i := 1; i < len(ready); i++ {
+			p := liveBytes + ready[i].OutBytes(1)
+			d := delta(ready[i])
+			if p < bestPeak || (p == bestPeak && (d < bestDelta ||
+				(d == bestDelta && pos[ready[i]] < pos[ready[best]]))) {
+				best, bestPeak, bestDelta = i, p, d
+			}
+		}
+		n := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		schedule = append(schedule, n)
+		scheduled[n] = true
+		liveBytes += delta(n)
+		for _, in := range n.Inputs {
+			remaining[in]--
+		}
+		for _, s := range succs[n] {
+			deps[s]--
+			if deps[s] == 0 && !scheduled[s] {
+				ready = append(ready, s)
+			}
+		}
+	}
+	g.Nodes = schedule
+	after = memplan.Simulate(g, 1, cfg.DistanceThreshold).PeakInternal
+	if after > before {
+		// The greedy heuristic is not guaranteed optimal; never regress.
+		g.Nodes = orig
+		after = before
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("core: ScheduleForMemory produced invalid graph: %v", err))
+	}
+	return before, after
+}

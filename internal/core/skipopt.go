@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"temco/internal/ir"
+	"temco/internal/memplan"
+)
+
+// SkipOptimize implements paper Algorithm 1: it finds skip connections via
+// tensor liveness, computes their restore plans with FindReduced, gates on
+// computation overhead, and rematerializes the restored tensor immediately
+// before each use so that only the reduced tensors stay live across the
+// skip. Dead original chains are removed afterwards.
+//
+// The paper's memory gate compares the plan's own execution peak against
+// the model peak; that local test ignores whatever else is live at the
+// insertion points, so this implementation strengthens it: each rewrite is
+// trial-applied and the whole-model peak re-simulated — if the measured
+// peak grows, the rewrite is reverted and counted as rejected. The graph
+// is modified in place; pass a clone if the input must survive.
+func SkipOptimize(g *ir.Graph, cfg Config) Stats {
+	var st Stats
+	live := memplan.Analyze(g)
+	currentPeak := measuredPeak(g, cfg)
+	succs := g.Succs()
+	outputs := make(map[*ir.Node]bool, len(g.Outputs))
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+
+	// Work over a snapshot: rewrites splice into g.Nodes as we go.
+	snapshot := append([]*ir.Node(nil), g.Nodes...)
+	for _, n := range snapshot {
+		if n.Kind == ir.KindInput {
+			continue
+		}
+		d := live.Lifespan(n)
+		if d <= cfg.DistanceThreshold {
+			continue
+		}
+		st.SkipConnectionsFound++
+		if outputs[n] {
+			// Graph outputs must be produced as-is; rematerializing their
+			// consumers would still leave the output itself live.
+			st.SkipConnectionsRejected++
+			continue
+		}
+		plan, ok := findReduced(n, cfg.MaxRestoreLayers)
+		if !ok {
+			st.SkipConnectionsRejected++
+			continue
+		}
+		uses := succs[n]
+		if len(uses) == 0 {
+			st.SkipConnectionsRejected++
+			continue
+		}
+		if !overheadOK(plan, len(uses), cfg) {
+			st.SkipConnectionsRejected++
+			continue
+		}
+		// Trial-apply: insert a copy of the restore plan before every use
+		// and retarget the use to the copy (paper Alg. 1 lines 22-24).
+		type undo struct {
+			s      *ir.Node
+			inputs []*ir.Node
+		}
+		var undos []undo
+		var inserted []*ir.Node
+		copied := 0
+		for _, s := range uses {
+			undos = append(undos, undo{s, append([]*ir.Node(nil), s.Inputs...)})
+			copies := copyPlan(g, plan.list, fmt.Sprintf(".r%d", s.ID))
+			g.InsertBefore(s, copies...)
+			inserted = append(inserted, copies...)
+			ir.ReplaceUsesIn(s, n, copies[len(copies)-1])
+			copied += len(copies)
+		}
+		// Measure the true effect (paper Alg. 1's l.peak ≤ m, made global).
+		newPeak := measuredPeak(g, cfg)
+		if !cfg.DisableOverheadGate && newPeak > currentPeak {
+			for _, u := range undos {
+				u.s.Inputs = u.inputs
+			}
+			removeNodes(g, inserted)
+			st.SkipConnectionsRejected++
+			continue
+		}
+		currentPeak = newPeak
+		st.RestoreLayersCopied += copied
+		st.SkipConnectionsOptimized++
+	}
+	st.DeadNodesRemoved += g.DeadCodeElim()
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("core: SkipOptimize produced invalid graph: %v", err))
+	}
+	return st
+}
+
+// measuredPeak simulates g's schedule after dead-code elimination on a
+// throwaway clone (rewrites leave the replaced chains in place until the
+// final DCE; counting them would bias the gate).
+func measuredPeak(g *ir.Graph, cfg Config) int64 {
+	trial := g.Clone()
+	trial.DeadCodeElim()
+	return memplan.Simulate(trial, 1, cfg.DistanceThreshold).PeakInternal
+}
+
+// removeNodes deletes the given nodes from g's schedule.
+func removeNodes(g *ir.Graph, nodes []*ir.Node) {
+	drop := make(map[*ir.Node]bool, len(nodes))
+	for _, n := range nodes {
+		drop[n] = true
+	}
+	kept := g.Nodes[:0]
+	for _, n := range g.Nodes {
+		if !drop[n] {
+			kept = append(kept, n)
+		}
+	}
+	g.Nodes = kept
+}
+
+// overheadOK is the computational half of the paper's Overhead(n, l) gate:
+// the copied computation must not exceed the FLOPs of the corresponding
+// original convolutions, the plan must not be too long, and the bytes the
+// plan keeps live across the skip must be strictly below the skip tensor's
+// own size. (The memory half is measured globally by SkipOptimize.)
+func overheadOK(plan restorePlan, nUses int, cfg Config) bool {
+	if cfg.DisableOverheadGate {
+		return true
+	}
+	if cfg.MaxRestoreLayers > 0 && len(plan.list) > cfg.MaxRestoreLayers {
+		return false
+	}
+	if plan.held >= plan.size {
+		return false
+	}
+	cost := planFLOPs(plan) * int64(nUses)
+	threshold := int64(float64(planComputeThreshold(plan)) * cfg.ComputeScale)
+	return cost <= threshold
+}
+
+// copyPlan duplicates the restore layers (weights shared, attrs deep-copied)
+// in plan order, rewiring intra-plan edges to the copies and leaving edges
+// to nodes outside the plan (the reduced tensors and keep-live leaves)
+// pointing at the originals.
+func copyPlan(g *ir.Graph, plan []*ir.Node, suffix string) []*ir.Node {
+	m := make(map[*ir.Node]*ir.Node, len(plan))
+	out := make([]*ir.Node, 0, len(plan))
+	for _, n := range plan {
+		c := &ir.Node{
+			ID:    g.NewID(),
+			Name:  n.Name + suffix,
+			Kind:  n.Kind,
+			Attrs: ir.CloneAttrs(n.Attrs),
+			W:     n.W,
+			B:     n.B,
+			Shape: append([]int(nil), n.Shape...),
+			Role:  n.Role,
+		}
+		c.Inputs = make([]*ir.Node, len(n.Inputs))
+		for i, in := range n.Inputs {
+			if cp, ok := m[in]; ok {
+				c.Inputs[i] = cp
+			} else {
+				c.Inputs[i] = in
+			}
+		}
+		m[n] = c
+		out = append(out, c)
+	}
+	return out
+}

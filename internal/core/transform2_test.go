@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"temco/internal/ir"
+	"temco/internal/memplan"
+)
+
+func TestFlattenConcats(t *testing.T) {
+	b := ir.NewBuilder("flat", 1)
+	in := b.Input(4, 8, 8)
+	a := b.ReLU(in)
+	c1 := b.Concat(in, a) // 8ch
+	bb := b.Sigmoid(in)
+	c2 := b.Concat(c1, bb) // nested → should become concat(in, a, bb)
+	b.Output(b.ReLU(c2))
+	og := b.G.Clone()
+	n := flattenConcats(og)
+	if n != 1 {
+		t.Fatalf("flattened = %d, want 1", n)
+	}
+	var outer *ir.Node
+	for _, nd := range og.Nodes {
+		if nd.Kind == ir.KindConcat && nd.Shape[0] == 12 {
+			outer = nd
+		}
+	}
+	if outer == nil || len(outer.Inputs) != 3 {
+		t.Fatalf("outer concat not widened: %v", outer)
+	}
+	if err := og.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mustMatch(t, b.G, og, randIn(3, 2, 4, 8, 8), 0, "flatten")
+}
+
+func TestTailFusion(t *testing.T) {
+	// lconv→relu→add(x, …): no trailing fconv, so the main pattern cannot
+	// fire — tail fusion must collapse the chain and halve the transient.
+	b := ir.NewBuilder("tail", 1)
+	in := b.Input(4, 8, 8)
+	l := b.ConvNamed("l", in, 32, 1, 1, 1, 1, 0, 0, 1)
+	r := b.ReLU(l)
+	other := b.ConvNamed("o", in, 32, 3, 3, 1, 1, 1, 1, 1)
+	a := b.Add(r, other)
+	b.Output(a)
+	og := b.G.Clone()
+	st := FuseActivations(og, DefaultConfig())
+	if st.TailFusedKernels != 1 {
+		t.Fatalf("tail fused = %d, want 1 (stats %+v)", st.TailFusedKernels, st)
+	}
+	mustMatch(t, b.G, og, randIn(5, 2, 4, 8, 8), 1e-3, "tail-fusion")
+	// Peak sits at the add here (three 32-channel tensors) either way, but
+	// tail fusion must never increase it.
+	pd := memplan.Simulate(b.G, 4, 0)
+	po := memplan.Simulate(og, 4, 0)
+	if po.PeakInternal > pd.PeakInternal {
+		t.Fatalf("tail fusion increased peak: %d → %d", pd.PeakInternal, po.PeakInternal)
+	}
+}
+
+func TestTailFusionWithPool(t *testing.T) {
+	b := ir.NewBuilder("tailp", 1)
+	in := b.Input(4, 16, 16)
+	l := b.ConvNamed("l", in, 32, 1, 1, 1, 1, 0, 0, 1)
+	r := b.ReLU(l)
+	p := b.MaxPool(r, 2, 2)
+	g2 := b.GlobalAvgPool(p) // consumer is not a 1×1 conv
+	b.Output(g2)
+	og := b.G.Clone()
+	st := FuseActivations(og, DefaultConfig())
+	if st.TailFusedKernels != 1 {
+		t.Fatalf("tail fused = %d, want 1", st.TailFusedKernels)
+	}
+	mustMatch(t, b.G, og, randIn(7, 1, 4, 16, 16), 1e-3, "tail-fusion-pool")
+	// Here the peak is the lconv-out/relu-in pair at full resolution; the
+	// pooled tail kernel eliminates both, so the peak must strictly drop.
+	pd := memplan.Simulate(b.G, 4, 0)
+	po := memplan.Simulate(og, 4, 0)
+	if po.PeakInternal >= pd.PeakInternal {
+		t.Fatalf("pooled tail fusion did not reduce peak: %d → %d", pd.PeakInternal, po.PeakInternal)
+	}
+}
+
+func TestMergedLConvWithSharedBranches(t *testing.T) {
+	// DenseNet shape: branches feed both the concat under merge and another
+	// consumer. The merge must fire and preserve semantics, with the old
+	// chain kept for the other consumer.
+	b := ir.NewBuilder("mshare", 3)
+	in := b.Input(4, 8, 8)
+	r1 := b.ConvNamed("red1", in, 3, 3, 3, 1, 1, 1, 1, 1)
+	r2 := b.ConvNamed("red2", in, 5, 3, 3, 1, 1, 1, 1, 1)
+	l1 := b.ConvNamed("l1", r1, 24, 1, 1, 1, 1, 0, 0, 1)
+	l2 := b.ConvNamed("l2", r2, 40, 1, 1, 1, 1, 0, 0, 1)
+	a1 := b.ReLU(l1)
+	a2 := b.ReLU(l2)
+	cc := b.Concat(a1, a2)
+	f := b.ConvNamed("f", cc, 8, 1, 1, 1, 1, 0, 0, 1)
+	side := b.GlobalAvgPool(a1) // a1 has a second consumer
+	b.Output(f)
+	b.Output(side)
+
+	og := b.G.Clone()
+	st := Transform(og, DefaultConfig())
+	if st.MergedLConvs != 1 {
+		t.Fatalf("merged lconvs = %d, want 1 (stats %+v)", st.MergedLConvs, st)
+	}
+	mustMatch(t, b.G, og, randIn(9, 2, 4, 8, 8), 1e-3, "merged-shared")
+}
+
+func TestSplitGateRejectsWideConvs(t *testing.T) {
+	// A 1×1 conv whose output is half its input (DenseNet transition) must
+	// not be split: the add-chain transients would exceed the concat.
+	b := ir.NewBuilder("wide", 3)
+	in := b.Input(8, 8, 8)
+	x := b.ReLU(in)
+	y := b.Sigmoid(in)
+	cc := b.Concat(x, y)                              // 16ch
+	f := b.ConvNamed("t", cc, 8, 1, 1, 1, 1, 0, 0, 1) // 16→8: "transition"
+	b.Output(f)
+	og := b.G.Clone()
+	st := Transform(og, DefaultConfig())
+	if st.ConcatSplits != 0 {
+		t.Fatalf("split fired on a wide conv: %+v", st)
+	}
+}
+
+func TestDenseChainEndToEnd(t *testing.T) {
+	// A miniature dense block: running concats, per-layer decomposed-style
+	// chains. The full pipeline must flatten, merge, fuse, and cut the peak.
+	b := ir.NewBuilder("dense", 5)
+	in := b.Input(8, 16, 16)
+	stemR := b.ConvNamed("stemr", in, 2, 3, 3, 1, 1, 1, 1, 1)
+	stem := b.ReLU(b.ConvNamed("steml", stemR, 16, 1, 1, 1, 1, 0, 0, 1))
+	x := stem
+	for i := 0; i < 3; i++ {
+		f := b.ConvNamed("f", x, 2, 1, 1, 1, 1, 0, 0, 1) // fconv
+		k := b.Conv(f, 2, 3, 1, 1)                       // core
+		l := b.ConvNamed("l", k, 8, 1, 1, 1, 1, 0, 0, 1) // lconv
+		y := b.ReLU(l)
+		x = b.Concat(x, y)
+	}
+	out := b.ConvNamed("head", x, 4, 1, 1, 1, 1, 0, 0, 1)
+	b.Output(out)
+
+	dg := b.G
+	og, st := Optimize(dg, DefaultConfig())
+	if st.ConcatsFlattened == 0 {
+		t.Fatalf("no concats flattened: %+v", st)
+	}
+	if st.MergedLConvs == 0 {
+		t.Fatalf("no lconvs merged: %+v", st)
+	}
+	mustMatch(t, dg, og, randIn(11, 2, 8, 16, 16), 1e-2, "dense-chain")
+	pd := memplan.Simulate(dg, 4, 0)
+	po := memplan.Simulate(og, 4, 0)
+	if po.PeakInternal >= pd.PeakInternal {
+		t.Fatalf("dense pipeline did not reduce peak: %d → %d", pd.PeakInternal, po.PeakInternal)
+	}
+}
+
+func TestSinkUpsamples(t *testing.T) {
+	// upsample(relu(lconv(r))) must become relu(lconv(upsample(r))).
+	b := ir.NewBuilder("sink", 1)
+	in := b.Input(4, 8, 8)
+	core := b.ConvNamed("core", in, 3, 3, 3, 1, 1, 1, 1, 1)
+	l := b.ConvNamed("l", core, 32, 1, 1, 1, 1, 0, 0, 1)
+	r := b.ReLU(l)
+	u := b.Upsample(r, 2)
+	f := b.ConvNamed("f", u, 4, 1, 1, 1, 1, 0, 0, 1) // fconv consumer
+	b.Output(f)
+	og := b.G.Clone()
+	st := Transform(og, DefaultConfig())
+	if st.UpsampleSinks != 1 {
+		t.Fatalf("upsample sinks = %d, want 1 (stats %+v)", st.UpsampleSinks, st)
+	}
+	// The upsample must now consume the reduced (3-channel) tensor.
+	for _, n := range og.Nodes {
+		if n.Kind == ir.KindUpsample && n.Inputs[0].Shape[0] != 3 {
+			t.Fatalf("upsample still consumes %d channels", n.Inputs[0].Shape[0])
+		}
+	}
+	mustMatch(t, b.G, og, randIn(13, 2, 4, 8, 8), 1e-3, "sink-upsample")
+	// Sinking is an enabler: the peak drops once fusion folds the now
+	// adjacent lconv→act chain into a tail kernel.
+	FuseActivations(og, DefaultConfig())
+	mustMatch(t, b.G, og, randIn(14, 2, 4, 8, 8), 1e-3, "sink-upsample+fusion")
+	pd := memplan.Simulate(b.G, 4, 0)
+	po := memplan.Simulate(og, 4, 0)
+	if po.PeakInternal >= pd.PeakInternal {
+		t.Fatalf("sinking+fusion did not reduce peak: %d → %d", pd.PeakInternal, po.PeakInternal)
+	}
+}

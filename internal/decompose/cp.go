@@ -1,0 +1,180 @@
+package decompose
+
+import (
+	"fmt"
+
+	"temco/internal/linalg"
+	"temco/internal/tensor"
+)
+
+// CPFactors holds a rank-R CP decomposition of a conv weight W[O,I,KH,KW]
+// viewed as the 3-way tensor [O, I, KH·KW]:
+//
+//	W[o,i,s] ≈ Σ_r A[o,r]·B[i,r]·C[s,r]
+//
+// The scaling λ is folded into A. The decomposed convolution sequence is
+// fconv (Bᵀ as 1×1), a depthwise KH×KW core conv (C, groups=R), and lconv
+// (A as 1×1).
+type CPFactors struct {
+	A, B, C *linalg.Mat
+	R       int
+	KH, KW  int
+}
+
+// khatriRao returns the column-wise Khatri-Rao product of a [m,R] and
+// b [n,R]: a matrix [m·n, R] whose column r is a_r ⊗ b_r.
+func khatriRao(a, b *linalg.Mat) *linalg.Mat {
+	r := a.Cols
+	out := linalg.NewMat(a.Rows*b.Rows, r)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			row := (i*b.Rows + j) * r
+			for c := 0; c < r; c++ {
+				out.Data[row+c] = a.At(i, c) * b.At(j, c)
+			}
+		}
+	}
+	return out
+}
+
+// hadamard returns the elementwise product of equally-sized matrices.
+func hadamard(a, b *linalg.Mat) *linalg.Mat {
+	out := linalg.NewMat(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// unfold3 returns the mode-m unfolding of a 3-way tensor given as flat data
+// with dims d, where the remaining modes vary with the later mode fastest
+// (matching khatriRao(first, second) column ordering).
+func unfold3(data []float32, d [3]int, mode int) *linalg.Mat {
+	var o1, o2 int
+	switch mode {
+	case 0:
+		o1, o2 = 1, 2
+	case 1:
+		o1, o2 = 0, 2
+	default:
+		o1, o2 = 0, 1
+	}
+	m := linalg.NewMat(d[mode], d[o1]*d[o2])
+	strides := [3]int{d[1] * d[2], d[2], 1}
+	for r := 0; r < d[mode]; r++ {
+		c := 0
+		for a := 0; a < d[o1]; a++ {
+			for b := 0; b < d[o2]; b++ {
+				off := r*strides[mode] + a*strides[o1] + b*strides[o2]
+				m.Data[r*m.Cols+c] = float64(data[off])
+				c++
+			}
+		}
+	}
+	return m
+}
+
+// CP computes a rank-r CP decomposition of w [O,I,KH,KW] by alternating
+// least squares over the 3-way view [O, I, KH·KW].
+func CP(w *tensor.Tensor, r, iters int, seed uint64) CPFactors {
+	if w.Rank() != 4 {
+		panic(fmt.Sprintf("decompose: CP expects a 4-way weight, got %v", w.Shape))
+	}
+	o, i, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	s := kh * kw
+	if r < 1 {
+		panic("decompose: CP rank must be ≥ 1")
+	}
+	d := [3]int{o, i, s}
+	x0 := unfold3(w.Data, d, 0) // [O, I·S]
+	x1 := unfold3(w.Data, d, 1) // [I, O·S]
+	x2 := unfold3(w.Data, d, 2) // [S, O·I]
+
+	rng := tensor.NewRNG(seed)
+	randInit := func(rows int) *linalg.Mat {
+		m := linalg.NewMat(rows, r)
+		for k := range m.Data {
+			m.Data[k] = rng.NormFloat64()
+		}
+		return m
+	}
+	a, b, c := randInit(o), randInit(i), randInit(s)
+
+	solveFactor := func(x, f1, f2 *linalg.Mat) *linalg.Mat {
+		// F = X · (f1 ⊙ f2) · (f1ᵀf1 ∘ f2ᵀf2)⁻¹, solved as a linear system.
+		kr := khatriRao(f1, f2)
+		gram := hadamard(linalg.Gram(f1), linalg.Gram(f2)) // [R,R]
+		// Ridge for numerical safety at over-estimated ranks.
+		for k := 0; k < r; k++ {
+			gram.Data[k*r+k] += 1e-10
+		}
+		xt := linalg.MatMul(x, kr) // [rows, R]
+		// Solve gram · Fᵀ = xtᵀ  →  F = (gram⁻¹ xtᵀ)ᵀ.
+		sol := linalg.Solve(gram, xt.T())
+		return sol.T()
+	}
+	for it := 0; it < iters; it++ {
+		a = solveFactor(x0, b, c)
+		b = solveFactor(x1, a, c)
+		c = solveFactor(x2, a, b)
+	}
+	return CPFactors{A: a, B: b, C: c, R: r, KH: kh, KW: kw}
+}
+
+// Reconstruct rebuilds the approximated 4-way weight.
+func (f CPFactors) Reconstruct() *tensor.Tensor {
+	o, i := f.A.Rows, f.B.Rows
+	s := f.KH * f.KW
+	out := tensor.New(o, i, f.KH, f.KW)
+	for oi := 0; oi < o; oi++ {
+		for ii := 0; ii < i; ii++ {
+			dst := out.Data[(oi*i+ii)*s : (oi*i+ii+1)*s]
+			for r := 0; r < f.R; r++ {
+				ab := f.A.At(oi, r) * f.B.At(ii, r)
+				if ab == 0 {
+					continue
+				}
+				for si := 0; si < s; si++ {
+					dst[si] += float32(ab * f.C.At(si, r))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FConvWeight returns the fconv weight [R, I, 1, 1] = Bᵀ.
+func (f CPFactors) FConvWeight() *tensor.Tensor {
+	i := f.B.Rows
+	w := tensor.New(f.R, i, 1, 1)
+	for r := 0; r < f.R; r++ {
+		for ii := 0; ii < i; ii++ {
+			w.Data[r*i+ii] = float32(f.B.At(ii, r))
+		}
+	}
+	return w
+}
+
+// CoreWeight returns the depthwise core conv weight [R, 1, KH, KW] from C.
+func (f CPFactors) CoreWeight() *tensor.Tensor {
+	w := tensor.New(f.R, 1, f.KH, f.KW)
+	s := f.KH * f.KW
+	for r := 0; r < f.R; r++ {
+		for si := 0; si < s; si++ {
+			w.Data[r*s+si] = float32(f.C.At(si, r))
+		}
+	}
+	return w
+}
+
+// LConvWeight returns the lconv weight [O, R, 1, 1] = A.
+func (f CPFactors) LConvWeight() *tensor.Tensor {
+	o := f.A.Rows
+	w := tensor.New(o, f.R, 1, 1)
+	for oi := 0; oi < o; oi++ {
+		for r := 0; r < f.R; r++ {
+			w.Data[oi*f.R+r] = float32(f.A.At(oi, r))
+		}
+	}
+	return w
+}

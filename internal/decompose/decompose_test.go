@@ -1,0 +1,305 @@
+package decompose
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"temco/internal/ir"
+	"temco/internal/ops"
+	"temco/internal/tensor"
+)
+
+func randW(seed uint64, o, i, kh, kw int) *tensor.Tensor {
+	w := tensor.New(o, i, kh, kw)
+	w.FillNormal(tensor.NewRNG(seed), 0, 0.5)
+	return w
+}
+
+func TestTuckerFullRankExact(t *testing.T) {
+	w := randW(1, 6, 5, 3, 3)
+	f := Tucker2(w, 5, 6, 0)
+	rec := f.Reconstruct(6, 5, 3, 3)
+	if d := tensor.RelErr(rec, w); d > 1e-5 {
+		t.Fatalf("full-rank Tucker must be exact, rel err %v", d)
+	}
+}
+
+func TestTuckerErrorDecreasesWithRank(t *testing.T) {
+	w := randW(2, 12, 12, 3, 3)
+	prev := 2.0
+	for _, r := range []int{1, 3, 6, 12} {
+		f := Tucker2(w, r, r, 1)
+		e := tensor.RelErr(f.Reconstruct(12, 12, 3, 3), w)
+		if e > prev+1e-9 {
+			t.Fatalf("rank %d error %v did not decrease (prev %v)", r, e, prev)
+		}
+		prev = e
+	}
+	if prev > 1e-4 {
+		t.Fatalf("near-full-rank error still %v", prev)
+	}
+}
+
+func TestHOOIImprovesOnHOSVD(t *testing.T) {
+	w := randW(3, 24, 20, 3, 3)
+	e0 := tensor.RelErr(Tucker2(w, 4, 4, 0).Reconstruct(24, 20, 3, 3), w)
+	e2 := tensor.RelErr(Tucker2(w, 4, 4, 3).Reconstruct(24, 20, 3, 3), w)
+	if e2 > e0+1e-6 {
+		t.Fatalf("HOOI made the fit worse: %v → %v", e0, e2)
+	}
+}
+
+// runSeq chains convolution nodes built from attrs/weights over in.
+type seqLayer struct {
+	a    *ir.ConvAttrs
+	w, b *tensor.Tensor
+}
+
+func runSeq(in *tensor.Tensor, layers []seqLayer) *tensor.Tensor {
+	cur := in
+	for _, l := range layers {
+		h, w := cur.Dim(2), cur.Dim(3)
+		oh := (h+2*l.a.PH-l.a.KH)/l.a.SH + 1
+		ow := (w+2*l.a.PW-l.a.KW)/l.a.SW + 1
+		out := tensor.New(cur.Dim(0), l.a.OutC, oh, ow)
+		ops.Conv2D(out, cur, l.w, l.b, l.a)
+		cur = out
+	}
+	return cur
+}
+
+// TestTuckerSequenceMatchesReconstructedConv is the central algebraic
+// invariant of the decomposition rewrite: the fconv→core→lconv sequence
+// must equal a single convolution with the reconstructed weight.
+func TestTuckerSequenceMatchesReconstructedConv(t *testing.T) {
+	o, i, kh, kw := 10, 8, 3, 3
+	w := randW(4, o, i, kh, kw)
+	bias := tensor.New(o)
+	bias.FillNormal(tensor.NewRNG(5), 0, 1)
+	f := Tucker2(w, 3, 4, 2)
+
+	in := tensor.New(2, i, 9, 9)
+	in.FillNormal(tensor.NewRNG(6), 0, 1)
+
+	// Single conv with reconstructed weight, stride 2, pad 1.
+	recW := f.Reconstruct(o, i, kh, kw)
+	aFull := &ir.ConvAttrs{InC: i, OutC: o, KH: kh, KW: kw, SH: 2, SW: 2, PH: 1, PW: 1, Groups: 1}
+	want := runSeq(in, []seqLayer{{aFull, recW, bias}})
+
+	got := runSeq(in, []seqLayer{
+		{&ir.ConvAttrs{InC: i, OutC: 3, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1}, f.FConvWeight(), nil},
+		{&ir.ConvAttrs{InC: 3, OutC: 4, KH: kh, KW: kw, SH: 2, SW: 2, PH: 1, PW: 1, Groups: 1}, f.Core, nil},
+		{&ir.ConvAttrs{InC: 4, OutC: o, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1}, f.LConvWeight(), bias},
+	})
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("Tucker sequence deviates from reconstructed conv by %v", d)
+	}
+}
+
+func TestCPSequenceMatchesReconstructedConv(t *testing.T) {
+	o, i, kh, kw := 8, 6, 3, 3
+	w := randW(7, o, i, kh, kw)
+	f := CP(w, 4, 10, 9)
+	in := tensor.New(1, i, 8, 8)
+	in.FillNormal(tensor.NewRNG(8), 0, 1)
+
+	recW := f.Reconstruct()
+	aFull := &ir.ConvAttrs{InC: i, OutC: o, KH: kh, KW: kw, SH: 1, SW: 1, PH: 1, PW: 1, Groups: 1}
+	want := runSeq(in, []seqLayer{{aFull, recW, nil}})
+
+	got := runSeq(in, []seqLayer{
+		{&ir.ConvAttrs{InC: i, OutC: 4, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1}, f.FConvWeight(), nil},
+		{&ir.ConvAttrs{InC: 4, OutC: 4, KH: kh, KW: kw, SH: 1, SW: 1, PH: 1, PW: 1, Groups: 4}, f.CoreWeight(), nil},
+		{&ir.ConvAttrs{InC: 4, OutC: o, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1}, f.LConvWeight(), nil},
+	})
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("CP sequence deviates from reconstructed conv by %v", d)
+	}
+}
+
+func TestCPALSReducesError(t *testing.T) {
+	w := randW(11, 12, 10, 3, 3)
+	e1 := tensor.RelErr(CP(w, 6, 1, 3).Reconstruct(), w)
+	e10 := tensor.RelErr(CP(w, 6, 12, 3).Reconstruct(), w)
+	if e10 > e1+1e-6 {
+		t.Fatalf("more ALS sweeps increased error: %v → %v", e1, e10)
+	}
+	if e10 > 1.0 {
+		t.Fatalf("CP fit did not converge at all: %v", e10)
+	}
+}
+
+func TestTTSequenceMatchesReconstructedConv(t *testing.T) {
+	o, i, kh, kw := 8, 6, 3, 3
+	w := randW(13, o, i, kh, kw)
+	f := TT(w, 3, 4, 3)
+	in := tensor.New(2, i, 9, 9)
+	in.FillNormal(tensor.NewRNG(14), 0, 1)
+
+	recW := f.Reconstruct(o, i)
+	aFull := &ir.ConvAttrs{InC: i, OutC: o, KH: kh, KW: kw, SH: 2, SW: 2, PH: 1, PW: 1, Groups: 1}
+	want := runSeq(in, []seqLayer{{aFull, recW, nil}})
+
+	got := runSeq(in, []seqLayer{
+		{&ir.ConvAttrs{InC: i, OutC: f.R1, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1}, f.FConvWeight(), nil},
+		{&ir.ConvAttrs{InC: f.R1, OutC: f.R2, KH: kh, KW: 1, SH: 2, SW: 1, PH: 1, PW: 0, Groups: 1}, f.G2, nil},
+		{&ir.ConvAttrs{InC: f.R2, OutC: f.R3, KH: 1, KW: kw, SH: 1, SW: 2, PH: 0, PW: 1, Groups: 1}, f.G3, nil},
+		{&ir.ConvAttrs{InC: f.R3, OutC: o, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1}, f.LConvWeight(), nil},
+	})
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("TT sequence deviates from reconstructed conv by %v", d)
+	}
+}
+
+func TestTTFullRankExact(t *testing.T) {
+	w := randW(15, 6, 5, 3, 3)
+	f := TT(w, 99, 99, 99) // clamped to maximal ranks
+	if d := tensor.RelErr(f.Reconstruct(6, 5), w); d > 1e-5 {
+		t.Fatalf("full-rank TT must be exact, rel err %v", d)
+	}
+}
+
+func buildTestGraph() *ir.Builder {
+	b := ir.NewBuilder("dtest", 42)
+	in := b.Input(16, 12, 12)
+	c1 := b.Conv(in, 32, 3, 1, 1) // eligible
+	r1 := b.ReLU(c1)
+	c2 := b.Conv(r1, 32, 3, 1, 1)                       // eligible
+	a := b.Add(c2, c1)                                  // skip connection
+	d := b.ConvNamed("down", a, 8, 1, 1, 1, 1, 0, 0, 1) // 1×1: not eligible
+	s := b.Conv(d, 8, 3, 1, 1)                          // below MinChannels: not eligible
+	b.Output(s)
+	return b
+}
+
+func TestDecomposeRewrite(t *testing.T) {
+	b := buildTestGraph()
+	opts := DefaultOptions()
+	opts.Ratio = 0.25
+	opts.MinChannels = 16
+	dg, rep := Decompose(b.G, opts)
+	if err := dg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(rep.Layers) != 2 {
+		t.Fatalf("expected 2 decomposed layers, got %d", len(rep.Layers))
+	}
+	// Original graph untouched.
+	if len(b.G.Nodes) != 7 {
+		t.Fatalf("original graph mutated: %d nodes", len(b.G.Nodes))
+	}
+	// Each decomposed conv becomes 3 nodes: 7 - 2 + 6 = 11.
+	if len(dg.Nodes) != 11 {
+		t.Fatalf("decomposed graph has %d nodes, want 11", len(dg.Nodes))
+	}
+	roles := map[ir.Role]int{}
+	for _, n := range dg.Nodes {
+		roles[n.Role]++
+	}
+	if roles[ir.RoleFConv] != 2 || roles[ir.RoleCore] != 2 || roles[ir.RoleLConv] != 2 {
+		t.Fatalf("role counts = %v", roles)
+	}
+	// Weight bytes must shrink (paper Eq. (1) vs Eq. (2)).
+	for _, l := range rep.Layers {
+		if l.NewWeightBytes >= l.OrigWeightBytes {
+			t.Errorf("%s: weights grew %d → %d", l.Name, l.OrigWeightBytes, l.NewWeightBytes)
+		}
+		if l.NewFLOPs >= l.OrigFLOPs {
+			t.Errorf("%s: FLOPs grew %d → %d", l.Name, l.OrigFLOPs, l.NewFLOPs)
+		}
+		if l.RelErr <= 0 || l.RelErr >= 1.2 {
+			t.Errorf("%s: implausible rel err %v", l.Name, l.RelErr)
+		}
+	}
+	// The add must now consume two lconv outputs.
+	add := dg.NodeByName("add1")
+	if add == nil {
+		t.Fatal("add node lost")
+	}
+	for _, in := range add.Inputs {
+		if !in.IsLConv() {
+			t.Fatalf("add input %s is not an lconv", in)
+		}
+	}
+	// Bias must have moved to the lconv.
+	lconv := dg.NodeByName("conv1.lconv")
+	if lconv == nil || lconv.B == nil {
+		t.Fatal("lconv missing or lost the bias")
+	}
+	fconv := dg.NodeByName("conv1.fconv")
+	if fconv == nil || fconv.B != nil {
+		t.Fatal("fconv should carry no bias")
+	}
+	if !strings.Contains(lconv.Name, ".lconv") || !lconv.IsLConv() {
+		t.Fatal("lconv is not structurally an lconv")
+	}
+}
+
+func TestDecomposeAllMethodsValidate(t *testing.T) {
+	for _, m := range []Method{Tucker, CPD, TensorTrain} {
+		b := buildTestGraph()
+		opts := DefaultOptions()
+		opts.Method = m
+		opts.Ratio = 0.25
+		opts.MinChannels = 16
+		dg, rep := Decompose(b.G, opts)
+		if err := dg.Validate(); err != nil {
+			t.Fatalf("%v: Validate: %v", m, err)
+		}
+		if len(rep.Layers) != 2 {
+			t.Fatalf("%v: layers = %d", m, len(rep.Layers))
+		}
+		o, n := rep.TotalWeightBytes()
+		if n >= o {
+			t.Fatalf("%v: total weights grew %d → %d", m, o, n)
+		}
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	if Tucker.String() != "tucker" || CPD.String() != "cp" || TensorTrain.String() != "tt" {
+		t.Fatal("method names wrong")
+	}
+	if Method(99).String() != "unknown" {
+		t.Fatal("unknown method should stringify safely")
+	}
+}
+
+func TestRankOfClamps(t *testing.T) {
+	if rankOf(0.1, 4) != 1 {
+		t.Fatal("rank must clamp up to 1")
+	}
+	if rankOf(0.1, 64) != 6 {
+		t.Fatalf("rankOf(0.1, 64) = %d, want 6", rankOf(0.1, 64))
+	}
+	if rankOf(2.0, 8) != 8 {
+		t.Fatal("rank must clamp down to C")
+	}
+}
+
+// Property: for random shapes, the Tucker sequence equals the reconstructed
+// conv (stride 1, pad 1).
+func TestQuickTuckerEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		o, i := 2+r.Intn(8), 2+r.Intn(8)
+		r1, r2 := 1+r.Intn(i), 1+r.Intn(o)
+		w := randW(seed, o, i, 3, 3)
+		fac := Tucker2(w, r1, r2, 1)
+		in := tensor.New(1, i, 6, 6)
+		in.FillNormal(r, 0, 1)
+		rec := fac.Reconstruct(o, i, 3, 3)
+		aFull := &ir.ConvAttrs{InC: i, OutC: o, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, Groups: 1}
+		want := runSeq(in, []seqLayer{{aFull, rec, nil}})
+		got := runSeq(in, []seqLayer{
+			{&ir.ConvAttrs{InC: i, OutC: r1, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1}, fac.FConvWeight(), nil},
+			{&ir.ConvAttrs{InC: r1, OutC: r2, KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1, Groups: 1}, fac.Core, nil},
+			{&ir.ConvAttrs{InC: r2, OutC: o, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1}, fac.LConvWeight(), nil},
+		})
+		return tensor.MaxAbsDiff(got, want) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

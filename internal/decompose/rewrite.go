@@ -1,0 +1,232 @@
+package decompose
+
+import (
+	"fmt"
+	"math"
+
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// Method selects the tensor decomposition applied to convolution weights.
+type Method int
+
+const (
+	// Tucker is Tucker-2 decomposition (the paper's evaluation baseline).
+	Tucker Method = iota
+	// CPD is canonical polyadic decomposition with a depthwise core.
+	CPD
+	// TensorTrain is TT-SVD with two separable spatial cores.
+	TensorTrain
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case Tucker:
+		return "tucker"
+	case CPD:
+		return "cp"
+	case TensorTrain:
+		return "tt"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures the decomposition rewrite.
+type Options struct {
+	Method Method
+	// Ratio is the decomposition ratio: reduced channel counts are
+	// max(1, round(Ratio·C)). The paper evaluates Ratio = 0.1.
+	Ratio float64
+	// MinChannels skips convolutions whose input or output channel count
+	// is below this bound (decomposing them saves nothing).
+	MinChannels int
+	// HOOIIters is the number of Tucker HOOI refinement sweeps.
+	HOOIIters int
+	// CPIters is the number of CP-ALS sweeps.
+	CPIters int
+	// Seed seeds CP-ALS initialization.
+	Seed uint64
+}
+
+// DefaultOptions mirrors the paper's setup: Tucker with ratio 0.1 applied
+// to every spatial convolution (including the 3-channel stem, whose input
+// rank clamps to 1 — the paper's models do the same, which is what lets
+// fusion remove the first full-size activation).
+func DefaultOptions() Options {
+	return Options{Method: Tucker, Ratio: 0.1, MinChannels: 2, HOOIIters: 2, CPIters: 8, Seed: 1}
+}
+
+// LayerReport records what happened to one convolution.
+type LayerReport struct {
+	Name            string
+	Method          Method
+	Ranks           []int
+	RelErr          float64
+	OrigWeightBytes int64
+	NewWeightBytes  int64
+	OrigFLOPs       int64
+	NewFLOPs        int64
+}
+
+// Report summarizes a whole-graph decomposition rewrite.
+type Report struct {
+	Layers []LayerReport
+}
+
+// TotalWeightBytes returns (original, decomposed) weight bytes over the
+// rewritten layers.
+func (r Report) TotalWeightBytes() (orig, next int64) {
+	for _, l := range r.Layers {
+		orig += l.OrigWeightBytes
+		next += l.NewWeightBytes
+	}
+	return orig, next
+}
+
+func rankOf(ratio float64, c int) int {
+	r := int(math.Round(ratio * float64(c)))
+	if r < 1 {
+		r = 1
+	}
+	if r > c {
+		r = c
+	}
+	return r
+}
+
+// Eligible reports whether node n is a convolution the rewrite decomposes.
+func Eligible(n *ir.Node, opts Options) bool {
+	if n.Kind != ir.KindConv2D || n.Role != ir.RoleNone {
+		return false
+	}
+	a := n.Conv()
+	g := a.Groups
+	if g == 0 {
+		g = 1
+	}
+	return g == 1 && a.KH*a.KW > 1 && a.InC >= opts.MinChannels && a.OutC >= opts.MinChannels
+}
+
+// Decompose clones g and replaces every eligible convolution with a
+// decomposed convolution sequence fconv → core(s) → lconv (paper Fig. 2b).
+// The original bias moves to the lconv so the sequence output matches a
+// convolution with the reconstructed weight exactly.
+func Decompose(g *ir.Graph, opts Options) (*ir.Graph, Report) {
+	ng := g.Clone()
+	var rep Report
+	snapshot := append([]*ir.Node(nil), ng.Nodes...)
+	rebuilt := make([]*ir.Node, 0, len(snapshot)+16)
+	for _, n := range snapshot {
+		if !Eligible(n, opts) {
+			rebuilt = append(rebuilt, n)
+			continue
+		}
+		seq, lr := decomposeConv(ng, n, opts)
+		rebuilt = append(rebuilt, seq...)
+		// Rewire all consumers (and outputs) of the original conv to the
+		// lconv that ends the sequence. The snapshot still holds every
+		// consumer, so edges update in place.
+		last := seq[len(seq)-1]
+		for _, c := range snapshot {
+			ir.ReplaceUsesIn(c, n, last)
+		}
+		for i, o := range ng.Outputs {
+			if o == n {
+				ng.Outputs[i] = last
+			}
+		}
+		rep.Layers = append(rep.Layers, lr)
+	}
+	ng.Nodes = rebuilt
+	if err := ng.Validate(); err != nil {
+		panic(fmt.Sprintf("decompose: rewrite produced invalid graph: %v", err))
+	}
+	return ng, rep
+}
+
+func newConvNode(g *ir.Graph, name string, in *ir.Node, a *ir.ConvAttrs, w, b *tensor.Tensor, role ir.Role) *ir.Node {
+	shape, err := ir.InferShape(ir.KindConv2D, a, [][]int{in.Shape})
+	if err != nil {
+		panic(fmt.Sprintf("decompose: %s: %v", name, err))
+	}
+	return &ir.Node{
+		ID: g.NewID(), Name: name, Kind: ir.KindConv2D,
+		Inputs: []*ir.Node{in}, Attrs: a, W: w, B: b, Shape: shape, Role: role,
+	}
+}
+
+func decomposeConv(g *ir.Graph, n *ir.Node, opts Options) ([]*ir.Node, LayerReport) {
+	a := n.Conv()
+	in := n.Inputs[0]
+	lr := LayerReport{
+		Name:            n.Name,
+		Method:          opts.Method,
+		OrigWeightBytes: n.WeightBytes(),
+		OrigFLOPs:       ir.FLOPs(n),
+	}
+	var seq []*ir.Node
+	switch opts.Method {
+	case Tucker:
+		f := Tucker2(n.W, rankOf(opts.Ratio, a.InC), rankOf(opts.Ratio, a.OutC), opts.HOOIIters)
+		// Tucker2 may clamp the requested ranks to the multilinear-rank
+		// bound; the sequence must be built from the actual ranks.
+		r1, r2 := f.R1, f.R2
+		lr.Ranks = []int{r1, r2}
+		lr.RelErr = tensor.RelErr(f.Reconstruct(a.OutC, a.InC, a.KH, a.KW), n.W)
+		fconv := newConvNode(g, n.Name+".fconv", in,
+			&ir.ConvAttrs{InC: a.InC, OutC: r1, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1},
+			f.FConvWeight(), nil, ir.RoleFConv)
+		core := newConvNode(g, n.Name+".core", fconv,
+			&ir.ConvAttrs{InC: r1, OutC: r2, KH: a.KH, KW: a.KW, SH: a.SH, SW: a.SW, PH: a.PH, PW: a.PW, Groups: 1},
+			f.Core, nil, ir.RoleCore)
+		lconv := newConvNode(g, n.Name+".lconv", core,
+			&ir.ConvAttrs{InC: r2, OutC: a.OutC, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1},
+			f.LConvWeight(), n.B, ir.RoleLConv)
+		seq = []*ir.Node{fconv, core, lconv}
+	case CPD:
+		r := rankOf(opts.Ratio, (a.InC+a.OutC)/2)
+		f := CP(n.W, r, opts.CPIters, opts.Seed)
+		lr.Ranks = []int{r}
+		lr.RelErr = tensor.RelErr(f.Reconstruct(), n.W)
+		fconv := newConvNode(g, n.Name+".fconv", in,
+			&ir.ConvAttrs{InC: a.InC, OutC: r, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1},
+			f.FConvWeight(), nil, ir.RoleFConv)
+		core := newConvNode(g, n.Name+".core", fconv,
+			&ir.ConvAttrs{InC: r, OutC: r, KH: a.KH, KW: a.KW, SH: a.SH, SW: a.SW, PH: a.PH, PW: a.PW, Groups: r},
+			f.CoreWeight(), nil, ir.RoleCore)
+		lconv := newConvNode(g, n.Name+".lconv", core,
+			&ir.ConvAttrs{InC: r, OutC: a.OutC, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1},
+			f.LConvWeight(), n.B, ir.RoleLConv)
+		seq = []*ir.Node{fconv, core, lconv}
+	case TensorTrain:
+		r1 := rankOf(opts.Ratio, a.InC)
+		r3 := rankOf(opts.Ratio, a.OutC)
+		r2 := rankOf(opts.Ratio, (a.InC+a.OutC)/2)
+		f := TT(n.W, r1, r2, r3)
+		lr.Ranks = []int{f.R1, f.R2, f.R3}
+		lr.RelErr = tensor.RelErr(f.Reconstruct(a.OutC, a.InC), n.W)
+		fconv := newConvNode(g, n.Name+".fconv", in,
+			&ir.ConvAttrs{InC: a.InC, OutC: f.R1, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1},
+			f.FConvWeight(), nil, ir.RoleFConv)
+		core1 := newConvNode(g, n.Name+".core1", fconv,
+			&ir.ConvAttrs{InC: f.R1, OutC: f.R2, KH: a.KH, KW: 1, SH: a.SH, SW: 1, PH: a.PH, PW: 0, Groups: 1},
+			f.G2, nil, ir.RoleCore)
+		core2 := newConvNode(g, n.Name+".core2", core1,
+			&ir.ConvAttrs{InC: f.R2, OutC: f.R3, KH: 1, KW: a.KW, SH: 1, SW: a.SW, PH: 0, PW: a.PW, Groups: 1},
+			f.G3, nil, ir.RoleCore)
+		lconv := newConvNode(g, n.Name+".lconv", core2,
+			&ir.ConvAttrs{InC: f.R3, OutC: a.OutC, KH: 1, KW: 1, SH: 1, SW: 1, Groups: 1},
+			f.LConvWeight(), n.B, ir.RoleLConv)
+		seq = []*ir.Node{fconv, core1, core2, lconv}
+	default:
+		panic(fmt.Sprintf("decompose: unknown method %v", opts.Method))
+	}
+	for _, s := range seq {
+		lr.NewWeightBytes += s.WeightBytes()
+		lr.NewFLOPs += ir.FLOPs(s)
+	}
+	return seq, lr
+}

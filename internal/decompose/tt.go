@@ -1,0 +1,205 @@
+package decompose
+
+import (
+	"fmt"
+
+	"temco/internal/linalg"
+	"temco/internal/tensor"
+)
+
+// TTFactors holds a Tensor-Train decomposition of a conv weight W[O,I,KH,KW]
+// along the mode order (I, KH, KW, O):
+//
+//	W[o,i,kh,kw] ≈ Σ_{r1,r2,r3} G1[i,r1]·G2[r1,kh,r2]·G3[r2,kw,r3]·G4[r3,o]
+//
+// The decomposed convolution sequence is fconv (G1ᵀ, 1×1), core1 (G2 as a
+// KH×1 conv, R1→R2), core2 (G3 as a 1×KW conv, R2→R3), and lconv (G4ᵀ, 1×1).
+type TTFactors struct {
+	G1         *linalg.Mat    // [I, R1]
+	G2         *tensor.Tensor // [R2, R1, KH, 1] in conv layout
+	G3         *tensor.Tensor // [R3, R2, 1, KW] in conv layout
+	G4         *linalg.Mat    // [R3, O]
+	R1, R2, R3 int
+	KH, KW     int
+}
+
+// TT computes a TT-SVD decomposition of w [O,I,KH,KW] with the given
+// bond ranks. Ranks are clamped to the maximal achievable values.
+func TT(w *tensor.Tensor, r1, r2, r3 int) TTFactors {
+	if w.Rank() != 4 {
+		panic(fmt.Sprintf("decompose: TT expects a 4-way weight, got %v", w.Shape))
+	}
+	o, i, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+
+	// Permute W to [I, KH, KW, O] and flatten as [I, KH·KW·O].
+	perm := linalg.NewMat(i, kh*kw*o)
+	for oi := 0; oi < o; oi++ {
+		for ii := 0; ii < i; ii++ {
+			for h := 0; h < kh; h++ {
+				for q := 0; q < kw; q++ {
+					v := float64(w.Data[((oi*i+ii)*kh+h)*kw+q])
+					perm.Data[ii*(kh*kw*o)+(h*kw+q)*o+oi] = v
+				}
+			}
+		}
+	}
+
+	clamp := func(r, lim int) int {
+		if r < 1 {
+			return 1
+		}
+		if r > lim {
+			return lim
+		}
+		return r
+	}
+	r1 = clamp(r1, min2(i, kh*kw*o))
+	svd1 := linalg.TruncatedSVD(perm, r1)
+	g1 := svd1.U // [I, R1]
+	// Carry Σ·Vᵀ forward: rest1 [R1, KH·KW·O].
+	rest1 := scaleRows(svd1.V.T(), svd1.S)
+
+	// Reshape rest1 to [R1·KH, KW·O] and split again.
+	m2 := linalg.NewMat(r1*kh, kw*o)
+	for r := 0; r < r1; r++ {
+		for h := 0; h < kh; h++ {
+			for rest := 0; rest < kw*o; rest++ {
+				m2.Data[(r*kh+h)*(kw*o)+rest] = rest1.Data[r*(kh*kw*o)+h*(kw*o)+rest]
+			}
+		}
+	}
+	r2 = clamp(r2, min2(r1*kh, kw*o))
+	svd2 := linalg.TruncatedSVD(m2, r2)
+	u2 := svd2.U                           // [R1·KH, R2]
+	rest2 := scaleRows(svd2.V.T(), svd2.S) // [R2, KW·O]
+
+	// Reshape rest2 to [R2·KW, O] and split once more.
+	m3 := linalg.NewMat(r2*kw, o)
+	for r := 0; r < r2; r++ {
+		for q := 0; q < kw; q++ {
+			for oi := 0; oi < o; oi++ {
+				m3.Data[(r*kw+q)*o+oi] = rest2.Data[r*(kw*o)+q*o+oi]
+			}
+		}
+	}
+	r3 = clamp(r3, min2(r2*kw, o))
+	svd3 := linalg.TruncatedSVD(m3, r3)
+	u3 := svd3.U                        // [R2·KW, R3]
+	g4 := scaleRows(svd3.V.T(), svd3.S) // [R3, O]
+
+	// Pack U2 into conv layout [R2, R1, KH, 1].
+	g2 := tensor.New(r2, r1, kh, 1)
+	for r := 0; r < r1; r++ {
+		for h := 0; h < kh; h++ {
+			for rr := 0; rr < r2; rr++ {
+				g2.Data[(rr*r1+r)*kh+h] = float32(u2.At(r*kh+h, rr))
+			}
+		}
+	}
+	// Pack U3 into conv layout [R3, R2, 1, KW].
+	g3 := tensor.New(r3, r2, 1, kw)
+	for r := 0; r < r2; r++ {
+		for q := 0; q < kw; q++ {
+			for rr := 0; rr < r3; rr++ {
+				g3.Data[(rr*r2+r)*kw+q] = float32(u3.At(r*kw+q, rr))
+			}
+		}
+	}
+	return TTFactors{G1: g1, G2: g2, G3: g3, G4: g4, R1: r1, R2: r2, R3: r3, KH: kh, KW: kw}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scaleRows returns m with row i scaled by s[i].
+func scaleRows(m *linalg.Mat, s []float64) *linalg.Mat {
+	out := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		f := s[i]
+		for j := 0; j < m.Cols; j++ {
+			out.Data[i*m.Cols+j] *= f
+		}
+	}
+	return out
+}
+
+// Reconstruct rebuilds the approximated weight tensor by contracting the
+// train stage by stage (cost O(i·kh·kw·(R1·R2 + R2·R3 + R3·o)) rather than
+// the naive product over all ranks at every output element).
+func (f TTFactors) Reconstruct(o, i int) *tensor.Tensor {
+	// Stage 1: T2[(ii,h), r2] = Σ_r1 G1[ii,r1]·G2[r2,r1,h].
+	t2 := make([]float64, i*f.KH*f.R2)
+	for ii := 0; ii < i; ii++ {
+		for r1 := 0; r1 < f.R1; r1++ {
+			g1 := f.G1.At(ii, r1)
+			if g1 == 0 {
+				continue
+			}
+			for h := 0; h < f.KH; h++ {
+				base := (ii*f.KH + h) * f.R2
+				for r2 := 0; r2 < f.R2; r2++ {
+					t2[base+r2] += g1 * float64(f.G2.Data[(r2*f.R1+r1)*f.KH+h])
+				}
+			}
+		}
+	}
+	// Stage 2: T3[(ii,h,w), r3] = Σ_r2 T2[(ii,h),r2]·G3[r3,r2,w].
+	t3 := make([]float64, i*f.KH*f.KW*f.R3)
+	for p := 0; p < i*f.KH; p++ {
+		for r2 := 0; r2 < f.R2; r2++ {
+			v := t2[p*f.R2+r2]
+			if v == 0 {
+				continue
+			}
+			for q := 0; q < f.KW; q++ {
+				base := (p*f.KW + q) * f.R3
+				for r3 := 0; r3 < f.R3; r3++ {
+					t3[base+r3] += v * float64(f.G3.Data[(r3*f.R2+r2)*f.KW+q])
+				}
+			}
+		}
+	}
+	// Stage 3: W[o,ii,h,w] = Σ_r3 T3[(ii,h,w),r3]·G4[r3,o].
+	out := tensor.New(o, i, f.KH, f.KW)
+	ihw := i * f.KH * f.KW
+	for p := 0; p < ihw; p++ {
+		for r3 := 0; r3 < f.R3; r3++ {
+			v := t3[p*f.R3+r3]
+			if v == 0 {
+				continue
+			}
+			for oi := 0; oi < o; oi++ {
+				out.Data[oi*ihw+p] += float32(v * f.G4.At(r3, oi))
+			}
+		}
+	}
+	return out
+}
+
+// FConvWeight returns the fconv weight [R1, I, 1, 1] = G1ᵀ.
+func (f TTFactors) FConvWeight() *tensor.Tensor {
+	i := f.G1.Rows
+	w := tensor.New(f.R1, i, 1, 1)
+	for r := 0; r < f.R1; r++ {
+		for ii := 0; ii < i; ii++ {
+			w.Data[r*i+ii] = float32(f.G1.At(ii, r))
+		}
+	}
+	return w
+}
+
+// LConvWeight returns the lconv weight [O, R3, 1, 1] = G4ᵀ.
+func (f TTFactors) LConvWeight() *tensor.Tensor {
+	o := f.G4.Cols
+	w := tensor.New(o, f.R3, 1, 1)
+	for oi := 0; oi < o; oi++ {
+		for r := 0; r < f.R3; r++ {
+			w.Data[oi*f.R3+r] = float32(f.G4.At(r, oi))
+		}
+	}
+	return w
+}

@@ -1,0 +1,207 @@
+// Package decompose implements the tensor decompositions the paper builds
+// on (§2.1): Tucker-2 (the evaluation baseline), CP, and Tensor-Train, and
+// the graph rewrite that replaces convolution layers with decomposed
+// convolution sequences fconv → core(s) → lconv (paper Fig. 2).
+package decompose
+
+import (
+	"fmt"
+
+	"temco/internal/linalg"
+	"temco/internal/tensor"
+)
+
+// TuckerFactors holds a Tucker-2 decomposition of a conv weight
+// W[O,I,KH,KW] ≈ Core ×_O UO ×_I UI with UI [I,R1], UO [O,R2],
+// Core [R2,R1,KH,KW].
+type TuckerFactors struct {
+	UI   *linalg.Mat
+	UO   *linalg.Mat
+	Core *tensor.Tensor
+	R1   int
+	R2   int
+}
+
+// unfold returns the mode-m unfolding of a 4-way tensor w[d0,d1,d2,d3] as a
+// matrix [d_m, prod(other dims)] with the other dims in natural order.
+func unfold(w *tensor.Tensor, mode int) *linalg.Mat {
+	d := w.Shape
+	rows := d[mode]
+	cols := w.Len() / rows
+	m := linalg.NewMat(rows, cols)
+	idx := make([]int, 4)
+	col := make([]int, 0, 3)
+	for i := 0; i < 4; i++ {
+		if i != mode {
+			col = append(col, i)
+		}
+	}
+	strides := w.Strides()
+	for r := 0; r < rows; r++ {
+		idx[mode] = r
+		c := 0
+		for a := 0; a < d[col[0]]; a++ {
+			idx[col[0]] = a
+			for b := 0; b < d[col[1]]; b++ {
+				idx[col[1]] = b
+				for e := 0; e < d[col[2]]; e++ {
+					idx[col[2]] = e
+					off := idx[0]*strides[0] + idx[1]*strides[1] + idx[2]*strides[2] + idx[3]*strides[3]
+					m.Data[r*cols+c] = float64(w.Data[off])
+					c++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Tucker2 computes a Tucker-2 decomposition of w [O,I,KH,KW] with input
+// rank r1 and output rank r2 via HOSVD followed by hooiIters HOOI
+// refinement sweeps.
+func Tucker2(w *tensor.Tensor, r1, r2, hooiIters int) TuckerFactors {
+	if w.Rank() != 4 {
+		panic(fmt.Sprintf("decompose: Tucker2 expects a 4-way weight, got %v", w.Shape))
+	}
+	o, i := w.Dim(0), w.Dim(1)
+	if r1 < 1 || r1 > i || r2 < 1 || r2 > o {
+		panic(fmt.Sprintf("decompose: Tucker2 ranks (%d,%d) out of range for %v", r1, r2, w.Shape))
+	}
+	// The multilinear rank along one mode is bounded by the product of the
+	// other modes' ranks: after projecting onto R2 output directions, the
+	// input-mode unfolding has at most R2·KH·KW independent columns (and
+	// symmetrically for R1). Clamp so HOOI's projected SVDs stay full rank.
+	k := w.Dim(2) * w.Dim(3)
+	if r1 > r2*k {
+		r1 = r2 * k
+	}
+	if r2 > r1*k {
+		r2 = r1 * k
+	}
+	// HOSVD init: leading left singular vectors of each unfolding.
+	uo := linalg.TruncatedSVD(unfold(w, 0), r2).U // [O, R2]
+	ui := linalg.TruncatedSVD(unfold(w, 1), r1).U // [I, R1]
+	// HOOI: alternate optimizing each factor against the other's projection.
+	for it := 0; it < hooiIters; it++ {
+		// Project out the O mode, then refit UI.
+		pO := projectMode0(w, uo) // [R2, I, KH, KW]
+		ui = linalg.TruncatedSVD(unfold(pO, 1), r1).U
+		// Project out the I mode, then refit UO.
+		pI := projectMode1(w, ui) // [O, R1, KH, KW]
+		uo = linalg.TruncatedSVD(unfold(pI, 0), r2).U
+	}
+	// Core = W ×_O UOᵀ ×_I UIᵀ.
+	core := projectMode1(projectMode0(w, uo), ui) // [R2, R1, KH, KW]
+	return TuckerFactors{UI: ui, UO: uo, Core: core, R1: r1, R2: r2}
+}
+
+// projectMode0 computes w ×_0 uᵀ: out[r,i,kh,kw] = Σ_o u[o,r]·w[o,i,kh,kw].
+func projectMode0(w *tensor.Tensor, u *linalg.Mat) *tensor.Tensor {
+	o := w.Dim(0)
+	rest := w.Len() / o
+	r := u.Cols
+	out := tensor.New(append([]int{r}, w.Shape[1:]...)...)
+	for oi := 0; oi < o; oi++ {
+		src := w.Data[oi*rest : (oi+1)*rest]
+		for ri := 0; ri < r; ri++ {
+			f := float32(u.At(oi, ri))
+			if f == 0 {
+				continue
+			}
+			dst := out.Data[ri*rest : (ri+1)*rest]
+			for k, v := range src {
+				dst[k] += f * v
+			}
+		}
+	}
+	return out
+}
+
+// projectMode1 computes w ×_1 uᵀ: out[o,r,kh,kw] = Σ_i u[i,r]·w[o,i,kh,kw].
+func projectMode1(w *tensor.Tensor, u *linalg.Mat) *tensor.Tensor {
+	o, i := w.Dim(0), w.Dim(1)
+	k := w.Len() / (o * i)
+	r := u.Cols
+	out := tensor.New(o, r, w.Dim(2), w.Dim(3))
+	for oi := 0; oi < o; oi++ {
+		for ii := 0; ii < i; ii++ {
+			src := w.Data[(oi*i+ii)*k : (oi*i+ii+1)*k]
+			for ri := 0; ri < r; ri++ {
+				f := float32(u.At(ii, ri))
+				if f == 0 {
+					continue
+				}
+				dst := out.Data[(oi*r+ri)*k : (oi*r+ri+1)*k]
+				for kk, v := range src {
+					dst[kk] += f * v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reconstruct rebuilds the approximated weight Ŵ = Core ×_O UO ×_I UI,
+// contracting one mode at a time (O(R2·R1·i·k + o·R2·i·k) instead of the
+// naive O(o·i·R1·R2·k) five-deep loop).
+func (f TuckerFactors) Reconstruct(o, i, kh, kw int) *tensor.Tensor {
+	k := kh * kw
+	// Stage 1: T[r2, ii, :] = Σ_r1 UI[ii,r1]·Core[r2,r1,:].
+	t := make([]float64, f.R2*i*k)
+	for r2 := 0; r2 < f.R2; r2++ {
+		for r1 := 0; r1 < f.R1; r1++ {
+			src := f.Core.Data[(r2*f.R1+r1)*k : (r2*f.R1+r1+1)*k]
+			for ii := 0; ii < i; ii++ {
+				fi := f.UI.At(ii, r1)
+				if fi == 0 {
+					continue
+				}
+				dst := t[(r2*i+ii)*k : (r2*i+ii+1)*k]
+				for kk, v := range src {
+					dst[kk] += fi * float64(v)
+				}
+			}
+		}
+	}
+	// Stage 2: Ŵ[oi, ii, :] = Σ_r2 UO[oi,r2]·T[r2, ii, :].
+	out := tensor.New(o, i, kh, kw)
+	for oi := 0; oi < o; oi++ {
+		for r2 := 0; r2 < f.R2; r2++ {
+			fo := f.UO.At(oi, r2)
+			if fo == 0 {
+				continue
+			}
+			src := t[r2*i*k : (r2+1)*i*k]
+			dst := out.Data[oi*i*k : (oi+1)*i*k]
+			for p, v := range src {
+				dst[p] += float32(fo * v)
+			}
+		}
+	}
+	return out
+}
+
+// FConvWeight returns the fconv (reducing 1×1) weight [R1, I, 1, 1]
+// = UIᵀ.
+func (f TuckerFactors) FConvWeight() *tensor.Tensor {
+	i := f.UI.Rows
+	w := tensor.New(f.R1, i, 1, 1)
+	for r := 0; r < f.R1; r++ {
+		for ii := 0; ii < i; ii++ {
+			w.Data[r*i+ii] = float32(f.UI.At(ii, r))
+		}
+	}
+	return w
+}
+
+// LConvWeight returns the lconv (restoring 1×1) weight [O, R2, 1, 1] = UO.
+func (f TuckerFactors) LConvWeight() *tensor.Tensor {
+	o := f.UO.Rows
+	w := tensor.New(o, f.R2, 1, 1)
+	for oi := 0; oi < o; oi++ {
+		for r := 0; r < f.R2; r++ {
+			w.Data[oi*f.R2+r] = float32(f.UO.At(oi, r))
+		}
+	}
+	return w
+}

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"fmt"
+
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/ops"
+	"temco/internal/tensor"
+)
+
+// RunArena executes g inside a single preallocated arena laid out by
+// memplan.AssignOffsets: every internal tensor is a slice of the arena at
+// its assigned offset, so the real allocation of the whole inference is
+// exactly Assignment.ArenaBytes (plus fused-kernel scratch). This both
+// demonstrates the memory plan end-to-end and cross-validates the
+// simulator: outputs must match Run exactly.
+//
+// Outputs are copied out of the arena before returning, since their
+// storage is recycled across calls.
+func RunArena(g *ir.Graph, a memplan.Assignment, inputs ...*tensor.Tensor) (*Result, error) {
+	if a.Graph != g {
+		return nil, fmt.Errorf("exec: assignment was computed for a different graph")
+	}
+	if len(inputs) != len(g.Inputs) {
+		return nil, fmt.Errorf("exec: graph %s takes %d inputs, got %d", g.Name, len(g.Inputs), len(inputs))
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("exec: graph %s has no inputs", g.Name)
+	}
+	batch := inputs[0].Dim(0)
+	if batch != a.Batch {
+		return nil, fmt.Errorf("exec: assignment planned for batch %d, inputs have %d", a.Batch, batch)
+	}
+	arena := make([]float32, a.ArenaBytes/4)
+	view := func(n *ir.Node) (*tensor.Tensor, error) {
+		off, ok := a.Offsets[n]
+		if !ok {
+			return nil, fmt.Errorf("exec: node %s has no arena offset", n)
+		}
+		shape := append([]int{batch}, n.Shape...)
+		elems := int64(tensor.NumElems(shape))
+		if off%4 != 0 || off/4+elems > int64(len(arena)) {
+			return nil, fmt.Errorf("exec: node %s offset %d out of arena", n, off)
+		}
+		return tensor.FromSlice(arena[off/4:off/4+elems], shape...), nil
+	}
+	vals := make(map[*ir.Node]*tensor.Tensor, len(g.Nodes))
+	for i, in := range g.Inputs {
+		want := append([]int{batch}, in.Shape...)
+		if !shapeEq(inputs[i].Shape, want) {
+			return nil, fmt.Errorf("exec: input %d has shape %v, want %v", i, inputs[i].Shape, want)
+		}
+		dst, err := view(in)
+		if err != nil {
+			return nil, err
+		}
+		copy(dst.Data, inputs[i].Data)
+		vals[in] = dst
+	}
+	res := &Result{}
+	for _, n := range g.Nodes {
+		if n.Kind == ir.KindInput {
+			continue
+		}
+		out, err := view(n)
+		if err != nil {
+			return nil, err
+		}
+		in := make([]*tensor.Tensor, len(n.Inputs))
+		for i, p := range n.Inputs {
+			in[i] = vals[p]
+		}
+		if err := compute(n, in, out); err != nil {
+			return nil, fmt.Errorf("exec: node %s: %w", n, err)
+		}
+		vals[n] = out
+		res.LayerCalls++
+	}
+	for _, o := range g.Outputs {
+		res.Outputs = append(res.Outputs, vals[o].Clone())
+	}
+	return res, nil
+}
+
+// compute runs node n's kernel writing into the caller-provided output
+// tensor. Unlike the pooled Run path, Flatten copies (no aliasing inside
+// an arena).
+func compute(n *ir.Node, in []*tensor.Tensor, out *tensor.Tensor) error {
+	switch n.Kind {
+	case ir.KindConv2D:
+		ops.ConvAuto(out, in[0], n.W, n.B, n.Conv())
+	case ir.KindLinear:
+		ops.Linear(out, in[0], n.W, n.B, n.Attrs.(*ir.LinearAttrs))
+	case ir.KindReLU:
+		ops.ReLU(out, in[0])
+	case ir.KindSiLU:
+		ops.SiLU(out, in[0])
+	case ir.KindSigmoid:
+		ops.Sigmoid(out, in[0])
+	case ir.KindBatchNorm:
+		ops.BatchNorm(out, in[0], n.W, n.B)
+	case ir.KindMaxPool:
+		ops.MaxPool(out, in[0], n.Pool())
+	case ir.KindAvgPool:
+		ops.AvgPool(out, in[0], n.Pool())
+	case ir.KindGlobalAvgPool:
+		ops.GlobalAvgPool(out, in[0])
+	case ir.KindUpsample:
+		ops.Upsample(out, in[0], n.Attrs.(*ir.UpsampleAttrs).Scale)
+	case ir.KindAdd:
+		ops.Add(out, in[0], in[1])
+	case ir.KindConcat:
+		ops.Concat(out, in)
+	case ir.KindFlatten:
+		copy(out.Data, in[0].Data)
+	case ir.KindSoftmax:
+		ops.Softmax(out, in[0])
+	case ir.KindFused:
+		ops.Fused(out, in[0], n.Fused())
+	default:
+		return fmt.Errorf("unsupported kind %v", n.Kind)
+	}
+	return nil
+}

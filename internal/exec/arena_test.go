@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"temco/internal/core"
+	"temco/internal/decompose"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/tensor"
+)
+
+func TestRunArenaMatchesRun(t *testing.T) {
+	b := ir.NewBuilder("arena", 5)
+	in := b.Input(3, 12, 12)
+	c1 := b.Conv(in, 16, 3, 1, 1)
+	r1 := b.ReLU(c1)
+	p := b.MaxPool(r1, 2, 2)
+	c2 := b.Conv(p, 8, 3, 1, 1)
+	a := b.Add(c2, b.Sigmoid(c2))
+	f := b.Flatten(a)
+	fc := b.Linear(f, 5)
+	b.Output(fc)
+	g := b.G
+
+	x := randIn(3, 2, 3, 12, 12)
+	want, err := Run(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := memplan.AssignOffsets(g, 2)
+	if err := asg.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunArena(g, asg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got.Outputs[0], want.Outputs[0]); d != 0 {
+		t.Fatalf("arena execution deviates by %v", d)
+	}
+}
+
+func TestRunArenaRejectsMismatch(t *testing.T) {
+	b := ir.NewBuilder("am", 1)
+	in := b.Input(2, 4, 4)
+	b.Output(b.ReLU(in))
+	g := b.G
+	asg := memplan.AssignOffsets(g, 2)
+	if _, err := RunArena(g, asg, randIn(1, 3, 2, 4, 4)); err == nil {
+		t.Fatal("expected batch-mismatch error")
+	}
+	other := b.G.Clone()
+	if _, err := RunArena(other, asg, randIn(1, 2, 2, 4, 4)); err == nil {
+		t.Fatal("expected graph-mismatch error")
+	}
+}
+
+// TestArenaValidatesOptimizedGraphs is the end-to-end memory story: the
+// TeMCO-optimized graph runs inside an arena sized by the planner, and the
+// arena is much smaller than the decomposed baseline's.
+func TestArenaValidatesOptimizedGraphs(t *testing.T) {
+	b := ir.NewBuilder("arena2", 9)
+	in := b.Input(8, 16, 16)
+	x := b.ReLU(b.Conv(in, 32, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2)
+	x = b.ReLU(b.Conv(x, 32, 3, 1, 1))
+	b.Output(x)
+	dg, _ := decompose.Decompose(b.G, decompose.DefaultOptions())
+	og, _ := core.Optimize(dg, core.FusionOnly())
+
+	xin := randIn(11, 2, 8, 16, 16)
+	want, err := Run(og, xin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgD := memplan.AssignOffsets(dg, 2)
+	asgO := memplan.AssignOffsets(og, 2)
+	if asgO.ArenaBytes >= asgD.ArenaBytes {
+		t.Fatalf("optimized arena %d not smaller than decomposed %d", asgO.ArenaBytes, asgD.ArenaBytes)
+	}
+	got, err := RunArena(og, asgO, xin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got.Outputs[0], want.Outputs[0]); d != 0 {
+		t.Fatalf("optimized arena execution deviates by %v", d)
+	}
+}
+
+// Property: arena execution equals pooled execution on random chains.
+func TestQuickArenaEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		b := ir.NewBuilder("qa", seed)
+		n := b.Input(1+r.Intn(4), 8, 8)
+		nodes := []*ir.Node{n}
+		for i := 0; i < 2+r.Intn(6); i++ {
+			switch r.Intn(4) {
+			case 0:
+				nodes = append(nodes, b.ReLU(nodes[r.Intn(len(nodes))]))
+			case 1:
+				nodes = append(nodes, b.Conv(nodes[r.Intn(len(nodes))], 1+r.Intn(6), 3, 1, 1))
+			case 2:
+				nodes = append(nodes, b.Sigmoid(nodes[r.Intn(len(nodes))]))
+			case 3:
+				a := nodes[r.Intn(len(nodes))]
+				nodes = append(nodes, b.Concat(a, a))
+			}
+		}
+		b.Output(nodes[len(nodes)-1])
+		g := b.G
+		batch := 1 + r.Intn(2)
+		x := tensor.New(batch, g.Inputs[0].Shape[0], 8, 8)
+		x.FillNormal(r, 0, 1)
+		want, err := Run(g, x)
+		if err != nil {
+			return false
+		}
+		asg := memplan.AssignOffsets(g, batch)
+		if asg.Check() != nil {
+			return false
+		}
+		got, err := RunArena(g, asg, x)
+		if err != nil {
+			return false
+		}
+		return tensor.MaxAbsDiff(got.Outputs[0], want.Outputs[0]) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package exec runs layer graphs on real data. It walks the schedule,adds
+// one batched NCHW tensor per node, dispatches the matching kernel from
+// internal/ops, and releases tensors after their last use (mirroring the
+// allocate/free discipline the memory planner simulates).
+package exec
+
+import (
+	"fmt"
+
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/ops"
+	"temco/internal/tensor"
+)
+
+// Result holds the outputs of one inference plus execution statistics.
+type Result struct {
+	// Outputs are the graph outputs, in graph order.
+	Outputs []*tensor.Tensor
+	// LayerCalls counts dispatched kernels (the paper's CPU-side layer
+	// call overhead is proportional to this).
+	LayerCalls int
+}
+
+// Run executes g on the given inputs (one batched [N,...] tensor per graph
+// input, in graph-input order). All inputs must share the batch size.
+func Run(g *ir.Graph, inputs ...*tensor.Tensor) (*Result, error) {
+	if len(inputs) != len(g.Inputs) {
+		return nil, fmt.Errorf("exec: graph %s takes %d inputs, got %d", g.Name, len(g.Inputs), len(inputs))
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("exec: graph %s has no inputs", g.Name)
+	}
+	batch := inputs[0].Dim(0)
+	vals := make(map[*ir.Node]*tensor.Tensor, len(g.Nodes))
+	for i, in := range g.Inputs {
+		want := append([]int{batch}, in.Shape...)
+		if !shapeEq(inputs[i].Shape, want) {
+			return nil, fmt.Errorf("exec: input %d has shape %v, want %v", i, inputs[i].Shape, want)
+		}
+		vals[in] = inputs[i]
+	}
+	live := memplan.Analyze(g)
+	res := &Result{}
+	for i, n := range g.Nodes {
+		if n.Kind != ir.KindInput {
+			out, err := dispatch(n, vals, batch)
+			if err != nil {
+				return nil, fmt.Errorf("exec: node %s: %w", n, err)
+			}
+			vals[n] = out
+			res.LayerCalls++
+		}
+		// Release tensors whose last use was this slot (outputs have
+		// End == len(Nodes) and are never released).
+		for _, m := range g.Nodes[:i+1] {
+			if live.End[m] == i && vals[m] != nil {
+				delete(vals, m)
+			}
+		}
+	}
+	for _, o := range g.Outputs {
+		t, ok := vals[o]
+		if !ok {
+			return nil, fmt.Errorf("exec: output %s was released or never computed", o)
+		}
+		res.Outputs = append(res.Outputs, t)
+	}
+	return res, nil
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dispatch(n *ir.Node, vals map[*ir.Node]*tensor.Tensor, batch int) (*tensor.Tensor, error) {
+	in := make([]*tensor.Tensor, len(n.Inputs))
+	for i, p := range n.Inputs {
+		t, ok := vals[p]
+		if !ok {
+			return nil, fmt.Errorf("input %s released too early", p)
+		}
+		in[i] = t
+	}
+	outShape := append([]int{batch}, n.Shape...)
+	switch n.Kind {
+	case ir.KindConv2D:
+		out := tensor.New(outShape...)
+		ops.ConvAuto(out, in[0], n.W, n.B, n.Conv())
+		return out, nil
+	case ir.KindLinear:
+		out := tensor.New(outShape...)
+		ops.Linear(out, in[0], n.W, n.B, n.Attrs.(*ir.LinearAttrs))
+		return out, nil
+	case ir.KindReLU:
+		out := tensor.New(outShape...)
+		ops.ReLU(out, in[0])
+		return out, nil
+	case ir.KindSiLU:
+		out := tensor.New(outShape...)
+		ops.SiLU(out, in[0])
+		return out, nil
+	case ir.KindSigmoid:
+		out := tensor.New(outShape...)
+		ops.Sigmoid(out, in[0])
+		return out, nil
+	case ir.KindBatchNorm:
+		out := tensor.New(outShape...)
+		ops.BatchNorm(out, in[0], n.W, n.B)
+		return out, nil
+	case ir.KindMaxPool:
+		out := tensor.New(outShape...)
+		ops.MaxPool(out, in[0], n.Pool())
+		return out, nil
+	case ir.KindAvgPool:
+		out := tensor.New(outShape...)
+		ops.AvgPool(out, in[0], n.Pool())
+		return out, nil
+	case ir.KindGlobalAvgPool:
+		out := tensor.New(outShape...)
+		ops.GlobalAvgPool(out, in[0])
+		return out, nil
+	case ir.KindUpsample:
+		out := tensor.New(outShape...)
+		ops.Upsample(out, in[0], n.Attrs.(*ir.UpsampleAttrs).Scale)
+		return out, nil
+	case ir.KindAdd:
+		out := tensor.New(outShape...)
+		ops.Add(out, in[0], in[1])
+		return out, nil
+	case ir.KindConcat:
+		out := tensor.New(outShape...)
+		ops.Concat(out, in)
+		return out, nil
+	case ir.KindFlatten:
+		// Pure reshape; shares the input's storage.
+		return in[0].Reshape(outShape...), nil
+	case ir.KindSoftmax:
+		out := tensor.New(outShape...)
+		ops.Softmax(out, in[0])
+		return out, nil
+	case ir.KindFused:
+		out := tensor.New(outShape...)
+		ops.Fused(out, in[0], n.Fused())
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unsupported kind %v", n.Kind)
+	}
+}

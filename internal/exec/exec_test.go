@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"temco/internal/decompose"
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+func randIn(seed uint64, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.FillNormal(tensor.NewRNG(seed), 0, 1)
+	return t
+}
+
+func TestRunSmallCNN(t *testing.T) {
+	b := ir.NewBuilder("cnn", 1)
+	in := b.Input(3, 8, 8)
+	c1 := b.Conv(in, 8, 3, 1, 1)
+	r1 := b.ReLU(c1)
+	p := b.MaxPool(r1, 2, 2)
+	f := b.Flatten(p)
+	fc := b.Linear(f, 10)
+	b.Output(b.Softmax(fc))
+
+	x := randIn(2, 4, 3, 8, 8)
+	res, err := Run(b.G, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs = %d", len(res.Outputs))
+	}
+	out := res.Outputs[0]
+	if out.Dim(0) != 4 || out.Dim(1) != 10 {
+		t.Fatalf("output shape %v", out.Shape)
+	}
+	// Softmax rows sum to 1.
+	for bi := 0; bi < 4; bi++ {
+		var s float64
+		for j := 0; j < 10; j++ {
+			s += float64(out.At(bi, j))
+		}
+		if math.Abs(s-1) > 1e-4 {
+			t.Fatalf("row %d sums to %v", bi, s)
+		}
+	}
+	if res.LayerCalls != 6 {
+		t.Fatalf("layer calls = %d, want 6", res.LayerCalls)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	b := ir.NewBuilder("bad", 1)
+	in := b.Input(3, 8, 8)
+	b.Output(b.ReLU(in))
+	if _, err := Run(b.G); err == nil {
+		t.Fatal("expected error for missing input")
+	}
+	if _, err := Run(b.G, randIn(1, 2, 4, 8, 8)); err == nil {
+		t.Fatal("expected error for wrong input shape")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	b := ir.NewBuilder("det", 3)
+	in := b.Input(4, 8, 8)
+	c := b.Conv(in, 8, 3, 1, 1)
+	b.Output(b.SiLU(c))
+	x := randIn(5, 2, 4, 8, 8)
+	r1, err := Run(b.G, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(b.G, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(r1.Outputs[0], r2.Outputs[0]) != 0 {
+		t.Fatal("two runs of the same graph must agree exactly")
+	}
+}
+
+func TestSkipConnectionValueFlow(t *testing.T) {
+	// out = relu(x) + x must equal hand computation.
+	b := ir.NewBuilder("skipval", 1)
+	in := b.Input(1, 1, 2)
+	r := b.ReLU(in)
+	b.Output(b.Add(r, in))
+	x := tensor.FromSlice([]float32{-3, 5}, 1, 1, 1, 2)
+	res, err := Run(b.G, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0].Data[0] != -3 || res.Outputs[0].Data[1] != 10 {
+		t.Fatalf("got %v, want [-3 10]", res.Outputs[0].Data)
+	}
+}
+
+func TestMultiOutputGraph(t *testing.T) {
+	b := ir.NewBuilder("multi", 1)
+	in := b.Input(2, 4, 4)
+	r := b.ReLU(in)
+	s := b.Sigmoid(in)
+	b.Output(r)
+	b.Output(s)
+	res, err := Run(b.G, randIn(7, 1, 2, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 2 {
+		t.Fatalf("outputs = %d, want 2", len(res.Outputs))
+	}
+}
+
+// TestDecomposedGraphRuns ties decompose + exec together: the decomposed
+// graph must run and approximate the original output (moderate rank keeps
+// the approximation meaningful).
+func TestDecomposedGraphRuns(t *testing.T) {
+	b := ir.NewBuilder("dec", 11)
+	in := b.Input(16, 12, 12)
+	c1 := b.Conv(in, 32, 3, 1, 1)
+	r1 := b.ReLU(c1)
+	c2 := b.Conv(r1, 16, 3, 1, 1)
+	b.Output(c2)
+
+	opts := decompose.DefaultOptions()
+	opts.Ratio = 1.0 // full rank → the decomposition is exact
+	dg, _ := decompose.Decompose(b.G, opts)
+
+	x := randIn(13, 2, 16, 12, 12)
+	orig, err := Run(b.G, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Run(dg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.RelErr(dec.Outputs[0], orig.Outputs[0]); d > 1e-3 {
+		t.Fatalf("full-rank decomposed output deviates by rel err %v", d)
+	}
+	// Low rank still runs, just less accurately.
+	opts.Ratio = 0.1
+	dg2, _ := decompose.Decompose(b.G, opts)
+	if _, err := Run(dg2, x); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"temco/internal/core"
+	"temco/internal/decompose"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/models"
+)
+
+// AblationRow compares one pipeline configuration against the full one.
+type AblationRow struct {
+	Model         string
+	Config        string
+	InternalBytes int64
+	PeakWithWksp  int64
+	FLOPs         int64
+	FusedKernels  int
+	SkipsOpt      int
+	SkipsRejected int
+}
+
+// AblationResult aggregates the design-choice ablations (DESIGN.md A1/A2).
+type AblationResult struct {
+	Batch int
+	Rows  []AblationRow
+}
+
+// AblateOverheadGate (A1) runs skip-opt with and without the Overhead gate
+// on models with skip connections. The paper's §4.2 ResNet discussion says
+// the gate must reject deep restore chains; without it, peak memory and/or
+// FLOPs regress.
+func AblateOverheadGate(names []string, mcfg models.Config, dopts decompose.Options, batch int) (AblationResult, error) {
+	res := AblationResult{Batch: batch}
+	for _, name := range names {
+		spec, err := models.Get(name)
+		if err != nil {
+			return res, err
+		}
+		base := spec.Build(mcfg)
+		core.FoldBatchNorm(base)
+		dg, _ := decompose.Decompose(base, dopts)
+		for _, mode := range []string{"gate-on", "gate-off"} {
+			cfg := core.DefaultConfig()
+			cfg.DisableOverheadGate = mode == "gate-off"
+			og, st := core.Optimize(dg, cfg)
+			p := memplan.Simulate(og, batch, 0)
+			res.Rows = append(res.Rows, AblationRow{
+				Model: name, Config: mode,
+				InternalBytes: p.PeakInternal,
+				PeakWithWksp:  p.PeakWithWorkspace,
+				FLOPs:         irGraphFLOPs(og),
+				FusedKernels:  st.FusedKernels,
+				SkipsOpt:      st.SkipConnectionsOptimized,
+				SkipsRejected: st.SkipConnectionsRejected,
+			})
+		}
+	}
+	return res, nil
+}
+
+// AblateTransforms (A2) runs the pipeline with and without the §3.3 layer
+// transformations on models with concat/add skip structure, showing how
+// the transforms widen fusion coverage.
+func AblateTransforms(names []string, mcfg models.Config, dopts decompose.Options, batch int) (AblationResult, error) {
+	res := AblationResult{Batch: batch}
+	for _, name := range names {
+		spec, err := models.Get(name)
+		if err != nil {
+			return res, err
+		}
+		base := spec.Build(mcfg)
+		core.FoldBatchNorm(base)
+		dg, _ := decompose.Decompose(base, dopts)
+		for _, mode := range []string{"with-transforms", "no-transforms"} {
+			cfg := core.DefaultConfig()
+			cfg.Transforms = mode == "with-transforms"
+			og, st := core.Optimize(dg, cfg)
+			p := memplan.Simulate(og, batch, 0)
+			res.Rows = append(res.Rows, AblationRow{
+				Model: name, Config: mode,
+				InternalBytes: p.PeakInternal,
+				PeakWithWksp:  p.PeakWithWorkspace,
+				FLOPs:         irGraphFLOPs(og),
+				FusedKernels:  st.FusedKernels,
+				SkipsOpt:      st.SkipConnectionsOptimized,
+				SkipsRejected: st.SkipConnectionsRejected,
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the result as a fixed-width table.
+func (r AblationResult) String() string {
+	s := fmt.Sprintf("Ablation, batch %d\n", r.Batch)
+	s += fmt.Sprintf("%-12s %-16s %12s %10s %8s %6s %6s\n",
+		"model", "config", "internal(MB)", "GFLOPs", "fused", "skips+", "skips-")
+	for _, row := range r.Rows {
+		s += fmt.Sprintf("%-12s %-16s %12.2f %10.3f %8d %6d %6d\n",
+			row.Model, row.Config, mb(row.InternalBytes), float64(row.FLOPs)/1e9,
+			row.FusedKernels, row.SkipsOpt, row.SkipsRejected)
+	}
+	return s
+}
+
+// irGraphFLOPs is a thin alias keeping the import set tidy.
+func irGraphFLOPs(g *ir.Graph) int64 { return ir.GraphFLOPs(g) }

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"temco/internal/core"
+	"temco/internal/data"
+	"temco/internal/decompose"
+	"temco/internal/exec"
+	"temco/internal/ir"
+	"temco/internal/models"
+	"temco/internal/tensor"
+	"temco/internal/train"
+)
+
+// AccuracyRow is one bar of the paper's Fig. 12: the metric (top-5 or
+// dice) of the decomposed model and of its TeMCO-optimized form, plus the
+// direct evidence of semantics preservation.
+type AccuracyRow struct {
+	Model string
+	// Metric is "top5" for classifiers, "dice" for segmentation.
+	Metric string
+	// Decomposed and Optimized are the metric values of the two variants
+	// on the same evaluation set.
+	Decomposed float64
+	Optimized  float64
+	// Top1Agreement is the fraction of samples where both variants pick
+	// the same argmax (1.0 expected; semantics preservation).
+	Top1Agreement float64
+	// MaxAbsDiff is the largest elementwise output deviation.
+	MaxAbsDiff float64
+	// Trained reports whether the weights were actually trained on the
+	// synthetic task (true for the trained case studies) or left at their
+	// deterministic initialization (agreement-only check).
+	Trained bool
+}
+
+// AccuracyResult aggregates Fig. 12.
+type AccuracyResult struct {
+	Rows []AccuracyRow
+}
+
+// AgreementAll checks semantics preservation for every registry model on
+// synthetic inputs: the TeMCO-optimized graph must produce the same
+// predictions as the decomposed baseline.
+func AgreementAll(names []string, mcfg models.Config, dopts decompose.Options, samples int) (AccuracyResult, error) {
+	var res AccuracyResult
+	for _, name := range names {
+		spec, err := models.Get(name)
+		if err != nil {
+			return res, err
+		}
+		opt := Fusion
+		if spec.HasSkips {
+			opt = SkipOptFusion
+		}
+		dg, err := BuildVariant(spec, Decomposed, mcfg, dopts)
+		if err != nil {
+			return res, err
+		}
+		og, err := BuildVariant(spec, opt, mcfg, dopts)
+		if err != nil {
+			return res, err
+		}
+		row := AccuracyRow{Model: name}
+		if spec.Arch == "unet" {
+			set := data.Segmentation(7, samples, mcfg.H, mcfg.W)
+			rd, err := exec.Run(dg, set.Images)
+			if err != nil {
+				return res, err
+			}
+			ro, err := exec.Run(og, set.Images)
+			if err != nil {
+				return res, err
+			}
+			row.Metric = "dice"
+			row.Decomposed = data.Dice(rd.Outputs[0], set.Masks)
+			row.Optimized = data.Dice(ro.Outputs[0], set.Masks)
+			row.Top1Agreement = maskAgreement(rd.Outputs[0], ro.Outputs[0])
+			row.MaxAbsDiff = tensor.MaxAbsDiff(rd.Outputs[0], ro.Outputs[0])
+		} else {
+			set := data.Classification(7, samples, mcfg.Classes, mcfg.H, mcfg.W)
+			rd, err := exec.Run(dg, set.Images)
+			if err != nil {
+				return res, err
+			}
+			ro, err := exec.Run(og, set.Images)
+			if err != nil {
+				return res, err
+			}
+			row.Metric = "top5"
+			row.Decomposed = data.TopK(rd.Outputs[0], set.Labels, 5)
+			row.Optimized = data.TopK(ro.Outputs[0], set.Labels, 5)
+			row.Top1Agreement = data.TopKAgreement(rd.Outputs[0], ro.Outputs[0], 1)
+			row.MaxAbsDiff = tensor.MaxAbsDiff(rd.Outputs[0], ro.Outputs[0])
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func maskAgreement(a, b *tensor.Tensor) float64 {
+	agree := 0
+	for i := range a.Data {
+		pa := a.Data[i] >= 0.5
+		pb := b.Data[i] >= 0.5
+		if pa == pb {
+			agree++
+		}
+	}
+	return float64(agree) / float64(a.Len())
+}
+
+// TrainedClassifierCaseStudy reproduces the paper's direct-training setup
+// (§4.4) at laptop scale: a small CNN is Tucker-decomposed, trained on the
+// synthetic classification task, then TeMCO-optimized; the row reports the
+// real trained accuracies of both variants.
+func TrainedClassifierCaseStudy(epochs int) (AccuracyRow, error) {
+	const classes, h, w = 4, 12, 12
+	b := ir.NewBuilder("case-cls", 77)
+	in := b.Input(3, h, w)
+	x := b.ReLU(b.Conv(in, 24, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2)
+	x = b.ReLU(b.Conv(x, 32, 3, 1, 1))
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Linear(x, classes)
+	b.Output(x)
+
+	opts := decompose.DefaultOptions()
+	opts.Ratio = 0.25
+	opts.MinChannels = 8 // keep the 3-channel stem intact for accuracy
+	dg, _ := decompose.Decompose(b.G, opts)
+
+	trainSet := data.Classification(1, 128, classes, h, w)
+	testSet := data.Classification(2, 128, classes, h, w)
+	tr := train.New(dg, 0.05, 0.9)
+	for e := 0; e < epochs; e++ {
+		if _, err := tr.StepCE(trainSet.Images, trainSet.Labels); err != nil {
+			return AccuracyRow{}, err
+		}
+	}
+	og, _ := core.Optimize(dg, core.FusionOnly())
+	rd, err := exec.Run(dg, testSet.Images)
+	if err != nil {
+		return AccuracyRow{}, err
+	}
+	ro, err := exec.Run(og, testSet.Images)
+	if err != nil {
+		return AccuracyRow{}, err
+	}
+	return AccuracyRow{
+		Model:         "trained-cnn(decomposed)",
+		Metric:        "top1",
+		Decomposed:    data.TopK(rd.Outputs[0], testSet.Labels, 1),
+		Optimized:     data.TopK(ro.Outputs[0], testSet.Labels, 1),
+		Top1Agreement: data.TopKAgreement(rd.Outputs[0], ro.Outputs[0], 1),
+		MaxAbsDiff:    tensor.MaxAbsDiff(rd.Outputs[0], ro.Outputs[0]),
+		Trained:       true,
+	}, nil
+}
+
+// TrainedUNetCaseStudy trains a decomposed mini-UNet on the synthetic
+// Carvana-style task and reports the dice of decomposed vs optimized.
+func TrainedUNetCaseStudy(epochs int) (AccuracyRow, error) {
+	const h, w = 16, 16
+	b := ir.NewBuilder("case-seg", 88)
+	in := b.Input(3, h, w)
+	d1 := b.ReLU(b.Conv(in, 16, 3, 1, 1))
+	p := b.MaxPool(d1, 2, 2)
+	mid := b.ReLU(b.Conv(p, 32, 3, 1, 1))
+	up := b.Upsample(mid, 2)
+	cat := b.Concat(up, d1)
+	x := b.ReLU(b.Conv(cat, 16, 3, 1, 1))
+	x = b.ConvNamed("head", x, 1, 1, 1, 1, 1, 0, 0, 1)
+	x = b.Sigmoid(x)
+	b.Output(x)
+
+	opts := decompose.DefaultOptions()
+	opts.Ratio = 0.3
+	opts.MinChannels = 8 // keep the 3-channel stem intact for accuracy
+	dg, _ := decompose.Decompose(b.G, opts)
+
+	set := data.Segmentation(3, 32, h, w)
+	eval := data.Segmentation(4, 32, h, w)
+	tr := train.New(dg, 0.2, 0.9)
+	for e := 0; e < epochs; e++ {
+		if _, err := tr.StepBCE(set.Images, set.Masks); err != nil {
+			return AccuracyRow{}, err
+		}
+	}
+	og, _ := core.Optimize(dg, core.DefaultConfig())
+	rd, err := exec.Run(dg, eval.Images)
+	if err != nil {
+		return AccuracyRow{}, err
+	}
+	ro, err := exec.Run(og, eval.Images)
+	if err != nil {
+		return AccuracyRow{}, err
+	}
+	return AccuracyRow{
+		Model:         "trained-unet(decomposed)",
+		Metric:        "dice",
+		Decomposed:    data.Dice(rd.Outputs[0], eval.Masks),
+		Optimized:     data.Dice(ro.Outputs[0], eval.Masks),
+		Top1Agreement: maskAgreement(rd.Outputs[0], ro.Outputs[0]),
+		MaxAbsDiff:    tensor.MaxAbsDiff(rd.Outputs[0], ro.Outputs[0]),
+		Trained:       true,
+	}, nil
+}
+
+// String renders the result as a fixed-width table.
+func (r AccuracyResult) String() string {
+	s := "Accuracy preservation (paper Fig. 12)\n"
+	s += fmt.Sprintf("%-26s %-7s %10s %10s %10s %12s %8s\n",
+		"model", "metric", "decomposed", "optimized", "agreement", "max |Δout|", "trained")
+	for _, row := range r.Rows {
+		s += fmt.Sprintf("%-26s %-7s %10.4f %10.4f %10.4f %12.2e %8v\n",
+			row.Model, row.Metric, row.Decomposed, row.Optimized, row.Top1Agreement, row.MaxAbsDiff, row.Trained)
+	}
+	return s
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"temco/internal/decompose"
+	"temco/internal/models"
+)
+
+func testCfg() models.Config { return models.Config{H: 32, W: 32, Classes: 10, Seed: 42} }
+
+func testDopts() decompose.Options { return decompose.DefaultOptions() }
+
+func TestVariantsFor(t *testing.T) {
+	vgg, _ := models.Get("vgg11")
+	unet, _ := models.Get("unet-s")
+	if vs := VariantsFor(vgg); len(vs) != 3 || vs[2] != Fusion {
+		t.Fatalf("vgg variants = %v", vs)
+	}
+	if vs := VariantsFor(unet); len(vs) != 4 || vs[3] != SkipOptFusion {
+		t.Fatalf("unet variants = %v", vs)
+	}
+}
+
+func TestBuildVariantAll(t *testing.T) {
+	spec, _ := models.Get("unet-s")
+	for _, v := range []Variant{Original, Decomposed, Fusion, SkipOpt, SkipOptFusion} {
+		g, err := BuildVariant(spec, v, testCfg(), testDopts())
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+	if _, err := BuildVariant(spec, Variant("bogus"), testCfg(), testDopts()); err == nil {
+		t.Fatal("unknown variant must error")
+	}
+}
+
+func TestPeakMemorySmall(t *testing.T) {
+	res, err := PeakMemory([]string{"vgg11", "unet-s"}, testCfg(), testDopts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vgg11: 3 variants, unet-s: 4 variants.
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(res.Rows))
+	}
+	byKey := map[string]PeakRow{}
+	for _, r := range res.Rows {
+		byKey[r.Model+"/"+string(r.Variant)] = r
+	}
+	// Decomposition must shrink weights (Eq. (1) vs Eq. (2)).
+	if byKey["vgg11/Decomposed"].WeightBytes >= byKey["vgg11/Original"].WeightBytes {
+		t.Fatal("decomposition did not shrink weights")
+	}
+	// Fusion must shrink internal peak vs the decomposed baseline.
+	if byKey["vgg11/Fusion"].InternalBytes >= byKey["vgg11/Decomposed"].InternalBytes {
+		t.Fatal("fusion did not shrink vgg internal peak")
+	}
+	// Full pipeline must beat original on the skip model.
+	if byKey["unet-s/Skip-Opt+Fusion"].InternalBytes >= byKey["unet-s/Original"].InternalBytes {
+		t.Fatal("TeMCO did not shrink unet internal peak vs original")
+	}
+	if res.GeomeanReduction <= 0 || res.GeomeanReduction >= 1 {
+		t.Fatalf("geomean reduction = %v", res.GeomeanReduction)
+	}
+	if !strings.Contains(res.String(), "geomean") {
+		t.Fatal("String() missing summary")
+	}
+}
+
+func TestTimelineSmall(t *testing.T) {
+	for _, v := range []Variant{Original, Decomposed} {
+		s, err := Timeline("unet-s", v, testCfg(), testDopts(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Points) == 0 {
+			t.Fatal("no timeline points")
+		}
+		if s.PeakSkipShare < 0 || s.PeakSkipShare > 1 {
+			t.Fatalf("skip share = %v", s.PeakSkipShare)
+		}
+		sp := s.Sparkline(40)
+		if !strings.Contains(sp, "unet-s") {
+			t.Fatal("sparkline missing header")
+		}
+	}
+	// The decomposed UNet should hold a substantial share of its peak in
+	// skip connections (paper quotes 76.2% at full scale).
+	s, _ := Timeline("unet-s", Decomposed, testCfg(), testDopts(), 4)
+	if s.PeakSkipShare < 0.05 {
+		t.Fatalf("decomposed unet skip share suspiciously low: %v", s.PeakSkipShare)
+	}
+}
+
+func TestInferenceTimeSmall(t *testing.T) {
+	cfg := testCfg()
+	cfg.H, cfg.W = 16, 16
+	res, err := InferenceTime([]string{"unet-s"}, cfg, testDopts(), []int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Wall <= 0 {
+			t.Fatalf("non-positive wall time: %+v", r)
+		}
+	}
+	if res.Rows[1].LayerCalls >= res.Rows[0].LayerCalls {
+		t.Fatalf("TeMCO should reduce layer calls: %d vs %d", res.Rows[1].LayerCalls, res.Rows[0].LayerCalls)
+	}
+	if _, ok := res.OverheadGeomean[1]; !ok {
+		t.Fatal("missing geomean for batch 1")
+	}
+	if !strings.Contains(res.String(), "vs decomp") {
+		t.Fatal("String() missing header")
+	}
+}
+
+func TestAgreementSmall(t *testing.T) {
+	cfg := testCfg()
+	cfg.H, cfg.W = 16, 16
+	res, err := AgreementAll([]string{"vgg11", "unet-s"}, cfg, testDopts(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Top1Agreement < 0.99 {
+			t.Fatalf("%s: agreement %v — TeMCO changed predictions", r.Model, r.Top1Agreement)
+		}
+		if r.MaxAbsDiff > 0.05 {
+			t.Fatalf("%s: outputs deviate by %v", r.Model, r.MaxAbsDiff)
+		}
+		if r.Decomposed != r.Optimized {
+			// Metrics on identical predictions must match exactly for
+			// classification; dice can differ only if masks flip.
+			if r.Metric == "top5" {
+				t.Fatalf("%s: top5 changed %v → %v", r.Model, r.Decomposed, r.Optimized)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "agreement") {
+		t.Fatal("String() missing header")
+	}
+}
+
+func TestTrainedCaseStudies(t *testing.T) {
+	row, err := TrainedClassifierCaseStudy(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Trained || row.Metric != "top1" {
+		t.Fatalf("bad row %+v", row)
+	}
+	if row.Decomposed < 0.5 {
+		t.Fatalf("trained classifier accuracy too low: %v", row.Decomposed)
+	}
+	if row.Decomposed != row.Optimized {
+		t.Fatalf("TeMCO changed trained accuracy: %v → %v", row.Decomposed, row.Optimized)
+	}
+	if row.Top1Agreement != 1.0 {
+		t.Fatalf("agreement = %v", row.Top1Agreement)
+	}
+
+	seg, err := TrainedUNetCaseStudy(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Decomposed < 0.6 {
+		t.Fatalf("trained unet dice too low: %v", seg.Decomposed)
+	}
+	if seg.Top1Agreement < 0.999 {
+		t.Fatalf("mask agreement = %v", seg.Top1Agreement)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := testCfg()
+	res, err := AblateOverheadGate([]string{"resnet18"}, cfg, testDopts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	on, off := res.Rows[0], res.Rows[1]
+	if on.Config != "gate-on" || off.Config != "gate-off" {
+		t.Fatal("row order wrong")
+	}
+	// Without the gate, more skips get optimized, which costs FLOPs.
+	if off.SkipsOpt < on.SkipsOpt {
+		t.Fatalf("gate-off optimized fewer skips: %d vs %d", off.SkipsOpt, on.SkipsOpt)
+	}
+	if off.FLOPs < on.FLOPs {
+		t.Fatalf("gate-off should not reduce FLOPs: %d vs %d", off.FLOPs, on.FLOPs)
+	}
+
+	res2, err := AblateTransforms([]string{"unet-s"}, cfg, testDopts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, without := res2.Rows[0], res2.Rows[1]
+	if with.FusedKernels <= without.FusedKernels {
+		t.Fatalf("transforms should widen fusion: %d vs %d", with.FusedKernels, without.FusedKernels)
+	}
+	if !strings.Contains(res2.String(), "Ablation") {
+		t.Fatal("String() missing header")
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"temco/internal/decompose"
+	"temco/internal/memplan"
+	"temco/internal/models"
+)
+
+// PeakRow is one bar of the paper's Fig. 10: peak memory usage of one
+// (model, variant) pair split into weight and internal tensors.
+type PeakRow struct {
+	Model         string
+	Variant       Variant
+	WeightBytes   int64
+	InternalBytes int64
+	WorkspaceMax  int64
+	// InternalVsOriginal is InternalBytes divided by the Original
+	// variant's InternalBytes.
+	InternalVsOriginal float64
+}
+
+// PeakResult aggregates Fig. 10.
+type PeakResult struct {
+	Batch int
+	Rows  []PeakRow
+	// GeomeanReduction is the geometric-mean reduction of internal-tensor
+	// peak memory of each model's best TeMCO variant vs Original — the
+	// paper's headline 75.7% (§4.2).
+	GeomeanReduction float64
+}
+
+// PeakMemory reproduces Fig. 10 for the given model names.
+func PeakMemory(names []string, mcfg models.Config, dopts decompose.Options, batch int) (PeakResult, error) {
+	res := PeakResult{Batch: batch}
+	var logSum float64
+	var count int
+	for _, name := range names {
+		spec, err := models.Get(name)
+		if err != nil {
+			return res, err
+		}
+		var origInternal int64
+		var bestInternal int64 = math.MaxInt64
+		for _, v := range VariantsFor(spec) {
+			g, err := BuildVariant(spec, v, mcfg, dopts)
+			if err != nil {
+				return res, err
+			}
+			p := memplan.Simulate(g, batch, 0)
+			row := PeakRow{
+				Model:         name,
+				Variant:       v,
+				WeightBytes:   p.WeightBytes,
+				InternalBytes: p.PeakInternal,
+				WorkspaceMax:  p.PeakWithWorkspace - p.PeakInternal,
+			}
+			if v == Original {
+				origInternal = p.PeakInternal
+			}
+			if origInternal > 0 {
+				row.InternalVsOriginal = float64(p.PeakInternal) / float64(origInternal)
+			}
+			if v != Original && v != Decomposed && p.PeakInternal < bestInternal {
+				bestInternal = p.PeakInternal
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		if origInternal > 0 && bestInternal < math.MaxInt64 {
+			ratio := float64(bestInternal) / float64(origInternal)
+			logSum += math.Log(ratio)
+			count++
+		}
+	}
+	if count > 0 {
+		res.GeomeanReduction = 1 - math.Exp(logSum/float64(count))
+	}
+	return res, nil
+}
+
+// String renders the result as a fixed-width table.
+func (r PeakResult) String() string {
+	s := fmt.Sprintf("Peak memory usage, batch %d (paper Fig. 10)\n", r.Batch)
+	s += fmt.Sprintf("%-12s %-16s %12s %12s %12s %8s\n", "model", "variant", "weights(MB)", "internal(MB)", "wkspace(MB)", "vs orig")
+	for _, row := range r.Rows {
+		s += fmt.Sprintf("%-12s %-16s %12.2f %12.2f %12.2f %7.1f%%\n",
+			row.Model, row.Variant,
+			mb(row.WeightBytes), mb(row.InternalBytes), mb(row.WorkspaceMax),
+			row.InternalVsOriginal*100)
+	}
+	s += fmt.Sprintf("geomean internal-tensor reduction (best TeMCO variant vs Original): %.1f%%\n",
+		r.GeomeanReduction*100)
+	return s
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"temco/internal/decompose"
+	"temco/internal/memplan"
+	"temco/internal/models"
+)
+
+// TimelinePoint is one sample of the Fig. 4 memory-usage curve.
+type TimelinePoint struct {
+	Index     int
+	Layer     string
+	LiveBytes int64
+	SkipBytes int64
+}
+
+// TimelineSeries is one curve of Fig. 4 (Original or Decomposed — or a
+// TeMCO variant, which the paper's figure omits but is instructive).
+type TimelineSeries struct {
+	Model   string
+	Variant Variant
+	Batch   int
+	Points  []TimelinePoint
+	// PeakSkipShare is the skip-connection share of the peak (the paper
+	// quotes 76.2% for decomposed UNet).
+	PeakSkipShare float64
+}
+
+// Timeline reproduces one curve of Fig. 4: internal-tensor memory over the
+// layer schedule.
+func Timeline(name string, v Variant, mcfg models.Config, dopts decompose.Options, batch int) (TimelineSeries, error) {
+	spec, err := models.Get(name)
+	if err != nil {
+		return TimelineSeries{}, err
+	}
+	g, err := BuildVariant(spec, v, mcfg, dopts)
+	if err != nil {
+		return TimelineSeries{}, err
+	}
+	p := memplan.Simulate(g, batch, 0)
+	s := TimelineSeries{Model: name, Variant: v, Batch: batch}
+	for _, e := range p.Events {
+		s.Points = append(s.Points, TimelinePoint{Index: e.Index, Layer: e.Name, LiveBytes: e.LiveBytes, SkipBytes: e.SkipBytes})
+	}
+	if p.PeakInternal > 0 {
+		s.PeakSkipShare = float64(p.PeakSkipBytes) / float64(p.PeakInternal)
+	}
+	return s, nil
+}
+
+// Sparkline renders the series as a textual plot (one row per layer event,
+// bar length proportional to live bytes), the terminal stand-in for the
+// paper's Fig. 4 curves.
+func (s TimelineSeries) Sparkline(width int) string {
+	var max int64
+	for _, p := range s.Points {
+		if p.LiveBytes > max {
+			max = p.LiveBytes
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s, batch %d — internal tensor bytes per layer event (peak %.2f MB, skip share at peak %.1f%%)\n",
+		s.Model, s.Variant, s.Batch, mb(max), s.PeakSkipShare*100)
+	for _, p := range s.Points {
+		n := int(int64(width) * p.LiveBytes / max)
+		k := int(int64(width) * p.SkipBytes / max)
+		bar := strings.Repeat("#", k) + strings.Repeat("=", n-k)
+		fmt.Fprintf(&b, "%4d %-24s %8.2f %s\n", p.Index, trunc(p.Layer, 24), mb(p.LiveBytes), bar)
+	}
+	b.WriteString("     (# = held by skip connections, = = other internal tensors)\n")
+	return b.String()
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,69 @@
+// Package experiments implements the paper's evaluation (§4): peak memory
+// usage of the ten models (Fig. 10), internal-tensor memory timelines
+// (Fig. 4), end-to-end inference time (Fig. 11), accuracy preservation
+// (Fig. 12), and the ablations called out in DESIGN.md. The same functions
+// back cmd/experiments and the testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"temco/internal/core"
+	"temco/internal/decompose"
+	"temco/internal/ir"
+	"temco/internal/models"
+)
+
+// Variant names one model configuration in the paper's plots.
+type Variant string
+
+const (
+	// Original is the unmodified model.
+	Original Variant = "Original"
+	// Decomposed is the Tucker-decomposed baseline (ratio 0.1).
+	Decomposed Variant = "Decomposed"
+	// Fusion applies activation layer fusion only (AlexNet/VGG bars).
+	Fusion Variant = "Fusion"
+	// SkipOpt applies skip connection optimization only.
+	SkipOpt Variant = "Skip-Opt"
+	// SkipOptFusion applies the full TeMCO pipeline.
+	SkipOptFusion Variant = "Skip-Opt+Fusion"
+)
+
+// VariantsFor returns the paper's variant set for a model: models without
+// skip connections get Fusion; models with skip connections get Skip-Opt
+// and Skip-Opt+Fusion (§4.1).
+func VariantsFor(spec models.Spec) []Variant {
+	if spec.HasSkips {
+		return []Variant{Original, Decomposed, SkipOpt, SkipOptFusion}
+	}
+	return []Variant{Original, Decomposed, Fusion}
+}
+
+// BuildVariant constructs the graph for (model, variant). The original
+// model's batchnorms are folded for every variant so the comparison
+// isolates TeMCO's contribution (see DESIGN.md).
+func BuildVariant(spec models.Spec, v Variant, cfg models.Config, dopts decompose.Options) (*ir.Graph, error) {
+	g := spec.Build(cfg)
+	base := g.Clone()
+	core.FoldBatchNorm(base)
+	if v == Original {
+		return base, nil
+	}
+	dg, _ := decompose.Decompose(base, dopts)
+	switch v {
+	case Decomposed:
+		return dg, nil
+	case Fusion:
+		og, _ := core.Optimize(dg, core.FusionOnly())
+		return og, nil
+	case SkipOpt:
+		og, _ := core.Optimize(dg, core.SkipOptOnly())
+		return og, nil
+	case SkipOptFusion:
+		og, _ := core.Optimize(dg, core.DefaultConfig())
+		return og, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown variant %q", v)
+	}
+}

@@ -1,0 +1,298 @@
+// Package graphio serializes layer graphs (structure + weights) to a
+// self-contained JSON envelope with base64 tensor payloads, so compiled
+// models survive process boundaries: cmd/temco can compile once and a
+// deployment binary can load and run the optimized graph.
+package graphio
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// FormatVersion identifies the envelope layout.
+const FormatVersion = 1
+
+type envelope struct {
+	Version int        `json:"version"`
+	Name    string     `json:"name"`
+	Nodes   []nodeJSON `json:"nodes"`
+	Inputs  []int      `json:"inputs"`
+	Outputs []int      `json:"outputs"`
+}
+
+type nodeJSON struct {
+	ID     int        `json:"id"`
+	Name   string     `json:"name"`
+	Kind   string     `json:"kind"`
+	Inputs []int      `json:"inputs,omitempty"`
+	Shape  []int      `json:"shape"`
+	Role   string     `json:"role,omitempty"`
+	Attrs  *attrsJSON `json:"attrs,omitempty"`
+	W      *tensJSON  `json:"w,omitempty"`
+	B      *tensJSON  `json:"b,omitempty"`
+}
+
+// attrsJSON is a tagged union over the operator attribute structs.
+type attrsJSON struct {
+	Type string `json:"type"`
+
+	Conv   *ir.ConvAttrs      `json:"conv,omitempty"`
+	Pool   *ir.PoolAttrs      `json:"pool,omitempty"`
+	Linear *ir.LinearAttrs    `json:"linear,omitempty"`
+	Up     *ir.UpsampleAttrs  `json:"up,omitempty"`
+	BN     *ir.BatchNormAttrs `json:"bn,omitempty"`
+	Fused  *fusedJSON         `json:"fused,omitempty"`
+}
+
+type fusedJSON struct {
+	InC      int           `json:"inC"`
+	MidC     int           `json:"midC"`
+	OutC     int           `json:"outC"`
+	Act      string        `json:"act"`
+	Pool     *ir.PoolAttrs `json:"pool,omitempty"`
+	PoolKind string        `json:"poolKind,omitempty"`
+	LW       *tensJSON     `json:"lw"`
+	LB       *tensJSON     `json:"lb,omitempty"`
+	FW       *tensJSON     `json:"fw,omitempty"`
+	FB       *tensJSON     `json:"fb,omitempty"`
+}
+
+type tensJSON struct {
+	Shape []int  `json:"shape"`
+	Data  string `json:"data"` // little-endian float32, base64
+}
+
+var kindByName = func() map[string]ir.Kind {
+	m := make(map[string]ir.Kind)
+	for k := ir.KindInput; k <= ir.KindFused; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+var roleByName = map[string]ir.Role{
+	"none": ir.RoleNone, "fconv": ir.RoleFConv, "core": ir.RoleCore, "lconv": ir.RoleLConv,
+}
+
+func encodeTensor(t *tensor.Tensor) *tensJSON {
+	if t == nil {
+		return nil
+	}
+	buf := make([]byte, 4*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return &tensJSON{Shape: t.Shape, Data: base64.StdEncoding.EncodeToString(buf)}
+}
+
+func decodeTensor(j *tensJSON) (*tensor.Tensor, error) {
+	if j == nil {
+		return nil, nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(j.Data)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: bad tensor payload: %w", err)
+	}
+	if len(raw) != 4*tensor.NumElems(j.Shape) {
+		return nil, fmt.Errorf("graphio: tensor payload %d bytes does not match shape %v", len(raw), j.Shape)
+	}
+	t := tensor.New(j.Shape...)
+	for i := range t.Data {
+		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return t, nil
+}
+
+func encodeAttrs(n *ir.Node) (*attrsJSON, error) {
+	switch a := n.Attrs.(type) {
+	case nil:
+		return nil, nil
+	case *ir.ConvAttrs:
+		return &attrsJSON{Type: "conv", Conv: a}, nil
+	case *ir.PoolAttrs:
+		return &attrsJSON{Type: "pool", Pool: a}, nil
+	case *ir.LinearAttrs:
+		return &attrsJSON{Type: "linear", Linear: a}, nil
+	case *ir.UpsampleAttrs:
+		return &attrsJSON{Type: "up", Up: a}, nil
+	case *ir.BatchNormAttrs:
+		return &attrsJSON{Type: "bn", BN: a}, nil
+	case *ir.FusedAttrs:
+		f := &fusedJSON{
+			InC: a.InC, MidC: a.MidC, OutC: a.OutC, Act: a.Act.String(),
+			Pool: a.Pool,
+			LW:   encodeTensor(a.LW), LB: encodeTensor(a.LB),
+			FW: encodeTensor(a.FW), FB: encodeTensor(a.FB),
+		}
+		if a.Pool != nil {
+			f.PoolKind = a.PoolKind.String()
+		}
+		return &attrsJSON{Type: "fused", Fused: f}, nil
+	default:
+		return nil, fmt.Errorf("graphio: unknown attrs type %T on %s", n.Attrs, n)
+	}
+}
+
+func decodeAttrs(j *attrsJSON) (any, error) {
+	if j == nil {
+		return nil, nil
+	}
+	switch j.Type {
+	case "conv":
+		return j.Conv, nil
+	case "pool":
+		return j.Pool, nil
+	case "linear":
+		return j.Linear, nil
+	case "up":
+		return j.Up, nil
+	case "bn":
+		return j.BN, nil
+	case "fused":
+		f := j.Fused
+		if f == nil {
+			return nil, fmt.Errorf("graphio: fused attrs missing payload")
+		}
+		act, ok := kindByName[f.Act]
+		if !ok {
+			return nil, fmt.Errorf("graphio: unknown activation %q", f.Act)
+		}
+		out := &ir.FusedAttrs{InC: f.InC, MidC: f.MidC, OutC: f.OutC, Act: act, Pool: f.Pool}
+		if f.Pool != nil {
+			pk, ok := kindByName[f.PoolKind]
+			if !ok {
+				return nil, fmt.Errorf("graphio: unknown pool kind %q", f.PoolKind)
+			}
+			out.PoolKind = pk
+		}
+		var err error
+		if out.LW, err = decodeTensor(f.LW); err != nil {
+			return nil, err
+		}
+		if out.LB, err = decodeTensor(f.LB); err != nil {
+			return nil, err
+		}
+		if out.FW, err = decodeTensor(f.FW); err != nil {
+			return nil, err
+		}
+		if out.FB, err = decodeTensor(f.FB); err != nil {
+			return nil, err
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("graphio: unknown attrs tag %q", j.Type)
+	}
+}
+
+// Save writes g (structure and weights) to w.
+func Save(w io.Writer, g *ir.Graph) error {
+	env := envelope{Version: FormatVersion, Name: g.Name}
+	for _, n := range g.Nodes {
+		attrs, err := encodeAttrs(n)
+		if err != nil {
+			return err
+		}
+		nj := nodeJSON{
+			ID: n.ID, Name: n.Name, Kind: n.Kind.String(),
+			Shape: n.Shape, Role: n.Role.String(), Attrs: attrs,
+			W: encodeTensor(n.W), B: encodeTensor(n.B),
+		}
+		for _, in := range n.Inputs {
+			nj.Inputs = append(nj.Inputs, in.ID)
+		}
+		env.Nodes = append(env.Nodes, nj)
+	}
+	for _, in := range g.Inputs {
+		env.Inputs = append(env.Inputs, in.ID)
+	}
+	for _, o := range g.Outputs {
+		env.Outputs = append(env.Outputs, o.ID)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(env)
+}
+
+// Load reads a graph written by Save and validates it.
+func Load(r io.Reader) (*ir.Graph, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if env.Version != FormatVersion {
+		return nil, fmt.Errorf("graphio: unsupported format version %d", env.Version)
+	}
+	g := ir.NewGraph(env.Name)
+	byID := make(map[int]*ir.Node, len(env.Nodes))
+	for _, nj := range env.Nodes {
+		kind, ok := kindByName[nj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("graphio: unknown kind %q", nj.Kind)
+		}
+		role, ok := roleByName[nj.Role]
+		if !ok && nj.Role != "" {
+			return nil, fmt.Errorf("graphio: unknown role %q", nj.Role)
+		}
+		attrs, err := decodeAttrs(nj.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		w, err := decodeTensor(nj.W)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decodeTensor(nj.B)
+		if err != nil {
+			return nil, err
+		}
+		n := &ir.Node{ID: nj.ID, Name: nj.Name, Kind: kind,
+			Attrs: attrs, W: w, B: b,
+			Shape: append([]int(nil), nj.Shape...), Role: role}
+		for _, id := range nj.Inputs {
+			in, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("graphio: node %s references undefined node %d", nj.Name, id)
+			}
+			n.Inputs = append(n.Inputs, in)
+		}
+		byID[nj.ID] = n
+		g.Nodes = append(g.Nodes, n)
+	}
+	for _, id := range env.Inputs {
+		in, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("graphio: undefined input node %d", id)
+		}
+		g.Inputs = append(g.Inputs, in)
+	}
+	for _, id := range env.Outputs {
+		o, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("graphio: undefined output node %d", id)
+		}
+		g.Outputs = append(g.Outputs, o)
+	}
+	// Reserve past the max ID so post-load passes can add nodes.
+	for maxID := maxNodeID(g); g.NewID() < maxID; {
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graphio: loaded graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+func maxNodeID(g *ir.Graph) int {
+	m := 0
+	for _, n := range g.Nodes {
+		if n.ID > m {
+			m = n.ID
+		}
+	}
+	return m
+}

@@ -1,0 +1,155 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"temco/internal/core"
+	"temco/internal/decompose"
+	"temco/internal/exec"
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+func buildGraph(t *testing.T) *ir.Graph {
+	t.Helper()
+	b := ir.NewBuilder("roundtrip", 7)
+	in := b.Input(3, 12, 12)
+	c1 := b.Conv(in, 16, 3, 1, 1)
+	bn := b.BatchNorm(c1)
+	r := b.ReLU(bn)
+	p := b.MaxPool(r, 2, 2)
+	c2 := b.Conv(p, 8, 3, 1, 1)
+	s := b.SiLU(c2)
+	u := b.Upsample(s, 2)
+	cc := b.Concat(u, r)
+	c3 := b.Conv(cc, 8, 3, 1, 1)
+	a := b.Add(c3, c3)
+	f := b.Flatten(a)
+	fc := b.Linear(f, 5)
+	b.Output(b.Softmax(fc))
+	return b.G
+}
+
+func roundTrip(t *testing.T, g *ir.Graph) *ir.Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg
+}
+
+func TestRoundTripPreservesStructure(t *testing.T) {
+	g := buildGraph(t)
+	lg := roundTrip(t, g)
+	if len(lg.Nodes) != len(g.Nodes) || len(lg.Inputs) != 1 || len(lg.Outputs) != 1 {
+		t.Fatalf("structure changed: %d nodes", len(lg.Nodes))
+	}
+	for i, n := range g.Nodes {
+		m := lg.Nodes[i]
+		if n.Name != m.Name || n.Kind != m.Kind || n.ID != m.ID || n.Role != m.Role {
+			t.Fatalf("node %d differs: %v vs %v", i, n, m)
+		}
+		if n.W != nil && tensor.MaxAbsDiff(n.W, m.W) != 0 {
+			t.Fatalf("node %d weights differ", i)
+		}
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	g := buildGraph(t)
+	lg := roundTrip(t, g)
+	x := tensor.New(2, 3, 12, 12)
+	x.FillNormal(tensor.NewRNG(3), 0, 1)
+	a, err := exec.Run(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exec.Run(lg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a.Outputs[0], b.Outputs[0]); d != 0 {
+		t.Fatalf("loaded graph deviates by %v", d)
+	}
+}
+
+func TestRoundTripFusedGraph(t *testing.T) {
+	// The fused node's tensors live inside attrs; they must survive too.
+	b := ir.NewBuilder("fg", 9)
+	in := b.Input(8, 16, 16)
+	x := b.ReLU(b.Conv(in, 32, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2)
+	x = b.ReLU(b.Conv(x, 32, 3, 1, 1))
+	b.Output(x)
+	dg, _ := decompose.Decompose(b.G, decompose.DefaultOptions())
+	og, st := core.Optimize(dg, core.FusionOnly())
+	if st.FusedKernels+st.TailFusedKernels == 0 {
+		t.Fatal("test wants a fused graph")
+	}
+	lg := roundTrip(t, og)
+	xin := tensor.New(1, 8, 16, 16)
+	xin.FillNormal(tensor.NewRNG(5), 0, 1)
+	a, err := exec.Run(og, xin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := exec.Run(lg, xin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a.Outputs[0], c.Outputs[0]); d != 0 {
+		t.Fatalf("loaded fused graph deviates by %v", d)
+	}
+}
+
+func TestLoadedGraphAcceptsNewNodes(t *testing.T) {
+	g := buildGraph(t)
+	lg := roundTrip(t, g)
+	// NewID must not collide with loaded IDs.
+	id := lg.NewID()
+	for _, n := range lg.Nodes {
+		if n.ID == id {
+			t.Fatalf("NewID %d collides with a loaded node", id)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error for garbage")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99,"name":"x"}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"name":"x","nodes":[{"id":0,"name":"a","kind":"conv2d","shape":[1],"role":"none"}]}`)); err == nil {
+		t.Fatal("expected validation error for conv without attrs")
+	}
+	// Forward reference.
+	bad := `{"version":1,"name":"x","nodes":[{"id":0,"name":"a","kind":"relu","inputs":[5],"shape":[1,2,2],"role":"none"}]}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected undefined-reference error")
+	}
+}
+
+func TestTensorCodecRejectsBadPayload(t *testing.T) {
+	if _, err := decodeTensor(&tensJSON{Shape: []int{2, 2}, Data: "????"}); err == nil {
+		t.Fatal("expected base64 error")
+	}
+	if _, err := decodeTensor(&tensJSON{Shape: []int{2, 2}, Data: "AAAA"}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	got, err := decodeTensor(encodeTensor(tensor.FromSlice([]float32{1, -2.5, 3e-9, 4}, 2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 1) != -2.5 || got.At(1, 1) != 4 {
+		t.Fatalf("codec mangled values: %v", got.Data)
+	}
+}

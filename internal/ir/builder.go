@@ -1,0 +1,135 @@
+package ir
+
+import (
+	"fmt"
+
+	"temco/internal/tensor"
+)
+
+// Builder wraps a Graph with convenience constructors that allocate and
+// initialize parameters deterministically. Models in internal/models are
+// written against this API.
+type Builder struct {
+	G      *Graph
+	RNG    *tensor.RNG
+	counts map[string]int
+}
+
+// NewBuilder returns a builder over a fresh graph seeded deterministically.
+func NewBuilder(name string, seed uint64) *Builder {
+	return &Builder{G: NewGraph(name), RNG: tensor.NewRNG(seed), counts: make(map[string]int)}
+}
+
+func (b *Builder) autoName(prefix string) string {
+	b.counts[prefix]++
+	return fmt.Sprintf("%s%d", prefix, b.counts[prefix])
+}
+
+// Input declares a [C,H,W] graph input.
+func (b *Builder) Input(c, h, w int) *Node {
+	return b.G.Input("input", c, h, w)
+}
+
+// Conv adds a KxK convolution with He-initialized weights and zero bias.
+func (b *Builder) Conv(in *Node, outC, k, stride, pad int) *Node {
+	return b.ConvNamed(b.autoName("conv"), in, outC, k, k, stride, stride, pad, pad, 1)
+}
+
+// ConvStride adds a k×k convolution with the given stride and padding.
+func (b *Builder) ConvStride(in *Node, outC, k, stride, pad int) *Node {
+	return b.ConvNamed(b.autoName("conv"), in, outC, k, k, stride, stride, pad, pad, 1)
+}
+
+// ConvNamed adds a fully parameterized convolution.
+func (b *Builder) ConvNamed(name string, in *Node, outC, kh, kw, sh, sw, ph, pw, groups int) *Node {
+	inC := in.Shape[0]
+	a := &ConvAttrs{InC: inC, OutC: outC, KH: kh, KW: kw, SH: sh, SW: sw, PH: ph, PW: pw, Groups: groups}
+	n := b.G.Apply(KindConv2D, name, a, in)
+	n.W = tensor.New(outC, inC/groups, kh, kw)
+	n.W.FillHe(b.RNG, (inC/groups)*kh*kw)
+	n.B = tensor.New(outC)
+	return n
+}
+
+// BatchNorm adds inference batch normalization with randomized folded
+// scale/shift (simulating trained running statistics).
+func (b *Builder) BatchNorm(in *Node) *Node {
+	c := in.Shape[0]
+	n := b.G.Apply(KindBatchNorm, b.autoName("bn"), &BatchNormAttrs{C: c}, in)
+	n.W = tensor.New(c)
+	n.W.FillUniform(b.RNG, 0.8, 1.2) // folded γ/√(σ²+ε)
+	n.B = tensor.New(c)
+	n.B.FillUniform(b.RNG, -0.1, 0.1) // folded β−μ·scale
+	return n
+}
+
+// ReLU adds a rectified linear activation.
+func (b *Builder) ReLU(in *Node) *Node {
+	return b.G.Apply(KindReLU, b.autoName("relu"), nil, in)
+}
+
+// SiLU adds a sigmoid-weighted linear activation.
+func (b *Builder) SiLU(in *Node) *Node {
+	return b.G.Apply(KindSiLU, b.autoName("silu"), nil, in)
+}
+
+// Sigmoid adds a logistic activation.
+func (b *Builder) Sigmoid(in *Node) *Node {
+	return b.G.Apply(KindSigmoid, b.autoName("sigmoid"), nil, in)
+}
+
+// MaxPool adds k×k max pooling with stride s.
+func (b *Builder) MaxPool(in *Node, k, s int) *Node {
+	return b.G.Apply(KindMaxPool, b.autoName("maxpool"), &PoolAttrs{KH: k, KW: k, SH: s, SW: s}, in)
+}
+
+// AvgPool adds k×k average pooling with stride s.
+func (b *Builder) AvgPool(in *Node, k, s int) *Node {
+	return b.G.Apply(KindAvgPool, b.autoName("avgpool"), &PoolAttrs{KH: k, KW: k, SH: s, SW: s}, in)
+}
+
+// GlobalAvgPool reduces each channel to 1×1.
+func (b *Builder) GlobalAvgPool(in *Node) *Node {
+	return b.G.Apply(KindGlobalAvgPool, b.autoName("gap"), nil, in)
+}
+
+// Upsample adds nearest-neighbour upsampling by scale.
+func (b *Builder) Upsample(in *Node, scale int) *Node {
+	return b.G.Apply(KindUpsample, b.autoName("up"), &UpsampleAttrs{Scale: scale}, in)
+}
+
+// Add adds elementwise addition.
+func (b *Builder) Add(x, y *Node) *Node {
+	return b.G.Apply(KindAdd, b.autoName("add"), nil, x, y)
+}
+
+// Concat adds channel concatenation.
+func (b *Builder) Concat(ins ...*Node) *Node {
+	return b.G.Apply(KindConcat, b.autoName("concat"), nil, ins...)
+}
+
+// Flatten reshapes [C,H,W] to [C·H·W].
+func (b *Builder) Flatten(in *Node) *Node {
+	return b.G.Apply(KindFlatten, b.autoName("flatten"), nil, in)
+}
+
+// Linear adds a fully connected layer with He-initialized weights.
+func (b *Builder) Linear(in *Node, out int) *Node {
+	f := in.Shape[0]
+	n := b.G.Apply(KindLinear, b.autoName("fc"), &LinearAttrs{In: f, Out: out}, in)
+	n.W = tensor.New(out, f)
+	n.W.FillHe(b.RNG, f)
+	n.B = tensor.New(out)
+	return n
+}
+
+// Softmax adds a softmax over a flat vector.
+func (b *Builder) Softmax(in *Node) *Node {
+	return b.G.Apply(KindSoftmax, b.autoName("softmax"), nil, in)
+}
+
+// Output marks n as a graph output and returns it.
+func (b *Builder) Output(n *Node) *Node {
+	b.G.MarkOutput(n)
+	return n
+}

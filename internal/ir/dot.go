@@ -1,0 +1,36 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax for debugging and
+// documentation. Decomposition roles are color-coded.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name)
+	for _, n := range g.Nodes {
+		color := "white"
+		switch n.Role {
+		case RoleFConv:
+			color = "lightblue"
+		case RoleCore:
+			color = "lightyellow"
+		case RoleLConv:
+			color = "lightpink"
+		}
+		if n.Kind == KindFused {
+			color = "palegreen"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s %v\", style=filled, fillcolor=%s];\n",
+			n.ID, n.Name, n.Kind, n.Shape, color)
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,117 @@
+// Package ir defines the layer-graph intermediate representation that the
+// TeMCO compiler analyzes and rewrites. A Graph is an ordered list of Nodes
+// in SSA form: each node defines exactly one output tensor, consumed by
+// later nodes. The node order is the execution schedule, which is what the
+// memory planner replays.
+package ir
+
+// Kind identifies a layer/operator type.
+type Kind int
+
+const (
+	// KindInput is a graph input placeholder.
+	KindInput Kind = iota
+	// KindConv2D is a 2-D convolution (optionally grouped/depthwise).
+	KindConv2D
+	// KindLinear is a fully connected layer.
+	KindLinear
+	// KindReLU is the rectified linear activation.
+	KindReLU
+	// KindSiLU is the sigmoid-weighted linear activation.
+	KindSiLU
+	// KindSigmoid is the logistic activation.
+	KindSigmoid
+	// KindBatchNorm is inference-mode batch normalization: a per-channel
+	// affine transform with precomputed scale (W) and shift (B).
+	KindBatchNorm
+	// KindMaxPool is 2-D max pooling.
+	KindMaxPool
+	// KindAvgPool is 2-D average pooling.
+	KindAvgPool
+	// KindGlobalAvgPool averages each channel to 1×1.
+	KindGlobalAvgPool
+	// KindUpsample is nearest-neighbour spatial upsampling.
+	KindUpsample
+	// KindAdd is elementwise addition of two equal-shape tensors.
+	KindAdd
+	// KindConcat concatenates along the channel dimension.
+	KindConcat
+	// KindFlatten reshapes [C,H,W] to [C·H·W].
+	KindFlatten
+	// KindSoftmax is channel softmax over a flat vector.
+	KindSoftmax
+	// KindFused is a TeMCO-fused lconv→act→[pool]→fconv kernel that never
+	// materializes its full-size intermediates (paper §3.2, Listing 1).
+	KindFused
+)
+
+var kindNames = map[Kind]string{
+	KindInput:         "input",
+	KindConv2D:        "conv2d",
+	KindLinear:        "linear",
+	KindReLU:          "relu",
+	KindSiLU:          "silu",
+	KindSigmoid:       "sigmoid",
+	KindBatchNorm:     "batchnorm",
+	KindMaxPool:       "maxpool",
+	KindAvgPool:       "avgpool",
+	KindGlobalAvgPool: "gavgpool",
+	KindUpsample:      "upsample",
+	KindAdd:           "add",
+	KindConcat:        "concat",
+	KindFlatten:       "flatten",
+	KindSoftmax:       "softmax",
+	KindFused:         "fused",
+}
+
+// String returns the lowercase operator mnemonic.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// IsActivation reports whether k is one of the non-decomposed elementwise
+// activation layers TeMCO can fuse between lconv and fconv (paper §3.2
+// names ReLU and SiLU; sigmoid appears at the UNet head).
+func (k Kind) IsActivation() bool {
+	return k == KindReLU || k == KindSiLU || k == KindSigmoid
+}
+
+// IsElementwise reports whether k preserves shape and acts per element
+// (per channel for batchnorm); these are transparent to the reduced-tensor
+// traversal in FindReduced.
+func (k Kind) IsElementwise() bool {
+	return k.IsActivation() || k == KindBatchNorm || k == KindAdd
+}
+
+// Role records decomposition provenance for a node. The TeMCO analyses
+// detect fconv/lconv structurally (paper Alg. 2 IsLConv), but the role tag
+// is kept for reporting and testing.
+type Role int
+
+const (
+	// RoleNone marks a node that did not come from a decomposition rewrite.
+	RoleNone Role = iota
+	// RoleFConv is the leading 1×1 channel-reducing factor convolution.
+	RoleFConv
+	// RoleCore is a core convolution of a decomposed sequence.
+	RoleCore
+	// RoleLConv is the trailing 1×1 channel-restoring factor convolution.
+	RoleLConv
+)
+
+// String returns the role mnemonic.
+func (r Role) String() string {
+	switch r {
+	case RoleFConv:
+		return "fconv"
+	case RoleCore:
+		return "core"
+	case RoleLConv:
+		return "lconv"
+	default:
+		return "none"
+	}
+}

@@ -1,0 +1,186 @@
+package ir
+
+import "fmt"
+
+// convOut computes one spatial output extent: floor((in + 2p - k)/s) + 1.
+func convOut(in, k, s, p int) int {
+	return (in+2*p-k)/s + 1
+}
+
+// InferShape computes the output shape of an operator application given
+// its attrs and input shapes (batch excluded). It returns an error for
+// malformed applications; Graph construction turns these into panics so
+// model-building bugs surface immediately.
+func InferShape(kind Kind, attrs any, inputs [][]int) ([]int, error) {
+	chw := func(i int) ([]int, error) {
+		if i >= len(inputs) {
+			return nil, fmt.Errorf("missing input %d", i)
+		}
+		if len(inputs[i]) != 3 {
+			return nil, fmt.Errorf("input %d has shape %v, want [C,H,W]", i, inputs[i])
+		}
+		return inputs[i], nil
+	}
+	switch kind {
+	case KindInput:
+		return nil, fmt.Errorf("input nodes carry their own shape")
+	case KindConv2D:
+		a, ok := attrs.(*ConvAttrs)
+		if !ok {
+			return nil, fmt.Errorf("conv2d requires *ConvAttrs")
+		}
+		in, err := chw(0)
+		if err != nil {
+			return nil, err
+		}
+		if in[0] != a.InC {
+			return nil, fmt.Errorf("conv2d input has %d channels, attrs say %d", in[0], a.InC)
+		}
+		g := a.Groups
+		if g == 0 {
+			g = 1
+		}
+		if a.InC%g != 0 || a.OutC%g != 0 {
+			return nil, fmt.Errorf("conv2d groups %d do not divide channels %d→%d", g, a.InC, a.OutC)
+		}
+		oh := convOut(in[1], a.KH, a.SH, a.PH)
+		ow := convOut(in[2], a.KW, a.SW, a.PW)
+		if oh <= 0 || ow <= 0 {
+			return nil, fmt.Errorf("conv2d output %d×%d is empty for input %v", oh, ow, in)
+		}
+		return []int{a.OutC, oh, ow}, nil
+	case KindMaxPool, KindAvgPool:
+		a, ok := attrs.(*PoolAttrs)
+		if !ok {
+			return nil, fmt.Errorf("pool requires *PoolAttrs")
+		}
+		in, err := chw(0)
+		if err != nil {
+			return nil, err
+		}
+		oh := convOut(in[1], a.KH, a.SH, a.PH)
+		ow := convOut(in[2], a.KW, a.SW, a.PW)
+		if oh <= 0 || ow <= 0 {
+			return nil, fmt.Errorf("pool output %d×%d is empty for input %v", oh, ow, in)
+		}
+		return []int{in[0], oh, ow}, nil
+	case KindGlobalAvgPool:
+		in, err := chw(0)
+		if err != nil {
+			return nil, err
+		}
+		return []int{in[0], 1, 1}, nil
+	case KindUpsample:
+		a, ok := attrs.(*UpsampleAttrs)
+		if !ok || a.Scale < 1 {
+			return nil, fmt.Errorf("upsample requires *UpsampleAttrs with Scale ≥ 1")
+		}
+		in, err := chw(0)
+		if err != nil {
+			return nil, err
+		}
+		return []int{in[0], in[1] * a.Scale, in[2] * a.Scale}, nil
+	case KindReLU, KindSiLU, KindSigmoid, KindSoftmax:
+		if len(inputs) != 1 {
+			return nil, fmt.Errorf("%v takes exactly one input", kind)
+		}
+		return append([]int(nil), inputs[0]...), nil
+	case KindBatchNorm:
+		a, ok := attrs.(*BatchNormAttrs)
+		if !ok {
+			return nil, fmt.Errorf("batchnorm requires *BatchNormAttrs")
+		}
+		in, err := chw(0)
+		if err != nil {
+			return nil, err
+		}
+		if in[0] != a.C {
+			return nil, fmt.Errorf("batchnorm over %d channels applied to %d-channel input", a.C, in[0])
+		}
+		return append([]int(nil), in...), nil
+	case KindAdd:
+		if len(inputs) != 2 {
+			return nil, fmt.Errorf("add takes exactly two inputs")
+		}
+		if !shapeEq(inputs[0], inputs[1]) {
+			return nil, fmt.Errorf("add shape mismatch %v vs %v", inputs[0], inputs[1])
+		}
+		return append([]int(nil), inputs[0]...), nil
+	case KindConcat:
+		if len(inputs) < 2 {
+			return nil, fmt.Errorf("concat takes at least two inputs")
+		}
+		first, err := chw(0)
+		if err != nil {
+			return nil, err
+		}
+		c := first[0]
+		for i := 1; i < len(inputs); i++ {
+			in, err := chw(i)
+			if err != nil {
+				return nil, err
+			}
+			if in[1] != first[1] || in[2] != first[2] {
+				return nil, fmt.Errorf("concat spatial mismatch %v vs %v", in, first)
+			}
+			c += in[0]
+		}
+		return []int{c, first[1], first[2]}, nil
+	case KindFlatten:
+		in, err := chw(0)
+		if err != nil {
+			return nil, err
+		}
+		return []int{in[0] * in[1] * in[2]}, nil
+	case KindLinear:
+		a, ok := attrs.(*LinearAttrs)
+		if !ok {
+			return nil, fmt.Errorf("linear requires *LinearAttrs")
+		}
+		if len(inputs) != 1 || len(inputs[0]) != 1 {
+			return nil, fmt.Errorf("linear takes a flat [F] input, got %v", inputs)
+		}
+		if inputs[0][0] != a.In {
+			return nil, fmt.Errorf("linear expects %d features, got %d", a.In, inputs[0][0])
+		}
+		return []int{a.Out}, nil
+	case KindFused:
+		a, ok := attrs.(*FusedAttrs)
+		if !ok {
+			return nil, fmt.Errorf("fused requires *FusedAttrs")
+		}
+		in, err := chw(0)
+		if err != nil {
+			return nil, err
+		}
+		if in[0] != a.InC {
+			return nil, fmt.Errorf("fused input has %d channels, attrs say %d", in[0], a.InC)
+		}
+		if a.FW == nil && a.OutC != a.MidC {
+			return nil, fmt.Errorf("tail fusion must emit MidC=%d channels, attrs say %d", a.MidC, a.OutC)
+		}
+		h, w := in[1], in[2]
+		if a.Pool != nil {
+			h = convOut(h, a.Pool.KH, a.Pool.SH, a.Pool.PH)
+			w = convOut(w, a.Pool.KW, a.Pool.SW, a.Pool.PW)
+			if h <= 0 || w <= 0 {
+				return nil, fmt.Errorf("fused pool output %d×%d is empty", h, w)
+			}
+		}
+		return []int{a.OutC, h, w}, nil
+	default:
+		return nil, fmt.Errorf("unknown kind %v", kind)
+	}
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,261 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"temco/internal/tensor"
+)
+
+func randMat(r *tensor.RNG, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func matDiff(a, b *Mat) float64 {
+	var d float64
+	for i := range a.Data {
+		v := math.Abs(a.Data[i] - b.Data[i])
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := MatFromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := MatFromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := MatFromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T shape = %d×%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("T values wrong: %v", at.Data)
+	}
+}
+
+func TestGramMatchesMatMul(t *testing.T) {
+	r := tensor.NewRNG(3)
+	a := randMat(r, 7, 4)
+	g := Gram(a)
+	g2 := MatMul(a.T(), a)
+	if matDiff(g, g2) > 1e-12 {
+		t.Fatalf("Gram differs from AᵀA by %v", matDiff(g, g2))
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := NewMat(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 5)
+	a.Set(2, 2, 3)
+	vals, vecs := SymEig(a)
+	want := []float64{5, 3, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Fatalf("eigenvalues = %v, want %v", vals, want)
+		}
+	}
+	// Eigenvector for eigenvalue 5 should be ±e1.
+	if math.Abs(math.Abs(vecs.At(1, 0))-1) > 1e-10 {
+		t.Fatalf("leading eigenvector = %v", vecs.Col(0))
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	r := tensor.NewRNG(11)
+	for _, n := range []int{2, 5, 16, 40} {
+		b := randMat(r, n, n)
+		a := MatMul(b, b.T()) // symmetric PSD
+		vals, v := SymEig(a)
+		// Reconstruct V diag(vals) Vᵀ.
+		vd := v.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				vd.Data[i*n+j] *= vals[j]
+			}
+		}
+		rec := MatMul(vd, v.T())
+		if d := matDiff(rec, a); d > 1e-8*a.FrobNorm() {
+			t.Fatalf("n=%d: reconstruction error %v", n, d)
+		}
+		// Orthonormality of eigenvectors.
+		id := MatMul(v.T(), v)
+		if d := matDiff(id, Identity(n)); d > 1e-9 {
+			t.Fatalf("n=%d: VᵀV deviates from I by %v", n, d)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-9 {
+				t.Fatalf("n=%d: eigenvalues not descending: %v", n, vals)
+			}
+		}
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	r := tensor.NewRNG(5)
+	for _, dims := range [][2]int{{6, 4}, {4, 6}, {10, 10}, {1, 5}, {5, 1}, {32, 8}} {
+		a := randMat(r, dims[0], dims[1])
+		res := SVD(a)
+		rec := res.Reconstruct()
+		if d := matDiff(rec, a); d > 1e-8*(1+a.FrobNorm()) {
+			t.Fatalf("%v: SVD reconstruction error %v", dims, d)
+		}
+		for i := 1; i < len(res.S); i++ {
+			if res.S[i] > res.S[i-1]+1e-9 {
+				t.Fatalf("%v: singular values not descending: %v", dims, res.S)
+			}
+		}
+		for _, s := range res.S {
+			if s < 0 {
+				t.Fatalf("negative singular value %v", s)
+			}
+		}
+	}
+}
+
+func TestSVDOrthonormalFactors(t *testing.T) {
+	r := tensor.NewRNG(17)
+	a := randMat(r, 12, 7)
+	res := SVD(a)
+	utu := MatMul(res.U.T(), res.U)
+	vtv := MatMul(res.V.T(), res.V)
+	if d := matDiff(utu, Identity(7)); d > 1e-8 {
+		t.Fatalf("UᵀU deviates from I by %v", d)
+	}
+	if d := matDiff(vtv, Identity(7)); d > 1e-8 {
+		t.Fatalf("VᵀV deviates from I by %v", d)
+	}
+}
+
+func TestTruncatedSVDIsBestLowRank(t *testing.T) {
+	// Build a matrix with known rank-2 structure plus small noise; the
+	// rank-2 truncation must capture almost all the energy.
+	r := tensor.NewRNG(23)
+	u := randMat(r, 20, 2)
+	v := randMat(r, 15, 2)
+	a := MatMul(u, v.T())
+	for i := range a.Data {
+		a.Data[i] += 1e-6 * r.NormFloat64()
+	}
+	res := TruncatedSVD(a, 2)
+	rec := res.Reconstruct()
+	diff := NewMat(a.Rows, a.Cols)
+	for i := range diff.Data {
+		diff.Data[i] = rec.Data[i] - a.Data[i]
+	}
+	if diff.FrobNorm() > 1e-3 {
+		t.Fatalf("rank-2 truncation residual %v too large", diff.FrobNorm())
+	}
+	if len(res.S) != 2 || res.U.Cols != 2 || res.V.Cols != 2 {
+		t.Fatalf("truncation returned wrong rank: %d", len(res.S))
+	}
+}
+
+func TestTruncatedSVDClamps(t *testing.T) {
+	r := tensor.NewRNG(29)
+	a := randMat(r, 3, 5)
+	res := TruncatedSVD(a, 99)
+	if len(res.S) != 3 {
+		t.Fatalf("expected clamp to min(m,n)=3, got %d", len(res.S))
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	a := MatFromSlice([]float64{2, 1, 1, 3}, 2, 2)
+	b := MatFromSlice([]float64{5, 10}, 2, 1)
+	x := Solve(a, b)
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	if math.Abs(x.At(0, 0)-1) > 1e-10 || math.Abs(x.At(1, 0)-3) > 1e-10 {
+		t.Fatalf("Solve = %v", x.Data)
+	}
+}
+
+func TestSolveMultiRHS(t *testing.T) {
+	r := tensor.NewRNG(31)
+	a := randMat(r, 6, 6)
+	// Diagonally dominate to guarantee non-singularity.
+	for i := 0; i < 6; i++ {
+		a.Set(i, i, a.At(i, i)+10)
+	}
+	b := randMat(r, 6, 3)
+	x := Solve(a, b)
+	ax := MatMul(a, x)
+	if d := matDiff(ax, b); d > 1e-9 {
+		t.Fatalf("A·x deviates from b by %v", d)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestQuickMatMulTranspose(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randMat(r, m, k)
+		b := randMat(r, k, n)
+		left := MatMul(a, b).T()
+		right := MatMul(b.T(), a.T())
+		return matDiff(left, right) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SVD singular values are invariant under transposition.
+func TestQuickSVDTransposeInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, n := 1+r.Intn(8), 1+r.Intn(8)
+		a := randMat(r, m, n)
+		s1 := SVD(a).S
+		s2 := SVD(a.T()).S
+		if len(s1) != len(s2) {
+			return false
+		}
+		for i := range s1 {
+			if math.Abs(s1[i]-s2[i]) > 1e-8*(1+s1[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Frobenius norm equals l2 norm of singular values.
+func TestQuickSVDEnergy(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, n := 1+r.Intn(8), 1+r.Intn(8)
+		a := randMat(r, m, n)
+		var e float64
+		for _, s := range SVD(a).S {
+			e += s * s
+		}
+		fn := a.FrobNorm()
+		return math.Abs(math.Sqrt(e)-fn) < 1e-8*(1+fn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

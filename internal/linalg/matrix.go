@@ -1,0 +1,220 @@
+// Package linalg implements the dense linear algebra needed by the tensor
+// decomposition substrate: float64 matrices, matrix products, a cyclic
+// Jacobi symmetric eigensolver, and thin/truncated singular value
+// decompositions built on it. Everything is written from scratch on the
+// standard library.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mat is a dense row-major float64 matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zero r×c matrix.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %d×%d", r, c))
+	}
+	return &Mat{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// MatFromSlice wraps data (not copied) as an r×c matrix.
+func MatFromSlice(data []float64, r, c int) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("linalg: data length %d does not match %d×%d", len(data), r, c))
+	}
+	return &Mat{Rows: r, Cols: c, Data: data}
+}
+
+// At returns element (i,j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at (i,j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Mat) T() *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: MatMul dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	// ikj loop order for cache-friendly access to b and out rows.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Gram returns aᵀ·a, the (Cols×Cols) Gram matrix of a.
+func Gram(a *Mat) *Mat {
+	g := NewMat(a.Cols, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for p, vp := range row {
+			if vp == 0 {
+				continue
+			}
+			grow := g.Data[p*a.Cols : (p+1)*a.Cols]
+			for q, vq := range row {
+				grow[q] += vp * vq
+			}
+		}
+	}
+	return g
+}
+
+// FrobNorm returns the Frobenius norm.
+func (m *Mat) FrobNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Col returns column j as a slice copy.
+func (m *Mat) Col(j int) []float64 {
+	c := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		c[i] = m.Data[i*m.Cols+j]
+	}
+	return c
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// offDiagNorm returns sqrt(sum of squares of off-diagonal elements).
+func offDiagNorm(a *Mat) float64 {
+	var s float64
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				v := a.Data[i*n+j]
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// SymEig computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// a matrix whose columns are the corresponding orthonormal eigenvectors.
+// The input is not modified.
+func SymEig(a *Mat) (vals []float64, vecs *Mat) {
+	if a.Rows != a.Cols {
+		panic("linalg: SymEig requires a square matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+	scale := w.FrobNorm()
+	if scale == 0 {
+		scale = 1
+	}
+	const maxSweeps = 60
+	tol := 1e-13 * scale
+	for sweep := 0; sweep < maxSweeps && offDiagNorm(w) > tol; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.Data[p*n+q]
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app := w.Data[p*n+p]
+				aqq := w.Data[q*n+q]
+				// Classic Jacobi rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Update W = Jᵀ W J on rows/cols p and q.
+				for k := 0; k < n; k++ {
+					wkp := w.Data[k*n+p]
+					wkq := w.Data[k*n+q]
+					w.Data[k*n+p] = c*wkp - s*wkq
+					w.Data[k*n+q] = s*wkp + c*wkq
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.Data[p*n+k]
+					wqk := w.Data[q*n+k]
+					w.Data[p*n+k] = c*wpk - s*wqk
+					w.Data[q*n+k] = s*wpk + c*wqk
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.Data[k*n+p]
+					vkq := v.Data[k*n+q]
+					v.Data[k*n+p] = c*vkp - s*vkq
+					v.Data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	// Collect and sort eigenpairs by descending eigenvalue.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.Data[i*n+i], i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	vals = make([]float64, n)
+	vecs = NewMat(n, n)
+	for j, p := range pairs {
+		vals[j] = p.val
+		for i := 0; i < n; i++ {
+			vecs.Data[i*n+j] = v.Data[i*n+p.idx]
+		}
+	}
+	return vals, vecs
+}

@@ -1,0 +1,95 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"temco/internal/tensor"
+)
+
+// TestRandomizedSVDAccuracy: on a matrix with fast-decaying spectrum, the
+// randomized truncated SVD must capture the leading singular values to
+// high relative accuracy.
+func TestRandomizedSVDAccuracy(t *testing.T) {
+	r := tensor.NewRNG(77)
+	m, n, k := 200, 300, 10
+	// Construct A = U·diag(decay)·Vᵀ with known spectrum.
+	u := randMat(r, m, 40)
+	orthonormalizeCols(u)
+	v := randMat(r, n, 40)
+	orthonormalizeCols(v)
+	for j := 0; j < 40; j++ {
+		s := math.Pow(0.7, float64(j))
+		for i := 0; i < m; i++ {
+			u.Data[i*40+j] *= s
+		}
+	}
+	a := MatMul(u, v.T())
+
+	if !rsvdEligible(m, n, k) {
+		t.Fatal("test case should take the randomized path")
+	}
+	got := TruncatedSVD(a, k)
+	exact := SVD(a)
+	for j := 0; j < k; j++ {
+		if math.Abs(got.S[j]-exact.S[j]) > 1e-6*(1+exact.S[0]) {
+			t.Fatalf("singular value %d: randomized %v vs exact %v", j, got.S[j], exact.S[j])
+		}
+	}
+	// Rank-k reconstruction must be near the optimal truncation.
+	optErr := residual(exact.truncate(k).Reconstruct(), a)
+	gotErr := residual(got.Reconstruct(), a)
+	if gotErr > optErr*1.05+1e-9 {
+		t.Fatalf("randomized reconstruction error %v vs optimal %v", gotErr, optErr)
+	}
+}
+
+func (r SVDResult) truncate(k int) SVDResult {
+	u := NewMat(r.U.Rows, k)
+	v := NewMat(r.V.Rows, k)
+	cols := len(r.S)
+	for i := 0; i < r.U.Rows; i++ {
+		copy(u.Data[i*k:(i+1)*k], r.U.Data[i*cols:i*cols+k])
+	}
+	for i := 0; i < r.V.Rows; i++ {
+		copy(v.Data[i*k:(i+1)*k], r.V.Data[i*cols:i*cols+k])
+	}
+	return SVDResult{U: u, S: r.S[:k], V: v}
+}
+
+func residual(rec, a *Mat) float64 {
+	d := NewMat(a.Rows, a.Cols)
+	for i := range d.Data {
+		d.Data[i] = rec.Data[i] - a.Data[i]
+	}
+	return d.FrobNorm()
+}
+
+func TestRandomizedSVDDeterministic(t *testing.T) {
+	r := tensor.NewRNG(3)
+	a := randMat(r, 120, 90)
+	s1 := TruncatedSVD(a, 5)
+	s2 := TruncatedSVD(a, 5)
+	if matDiff(s1.U, s2.U) != 0 || matDiff(s1.V, s2.V) != 0 {
+		t.Fatal("randomized SVD must be deterministic")
+	}
+}
+
+func TestParMatMulMatchesSerial(t *testing.T) {
+	r := tensor.NewRNG(9)
+	a := randMat(r, 130, 70)
+	b := randMat(r, 70, 50)
+	if d := matDiff(parMatMul(a, b), MatMul(a, b)); d > 1e-12 {
+		t.Fatalf("parallel matmul deviates by %v", d)
+	}
+}
+
+func TestOrthonormalizeCols(t *testing.T) {
+	r := tensor.NewRNG(11)
+	m := randMat(r, 50, 8)
+	orthonormalizeCols(m)
+	g := Gram(m)
+	if d := matDiff(g, Identity(8)); d > 1e-10 {
+		t.Fatalf("columns not orthonormal: deviation %v", d)
+	}
+}

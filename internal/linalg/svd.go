@@ -1,0 +1,169 @@
+package linalg
+
+import "math"
+
+// SVDResult holds a (possibly truncated) singular value decomposition
+// A ≈ U · diag(S) · Vᵀ with U of size m×k, S of length k, V of size n×k.
+type SVDResult struct {
+	U *Mat
+	S []float64
+	V *Mat
+}
+
+// SVD computes the thin singular value decomposition of a via the
+// eigendecomposition of the smaller Gram matrix (AᵀA or AAᵀ). This is the
+// right trade-off here: the matrices unfolded from convolution weights have
+// one small mode (channel counts ≤ ~1k), and the Jacobi eigensolver on the
+// small Gram matrix is robust and dependency-free.
+func SVD(a *Mat) SVDResult {
+	m, n := a.Rows, a.Cols
+	if m == 0 || n == 0 {
+		return SVDResult{U: NewMat(m, 0), S: nil, V: NewMat(n, 0)}
+	}
+	if n <= m {
+		// Eigendecompose AᵀA = V Σ² Vᵀ, then U = A V Σ⁻¹.
+		vals, v := SymEig(Gram(a))
+		return svdFromV(a, vals, v)
+	}
+	// Work on Aᵀ and swap the factors.
+	r := SVD(a.T())
+	return SVDResult{U: r.V, S: r.S, V: r.U}
+}
+
+func svdFromV(a *Mat, vals []float64, v *Mat) SVDResult {
+	m, n := a.Rows, a.Cols
+	k := n
+	s := make([]float64, k)
+	for i, ev := range vals {
+		if ev < 0 {
+			ev = 0
+		}
+		s[i] = math.Sqrt(ev)
+	}
+	av := MatMul(a, v) // m×n, columns are A·v_i = σ_i u_i
+	u := NewMat(m, k)
+	for j := 0; j < k; j++ {
+		if s[j] > 1e-12*s[0]+1e-300 {
+			inv := 1 / s[j]
+			for i := 0; i < m; i++ {
+				u.Data[i*k+j] = av.Data[i*n+j] * inv
+			}
+		}
+		// Columns for (near-)zero singular values are left zero; truncated
+		// callers never use them.
+	}
+	return SVDResult{U: u, S: s, V: v}
+}
+
+// TruncatedSVD returns the rank-k SVD of a (the k leading singular
+// triplets). k is clamped to min(m, n). Small ranks relative to the matrix
+// dimensions are served by a deterministic randomized subspace iteration;
+// everything else falls back to the exact Jacobi decomposition.
+func TruncatedSVD(a *Mat, k int) SVDResult {
+	if maxK := minInt(a.Rows, a.Cols); k > maxK {
+		k = maxK
+	}
+	if k > 0 && rsvdEligible(a.Rows, a.Cols, k) {
+		return randomizedSVD(a, k)
+	}
+	full := SVD(a)
+	maxK := len(full.S)
+	if k > maxK {
+		k = maxK
+	}
+	if k < 0 {
+		k = 0
+	}
+	u := NewMat(a.Rows, k)
+	v := NewMat(a.Cols, k)
+	for i := 0; i < a.Rows; i++ {
+		copy(u.Data[i*k:(i+1)*k], full.U.Data[i*maxK:i*maxK+k])
+	}
+	for i := 0; i < a.Cols; i++ {
+		copy(v.Data[i*k:(i+1)*k], full.V.Data[i*maxK:i*maxK+k])
+	}
+	return SVDResult{U: u, S: full.S[:k], V: v}
+}
+
+// Reconstruct returns U · diag(S) · Vᵀ.
+func (r SVDResult) Reconstruct() *Mat {
+	k := len(r.S)
+	us := r.U.Clone()
+	for i := 0; i < us.Rows; i++ {
+		for j := 0; j < k; j++ {
+			us.Data[i*k+j] *= r.S[j]
+		}
+	}
+	return MatMul(us, r.V.T())
+}
+
+// Solve solves the linear system A·x = b for square non-singular A using
+// Gaussian elimination with partial pivoting. b has one column per
+// right-hand side. Used by the CP-ALS normal equations.
+func Solve(a, b *Mat) *Mat {
+	if a.Rows != a.Cols || a.Rows != b.Rows {
+		panic("linalg: Solve dimension mismatch")
+	}
+	n := a.Rows
+	aw := a.Clone()
+	x := b.Clone()
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(aw.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aw.At(r, col)); v > best {
+				best, piv = v, r
+			}
+		}
+		if best < 1e-300 {
+			// Singular: regularize the diagonal slightly rather than fail;
+			// ALS callers treat this as a ridge step.
+			aw.Set(col, col, aw.At(col, col)+1e-10)
+		}
+		if piv != col {
+			swapRows(aw, piv, col)
+			swapRows(x, piv, col)
+		}
+		d := aw.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aw.At(r, col) / d
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				aw.Set(r, c, aw.At(r, c)-f*aw.At(col, c))
+			}
+			for c := 0; c < x.Cols; c++ {
+				x.Set(r, c, x.At(r, c)-f*x.At(col, c))
+			}
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		d := aw.At(col, col)
+		for c := 0; c < x.Cols; c++ {
+			v := x.At(col, c)
+			for k := col + 1; k < n; k++ {
+				v -= aw.At(col, k) * x.At(k, c)
+			}
+			x.Set(col, c, v/d)
+		}
+	}
+	return x
+}
+
+func swapRows(m *Mat, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+// Package memplan implements tensor liveness analysis and a peak-memory
+// simulator for layer graphs. The simulator replays the schedule with the
+// allocate-on-define / free-after-last-use discipline the paper ascribes to
+// deep learning frameworks (§2.2): the peak memory usage of internal
+// tensors is the maximum over layers of the bytes live while that layer
+// runs — exactly the MAX expressions of paper Eq. (3) and Eq. (4).
+package memplan
+
+import (
+	"temco/internal/ir"
+	"temco/internal/ops"
+)
+
+// Liveness holds, for every node, the schedule index where its output is
+// defined and the index of its last use (paper Alg. 1 lines 11-16). Outputs
+// of the graph stay live to the end of the schedule.
+type Liveness struct {
+	Begin map[*ir.Node]int
+	End   map[*ir.Node]int
+}
+
+// Analyze computes tensor liveness over g's schedule.
+func Analyze(g *ir.Graph) Liveness {
+	l := Liveness{
+		Begin: make(map[*ir.Node]int, len(g.Nodes)),
+		End:   make(map[*ir.Node]int, len(g.Nodes)),
+	}
+	for i, n := range g.Nodes {
+		l.Begin[n] = i
+		l.End[n] = i // a tensor with no uses dies where it is defined
+		for _, in := range n.Inputs {
+			l.End[in] = i
+		}
+	}
+	for _, o := range g.Outputs {
+		l.End[o] = len(g.Nodes) // survives the whole inference
+	}
+	return l
+}
+
+// Lifespan returns End-Begin for node n: the paper's DISTANCE between a
+// tensor's definition and its last use.
+func (l Liveness) Lifespan(n *ir.Node) int {
+	return l.End[n] - l.Begin[n]
+}
+
+// Event records the memory state right after one layer executes.
+type Event struct {
+	Index int
+	Name  string
+	Kind  ir.Kind
+	// LiveBytes is the internal-tensor memory live while this layer runs
+	// (inputs + own output + everything else still alive).
+	LiveBytes int64
+	// SkipBytes is the portion of LiveBytes held by long-lived tensors
+	// (lifespan > the threshold passed to Simulate) — the skip-connection
+	// share plotted in paper Fig. 4a.
+	SkipBytes int64
+	// WorkspaceBytes is kernel scratch (fused-kernel tiles) charged while
+	// this layer runs.
+	WorkspaceBytes int64
+}
+
+// Profile is the result of replaying a schedule.
+type Profile struct {
+	Graph *ir.Graph
+	Batch int
+	// Events has one entry per node in schedule order.
+	Events []Event
+	// PeakInternal is the maximum LiveBytes over all events: the paper's
+	// "peak memory usage by internal tensors".
+	PeakInternal int64
+	// PeakWithWorkspace is the maximum of LiveBytes+WorkspaceBytes.
+	PeakWithWorkspace int64
+	// PeakSkipBytes is SkipBytes at the peak event.
+	PeakSkipBytes int64
+	// PeakIndex is the event index where PeakInternal occurs (first hit).
+	PeakIndex int
+	// WeightBytes is the (batch-independent) parameter footprint.
+	WeightBytes int64
+}
+
+// Workspace returns the scratch bytes node n's kernel needs beyond its
+// input/output tensors. Only fused kernels use scratch.
+func Workspace(n *ir.Node, batch int) int64 {
+	if n.Kind == ir.KindFused {
+		return ops.FusedWorkspaceBytes(n.Fused())
+	}
+	return 0
+}
+
+// Simulate replays g's schedule at the given batch size. skipThreshold is
+// the lifespan (in schedule slots) beyond which a tensor is counted as a
+// skip connection for the SkipBytes split; pass 0 to use DefaultSkipThreshold.
+func Simulate(g *ir.Graph, batch, skipThreshold int) Profile {
+	if skipThreshold <= 0 {
+		skipThreshold = DefaultSkipThreshold
+	}
+	live := Analyze(g)
+	p := Profile{Graph: g, Batch: batch, WeightBytes: g.WeightBytes()}
+	var cur, curSkip int64
+	// freeAt[i] lists nodes whose last use is schedule slot i.
+	freeAt := make([][]*ir.Node, len(g.Nodes)+1)
+	for _, n := range g.Nodes {
+		e := live.End[n]
+		if e > len(g.Nodes) {
+			e = len(g.Nodes)
+		}
+		freeAt[e] = append(freeAt[e], n)
+	}
+	isSkip := func(n *ir.Node) bool { return live.Lifespan(n) > skipThreshold }
+	for i, n := range g.Nodes {
+		b := n.OutBytes(batch)
+		cur += b
+		if isSkip(n) {
+			curSkip += b
+		}
+		ws := Workspace(n, batch)
+		ev := Event{Index: i, Name: n.Name, Kind: n.Kind, LiveBytes: cur, SkipBytes: curSkip, WorkspaceBytes: ws}
+		p.Events = append(p.Events, ev)
+		if cur > p.PeakInternal {
+			p.PeakInternal = cur
+			p.PeakSkipBytes = curSkip
+			p.PeakIndex = i
+		}
+		if cur+ws > p.PeakWithWorkspace {
+			p.PeakWithWorkspace = cur + ws
+		}
+		// Free tensors whose last use was this layer.
+		for _, d := range freeAt[i] {
+			cur -= d.OutBytes(batch)
+			if isSkip(d) {
+				curSkip -= d.OutBytes(batch)
+			}
+		}
+	}
+	return p
+}
+
+// DefaultSkipThreshold is the lifespan (schedule slots) beyond which a
+// tensor counts as a skip connection. A tensor consumed by the next layer
+// has lifespan 1; one that also feeds the layer after that has 2; anything
+// longer is held across unrelated computation.
+const DefaultSkipThreshold = 2

@@ -1,0 +1,141 @@
+package memplan
+
+import (
+	"fmt"
+	"sort"
+
+	"temco/internal/ir"
+)
+
+// This file implements static buffer-offset assignment in the style of
+// Pisarchyk & Lee, "Efficient Memory Management for Deep Neural Net
+// Inference" (the paper's reference [31]): given every internal tensor's
+// size and liveness interval, assign each a fixed offset inside one shared
+// arena so that overlapping-lifetime tensors never overlap in memory. The
+// arena size is an upper bound a real allocator can achieve with static
+// planning; PeakInternal (the live-byte maximum) is the lower bound.
+
+// Assignment is a static arena layout for one graph and batch size.
+type Assignment struct {
+	Graph *ir.Graph
+	Batch int
+	// Offsets maps every node (graph inputs included — they count toward
+	// internal-tensor memory, paper Eq. (3)) to its tensor's byte offset.
+	Offsets map[*ir.Node]int64
+	// ArenaBytes is the total arena size the layout needs.
+	ArenaBytes int64
+	// PeakInternal is the simulator's live-byte peak (lower bound).
+	PeakInternal int64
+}
+
+// Fragmentation returns ArenaBytes/PeakInternal − 1: the fraction of arena
+// space lost to static-layout constraints (0 = perfect reuse).
+func (a Assignment) Fragmentation() float64 {
+	if a.PeakInternal == 0 {
+		return 0
+	}
+	return float64(a.ArenaBytes)/float64(a.PeakInternal) - 1
+}
+
+type interval struct {
+	node       *ir.Node
+	begin, end int
+	size       int64
+	offset     int64
+}
+
+// AssignOffsets computes a greedy best-fit arena layout for g's internal
+// tensors at the given batch size. Tensors are placed in decreasing size
+// order (the heuristic [31] reports best results with); each is placed at
+// the lowest offset where it fits below or between already-placed tensors
+// whose lifetimes overlap its own.
+func AssignOffsets(g *ir.Graph, batch int) Assignment {
+	live := Analyze(g)
+	p := Simulate(g, batch, 0)
+	ivs := make([]*interval, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		end := live.End[n]
+		if end > len(g.Nodes) {
+			end = len(g.Nodes)
+		}
+		ivs = append(ivs, &interval{node: n, begin: live.Begin[n], end: end, size: n.OutBytes(batch)})
+	}
+	// Largest first; ties by definition order for determinism.
+	sort.SliceStable(ivs, func(i, j int) bool {
+		if ivs[i].size != ivs[j].size {
+			return ivs[i].size > ivs[j].size
+		}
+		return ivs[i].begin < ivs[j].begin
+	})
+	var placed []*interval
+	var arena int64
+	for _, iv := range ivs {
+		// Collect the offset ranges blocked by lifetime-overlapping placed
+		// tensors, sorted by offset.
+		var blocks []*interval
+		for _, q := range placed {
+			if overlaps(iv, q) {
+				blocks = append(blocks, q)
+			}
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].offset < blocks[j].offset })
+		// Best-fit: lowest gap that holds the tensor.
+		var off int64
+		for _, q := range blocks {
+			if q.offset-off >= iv.size {
+				break
+			}
+			if q.offset+q.size > off {
+				off = q.offset + q.size
+			}
+		}
+		iv.offset = off
+		if off+iv.size > arena {
+			arena = off + iv.size
+		}
+		placed = append(placed, iv)
+	}
+	out := Assignment{Graph: g, Batch: batch, Offsets: make(map[*ir.Node]int64, len(ivs)),
+		ArenaBytes: arena, PeakInternal: p.PeakInternal}
+	for _, iv := range ivs {
+		out.Offsets[iv.node] = iv.offset
+	}
+	return out
+}
+
+// overlaps reports whether two tensors are ever live simultaneously. A
+// tensor is live from its defining slot through its last-use slot.
+func overlaps(a, b *interval) bool {
+	return a.begin <= b.end && b.begin <= a.end
+}
+
+// Check verifies the layout: no two simultaneously-live tensors may
+// intersect in the arena. It returns an error naming the first conflict.
+func (a Assignment) Check() error {
+	live := Analyze(a.Graph)
+	nodes := make([]*ir.Node, 0, len(a.Offsets))
+	for n := range a.Offsets {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for i, n := range nodes {
+		ni := interval{begin: live.Begin[n], end: min(live.End[n], len(a.Graph.Nodes)), size: n.OutBytes(a.Batch), offset: a.Offsets[n]}
+		if ni.offset+ni.size > a.ArenaBytes {
+			return fmt.Errorf("memplan: %s exceeds arena: %d+%d > %d", n, ni.offset, ni.size, a.ArenaBytes)
+		}
+		for _, m := range nodes[i+1:] {
+			mi := interval{begin: live.Begin[m], end: min(live.End[m], len(a.Graph.Nodes)), size: m.OutBytes(a.Batch), offset: a.Offsets[m]}
+			if overlaps(&ni, &mi) && ni.offset < mi.offset+mi.size && mi.offset < ni.offset+ni.size {
+				return fmt.Errorf("memplan: %s and %s overlap in arena and in time", n, m)
+			}
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

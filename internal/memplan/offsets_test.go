@@ -1,0 +1,101 @@
+package memplan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+func TestAssignOffsetsLinearChain(t *testing.T) {
+	// In a pure chain only two tensors are live at once; the arena must be
+	// close to the largest adjacent pair, far below the sum of all tensors.
+	b := ir.NewBuilder("chain", 1)
+	x := b.Input(8, 8, 8)
+	var total int64
+	for i := 0; i < 6; i++ {
+		x = b.ReLU(x)
+		total += x.OutBytes(1)
+	}
+	b.Output(x)
+	a := AssignOffsets(b.G, 1)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if a.ArenaBytes >= total {
+		t.Fatalf("arena %d shows no reuse (total %d)", a.ArenaBytes, total)
+	}
+	if a.ArenaBytes < a.PeakInternal-int64(x.OutBytes(1)) {
+		t.Fatalf("arena %d below what liveness requires (peak %d)", a.ArenaBytes, a.PeakInternal)
+	}
+}
+
+func TestAssignOffsetsSkipGraph(t *testing.T) {
+	b := ir.NewBuilder("skipg", 1)
+	in := b.Input(4, 8, 8)
+	r1 := b.ReLU(in)
+	r2 := b.ReLU(r1)
+	r3 := b.ReLU(r2)
+	a1 := b.Add(r3, r1) // r1 overlaps r2, r3
+	b.Output(a1)
+	a := AssignOffsets(b.G, 2)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// r1 and r2 are simultaneously live → distinct ranges.
+	if a.Offsets[r1] == a.Offsets[r2] {
+		t.Fatal("overlapping-lifetime tensors share an offset")
+	}
+	if a.Fragmentation() < 0 {
+		t.Fatalf("fragmentation %v negative", a.Fragmentation())
+	}
+}
+
+func TestArenaBoundsPeak(t *testing.T) {
+	// Arena is always ≥ the live-byte peak and (for these graphs) within a
+	// small factor of it.
+	b := ir.NewBuilder("bounds", 3)
+	in := b.Input(8, 16, 16)
+	c1 := b.Conv(in, 16, 3, 1, 1)
+	r := b.ReLU(c1)
+	p := b.MaxPool(r, 2, 2)
+	c2 := b.Conv(p, 32, 3, 1, 1)
+	b.Output(b.ReLU(c2))
+	a := AssignOffsets(b.G, 4)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if a.ArenaBytes < a.PeakInternal {
+		t.Fatalf("arena %d below live peak %d", a.ArenaBytes, a.PeakInternal)
+	}
+	if a.Fragmentation() > 1.0 {
+		t.Fatalf("fragmentation %v implausibly high", a.Fragmentation())
+	}
+}
+
+// Property: the greedy layout is always conflict-free and ≥ the peak.
+func TestQuickOffsetsSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		b := ir.NewBuilder("q", seed)
+		in := b.Input(1+r.Intn(8), 8, 8)
+		nodes := []*ir.Node{in}
+		for i := 0; i < 3+r.Intn(10); i++ {
+			switch r.Intn(3) {
+			case 0:
+				nodes = append(nodes, b.ReLU(nodes[r.Intn(len(nodes))]))
+			case 1:
+				nodes = append(nodes, b.Conv(nodes[r.Intn(len(nodes))], 1+r.Intn(8), 3, 1, 1))
+			case 2:
+				nodes = append(nodes, b.Sigmoid(nodes[r.Intn(len(nodes))]))
+			}
+		}
+		b.Output(nodes[len(nodes)-1])
+		a := AssignOffsets(b.G, 1+r.Intn(3))
+		return a.Check() == nil && a.ArenaBytes >= a.PeakInternal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package models
+
+import "temco/internal/ir"
+
+// buildAlexNet follows Krizhevsky et al.'s five-convolution feature stack
+// with overlapping 3×3/2 max pooling, scaled to the configured resolution
+// (the 11×11/4 stem becomes 7×7/2 at 64px).
+func buildAlexNet(cfg Config) *ir.Graph {
+	return alexNet(cfg, "alexnet", 64, 192, 384, 256, 256, 1024)
+}
+
+// buildAlexNetWide is the second AlexNet-family model: the same topology
+// with 1.5× channel widths.
+func buildAlexNetWide(cfg Config) *ir.Graph {
+	return alexNet(cfg, "alexnet-w", 96, 288, 576, 384, 384, 1536)
+}
+
+func alexNet(cfg Config, name string, c1, c2, c3, c4, c5, fc int) *ir.Graph {
+	b := ir.NewBuilder(name, cfg.Seed)
+	in := b.Input(3, cfg.H, cfg.W)
+	x := b.ReLU(b.ConvNamed("conv1", in, c1, 7, 7, 2, 2, 3, 3, 1))
+	x = b.MaxPool(x, 3, 2)
+	x = convReLU(b, x, c2, 5, 1, 2)
+	x = b.MaxPool(x, 3, 2)
+	x = convReLU(b, x, c3, 3, 1, 1)
+	x = convReLU(b, x, c4, 3, 1, 1)
+	x = convReLU(b, x, c5, 3, 1, 1)
+	x = b.MaxPool(x, 3, 2)
+	x = b.Flatten(x)
+	x = b.ReLU(b.Linear(x, fc))
+	x = b.ReLU(b.Linear(x, fc))
+	x = b.Linear(x, cfg.Classes)
+	b.Output(x)
+	return b.G
+}

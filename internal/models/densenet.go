@@ -1,0 +1,39 @@
+package models
+
+import "temco/internal/ir"
+
+func buildDenseNet40(cfg Config) *ir.Graph  { return denseNet(cfg, "densenet40", 12, 24) }
+func buildDenseNet100(cfg Config) *ir.Graph { return denseNet(cfg, "densenet100", 32, 24) }
+
+// denseNet follows Huang et al.'s CIFAR configuration: an initial
+// convolution, three dense blocks of layersPerBlock layers with growth
+// rate k joined by channel concatenation (the skip connections), and
+// 1×1-conv + 2×2 average-pool transitions with 0.5 compression.
+//
+// Substitution note (see DESIGN.md): the reference DenseNet uses
+// pre-activation BN→ReLU→Conv layers; this reproduction uses
+// Conv→BN→ReLU so inference-time batchnorm folds into the convolution,
+// which is what the fusion pattern matcher (and any inference compiler)
+// expects. The skip-connection topology — the property TeMCO exercises —
+// is identical.
+func denseNet(cfg Config, name string, layersPerBlock, growth int) *ir.Graph {
+	b := ir.NewBuilder(name, cfg.Seed)
+	in := b.Input(3, cfg.H, cfg.W)
+	x := b.ReLU(b.BatchNorm(b.ConvStride(in, 2*growth, 3, 1, 1)))
+	for blk := 0; blk < 3; blk++ {
+		for l := 0; l < layersPerBlock; l++ {
+			y := convBNReLU(b, x, growth, 3, 1, 1)
+			x = b.Concat(x, y)
+		}
+		if blk < 2 {
+			// Transition: compress channels by half and halve resolution.
+			x = b.ReLU(b.BatchNorm(b.ConvStride(x, x.Shape[0]/2, 1, 1, 0)))
+			x = b.AvgPool(x, 2, 2)
+		}
+	}
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Linear(x, cfg.Classes)
+	b.Output(x)
+	return b.G
+}

@@ -1,0 +1,198 @@
+package models
+
+import (
+	"testing"
+
+	"temco/internal/core"
+	"temco/internal/decompose"
+	"temco/internal/exec"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/tensor"
+)
+
+func smallCfg() Config { return Config{H: 32, W: 32, Classes: 10, Seed: 42} }
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("registry has %d models, want 10: %v", len(names), names)
+	}
+	archs := map[string]int{}
+	for _, n := range names {
+		s, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		archs[s.Arch]++
+	}
+	if len(archs) != 5 {
+		t.Fatalf("architectures = %v, want 5 families", archs)
+	}
+	for a, c := range archs {
+		if c != 2 {
+			t.Fatalf("architecture %s has %d models, want 2", a, c)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestAllModelsBuildAndValidate(t *testing.T) {
+	cfg := smallCfg()
+	for _, name := range Names() {
+		g, err := Build(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(g.Outputs) != 1 {
+			t.Fatalf("%s: outputs = %d", name, len(g.Outputs))
+		}
+	}
+}
+
+func TestClassifierOutputShapes(t *testing.T) {
+	cfg := smallCfg()
+	for _, name := range []string{"alexnet", "alexnet-w", "vgg11", "vgg16", "resnet18", "resnet34", "densenet40", "densenet100"} {
+		g, err := Build(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := g.Outputs[0]
+		if len(out.Shape) != 1 || out.Shape[0] != cfg.Classes {
+			t.Fatalf("%s: output shape %v, want [%d]", name, out.Shape, cfg.Classes)
+		}
+	}
+}
+
+func TestUNetOutputShapes(t *testing.T) {
+	cfg := smallCfg()
+	for _, name := range []string{"unet", "unet-s"} {
+		g, err := Build(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := g.Outputs[0]
+		want := []int{1, cfg.H, cfg.W}
+		if len(out.Shape) != 3 || out.Shape[0] != want[0] || out.Shape[1] != want[1] || out.Shape[2] != want[2] {
+			t.Fatalf("%s: output shape %v, want %v", name, out.Shape, want)
+		}
+		if out.Kind != ir.KindSigmoid {
+			t.Fatalf("%s: head should be sigmoid, got %v", name, out.Kind)
+		}
+	}
+}
+
+func TestModelsHaveSkipsWhereExpected(t *testing.T) {
+	cfg := smallCfg()
+	for _, name := range Names() {
+		s, _ := Get(name)
+		g, _ := Build(name, cfg)
+		live := memplan.Analyze(g)
+		found := false
+		for _, n := range g.Nodes {
+			if n.Kind != ir.KindInput && live.Lifespan(n) > memplan.DefaultSkipThreshold {
+				found = true
+				break
+			}
+		}
+		if found != s.HasSkips {
+			t.Errorf("%s: HasSkips=%v but liveness says %v", name, s.HasSkips, found)
+		}
+	}
+}
+
+func TestModelsRunForward(t *testing.T) {
+	cfg := smallCfg()
+	for _, name := range []string{"alexnet", "vgg11", "resnet18", "densenet40", "unet-s"} {
+		g, err := Build(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.New(1, 3, cfg.H, cfg.W)
+		x.FillNormal(tensor.NewRNG(7), 0, 1)
+		res, err := exec.Run(g, x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, v := range res.Outputs[0].Data[:4] {
+			_ = v // shape already checked; just ensure it completed
+		}
+	}
+}
+
+func TestDeterministicWeights(t *testing.T) {
+	cfg := smallCfg()
+	g1, _ := Build("vgg11", cfg)
+	g2, _ := Build("vgg11", cfg)
+	n1 := g1.NodeByName("conv1")
+	n2 := g2.NodeByName("conv1")
+	if tensor.MaxAbsDiff(n1.W, n2.W) != 0 {
+		t.Fatal("same seed must give identical weights")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	g3, _ := Build("vgg11", cfg2)
+	if tensor.MaxAbsDiff(n1.W, g3.NodeByName("conv1").W) == 0 {
+		t.Fatal("different seeds should give different weights")
+	}
+}
+
+// TestDecomposeOptimizeAllModels is the big integration gate: every model
+// must survive decompose → TeMCO with a valid graph, and the full pipeline
+// must preserve the decomposed model's semantics.
+func TestDecomposeOptimizeAllModels(t *testing.T) {
+	cfg := smallCfg()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, _ := Get(name)
+			g, err := Build(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dg, rep := decompose.Decompose(g, decompose.DefaultOptions())
+			if len(rep.Layers) == 0 {
+				t.Fatal("nothing decomposed")
+			}
+			var ccfg core.Config
+			if s.HasSkips {
+				ccfg = core.DefaultConfig()
+			} else {
+				ccfg = core.FusionOnly()
+			}
+			og, st := core.Optimize(dg, ccfg)
+			if err := og.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if st.FusedKernels == 0 {
+				t.Fatalf("no fused kernels for %s (stats %+v)", name, st)
+			}
+			// Semantics preservation on real data (paper §4.4: TeMCO does
+			// not change the decomposed model's outputs).
+			x := tensor.New(1, 3, cfg.H, cfg.W)
+			x.FillNormal(tensor.NewRNG(99), 0, 1)
+			rd, err := exec.Run(dg, x)
+			if err != nil {
+				t.Fatalf("decomposed run: %v", err)
+			}
+			ro, err := exec.Run(og, x)
+			if err != nil {
+				t.Fatalf("optimized run: %v", err)
+			}
+			if d := tensor.MaxAbsDiff(rd.Outputs[0], ro.Outputs[0]); d > 5e-2 {
+				t.Fatalf("optimized output deviates by %v", d)
+			}
+			// And internal-tensor peak must not increase.
+			pd := memplan.Simulate(dg, 4, 0)
+			po := memplan.Simulate(og, 4, 0)
+			if po.PeakInternal > pd.PeakInternal {
+				t.Fatalf("peak grew: %d → %d", pd.PeakInternal, po.PeakInternal)
+			}
+		})
+	}
+}

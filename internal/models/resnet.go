@@ -1,0 +1,45 @@
+package models
+
+import "temco/internal/ir"
+
+func buildResNet18(cfg Config) *ir.Graph { return resNet(cfg, "resnet18", []int{2, 2, 2, 2}) }
+func buildResNet34(cfg Config) *ir.Graph { return resNet(cfg, "resnet34", []int{3, 4, 6, 3}) }
+
+// resNet follows He et al.: a 7×7/2 stem, four stages of BasicBlocks with
+// identity add skip connections (1×1/2 projection on stage transitions),
+// global average pooling, and a linear head.
+func resNet(cfg Config, name string, blocks []int) *ir.Graph {
+	b := ir.NewBuilder(name, cfg.Seed)
+	in := b.Input(3, cfg.H, cfg.W)
+	x := b.ReLU(b.BatchNorm(b.ConvNamed("stem", in, 64, 7, 7, 2, 2, 3, 3, 1)))
+	x = b.MaxPool(x, 3, 2)
+	channels := []int{64, 128, 256, 512}
+	for stage, n := range blocks {
+		c := channels[stage]
+		for blk := 0; blk < n; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			x = basicBlock(b, x, c, stride)
+		}
+	}
+	x = b.GlobalAvgPool(x)
+	x = b.Flatten(x)
+	x = b.Linear(x, cfg.Classes)
+	b.Output(x)
+	return b.G
+}
+
+// basicBlock is the two-convolution residual block:
+// y = relu(bn(conv(bn(conv(x)) after relu)) + shortcut(x)).
+func basicBlock(b *ir.Builder, x *ir.Node, outC, stride int) *ir.Node {
+	inC := x.Shape[0]
+	h := b.ReLU(b.BatchNorm(b.ConvStride(x, outC, 3, stride, 1)))
+	h = b.BatchNorm(b.Conv(h, outC, 3, 1, 1))
+	short := x
+	if stride != 1 || inC != outC {
+		short = b.BatchNorm(b.ConvStride(x, outC, 1, stride, 0))
+	}
+	return b.ReLU(b.Add(h, short))
+}

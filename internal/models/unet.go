@@ -1,0 +1,35 @@
+package models
+
+import "temco/internal/ir"
+
+func buildUNet(cfg Config) *ir.Graph      { return uNet(cfg, "unet", []int{32, 64, 128}, 256) }
+func buildUNetSmall(cfg Config) *ir.Graph { return uNet(cfg, "unet-s", []int{16, 32}, 64) }
+
+// uNet follows Ronneberger et al.'s hourglass: per encoder level two
+// 3×3 conv+ReLU layers then 2×2 max pooling; a bottleneck; per decoder
+// level nearest-neighbour upsampling, concatenation with the matching
+// encoder output (the long skip connections), and two conv+ReLU layers;
+// a 1×1 convolution + sigmoid head produces the mask.
+func uNet(cfg Config, name string, enc []int, bottleneck int) *ir.Graph {
+	b := ir.NewBuilder(name, cfg.Seed)
+	x := b.Input(3, cfg.H, cfg.W)
+	var skips []*ir.Node
+	for _, c := range enc {
+		x = convReLU(b, x, c, 3, 1, 1)
+		x = convReLU(b, x, c, 3, 1, 1)
+		skips = append(skips, x)
+		x = b.MaxPool(x, 2, 2)
+	}
+	x = convReLU(b, x, bottleneck, 3, 1, 1)
+	x = convReLU(b, x, bottleneck, 3, 1, 1)
+	for i := len(enc) - 1; i >= 0; i-- {
+		x = b.Upsample(x, 2)
+		x = b.Concat(x, skips[i])
+		x = convReLU(b, x, enc[i], 3, 1, 1)
+		x = convReLU(b, x, enc[i], 3, 1, 1)
+	}
+	x = b.ConvNamed("head", x, 1, 1, 1, 1, 1, 0, 0, 1)
+	x = b.Sigmoid(x)
+	b.Output(x)
+	return b.G
+}

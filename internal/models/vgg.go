@@ -1,0 +1,33 @@
+package models
+
+import "temco/internal/ir"
+
+// vggConfigs lists the per-stage convolution channels; "M" boundaries are
+// implicit after each stage (2×2/2 max pooling).
+var (
+	vgg11Stages = [][]int{{64}, {128}, {256, 256}, {512, 512}, {512, 512}}
+	vgg16Stages = [][]int{{64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}}
+)
+
+func buildVGG11(cfg Config) *ir.Graph { return vgg(cfg, "vgg11", vgg11Stages) }
+func buildVGG16(cfg Config) *ir.Graph { return vgg(cfg, "vgg16", vgg16Stages) }
+
+// vgg follows Simonyan & Zisserman's configuration: stacked 3×3
+// convolutions with ReLU, 2×2 max pooling between stages, and a
+// fully-connected classifier head.
+func vgg(cfg Config, name string, stages [][]int) *ir.Graph {
+	b := ir.NewBuilder(name, cfg.Seed)
+	x := b.Input(3, cfg.H, cfg.W)
+	for _, stage := range stages {
+		for _, c := range stage {
+			x = convReLU(b, x, c, 3, 1, 1)
+		}
+		x = b.MaxPool(x, 2, 2)
+	}
+	x = b.Flatten(x)
+	x = b.ReLU(b.Linear(x, 1024))
+	x = b.ReLU(b.Linear(x, 1024))
+	x = b.Linear(x, cfg.Classes)
+	b.Output(x)
+	return b.G
+}

@@ -1,0 +1,94 @@
+package ops
+
+import (
+	"fmt"
+
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// Conv2D computes a direct 2-D convolution. in is [N,C,H,W], w is
+// [OutC, InC/G, KH, KW], b is [OutC] (nil allowed), out is [N,OutC,OH,OW].
+// Work is parallelized over (batch × output channel) pairs.
+func Conv2D(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) {
+	n := in.Dim(0)
+	inC, inH, inW := in.Dim(1), in.Dim(2), in.Dim(3)
+	outC, outH, outW := out.Dim(1), out.Dim(2), out.Dim(3)
+	g := a.Groups
+	if g == 0 {
+		g = 1
+	}
+	if inC != a.InC || outC != a.OutC {
+		panic(fmt.Sprintf("ops: Conv2D channel mismatch: in %d/%d out %d/%d", inC, a.InC, outC, a.OutC))
+	}
+	icg := a.InC / g // input channels per group
+	ocg := a.OutC / g
+	kh, kw := a.KH, a.KW
+	sh, sw := a.SH, a.SW
+	ph, pw := a.PH, a.PW
+
+	parallelFor(n*outC, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			bIdx := idx / outC
+			oc := idx % outC
+			grp := oc / ocg
+			bias := float32(0)
+			if b != nil {
+				bias = b.Data[oc]
+			}
+			wOff := oc * icg * kh * kw
+			outOff := (bIdx*outC + oc) * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				ihBase := oh*sh - ph
+				for ow := 0; ow < outW; ow++ {
+					iwBase := ow*sw - pw
+					acc := bias
+					for ic := 0; ic < icg; ic++ {
+						gic := grp*icg + ic
+						inPlane := (bIdx*inC + gic) * inH * inW
+						wPlane := wOff + ic*kh*kw
+						for r := 0; r < kh; r++ {
+							ih := ihBase + r
+							if ih < 0 || ih >= inH {
+								continue
+							}
+							rowIn := inPlane + ih*inW
+							rowW := wPlane + r*kw
+							for c := 0; c < kw; c++ {
+								iw := iwBase + c
+								if iw < 0 || iw >= inW {
+									continue
+								}
+								acc += in.Data[rowIn+iw] * w.Data[rowW+c]
+							}
+						}
+					}
+					out.Data[outOff+oh*outW+ow] = acc
+				}
+			}
+		}
+	})
+}
+
+// Linear computes out = in·Wᵀ + b with in [N,In], w [Out,In], b [Out]
+// (nil allowed), out [N,Out].
+func Linear(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.LinearAttrs) {
+	n := in.Dim(0)
+	parallelFor(n, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			inRow := in.Data[bi*a.In : (bi+1)*a.In]
+			outRow := out.Data[bi*a.Out : (bi+1)*a.Out]
+			for o := 0; o < a.Out; o++ {
+				acc := float32(0)
+				if b != nil {
+					acc = b.Data[o]
+				}
+				wRow := w.Data[o*a.In : (o+1)*a.In]
+				for i, v := range inRow {
+					acc += v * wRow[i]
+				}
+				outRow[o] = acc
+			}
+		}
+	})
+}

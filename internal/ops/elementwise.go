@@ -1,0 +1,124 @@
+package ops
+
+import (
+	"math"
+
+	"temco/internal/tensor"
+)
+
+func sigmoid32(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// ReLU applies max(0,x) elementwise.
+func ReLU(out, in *tensor.Tensor) {
+	parallelFor(in.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := in.Data[i]
+			if v < 0 {
+				v = 0
+			}
+			out.Data[i] = v
+		}
+	})
+}
+
+// SiLU applies x·σ(x) elementwise.
+func SiLU(out, in *tensor.Tensor) {
+	parallelFor(in.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := in.Data[i]
+			out.Data[i] = v * sigmoid32(v)
+		}
+	})
+}
+
+// Sigmoid applies σ(x) elementwise.
+func Sigmoid(out, in *tensor.Tensor) {
+	parallelFor(in.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = sigmoid32(in.Data[i])
+		}
+	})
+}
+
+// applyAct applies one scalar activation value; used by the fused kernel so
+// its math matches the standalone kernels exactly.
+func applyAct(kind actKind, v float32) float32 {
+	switch kind {
+	case actReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case actSiLU:
+		return v * sigmoid32(v)
+	case actSigmoid:
+		return sigmoid32(v)
+	default:
+		return v
+	}
+}
+
+type actKind int
+
+const (
+	actIdentity actKind = iota
+	actReLU
+	actSiLU
+	actSigmoid
+)
+
+// BatchNorm applies the folded per-channel affine y = scale[c]·x + shift[c]
+// over an [N,C,H,W] tensor.
+func BatchNorm(out, in *tensor.Tensor, scale, shift *tensor.Tensor) {
+	n, c := in.Dim(0), in.Dim(1)
+	hw := in.Dim(2) * in.Dim(3)
+	parallelFor(n*c, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			ch := idx % c
+			s, sh := scale.Data[ch], shift.Data[ch]
+			base := idx * hw
+			for i := 0; i < hw; i++ {
+				out.Data[base+i] = s*in.Data[base+i] + sh
+			}
+		}
+	})
+}
+
+// Add computes out = a + b elementwise.
+func Add(out, a, b *tensor.Tensor) {
+	parallelFor(a.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
+}
+
+// Softmax applies a numerically stable softmax over the last dimension of
+// an [N,F] tensor.
+func Softmax(out, in *tensor.Tensor) {
+	n, f := in.Dim(0), in.Dim(1)
+	parallelFor(n, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			row := in.Data[bi*f : (bi+1)*f]
+			orow := out.Data[bi*f : (bi+1)*f]
+			maxV := row[0]
+			for _, v := range row {
+				if v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for i, v := range row {
+				e := math.Exp(float64(v - maxV))
+				orow[i] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for i := range orow {
+				orow[i] *= inv
+			}
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// FusedTile is the spatial tile edge (in output pixels) used by the fused
+// kernel. It corresponds to the CUDA block tile T in the paper's Listing 1:
+// the restored C'-channel values exist only inside a per-worker buffer of
+// this granularity, never as a full feature map.
+const FusedTile = 8
+
+// actFromKind maps IR activation kinds onto kernel activation codes.
+func actFromKind(k ir.Kind) actKind {
+	switch k {
+	case ir.KindReLU:
+		return actReLU
+	case ir.KindSiLU:
+		return actSiLU
+	case ir.KindSigmoid:
+		return actSigmoid
+	default:
+		return actIdentity
+	}
+}
+
+// Fused executes a lconv→act→[pool]→fconv sequence without materializing
+// the restored intermediate tensors (paper §3.2, Listing 1). in is
+// [N,InC,H,W] (a reduced tensor), out is [N,OutC,OH,OW] (the next reduced
+// tensor). Per output tile, the kernel:
+//
+//  1. computes the restored C'-channel values for the pre-pool region the
+//     tile needs (lconv, a 1×1 channel expansion) into a scratch buffer,
+//  2. applies the activation in place,
+//  3. pools the region down to the tile (when a pool layer is fused), and
+//  4. reduces back to OutC channels (fconv, a 1×1 channel reduction).
+func Fused(out, in *tensor.Tensor, a *ir.FusedAttrs) {
+	n := in.Dim(0)
+	inC, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
+	outC, outH, outW := out.Dim(1), out.Dim(2), out.Dim(3)
+	if inC != a.InC || outC != a.OutC {
+		panic(fmt.Sprintf("ops: Fused channel mismatch in %d/%d out %d/%d", inC, a.InC, outC, a.OutC))
+	}
+	// Unify the pooled and unpooled paths: no pool behaves as a 1×1/1 pool.
+	kh, kw, sh, sw, ph, pw := 1, 1, 1, 1, 0, 0
+	isMax := false
+	hasPool := a.Pool != nil
+	if hasPool {
+		kh, kw, sh, sw, ph, pw = a.Pool.KH, a.Pool.KW, a.Pool.SH, a.Pool.SW, a.Pool.PH, a.Pool.PW
+		isMax = a.PoolKind == ir.KindMaxPool
+	}
+	act := actFromKind(a.Act)
+	area := float32(kh * kw)
+
+	tilesH := (outH + FusedTile - 1) / FusedTile
+	tilesW := (outW + FusedTile - 1) / FusedTile
+	// Pre-pool region covered by one full tile.
+	regH := (FusedTile-1)*sh + kh
+	regW := (FusedTile-1)*sw + kw
+
+	tasks := n * tilesH * tilesW
+	parallelFor(tasks, func(lo, hi int) {
+		// Scratch buffers are per worker chunk: this is the whole point of
+		// the fusion — O(MidC·tile) live bytes instead of O(MidC·H·W).
+		mid := make([]float32, a.MidC*regH*regW)
+		valid := make([]bool, regH*regW)
+		pooled := make([]float32, a.MidC*FusedTile*FusedTile)
+		for task := lo; task < hi; task++ {
+			bIdx := task / (tilesH * tilesW)
+			t := task % (tilesH * tilesW)
+			th := t / tilesW
+			tw := t % tilesW
+			oh0 := th * FusedTile
+			ow0 := tw * FusedTile
+			tileH := min(FusedTile, outH-oh0)
+			tileW := min(FusedTile, outW-ow0)
+			// Pre-pool region for this tile in restored-map coordinates.
+			rh0 := oh0*sh - ph
+			rw0 := ow0*sw - pw
+			rH := (tileH-1)*sh + kh
+			rW := (tileW-1)*sw + kw
+
+			// Step 1+2: lconv + activation over the valid region positions.
+			for p := 0; p < rH*rW; p++ {
+				ih := rh0 + p/rW
+				iw := rw0 + p%rW
+				valid[p] = ih >= 0 && ih < h && iw >= 0 && iw < w
+			}
+			for mc := 0; mc < a.MidC; mc++ {
+				lw := a.LW.Data[mc*a.InC : (mc+1)*a.InC]
+				bias := float32(0)
+				if a.LB != nil {
+					bias = a.LB.Data[mc]
+				}
+				row := mid[mc*rH*rW:]
+				for p := 0; p < rH*rW; p++ {
+					if !valid[p] {
+						row[p] = 0
+						continue
+					}
+					ih := rh0 + p/rW
+					iw := rw0 + p%rW
+					acc := bias
+					inBase := (bIdx*inC)*h*w + ih*w + iw
+					for ic := 0; ic < inC; ic++ {
+						acc += in.Data[inBase+ic*h*w] * lw[ic]
+					}
+					row[p] = applyAct(act, acc)
+				}
+			}
+
+			// Step 3: pool the region down to the tile.
+			if hasPool {
+				for mc := 0; mc < a.MidC; mc++ {
+					src := mid[mc*rH*rW:]
+					dst := pooled[mc*FusedTile*FusedTile:]
+					for ty := 0; ty < tileH; ty++ {
+						for tx := 0; tx < tileW; tx++ {
+							var acc float32
+							if isMax {
+								acc = float32(math.Inf(-1))
+							}
+							for r := 0; r < kh; r++ {
+								py := ty*sh + r
+								for q := 0; q < kw; q++ {
+									px := tx*sw + q
+									p := py*rW + px
+									if isMax {
+										if !valid[p] {
+											continue
+										}
+										if v := src[p]; v > acc {
+											acc = v
+										}
+									} else {
+										// Zero-padded average (padding
+										// contributes 0, divisor is full
+										// area) — matches AvgPool.
+										acc += src[p]
+									}
+								}
+							}
+							if !isMax {
+								acc /= area
+							}
+							dst[ty*FusedTile+tx] = acc
+						}
+					}
+				}
+			} else {
+				// Region is the tile itself; alias via copy per channel.
+				for mc := 0; mc < a.MidC; mc++ {
+					src := mid[mc*rH*rW:]
+					dst := pooled[mc*FusedTile*FusedTile:]
+					for ty := 0; ty < tileH; ty++ {
+						copy(dst[ty*FusedTile:ty*FusedTile+tileW], src[ty*rW:ty*rW+tileW])
+					}
+				}
+			}
+
+			// Step 4: fconv back down to OutC channels. Tail fusion
+			// (FW == nil) emits the restored values directly instead.
+			if a.FW == nil {
+				for mc := 0; mc < a.MidC; mc++ {
+					src := pooled[mc*FusedTile*FusedTile:]
+					outPlane := (bIdx*outC + mc) * outH * outW
+					for ty := 0; ty < tileH; ty++ {
+						copy(out.Data[outPlane+(oh0+ty)*outW+ow0:outPlane+(oh0+ty)*outW+ow0+tileW],
+							src[ty*FusedTile:ty*FusedTile+tileW])
+					}
+				}
+				continue
+			}
+			for oc := 0; oc < outC; oc++ {
+				fw := a.FW.Data[oc*a.MidC : (oc+1)*a.MidC]
+				bias := float32(0)
+				if a.FB != nil {
+					bias = a.FB.Data[oc]
+				}
+				outPlane := (bIdx*outC + oc) * outH * outW
+				for ty := 0; ty < tileH; ty++ {
+					outRow := outPlane + (oh0+ty)*outW + ow0
+					for tx := 0; tx < tileW; tx++ {
+						acc := bias
+						p := ty*FusedTile + tx
+						for mc := 0; mc < a.MidC; mc++ {
+							acc += pooled[mc*FusedTile*FusedTile+p] * fw[mc]
+						}
+						out.Data[outRow+tx] = acc
+					}
+				}
+			}
+		}
+	})
+}
+
+// FusedWorkspaceBytes returns the total scratch footprint of one Fused
+// invocation: per-worker tile buffers times the worker count. The memory
+// planner charges this (small, constant in H·W) amount instead of the two
+// full-size intermediates the unfused sequence allocates.
+func FusedWorkspaceBytes(a *ir.FusedAttrs) int64 {
+	kh, kw, sh, sw := 1, 1, 1, 1
+	if a.Pool != nil {
+		kh, kw, sh, sw = a.Pool.KH, a.Pool.KW, a.Pool.SH, a.Pool.SW
+	}
+	regH := (FusedTile-1)*sh + kh
+	regW := (FusedTile-1)*sw + kw
+	perWorker := int64(a.MidC*regH*regW)*4 + int64(regH*regW) + int64(a.MidC*FusedTile*FusedTile)*4
+	return perWorker * int64(Workers)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+// Package ops implements the CPU kernels behind every IR operator,
+// including the TeMCO fused lconv→act→[pool]→fconv kernel (the CPU
+// equivalent of the paper's CUDA Listing 1). Kernels are parallelized
+// across goroutines; all tensors are NCHW float32.
+package ops
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers is the degree of parallelism used by the kernels. It defaults to
+// GOMAXPROCS and can be lowered for deterministic single-threaded runs.
+var Workers = runtime.GOMAXPROCS(0)
+
+// parallelFor splits [0,n) into contiguous chunks and runs fn on each chunk
+// concurrently. fn must not retain the range beyond the call.
+func parallelFor(n int, fn func(lo, hi int)) {
+	w := Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if n <= 0 {
+		return
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,126 @@
+package ops
+
+import (
+	"math"
+
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// MaxPool computes 2-D max pooling over [N,C,H,W]. Padding positions are
+// ignored (treated as -inf), matching framework semantics.
+func MaxPool(out, in *tensor.Tensor, a *ir.PoolAttrs) {
+	poolRun(out, in, a, true)
+}
+
+// AvgPool computes 2-D average pooling over [N,C,H,W]. The divisor is the
+// full kernel area (count_include_pad semantics with zero padding).
+func AvgPool(out, in *tensor.Tensor, a *ir.PoolAttrs) {
+	poolRun(out, in, a, false)
+}
+
+func poolRun(out, in *tensor.Tensor, a *ir.PoolAttrs, isMax bool) {
+	n, c := in.Dim(0), in.Dim(1)
+	inH, inW := in.Dim(2), in.Dim(3)
+	outH, outW := out.Dim(2), out.Dim(3)
+	area := float32(a.KH * a.KW)
+	parallelFor(n*c, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			inPlane := idx * inH * inW
+			outPlane := idx * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					hBase := oh*a.SH - a.PH
+					wBase := ow*a.SW - a.PW
+					var acc float32
+					if isMax {
+						acc = float32(math.Inf(-1))
+					}
+					for r := 0; r < a.KH; r++ {
+						ih := hBase + r
+						if ih < 0 || ih >= inH {
+							continue
+						}
+						row := inPlane + ih*inW
+						for q := 0; q < a.KW; q++ {
+							iw := wBase + q
+							if iw < 0 || iw >= inW {
+								continue
+							}
+							v := in.Data[row+iw]
+							if isMax {
+								if v > acc {
+									acc = v
+								}
+							} else {
+								acc += v
+							}
+						}
+					}
+					if !isMax {
+						acc /= area
+					}
+					out.Data[outPlane+oh*outW+ow] = acc
+				}
+			}
+		}
+	})
+}
+
+// GlobalAvgPool averages each [H,W] plane to a single value: [N,C,H,W] →
+// [N,C,1,1].
+func GlobalAvgPool(out, in *tensor.Tensor) {
+	n, c := in.Dim(0), in.Dim(1)
+	hw := in.Dim(2) * in.Dim(3)
+	inv := float32(1) / float32(hw)
+	parallelFor(n*c, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			base := idx * hw
+			var s float32
+			for i := 0; i < hw; i++ {
+				s += in.Data[base+i]
+			}
+			out.Data[idx] = s * inv
+		}
+	})
+}
+
+// Upsample performs nearest-neighbour upsampling by an integer scale.
+func Upsample(out, in *tensor.Tensor, scale int) {
+	n, c := in.Dim(0), in.Dim(1)
+	inH, inW := in.Dim(2), in.Dim(3)
+	outH, outW := out.Dim(2), out.Dim(3)
+	parallelFor(n*c, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			inPlane := idx * inH * inW
+			outPlane := idx * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				ih := oh / scale
+				inRow := inPlane + ih*inW
+				outRow := outPlane + oh*outW
+				for ow := 0; ow < outW; ow++ {
+					out.Data[outRow+ow] = in.Data[inRow+ow/scale]
+				}
+			}
+		}
+	})
+}
+
+// Concat concatenates the inputs along the channel dimension.
+func Concat(out *tensor.Tensor, ins []*tensor.Tensor) {
+	n := out.Dim(0)
+	outC := out.Dim(1)
+	hw := out.Dim(2) * out.Dim(3)
+	parallelFor(n, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			cOff := 0
+			for _, in := range ins {
+				c := in.Dim(1)
+				src := in.Data[bi*c*hw : (bi+1)*c*hw]
+				dst := out.Data[(bi*outC+cOff)*hw : (bi*outC+cOff+c)*hw]
+				copy(dst, src)
+				cOff += c
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+// Package tensor provides a minimal dense float32 tensor type used by the
+// TeMCO graph IR, kernels, and decomposition routines. Tensors are stored
+// row-major (C order); convolutional feature maps use NCHW layout.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float32 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero-filled tensor with the given shape.
+// A zero-dimensional tensor holds a single scalar element.
+func New(shape ...int) *Tensor {
+	n := NumElems(shape)
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data slice is
+// used directly (not copied); its length must equal the shape's element
+// count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	if len(data) != NumElems(shape) {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elems)",
+			len(data), shape, NumElems(shape)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// NumElems returns the number of elements implied by shape.
+// It panics on negative dimensions.
+func NumElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Bytes returns the storage footprint in bytes (4 bytes per element).
+func (t *Tensor) Bytes() int64 { return int64(len(t.Data)) * 4 }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal
+// element count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if NumElems(shape) != t.Len() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.Shape, t.Len(), shape, NumElems(shape)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Strides returns the row-major strides for t's shape.
+func (t *Tensor) Strides() []int {
+	s := make([]int, len(t.Shape))
+	acc := 1
+	for i := len(t.Shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= t.Shape[i]
+	}
+	return s
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	stride := 1
+	for i := len(t.Shape) - 1; i >= 0; i-- {
+		if idx[i] < 0 || idx[i] >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off += idx[i] * stride
+		stride *= t.Shape[i]
+	}
+	return off
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// AddInto computes dst = a + b elementwise. All three must share a shape.
+func AddInto(dst, a, b *Tensor) {
+	if !SameShape(a, b) || !SameShape(dst, a) {
+		panic(fmt.Sprintf("tensor: AddInto shape mismatch %v %v %v", dst.Shape, a.Shape, b.Shape))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+func Dot(a, b *Tensor) float64 {
+	if a.Len() != b.Len() {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}
+
+// Norm returns the Frobenius norm of t.
+func (t *Tensor) Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_i |a_i - b_i|.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if a.Len() != b.Len() {
+		panic("tensor: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RelErr returns ||a-b||_F / max(||b||_F, eps): the relative reconstruction
+// error of a against reference b.
+func RelErr(a, b *Tensor) float64 {
+	if a.Len() != b.Len() {
+		panic("tensor: RelErr length mismatch")
+	}
+	var num, den float64
+	for i := range a.Data {
+		d := float64(a.Data[i]) - float64(b.Data[i])
+		num += d * d
+		den += float64(b.Data[i]) * float64(b.Data[i])
+	}
+	if den < 1e-30 {
+		den = 1e-30
+	}
+	return math.Sqrt(num / den)
+}
+
+// String renders a short description (shape + first elements).
+func (t *Tensor) String() string {
+	n := t.Len()
+	if n > 8 {
+		n = 8
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.Shape, t.Data[:n])
+}

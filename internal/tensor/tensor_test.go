@@ -1,0 +1,260 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if x.Bytes() != 96 {
+		t.Fatalf("Bytes = %d, want 96", x.Bytes())
+	}
+}
+
+func TestScalarTensor(t *testing.T) {
+	x := New()
+	if x.Len() != 1 {
+		t.Fatalf("scalar tensor should hold one element, got %d", x.Len())
+	}
+	x.Set(3.5)
+	if x.At() != 3.5 {
+		t.Fatalf("At() = %v, want 3.5", x.At())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	k := float32(0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for l := 0; l < 4; l++ {
+				x.Set(k, i, j, l)
+				k++
+			}
+		}
+	}
+	// Row-major layout means the data is 0..23 in order.
+	for i := 0; i < 24; i++ {
+		if x.Data[i] != float32(i) {
+			t.Fatalf("Data[%d] = %v, want %d", i, x.Data[i], i)
+		}
+	}
+	if got := x.At(1, 2, 3); got != 23 {
+		t.Fatalf("At(1,2,3) = %v, want 23", got)
+	}
+}
+
+func TestStrides(t *testing.T) {
+	x := New(2, 3, 4)
+	s := x.Strides()
+	want := []int{12, 4, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Strides = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Set(7, 2, 3)
+	if x.Data[11] != 7 {
+		t.Fatal("Reshape must alias the original data")
+	}
+}
+
+func TestReshapePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := x.Clone()
+	y.Data[0] = 9
+	if x.Data[0] != 1 {
+		t.Fatal("Clone must not alias data")
+	}
+}
+
+func TestAddIntoAndScale(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{3, 4}, 2)
+	d := New(2)
+	AddInto(d, a, b)
+	if d.Data[0] != 4 || d.Data[1] != 6 {
+		t.Fatalf("AddInto = %v", d.Data)
+	}
+	d.Scale(0.5)
+	if d.Data[0] != 2 || d.Data[1] != 3 {
+		t.Fatalf("Scale = %v", d.Data)
+	}
+}
+
+func TestNormDotRelErr(t *testing.T) {
+	a := FromSlice([]float32{3, 4}, 2)
+	if got := a.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	b := FromSlice([]float32{1, 1}, 2)
+	if got := Dot(a, b); got != 7 {
+		t.Fatalf("Dot = %v, want 7", got)
+	}
+	if got := RelErr(a, a); got != 0 {
+		t.Fatalf("RelErr(a,a) = %v, want 0", got)
+	}
+	if got := MaxAbsDiff(a, b); got != 3 {
+		t.Fatalf("MaxAbsDiff = %v, want 3", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	c := NewRNG(43)
+	if NewRNG(42).Uint64() == c.Uint64() {
+		t.Fatal("different seeds should diverge immediately (astronomically unlikely otherwise)")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		n := r.Intn(7)
+		if n < 0 || n >= 7 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+	}
+}
+
+func TestFillNormalMoments(t *testing.T) {
+	r := NewRNG(7)
+	x := New(20000)
+	x.FillNormal(r, 1.0, 2.0)
+	var sum, sq float64
+	for _, v := range x.Data {
+		sum += float64(v)
+	}
+	mean := sum / float64(x.Len())
+	for _, v := range x.Data {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq / float64(x.Len()))
+	if math.Abs(mean-1.0) > 0.1 {
+		t.Fatalf("mean = %v, want ~1.0", mean)
+	}
+	if math.Abs(std-2.0) > 0.1 {
+		t.Fatalf("std = %v, want ~2.0", std)
+	}
+}
+
+func TestFillHeVariance(t *testing.T) {
+	r := NewRNG(9)
+	x := New(50000)
+	x.FillHe(r, 50)
+	var sq float64
+	for _, v := range x.Data {
+		sq += float64(v) * float64(v)
+	}
+	got := sq / float64(x.Len())
+	want := 2.0 / 50.0
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("He variance = %v, want ~%v", got, want)
+	}
+}
+
+// Property: reshaping to any factorization preserves the flat data.
+func TestQuickReshapePreserves(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(8)
+		m := 1 + r.Intn(8)
+		x := New(n, m)
+		x.FillUniform(r, -1, 1)
+		y := x.Reshape(m, n).Reshape(n * m)
+		for i := range x.Data {
+			if x.Data[i] != y.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: At/Set agree with manual row-major offset arithmetic.
+func TestQuickAtMatchesOffset(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		d0, d1, d2 := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		x := New(d0, d1, d2)
+		x.FillUniform(r, 0, 1)
+		i, j, k := r.Intn(d0), r.Intn(d1), r.Intn(d2)
+		return x.At(i, j, k) == x.Data[i*d1*d2+j*d2+k]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddInto is commutative.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(64)
+		a, b := New(n), New(n)
+		a.FillNormal(r, 0, 1)
+		b.FillNormal(r, 0, 1)
+		ab, ba := New(n), New(n)
+		AddInto(ab, a, b)
+		AddInto(ba, b, a)
+		return MaxAbsDiff(ab, ba) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package train
+
+import (
+	"math"
+
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// Adam augments a Trainer with Adam moment estimation (Kingma & Ba): call
+// UseAdam before the first step. The trainer's LR field remains the step
+// size; momentum is replaced by the (β1, β2) moments.
+type adamState struct {
+	beta1, beta2, eps float64
+	t                 int
+	mW, vW            map[*ir.Node]*tensor.Tensor
+	mB, vB            map[*ir.Node]*tensor.Tensor
+}
+
+// UseAdam switches the trainer to Adam updates with the given betas.
+// Standard values are beta1=0.9, beta2=0.999.
+func (t *Trainer) UseAdam(beta1, beta2 float64) {
+	t.adam = &adamState{
+		beta1: beta1, beta2: beta2, eps: 1e-8,
+		mW: map[*ir.Node]*tensor.Tensor{}, vW: map[*ir.Node]*tensor.Tensor{},
+		mB: map[*ir.Node]*tensor.Tensor{}, vB: map[*ir.Node]*tensor.Tensor{},
+	}
+}
+
+// adamTick advances the shared timestep; call once per optimization step.
+func (a *adamState) tick() { a.t++ }
+
+// update applies one bias-corrected Adam update to param given grad,
+// using (and lazily creating) the moment buffers in m/v keyed by node.
+func (a *adamState) update(lr, weightDecay float64, n *ir.Node, param, grad *tensor.Tensor,
+	m, v map[*ir.Node]*tensor.Tensor) *tensor.Tensor {
+	mm := m[n]
+	if mm == nil {
+		mm = tensor.New(param.Shape...)
+		m[n] = mm
+	}
+	vv := v[n]
+	if vv == nil {
+		vv = tensor.New(param.Shape...)
+		v[n] = vv
+	}
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	out := param.Clone()
+	for i := range out.Data {
+		g := float64(grad.Data[i]) + weightDecay*float64(out.Data[i])
+		mNew := a.beta1*float64(mm.Data[i]) + (1-a.beta1)*g
+		vNew := a.beta2*float64(vv.Data[i]) + (1-a.beta2)*g*g
+		mm.Data[i] = float32(mNew)
+		vv.Data[i] = float32(vNew)
+		mHat := mNew / bc1
+		vHat := vNew / bc2
+		out.Data[i] -= float32(lr * mHat / (math.Sqrt(vHat) + a.eps))
+	}
+	return out
+}

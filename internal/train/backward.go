@@ -1,0 +1,348 @@
+// Package train implements reverse-mode differentiation and SGD for layer
+// graphs, sufficient to train the (decomposed) evaluation models on the
+// synthetic datasets. The paper trains its Tucker-decomposed models
+// directly (§4.4); this package reproduces that step so the accuracy
+// experiment reports real trained numbers rather than random-weight
+// outputs.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"temco/internal/ir"
+	"temco/internal/ops"
+	"temco/internal/tensor"
+)
+
+// gradConv2D accumulates input, weight, and bias gradients of a direct
+// convolution. Any of dx, dw, db may be nil to skip that gradient.
+func gradConv2D(dx, dw, db *tensor.Tensor, dy, x, w *tensor.Tensor, a *ir.ConvAttrs) {
+	n := x.Dim(0)
+	inC, inH, inW := x.Dim(1), x.Dim(2), x.Dim(3)
+	outC, outH, outW := dy.Dim(1), dy.Dim(2), dy.Dim(3)
+	g := a.Groups
+	if g == 0 {
+		g = 1
+	}
+	icg, ocg := inC/g, outC/g
+	if db != nil {
+		for oc := 0; oc < outC; oc++ {
+			var s float32
+			for bi := 0; bi < n; bi++ {
+				plane := (bi*outC + oc) * outH * outW
+				for i := 0; i < outH*outW; i++ {
+					s += dy.Data[plane+i]
+				}
+			}
+			db.Data[oc] += s
+		}
+	}
+	if dw != nil {
+		// Parallel over output channels: each oc owns its dW rows.
+		parallelFor(outC, func(lo, hi int) {
+			for oc := lo; oc < hi; oc++ {
+				grp := oc / ocg
+				for bi := 0; bi < n; bi++ {
+					dyPlane := (bi*outC + oc) * outH * outW
+					for ic := 0; ic < icg; ic++ {
+						xPlane := (bi*inC + grp*icg + ic) * inH * inW
+						wOff := (oc*icg + ic) * a.KH * a.KW
+						for r := 0; r < a.KH; r++ {
+							for q := 0; q < a.KW; q++ {
+								var s float32
+								for oh := 0; oh < outH; oh++ {
+									ih := oh*a.SH - a.PH + r
+									if ih < 0 || ih >= inH {
+										continue
+									}
+									for ow := 0; ow < outW; ow++ {
+										iw := ow*a.SW - a.PW + q
+										if iw < 0 || iw >= inW {
+											continue
+										}
+										s += dy.Data[dyPlane+oh*outW+ow] * x.Data[xPlane+ih*inW+iw]
+									}
+								}
+								dw.Data[wOff+r*a.KW+q] += s
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+	if dx != nil {
+		// Parallel over (batch, input channel): each pair owns its dx plane.
+		parallelFor(n*inC, func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				bi := idx / inC
+				ic := idx % inC
+				grp := ic / icg
+				icInGrp := ic % icg
+				dxPlane := idx * inH * inW
+				for oc := grp * ocg; oc < (grp+1)*ocg; oc++ {
+					dyPlane := (bi*outC + oc) * outH * outW
+					wOff := (oc*icg + icInGrp) * a.KH * a.KW
+					for oh := 0; oh < outH; oh++ {
+						for ow := 0; ow < outW; ow++ {
+							d := dy.Data[dyPlane+oh*outW+ow]
+							if d == 0 {
+								continue
+							}
+							for r := 0; r < a.KH; r++ {
+								ih := oh*a.SH - a.PH + r
+								if ih < 0 || ih >= inH {
+									continue
+								}
+								for q := 0; q < a.KW; q++ {
+									iw := ow*a.SW - a.PW + q
+									if iw < 0 || iw >= inW {
+										continue
+									}
+									dx.Data[dxPlane+ih*inW+iw] += d * w.Data[wOff+r*a.KW+q]
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// gradLinear accumulates gradients of out = x·Wᵀ + b.
+func gradLinear(dx, dw, db *tensor.Tensor, dy, x, w *tensor.Tensor, a *ir.LinearAttrs) {
+	n := x.Dim(0)
+	for bi := 0; bi < n; bi++ {
+		dyRow := dy.Data[bi*a.Out : (bi+1)*a.Out]
+		xRow := x.Data[bi*a.In : (bi+1)*a.In]
+		for o, d := range dyRow {
+			if db != nil {
+				db.Data[o] += d
+			}
+			if d == 0 {
+				continue
+			}
+			wRow := w.Data[o*a.In : (o+1)*a.In]
+			if dw != nil {
+				dwRow := dw.Data[o*a.In : (o+1)*a.In]
+				for i, xv := range xRow {
+					dwRow[i] += d * xv
+				}
+			}
+			if dx != nil {
+				dxRow := dx.Data[bi*a.In : (bi+1)*a.In]
+				for i, wv := range wRow {
+					dxRow[i] += d * wv
+				}
+			}
+		}
+	}
+}
+
+func gradReLU(dx, dy, x *tensor.Tensor) {
+	for i := range dy.Data {
+		if x.Data[i] > 0 {
+			dx.Data[i] += dy.Data[i]
+		}
+	}
+}
+
+func gradSigmoid(dx, dy, y *tensor.Tensor) {
+	// y = σ(x); dy/dx = y(1-y).
+	for i := range dy.Data {
+		s := y.Data[i]
+		dx.Data[i] += dy.Data[i] * s * (1 - s)
+	}
+}
+
+func gradSiLU(dx, dy, x *tensor.Tensor) {
+	// d/dx x·σ(x) = σ(x)(1 + x(1-σ(x))).
+	for i := range dy.Data {
+		s := float32(1 / (1 + math.Exp(-float64(x.Data[i]))))
+		dx.Data[i] += dy.Data[i] * s * (1 + x.Data[i]*(1-s))
+	}
+}
+
+func gradBatchNorm(dx, dscale, dshift *tensor.Tensor, dy, x, scale *tensor.Tensor) {
+	n, c := x.Dim(0), x.Dim(1)
+	hw := x.Dim(2) * x.Dim(3)
+	for bi := 0; bi < n; bi++ {
+		for ch := 0; ch < c; ch++ {
+			base := (bi*c + ch) * hw
+			s := scale.Data[ch]
+			var ds, dsh float32
+			for i := 0; i < hw; i++ {
+				d := dy.Data[base+i]
+				ds += d * x.Data[base+i]
+				dsh += d
+				if dx != nil {
+					dx.Data[base+i] += d * s
+				}
+			}
+			if dscale != nil {
+				dscale.Data[ch] += ds
+			}
+			if dshift != nil {
+				dshift.Data[ch] += dsh
+			}
+		}
+	}
+}
+
+func gradMaxPool(dx, dy, x *tensor.Tensor, a *ir.PoolAttrs) {
+	n, c := x.Dim(0), x.Dim(1)
+	inH, inW := x.Dim(2), x.Dim(3)
+	outH, outW := dy.Dim(2), dy.Dim(3)
+	parallelFor(n*c, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			xPlane := idx * inH * inW
+			dyPlane := idx * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					// Route the gradient to the window argmax (ties to the
+					// first maximum, matching framework behaviour).
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for r := 0; r < a.KH; r++ {
+						ih := oh*a.SH - a.PH + r
+						if ih < 0 || ih >= inH {
+							continue
+						}
+						for q := 0; q < a.KW; q++ {
+							iw := ow*a.SW - a.PW + q
+							if iw < 0 || iw >= inW {
+								continue
+							}
+							if v := x.Data[xPlane+ih*inW+iw]; v > best {
+								best = v
+								bestIdx = xPlane + ih*inW + iw
+							}
+						}
+					}
+					if bestIdx >= 0 {
+						dx.Data[bestIdx] += dy.Data[dyPlane+oh*outW+ow]
+					}
+				}
+			}
+		}
+	})
+}
+
+func gradAvgPool(dx, dy *tensor.Tensor, inH, inW int, a *ir.PoolAttrs) {
+	n, c := dx.Dim(0), dx.Dim(1)
+	outH, outW := dy.Dim(2), dy.Dim(3)
+	inv := 1 / float32(a.KH*a.KW)
+	for idx := 0; idx < n*c; idx++ {
+		xPlane := idx * inH * inW
+		dyPlane := idx * outH * outW
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				d := dy.Data[dyPlane+oh*outW+ow] * inv
+				for r := 0; r < a.KH; r++ {
+					ih := oh*a.SH - a.PH + r
+					if ih < 0 || ih >= inH {
+						continue
+					}
+					for q := 0; q < a.KW; q++ {
+						iw := ow*a.SW - a.PW + q
+						if iw < 0 || iw >= inW {
+							continue
+						}
+						dx.Data[xPlane+ih*inW+iw] += d
+					}
+				}
+			}
+		}
+	}
+}
+
+func gradGlobalAvgPool(dx, dy *tensor.Tensor) {
+	n, c := dx.Dim(0), dx.Dim(1)
+	hw := dx.Dim(2) * dx.Dim(3)
+	inv := 1 / float32(hw)
+	for idx := 0; idx < n*c; idx++ {
+		d := dy.Data[idx] * inv
+		base := idx * hw
+		for i := 0; i < hw; i++ {
+			dx.Data[base+i] += d
+		}
+	}
+}
+
+func gradUpsample(dx, dy *tensor.Tensor, scale int) {
+	n, c := dx.Dim(0), dx.Dim(1)
+	inH, inW := dx.Dim(2), dx.Dim(3)
+	outH, outW := dy.Dim(2), dy.Dim(3)
+	for idx := 0; idx < n*c; idx++ {
+		xPlane := idx * inH * inW
+		yPlane := idx * outH * outW
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				dx.Data[xPlane+(oh/scale)*inW+ow/scale] += dy.Data[yPlane+oh*outW+ow]
+			}
+		}
+	}
+}
+
+func gradConcat(dxs []*tensor.Tensor, dy *tensor.Tensor) {
+	n := dy.Dim(0)
+	outC := dy.Dim(1)
+	hw := dy.Dim(2) * dy.Dim(3)
+	for bi := 0; bi < n; bi++ {
+		cOff := 0
+		for _, dx := range dxs {
+			c := dx.Dim(1)
+			src := dy.Data[(bi*outC+cOff)*hw : (bi*outC+cOff+c)*hw]
+			dst := dx.Data[bi*c*hw : (bi+1)*c*hw]
+			for i, v := range src {
+				dst[i] += v
+			}
+			cOff += c
+		}
+	}
+}
+
+// parallelFor mirrors ops.parallelFor for the gradient kernels.
+func parallelFor(n int, fn func(lo, hi int)) {
+	opsParallelFor(n, fn)
+}
+
+// opsParallelFor delegates to the ops package's worker configuration so
+// forward and backward share a parallelism setting.
+func opsParallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := ops.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	done := make(chan struct{}, w)
+	chunk := (n + w - 1) / w
+	cnt := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		cnt++
+		go func(lo, hi int) {
+			fn(lo, hi)
+			done <- struct{}{}
+		}(lo, hi)
+	}
+	for i := 0; i < cnt; i++ {
+		<-done
+	}
+}
+
+var errUnsupported = fmt.Errorf("train: unsupported op in backward pass")
