@@ -1,15 +1,26 @@
 // Command runmodel loads a compiled graph written by `temco -save` and
 // runs inference inside a single planned memory arena — the deploy half of
 // the compile-once/run-anywhere story. It reports the arena size (the
-// process's entire internal-tensor allocation) and basic timing.
+// process's entire internal-tensor allocation) and basic timing. The graph
+// file is treated as untrusted input: malformed or adversarial envelopes
+// are rejected with an error, never a crash.
 //
 // Usage:
 //
 //	temco -model unet-s -res 32 -save unet-s.temco
 //	runmodel -graph unet-s.temco -batch 4 -reps 5
+//	runmodel -graph unet-s.temco -timeout 10s -membudget 64
+//
+// Exit codes:
+//
+//	0  success
+//	1  internal error (recovered kernel panic, unexpected failure)
+//	2  invalid model (missing/corrupt graph file, bad flags)
+//	3  resource limit hit (-timeout elapsed or -membudget exceeded)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,31 +28,40 @@ import (
 
 	"temco/internal/exec"
 	"temco/internal/graphio"
+	"temco/internal/guard"
 	"temco/internal/memplan"
 	"temco/internal/tensor"
 )
 
 func main() {
 	var (
-		path  = flag.String("graph", "", "graph file written by temco -save")
-		batch = flag.Int("batch", 4, "batch size")
-		reps  = flag.Int("reps", 3, "timed repetitions")
-		seed  = flag.Uint64("seed", 7, "input seed")
+		path      = flag.String("graph", "", "graph file written by temco -save")
+		batch     = flag.Int("batch", 4, "batch size")
+		reps      = flag.Int("reps", 3, "timed repetitions")
+		seed      = flag.Uint64("seed", 7, "input seed")
+		timeout   = flag.Duration("timeout", 0, "abort execution after this duration (0 = none)")
+		membudget = flag.Int64("membudget", 0, "arena memory budget in MB (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*path, *batch, *reps, *seed); err != nil {
+	if err := run(*path, *batch, *reps, *seed, *timeout, *membudget); err != nil {
 		fmt.Fprintln(os.Stderr, "runmodel:", err)
-		os.Exit(1)
+		os.Exit(guard.ExitCode(err))
 	}
 }
 
-func run(path string, batch, reps int, seed uint64) error {
+func run(path string, batch, reps int, seed uint64, timeout time.Duration, budgetMB int64) error {
 	if path == "" {
-		return fmt.Errorf("-graph is required")
+		return guard.Errorf(guard.ErrInvalidModel, "flags", "-graph is required")
+	}
+	if batch < 1 || reps < 1 {
+		return guard.Errorf(guard.ErrInvalidModel, "flags", "batch and reps must be positive (got %d, %d)", batch, reps)
+	}
+	if timeout < 0 || budgetMB < 0 {
+		return guard.Errorf(guard.ErrInvalidModel, "flags", "timeout and membudget must be non-negative")
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return guard.New(guard.ErrInvalidModel, "graph", err)
 	}
 	defer f.Close()
 	g, err := graphio.Load(f)
@@ -59,6 +79,14 @@ func run(path string, batch, reps int, seed uint64) error {
 		float64(asg.ArenaBytes)/(1<<20), batch,
 		float64(asg.PeakInternal)/(1<<20), asg.Fragmentation()*100)
 
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	budget := budgetMB * (1 << 20)
+
 	inputs := make([]*tensor.Tensor, len(g.Inputs))
 	rng := tensor.NewRNG(seed)
 	for i, in := range g.Inputs {
@@ -69,7 +97,7 @@ func run(path string, batch, reps int, seed uint64) error {
 	var best time.Duration
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		res, err := exec.RunArena(g, asg, inputs...)
+		res, err := exec.RunArenaCtx(ctx, g, asg, budget, inputs...)
 		if err != nil {
 			return err
 		}

@@ -1,22 +1,24 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"temco/internal/graphio"
+	"temco/internal/guard"
 	"temco/internal/ir"
 )
 
-func TestRunModelRoundTrip(t *testing.T) {
-	// Build and save a tiny graph, then drive the deploy path.
+func saveTinyGraph(t *testing.T) string {
+	t.Helper()
 	b := ir.NewBuilder("deploy", 3)
 	in := b.Input(3, 8, 8)
 	x := b.ReLU(b.Conv(in, 8, 3, 1, 1))
 	b.Output(x)
-	dir := t.TempDir()
-	path := filepath.Join(dir, "m.temco")
+	path := filepath.Join(t.TempDir(), "m.temco")
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)
@@ -25,16 +27,74 @@ func TestRunModelRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(path, 2, 1, 7); err != nil {
+	return path
+}
+
+func TestRunModelRoundTrip(t *testing.T) {
+	// Build and save a tiny graph, then drive the deploy path.
+	if err := run(saveTinyGraph(t), 2, 1, 7, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunModelErrors(t *testing.T) {
-	if err := run("", 1, 1, 1); err == nil {
-		t.Fatal("missing -graph must error")
+	if err := run("", 1, 1, 1, 0, 0); !errors.Is(err, guard.ErrInvalidModel) {
+		t.Fatalf("missing -graph: want ErrInvalidModel, got %v", err)
 	}
-	if err := run("/nonexistent/file", 1, 1, 1); err == nil {
-		t.Fatal("missing file must error")
+	if err := run("/nonexistent/file", 1, 1, 1, 0, 0); !errors.Is(err, guard.ErrInvalidModel) {
+		t.Fatalf("missing file: want ErrInvalidModel, got %v", err)
+	}
+	if err := run(saveTinyGraph(t), 0, 1, 1, 0, 0); !errors.Is(err, guard.ErrInvalidModel) {
+		t.Fatalf("zero batch: want ErrInvalidModel, got %v", err)
+	}
+}
+
+// A corrupt graph file must map to exit code 2, never a panic.
+func TestRunModelCorruptGraph(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.temco")
+	if err := os.WriteFile(path, []byte(`{"version":1,"nodes":[{"id":0,"kind":"relu","inputs":[7],"shape":[1,2,2]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(path, 1, 1, 1, 0, 0)
+	if !errors.Is(err, guard.ErrInvalidModel) {
+		t.Fatalf("want ErrInvalidModel, got %v", err)
+	}
+	if guard.ExitCode(err) != guard.ExitInvalid {
+		t.Fatalf("exit code %d, want %d", guard.ExitCode(err), guard.ExitInvalid)
+	}
+}
+
+func TestRunModelTimeout(t *testing.T) {
+	err := run(saveTinyGraph(t), 1, 1, 7, time.Nanosecond, 0)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if guard.ExitCode(err) != guard.ExitResource {
+		t.Fatalf("exit code %d, want %d", guard.ExitCode(err), guard.ExitResource)
+	}
+}
+
+func TestRunModelBudgetExceeded(t *testing.T) {
+	// A 32-channel 64×64 feature map at batch 4 needs a ~4 MB arena,
+	// safely above the 1 MB budget.
+	b := ir.NewBuilder("wide", 3)
+	in := b.Input(3, 64, 64)
+	b.Output(b.ReLU(b.Conv(in, 32, 3, 1, 1)))
+	path := filepath.Join(t.TempDir(), "wide.temco")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Save(f, b.G); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	err = run(path, 4, 1, 7, 0, 1)
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if guard.ExitCode(err) != guard.ExitResource {
+		t.Fatalf("exit code %d, want %d", guard.ExitCode(err), guard.ExitResource)
 	}
 }

@@ -8,39 +8,72 @@
 //
 //	temco -model vgg16 -res 64 -batch 4 -ratio 0.1 -method tucker -verify
 //	temco -model unet -dot out.dot
+//	temco -model resnet18 -verify -timeout 30s -membudget 256
+//
+// Exit codes:
+//
+//	0  success
+//	1  internal error (recovered pass/kernel panic, unexpected failure)
+//	2  invalid model or flags (unknown model/method, bad parameter)
+//	3  resource limit hit (-timeout elapsed or -membudget exceeded)
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
+	"time"
+
+	"flag"
 
 	"temco/internal/core"
 	"temco/internal/decompose"
 	"temco/internal/exec"
 	"temco/internal/graphio"
+	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/memplan"
 	"temco/internal/models"
 	"temco/internal/tensor"
 )
 
+// options carries the validated CLI configuration.
+type options struct {
+	model    string
+	res      int
+	classes  int
+	batch    int
+	ratio    float64
+	method   decompose.Method
+	skipOpt  bool
+	fusion   bool
+	trans    bool
+	verify   bool
+	dot      string
+	save     string
+	seed     uint64
+	timeout  time.Duration
+	budgetMB int64
+}
+
 func main() {
 	var (
-		model   = flag.String("model", "vgg16", "model name (see -list)")
-		list    = flag.Bool("list", false, "list available models and exit")
-		res     = flag.Int("res", 64, "input resolution")
-		classes = flag.Int("classes", 100, "classifier output width")
-		batch   = flag.Int("batch", 4, "batch size for memory accounting")
-		ratio   = flag.Float64("ratio", 0.1, "decomposition ratio")
-		method  = flag.String("method", "tucker", "decomposition method: tucker|cp|tt")
-		skipOpt = flag.Bool("skipopt", true, "enable skip connection optimization")
-		fusion  = flag.Bool("fusion", true, "enable activation layer fusion")
-		trans   = flag.Bool("transforms", true, "enable layer transformations")
-		verify  = flag.Bool("verify", false, "run both graphs on random data and compare outputs")
-		dot     = flag.String("dot", "", "write the optimized graph in DOT format to this file")
-		save    = flag.String("save", "", "write the optimized graph (weights included) to this file")
-		seed    = flag.Uint64("seed", 42, "weight initialization seed")
+		model     = flag.String("model", "vgg16", "model name (see -list)")
+		list      = flag.Bool("list", false, "list available models and exit")
+		res       = flag.Int("res", 64, "input resolution")
+		classes   = flag.Int("classes", 100, "classifier output width")
+		batch     = flag.Int("batch", 4, "batch size for memory accounting")
+		ratio     = flag.Float64("ratio", 0.1, "decomposition ratio")
+		method    = flag.String("method", "tucker", "decomposition method: tucker|cp|tt")
+		skipOpt   = flag.Bool("skipopt", true, "enable skip connection optimization")
+		fusion    = flag.Bool("fusion", true, "enable activation layer fusion")
+		trans     = flag.Bool("transforms", true, "enable layer transformations")
+		verify    = flag.Bool("verify", false, "run both graphs on random data and compare outputs")
+		dot       = flag.String("dot", "", "write the optimized graph in DOT format to this file")
+		save      = flag.String("save", "", "write the optimized graph (weights included) to this file")
+		seed      = flag.Uint64("seed", 42, "weight initialization seed")
+		timeout   = flag.Duration("timeout", 0, "abort -verify execution after this duration (0 = none)")
+		membudget = flag.Int64("membudget", 0, "peak internal-tensor memory budget for -verify execution, in MB (0 = unlimited)")
 	)
 	flag.Parse()
 	if *list {
@@ -50,61 +83,102 @@ func main() {
 		}
 		return
 	}
-	if err := run(*model, *res, *classes, *batch, *ratio, *method, *skipOpt, *fusion, *trans, *verify, *dot, *save, *seed); err != nil {
+	o, err := validate(*model, *res, *classes, *batch, *ratio, *method, *timeout, *membudget)
+	if err == nil {
+		o.skipOpt, o.fusion, o.trans, o.verify = *skipOpt, *fusion, *trans, *verify
+		o.dot, o.save, o.seed = *dot, *save, *seed
+		err = run(o)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "temco:", err)
-		os.Exit(1)
+		os.Exit(guard.ExitCode(err))
 	}
 }
 
-func run(model string, res, classes, batch int, ratio float64, method string,
-	skipOpt, fusion, trans, verify bool, dot, save string, seed uint64) error {
-	mcfg := models.Config{H: res, W: res, Classes: classes, Seed: seed}
-	g, err := models.Build(model, mcfg)
+// validate rejects bad flag combinations before any graph is built, so an
+// unknown method or model fails in microseconds rather than after model
+// construction. All failures wrap guard.ErrInvalidModel (exit code 2).
+func validate(model string, res, classes, batch int, ratio float64, method string,
+	timeout time.Duration, budgetMB int64) (options, error) {
+	o := options{model: model, res: res, classes: classes, batch: batch,
+		ratio: ratio, timeout: timeout, budgetMB: budgetMB}
+	bad := func(format string, args ...any) (options, error) {
+		return o, guard.Errorf(guard.ErrInvalidModel, "flags", format, args...)
+	}
+	switch method {
+	case "tucker":
+		o.method = decompose.Tucker
+	case "cp":
+		o.method = decompose.CPD
+	case "tt":
+		o.method = decompose.TensorTrain
+	default:
+		return bad("unknown method %q (want tucker|cp|tt)", method)
+	}
+	if _, err := models.Get(model); err != nil {
+		return bad("%v", err)
+	}
+	if res < 1 || classes < 1 || batch < 1 {
+		return bad("res, classes, and batch must be positive (got %d, %d, %d)", res, classes, batch)
+	}
+	if ratio <= 0 || ratio > 1 {
+		return bad("ratio %v out of range (0, 1]", ratio)
+	}
+	if timeout < 0 || budgetMB < 0 {
+		return bad("timeout and membudget must be non-negative")
+	}
+	return o, nil
+}
+
+func run(o options) error {
+	mcfg := models.Config{H: o.res, W: o.res, Classes: o.classes, Seed: o.seed}
+	g, err := models.Build(o.model, mcfg)
 	if err != nil {
-		return err
+		return guard.New(guard.ErrInvalidModel, "build", err)
 	}
 	core.FoldBatchNorm(g)
 
 	dopts := decompose.DefaultOptions()
-	dopts.Ratio = ratio
-	switch method {
-	case "tucker":
-		dopts.Method = decompose.Tucker
-	case "cp":
-		dopts.Method = decompose.CPD
-	case "tt":
-		dopts.Method = decompose.TensorTrain
-	default:
-		return fmt.Errorf("unknown method %q", method)
-	}
+	dopts.Ratio = o.ratio
+	dopts.Method = o.method
 
-	fmt.Printf("model %s @ %dx%d, batch %d, %s ratio %.2f\n\n", model, res, res, batch, method, ratio)
-	report(fmt.Sprintf("original (%d layers)", len(g.Nodes)), g, batch)
+	fmt.Printf("model %s @ %dx%d, batch %d, %s ratio %.2f\n\n", o.model, o.res, o.res, o.batch, o.method, o.ratio)
+	report(fmt.Sprintf("original (%d layers)", len(g.Nodes)), g, o.batch)
 
 	dg, rep := decompose.Decompose(g, dopts)
 	ow, nw := rep.TotalWeightBytes()
 	report(fmt.Sprintf("decomposed (%d layers, %d convs decomposed, weights %.2f→%.2f MB)",
-		len(dg.Nodes), len(rep.Layers), mbf(ow), mbf(nw)), dg, batch)
+		len(dg.Nodes), len(rep.Layers), mbf(ow), mbf(nw)), dg, o.batch)
 
 	cfg := core.DefaultConfig()
-	cfg.SkipOpt = skipOpt
-	cfg.Fusion = fusion
-	cfg.Transforms = trans
+	cfg.SkipOpt = o.skipOpt
+	cfg.Fusion = o.fusion
+	cfg.Transforms = o.trans
 	og, st := core.Optimize(dg, cfg)
-	report(fmt.Sprintf("TeMCO (%d layers)", len(og.Nodes)), og, batch)
+	report(fmt.Sprintf("TeMCO (%d layers)", len(og.Nodes)), og, o.batch)
 	fmt.Printf("\npasses: %d/%d skip connections optimized (%d rejected by gate), "+
 		"%d restore layers copied, %d fused kernels, %d concat splits, %d merged lconvs, %d add merges\n",
 		st.SkipConnectionsOptimized, st.SkipConnectionsFound, st.SkipConnectionsRejected,
 		st.RestoreLayersCopied, st.FusedKernels, st.ConcatSplits, st.MergedLConvs, st.AddMerges)
+	for _, pf := range st.PassFailures {
+		fmt.Fprintf(os.Stderr, "temco: warning: pass %s rolled back: %s\n", pf.Pass, pf.Reason)
+	}
 
-	if verify {
-		x := tensor.New(2, 3, res, res)
+	if o.verify {
+		ctx := context.Background()
+		if o.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, o.timeout)
+			defer cancel()
+		}
+		budget := o.budgetMB * (1 << 20)
+		x := tensor.New(2, 3, o.res, o.res)
 		x.FillNormal(tensor.NewRNG(7), 0, 1)
-		rd, err := exec.Run(dg, x)
+		rd, err := exec.RunCtx(ctx, dg, budget, x)
 		if err != nil {
 			return err
 		}
-		ro, err := exec.Run(og, x)
+		ro, err := exec.RunCtx(ctx, og, budget, x)
 		if err != nil {
 			return err
 		}
@@ -114,14 +188,14 @@ func run(model string, res, classes, batch int, ratio float64, method string,
 			return fmt.Errorf("verification failed: outputs deviate by %v", d)
 		}
 	}
-	if dot != "" {
-		if err := os.WriteFile(dot, []byte(og.DOT()), 0o644); err != nil {
+	if o.dot != "" {
+		if err := os.WriteFile(o.dot, []byte(og.DOT()), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", dot)
+		fmt.Printf("wrote %s\n", o.dot)
 	}
-	if save != "" {
-		f, err := os.Create(save)
+	if o.save != "" {
+		f, err := os.Create(o.save)
 		if err != nil {
 			return err
 		}
@@ -129,7 +203,7 @@ func run(model string, res, classes, batch int, ratio float64, method string,
 		if err := graphio.Save(f, og); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", save)
+		fmt.Printf("wrote %s\n", o.save)
 	}
 	return nil
 }

@@ -1,20 +1,38 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"temco/internal/guard"
 )
 
-func TestRunSmallModelEndToEnd(t *testing.T) {
-	dir := t.TempDir()
-	dot := filepath.Join(dir, "g.dot")
-	save := filepath.Join(dir, "g.temco")
-	err := run("unet-s", 16, 10, 2, 0.2, "tucker", true, true, true, true, dot, save, 42)
+func testOptions(t *testing.T, model, method string) options {
+	t.Helper()
+	o, err := validate(model, 32, 10, 1, 0.2, method, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []string{dot, save} {
+	return o
+}
+
+func TestRunSmallModelEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	o, err := validate("unet-s", 16, 10, 2, 0.2, "tucker", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.skipOpt, o.fusion, o.trans, o.verify = true, true, true, true
+	o.dot = filepath.Join(dir, "g.dot")
+	o.save = filepath.Join(dir, "g.temco")
+	o.seed = 42
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.dot, o.save} {
 		st, err := os.Stat(p)
 		if err != nil || st.Size() == 0 {
 			t.Fatalf("%s missing or empty: %v", p, err)
@@ -24,14 +42,71 @@ func TestRunSmallModelEndToEnd(t *testing.T) {
 
 func TestRunAllMethods(t *testing.T) {
 	for _, m := range []string{"tucker", "cp", "tt"} {
-		if err := run("alexnet", 32, 10, 1, 0.2, m, false, true, false, true, "", "", 1); err != nil {
+		o := testOptions(t, "alexnet", m)
+		o.fusion, o.verify, o.seed = true, true, 1
+		if err := run(o); err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
 	}
-	if err := run("alexnet", 32, 10, 1, 0.2, "bogus", false, true, false, false, "", "", 1); err == nil {
-		t.Fatal("unknown method must error")
+}
+
+// Flag validation must reject bad inputs before any model is built, with
+// errors that map to exit code 2 (invalid model).
+func TestValidateRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() (options, error)
+	}{
+		{"unknown method", func() (options, error) { return validate("alexnet", 32, 10, 1, 0.2, "bogus", 0, 0) }},
+		{"unknown model", func() (options, error) { return validate("nope", 32, 10, 1, 0.2, "tucker", 0, 0) }},
+		{"zero res", func() (options, error) { return validate("alexnet", 0, 10, 1, 0.2, "tucker", 0, 0) }},
+		{"bad ratio", func() (options, error) { return validate("alexnet", 32, 10, 1, -0.5, "tucker", 0, 0) }},
+		{"negative timeout", func() (options, error) { return validate("alexnet", 32, 10, 1, 0.2, "tucker", -time.Second, 0) }},
+		{"negative budget", func() (options, error) { return validate("alexnet", 32, 10, 1, 0.2, "tucker", 0, -1) }},
 	}
-	if err := run("nope", 32, 10, 1, 0.2, "tucker", false, true, false, false, "", "", 1); err == nil {
-		t.Fatal("unknown model must error")
+	for _, c := range cases {
+		_, err := c.fn()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, guard.ErrInvalidModel) {
+			t.Errorf("%s: not an invalid-model error: %v", c.name, err)
+		}
+		if guard.ExitCode(err) != guard.ExitInvalid {
+			t.Errorf("%s: exit code %d, want %d", c.name, guard.ExitCode(err), guard.ExitInvalid)
+		}
+	}
+}
+
+// A tiny memory budget must surface as ErrBudgetExceeded (exit code 3),
+// not an OOM crash.
+func TestRunBudgetExceeded(t *testing.T) {
+	// At 224×224 the verify input alone is ~1.2 MB, above the 1 MB budget.
+	o, err2 := validate("alexnet", 224, 10, 1, 0.2, "tucker", 0, 1)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	o.fusion, o.verify, o.seed = true, true, 1
+	err := run(o)
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if guard.ExitCode(err) != guard.ExitResource {
+		t.Fatalf("exit code %d, want %d", guard.ExitCode(err), guard.ExitResource)
+	}
+}
+
+// An immediately-expiring timeout must surface as ErrCanceled (exit code 3).
+func TestRunTimeout(t *testing.T) {
+	o := testOptions(t, "alexnet", "tucker")
+	o.fusion, o.verify, o.seed = true, true, 1
+	o.timeout = time.Nanosecond
+	err := run(o)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if guard.ExitCode(err) != guard.ExitResource {
+		t.Fatalf("exit code %d, want %d", guard.ExitCode(err), guard.ExitResource)
 	}
 }

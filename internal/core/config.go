@@ -58,6 +58,13 @@ func SkipOptOnly() Config {
 	return c
 }
 
+// PassFailure records a pass that panicked or produced an invalid graph
+// and was rolled back by Optimize's isolation boundary.
+type PassFailure struct {
+	Pass   string
+	Reason string
+}
+
 // Stats reports what the pipeline did.
 type Stats struct {
 	SkipConnectionsFound     int
@@ -73,6 +80,9 @@ type Stats struct {
 	AddMerges                int
 	BatchNormsFolded         int
 	DeadNodesRemoved         int
+	// PassFailures lists passes skipped by the isolation boundary: each
+	// panicked or produced an invalid graph and was rolled back.
+	PassFailures []PassFailure
 }
 
 // Add accumulates other into s.
@@ -90,4 +100,5 @@ func (s *Stats) Add(other Stats) {
 	s.AddMerges += other.AddMerges
 	s.BatchNormsFolded += other.BatchNormsFolded
 	s.DeadNodesRemoved += other.DeadNodesRemoved
+	s.PassFailures = append(s.PassFailures, other.PassFailures...)
 }

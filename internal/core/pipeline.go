@@ -1,6 +1,14 @@
 package core
 
-import "temco/internal/ir"
+import (
+	"temco/internal/guard"
+	"temco/internal/ir"
+)
+
+// testPassHook, when non-nil, runs before the named pass on the working
+// clone. Tests install it to simulate a pass that panics or corrupts the
+// graph, exercising the isolation/rollback machinery.
+var testPassHook func(pass string, g *ir.Graph)
 
 // Optimize runs the TeMCO pass pipeline (paper Fig. 6) on a decomposed
 // model graph and returns the optimized clone plus pass statistics. The
@@ -12,22 +20,46 @@ import "temco/internal/ir"
 // and add consumers become visible to the transformations, which in turn
 // produce the lconv→act→fconv chains the fusion pass consumes — the
 // composition the paper describes for DenseNet and UNet (§4.2).
+//
+// Each pass runs isolated: it executes under a panic-recovery boundary and
+// its result is re-validated; a pass that panics or produces an invalid
+// graph is rolled back (the pre-pass clone is restored) and recorded in
+// Stats.PassFailures, so Optimize degrades gracefully — it always returns
+// a valid, runnable graph, at worst the unoptimized clone.
 func Optimize(g *ir.Graph, cfg Config) (*ir.Graph, Stats) {
 	ng := g.Clone()
 	var st Stats
-	st.Add(FoldBatchNorm(ng))
-	if cfg.SkipOpt {
-		st.Add(SkipOptimize(ng, cfg))
+	passes := []struct {
+		name    string
+		enabled bool
+		run     func(*ir.Graph) Stats
+	}{
+		{"bnfold", true, FoldBatchNorm},
+		{"skipopt", cfg.SkipOpt, func(g *ir.Graph) Stats { return SkipOptimize(g, cfg) }},
+		{"transform", cfg.Transforms, func(g *ir.Graph) Stats { return Transform(g, cfg) }},
+		{"fusion", cfg.Fusion, func(g *ir.Graph) Stats { return FuseActivations(g, cfg) }},
 	}
-	if cfg.Transforms {
-		st.Add(Transform(ng, cfg))
+	for _, p := range passes {
+		if !p.enabled {
+			continue
+		}
+		backup := ng.Clone()
+		var ps Stats
+		err := guard.Safe("core."+p.name, func() error {
+			if testPassHook != nil {
+				testPassHook(p.name, ng)
+			}
+			ps = p.run(ng)
+			return ng.Validate()
+		})
+		if err != nil {
+			ng = backup
+			st.PassFailures = append(st.PassFailures, PassFailure{Pass: p.name, Reason: err.Error()})
+			continue
+		}
+		st.Add(ps)
 	}
-	if cfg.Fusion {
-		st.Add(FuseActivations(ng, cfg))
-	}
+	// DCE only removes unreachable nodes, so the validated graph stays valid.
 	st.DeadNodesRemoved += ng.DeadCodeElim()
-	if err := ng.Validate(); err != nil {
-		panic("core: Optimize produced invalid graph: " + err.Error())
-	}
 	return ng, st
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"temco/internal/decompose"
+	"temco/internal/exec"
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+func isolationModel(t *testing.T) *ir.Graph {
+	t.Helper()
+	b := ir.NewBuilder("iso", 11)
+	in := b.Input(8, 16, 16)
+	x := b.ReLU(b.Conv(in, 32, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2)
+	x = b.ReLU(b.Conv(x, 32, 3, 1, 1))
+	b.Output(x)
+	dg, _ := decompose.Decompose(b.G, decompose.DefaultOptions())
+	return dg
+}
+
+// A pass that panics must be rolled back and recorded, and Optimize must
+// still return a valid graph that computes the same outputs as the input.
+func TestOptimizeIsolatesPanickingPass(t *testing.T) {
+	dg := isolationModel(t)
+	defer func() { testPassHook = nil }()
+	testPassHook = func(pass string, g *ir.Graph) {
+		if pass == "fusion" {
+			panic("deliberately broken pass")
+		}
+	}
+	og, st := Optimize(dg, FusionOnly())
+	if err := og.Validate(); err != nil {
+		t.Fatalf("Optimize returned invalid graph: %v", err)
+	}
+	if len(st.PassFailures) != 1 || st.PassFailures[0].Pass != "fusion" {
+		t.Fatalf("want one fusion failure, got %+v", st.PassFailures)
+	}
+	if st.FusedKernels+st.TailFusedKernels != 0 {
+		t.Fatalf("rolled-back pass must not contribute stats: %+v", st)
+	}
+	x := tensor.New(1, 8, 16, 16)
+	x.FillNormal(tensor.NewRNG(5), 0, 1)
+	want, err := exec.Run(dg, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Run(og, x)
+	if err != nil {
+		t.Fatalf("degraded graph is not runnable: %v", err)
+	}
+	if d := tensor.MaxAbsDiff(want.Outputs[0], got.Outputs[0]); d > 1e-5 {
+		t.Fatalf("degraded graph deviates by %v", d)
+	}
+}
+
+// A pass that corrupts the graph without panicking must be caught by the
+// post-pass validation and rolled back the same way.
+func TestOptimizeRollsBackInvalidGraph(t *testing.T) {
+	dg := isolationModel(t)
+	defer func() { testPassHook = nil }()
+	testPassHook = func(pass string, g *ir.Graph) {
+		if pass == "bnfold" {
+			// Stale shape: Validate must reject this after the pass runs.
+			for _, n := range g.Nodes {
+				if n.Kind == ir.KindConv2D {
+					n.Shape[0]++
+					break
+				}
+			}
+		}
+	}
+	og, st := Optimize(dg, FusionOnly())
+	if err := og.Validate(); err != nil {
+		t.Fatalf("Optimize returned invalid graph: %v", err)
+	}
+	if len(st.PassFailures) == 0 || st.PassFailures[0].Pass != "bnfold" {
+		t.Fatalf("want bnfold failure record, got %+v", st.PassFailures)
+	}
+	// Later passes still ran on the rolled-back graph.
+	if st.FusedKernels+st.TailFusedKernels == 0 {
+		t.Fatal("fusion should still apply after an earlier pass is rolled back")
+	}
+}
+
+// Without a broken pass the pipeline must record no failures.
+func TestOptimizeNoFailuresByDefault(t *testing.T) {
+	dg := isolationModel(t)
+	_, st := Optimize(dg, DefaultConfig())
+	if len(st.PassFailures) != 0 {
+		t.Fatalf("unexpected pass failures: %+v", st.PassFailures)
+	}
+}

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
+	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/memplan"
 	"temco/internal/ops"
@@ -19,6 +21,16 @@ import (
 // Outputs are copied out of the arena before returning, since their
 // storage is recycled across calls.
 func RunArena(g *ir.Graph, a memplan.Assignment, inputs ...*tensor.Tensor) (*Result, error) {
+	return RunArenaCtx(context.Background(), g, a, 0, inputs...)
+}
+
+// RunArenaCtx is RunArena with resource guards: ctx is checked between
+// layers (cancellation returns an error wrapping guard.ErrCanceled), and
+// when budgetBytes > 0 the arena's total footprint — the single allocation
+// this mode makes — plus the largest kernel workspace must fit the budget,
+// otherwise guard.ErrBudgetExceeded is returned before anything is
+// allocated. Kernel panics are recovered into guard.ErrInternal errors.
+func RunArenaCtx(ctx context.Context, g *ir.Graph, a memplan.Assignment, budgetBytes int64, inputs ...*tensor.Tensor) (*Result, error) {
 	if a.Graph != g {
 		return nil, fmt.Errorf("exec: assignment was computed for a different graph")
 	}
@@ -31,6 +43,19 @@ func RunArena(g *ir.Graph, a memplan.Assignment, inputs ...*tensor.Tensor) (*Res
 	batch := inputs[0].Dim(0)
 	if batch != a.Batch {
 		return nil, fmt.Errorf("exec: assignment planned for batch %d, inputs have %d", a.Batch, batch)
+	}
+	if budgetBytes > 0 {
+		var maxWS int64
+		for _, n := range g.Nodes {
+			if ws := memplan.Workspace(n, batch); ws > maxWS {
+				maxWS = ws
+			}
+		}
+		if a.ArenaBytes+maxWS > budgetBytes {
+			return nil, guard.Errorf(guard.ErrBudgetExceeded, "exec.RunArenaCtx",
+				"arena needs %d bytes (+%d workspace), budget is %d",
+				a.ArenaBytes, maxWS, budgetBytes)
+		}
 	}
 	arena := make([]float32, a.ArenaBytes/4)
 	view := func(n *ir.Node) (*tensor.Tensor, error) {
@@ -60,6 +85,9 @@ func RunArena(g *ir.Graph, a memplan.Assignment, inputs ...*tensor.Tensor) (*Res
 	}
 	res := &Result{}
 	for _, n := range g.Nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, guard.New(guard.ErrCanceled, "exec.RunArenaCtx", err)
+		}
 		if n.Kind == ir.KindInput {
 			continue
 		}
@@ -71,7 +99,7 @@ func RunArena(g *ir.Graph, a memplan.Assignment, inputs ...*tensor.Tensor) (*Res
 		for i, p := range n.Inputs {
 			in[i] = vals[p]
 		}
-		if err := compute(n, in, out); err != nil {
+		if err := guard.Safe("exec.compute", func() error { return compute(n, in, out) }); err != nil {
 			return nil, fmt.Errorf("exec: node %s: %w", n, err)
 		}
 		vals[n] = out

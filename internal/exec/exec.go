@@ -5,8 +5,10 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
+	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/memplan"
 	"temco/internal/ops"
@@ -25,6 +27,18 @@ type Result struct {
 // Run executes g on the given inputs (one batched [N,...] tensor per graph
 // input, in graph-input order). All inputs must share the batch size.
 func Run(g *ir.Graph, inputs ...*tensor.Tensor) (*Result, error) {
+	return RunCtx(context.Background(), g, 0, inputs...)
+}
+
+// RunCtx is Run with resource guards: it checks ctx between layers
+// (returning an error wrapping guard.ErrCanceled on cancellation or
+// deadline expiry) and, when budgetBytes > 0, accounts live internal
+// tensor bytes plus kernel workspace against that peak-memory budget,
+// returning guard.ErrBudgetExceeded before an allocation would cross it
+// instead of OOMing. The accounting mirrors memplan.Simulate, so a budget
+// of Simulate(g, batch, 0).PeakWithWorkspace always suffices. A panicking
+// kernel is recovered into an error wrapping guard.ErrInternal.
+func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tensor.Tensor) (*Result, error) {
 	if len(inputs) != len(g.Inputs) {
 		return nil, fmt.Errorf("exec: graph %s takes %d inputs, got %d", g.Name, len(g.Inputs), len(inputs))
 	}
@@ -41,22 +55,44 @@ func Run(g *ir.Graph, inputs ...*tensor.Tensor) (*Result, error) {
 		vals[in] = inputs[i]
 	}
 	live := memplan.Analyze(g)
+	// freeAt[i] lists the nodes whose last use is schedule slot i, built
+	// once so the per-step release is O(released) rather than a scan of
+	// every earlier node. Outputs have End == len(Nodes): never released.
+	freeAt := make([][]*ir.Node, len(g.Nodes)+1)
+	for _, n := range g.Nodes {
+		e := live.End[n]
+		if e > len(g.Nodes) {
+			e = len(g.Nodes)
+		}
+		freeAt[e] = append(freeAt[e], n)
+	}
+	var liveBytes int64
 	res := &Result{}
 	for i, n := range g.Nodes {
+		if err := ctx.Err(); err != nil {
+			return nil, guard.New(guard.ErrCanceled, "exec.RunCtx", err)
+		}
+		need := n.OutBytes(batch)
+		ws := memplan.Workspace(n, batch)
+		if budgetBytes > 0 && liveBytes+need+ws > budgetBytes {
+			return nil, guard.Errorf(guard.ErrBudgetExceeded, "exec.RunCtx",
+				"node %s needs %d live bytes (+%d workspace), budget is %d",
+				n, liveBytes+need, ws, budgetBytes)
+		}
+		liveBytes += need
 		if n.Kind != ir.KindInput {
-			out, err := dispatch(n, vals, batch)
+			out, err := guard.SafeValue("exec.dispatch", func() (*tensor.Tensor, error) {
+				return dispatch(n, vals, batch)
+			})
 			if err != nil {
 				return nil, fmt.Errorf("exec: node %s: %w", n, err)
 			}
 			vals[n] = out
 			res.LayerCalls++
 		}
-		// Release tensors whose last use was this slot (outputs have
-		// End == len(Nodes) and are never released).
-		for _, m := range g.Nodes[:i+1] {
-			if live.End[m] == i && vals[m] != nil {
-				delete(vals, m)
-			}
+		for _, m := range freeAt[i] {
+			liveBytes -= m.OutBytes(batch)
+			delete(vals, m)
 		}
 	}
 	for _, o := range g.Outputs {

@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"temco/internal/guard"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/tensor"
+)
+
+func guardModel(t *testing.T) *ir.Graph {
+	t.Helper()
+	b := ir.NewBuilder("guarded", 13)
+	in := b.Input(4, 12, 12)
+	x := b.ReLU(b.Conv(in, 16, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2)
+	x = b.ReLU(b.Conv(x, 8, 3, 1, 1))
+	b.Output(x)
+	return b.G
+}
+
+func guardInput(g *ir.Graph, batch int) *tensor.Tensor {
+	x := tensor.New(append([]int{batch}, g.Inputs[0].Shape...)...)
+	x.FillNormal(tensor.NewRNG(3), 0, 1)
+	return x
+}
+
+func TestRunCtxCanceled(t *testing.T) {
+	g := guardModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, g, 0, guardInput(g, 1))
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause must still expose context.Canceled: %v", err)
+	}
+}
+
+func TestRunCtxBudget(t *testing.T) {
+	g := guardModel(t)
+	x := guardInput(g, 2)
+	p := memplan.Simulate(g, 2, 0)
+
+	// A budget below the simulated peak must trip the guard, not OOM.
+	_, err := RunCtx(context.Background(), g, p.PeakInternal-1, x)
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// The simulator's peak (with workspace) is always enough.
+	res, err := RunCtx(context.Background(), g, p.PeakWithWorkspace, x)
+	if err != nil {
+		t.Fatalf("budget at peak must succeed: %v", err)
+	}
+	// Outputs must match the unguarded path exactly.
+	want, err := Run(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want.Outputs[0], res.Outputs[0]); d != 0 {
+		t.Fatalf("budgeted run deviates by %v", d)
+	}
+}
+
+// A kernel that panics (here: a conv node with corrupt attrs) must surface
+// as a typed internal error, not a process crash.
+func TestRunCtxIsolatesKernelPanic(t *testing.T) {
+	g := ir.NewGraph("broken")
+	in := g.Input("x", 2, 4, 4)
+	bad := &ir.Node{ID: g.NewID(), Name: "badconv", Kind: ir.KindConv2D,
+		Inputs: []*ir.Node{in}, Shape: []int{2, 4, 4}} // Attrs nil: n.Conv() panics
+	g.Nodes = append(g.Nodes, bad)
+	g.MarkOutput(bad)
+
+	_, err := RunCtx(context.Background(), g, 0, guardInput(g, 1))
+	if !errors.Is(err, guard.ErrInternal) {
+		t.Fatalf("want ErrInternal, got %v", err)
+	}
+}
+
+func TestRunArenaCtxGuards(t *testing.T) {
+	g := guardModel(t)
+	asg := memplan.AssignOffsets(g, 2)
+	if err := asg.Check(); err != nil {
+		t.Fatal(err)
+	}
+	x := guardInput(g, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunArenaCtx(ctx, g, asg, 0, x)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+
+	_, err = RunArenaCtx(context.Background(), g, asg, asg.ArenaBytes-1, x)
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+
+	res, err := RunArenaCtx(context.Background(), g, asg, 0, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want.Outputs[0], res.Outputs[0]); d != 0 {
+		t.Fatalf("arena run deviates by %v", d)
+	}
+}

@@ -12,12 +12,24 @@ import (
 	"io"
 	"math"
 
+	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/tensor"
 )
 
 // FormatVersion identifies the envelope layout.
 const FormatVersion = 1
+
+// DefaultMaxWeightBytes caps the total decoded tensor payload of one
+// envelope (2 GiB) unless LoadOptions raises or lowers it.
+const DefaultMaxWeightBytes = 2 << 30
+
+// LoadOptions tunes the defensive limits of Load.
+type LoadOptions struct {
+	// MaxWeightBytes bounds the total decoded tensor payload; ≤ 0 means
+	// DefaultMaxWeightBytes.
+	MaxWeightBytes int64
+}
 
 type envelope struct {
 	Version int        `json:"version"`
@@ -92,16 +104,36 @@ func encodeTensor(t *tensor.Tensor) *tensJSON {
 	return &tensJSON{Shape: t.Shape, Data: base64.StdEncoding.EncodeToString(buf)}
 }
 
-func decodeTensor(j *tensJSON) (*tensor.Tensor, error) {
+// decoder carries the defensive state of one Load: the remaining tensor
+// payload budget.
+type decoder struct {
+	remaining int64
+}
+
+// decodeTensor validates an untrusted tensor against its declared shape
+// before allocating anything shape-sized: dimensions must be non-negative,
+// the element count must not overflow, the payload length must match the
+// shape exactly, and the running total must stay within the weight budget.
+func (d *decoder) decodeTensor(j *tensJSON) (*tensor.Tensor, error) {
 	if j == nil {
 		return nil, nil
+	}
+	elems, err := tensor.CheckedNumElems(j.Shape)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: bad tensor shape: %w", err)
+	}
+	if elems > math.MaxInt/4 {
+		return nil, fmt.Errorf("graphio: tensor shape %v exceeds addressable bytes", j.Shape)
 	}
 	raw, err := base64.StdEncoding.DecodeString(j.Data)
 	if err != nil {
 		return nil, fmt.Errorf("graphio: bad tensor payload: %w", err)
 	}
-	if len(raw) != 4*tensor.NumElems(j.Shape) {
+	if len(raw) != 4*elems {
 		return nil, fmt.Errorf("graphio: tensor payload %d bytes does not match shape %v", len(raw), j.Shape)
+	}
+	if d.remaining -= int64(len(raw)); d.remaining < 0 {
+		return nil, fmt.Errorf("graphio: total weight payload exceeds the configured limit")
 	}
 	t := tensor.New(j.Shape...)
 	for i := range t.Data {
@@ -140,25 +172,44 @@ func encodeAttrs(n *ir.Node) (*attrsJSON, error) {
 	}
 }
 
-func decodeAttrs(j *attrsJSON) (any, error) {
+// decodeAttrs resolves the tagged union defensively: the payload matching
+// the tag must be present (a tag with a missing payload would otherwise
+// decode to a typed nil pointer and crash shape inference later).
+func (d *decoder) decodeAttrs(j *attrsJSON) (any, error) {
 	if j == nil {
 		return nil, nil
 	}
+	missing := func() error { return fmt.Errorf("graphio: attrs tagged %q have no %s payload", j.Type, j.Type) }
 	switch j.Type {
 	case "conv":
+		if j.Conv == nil {
+			return nil, missing()
+		}
 		return j.Conv, nil
 	case "pool":
+		if j.Pool == nil {
+			return nil, missing()
+		}
 		return j.Pool, nil
 	case "linear":
+		if j.Linear == nil {
+			return nil, missing()
+		}
 		return j.Linear, nil
 	case "up":
+		if j.Up == nil {
+			return nil, missing()
+		}
 		return j.Up, nil
 	case "bn":
+		if j.BN == nil {
+			return nil, missing()
+		}
 		return j.BN, nil
 	case "fused":
 		f := j.Fused
 		if f == nil {
-			return nil, fmt.Errorf("graphio: fused attrs missing payload")
+			return nil, missing()
 		}
 		act, ok := kindByName[f.Act]
 		if !ok {
@@ -173,16 +224,16 @@ func decodeAttrs(j *attrsJSON) (any, error) {
 			out.PoolKind = pk
 		}
 		var err error
-		if out.LW, err = decodeTensor(f.LW); err != nil {
+		if out.LW, err = d.decodeTensor(f.LW); err != nil {
 			return nil, err
 		}
-		if out.LB, err = decodeTensor(f.LB); err != nil {
+		if out.LB, err = d.decodeTensor(f.LB); err != nil {
 			return nil, err
 		}
-		if out.FW, err = decodeTensor(f.FW); err != nil {
+		if out.FW, err = d.decodeTensor(f.FW); err != nil {
 			return nil, err
 		}
-		if out.FB, err = decodeTensor(f.FB); err != nil {
+		if out.FB, err = d.decodeTensor(f.FB); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -219,8 +270,38 @@ func Save(w io.Writer, g *ir.Graph) error {
 	return enc.Encode(env)
 }
 
-// Load reads a graph written by Save and validates it.
+// Load reads a graph written by Save and validates it with the default
+// limits. See LoadWith for the hardening guarantees.
 func Load(r io.Reader) (*ir.Graph, error) {
+	return LoadWith(r, LoadOptions{})
+}
+
+// LoadWith reads a graph written by Save, treating the stream as untrusted:
+// malformed or adversarial envelopes — out-of-range node references,
+// negative or overflowing shape dimensions, payload/shape mismatches,
+// unknown kinds or attribute tags, non-topological node order, payloads
+// over the weight budget — return an error wrapping guard.ErrInvalidModel
+// and never panic. As defense in depth, any panic escaping the decode is
+// recovered into the same error kind.
+func LoadWith(r io.Reader, opts LoadOptions) (g *ir.Graph, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			g = nil
+			err = guard.Errorf(guard.ErrInvalidModel, "graphio.Load", "panic during decode: %v", rec)
+		}
+	}()
+	g, err = load(r, opts)
+	if err != nil {
+		return nil, guard.New(guard.ErrInvalidModel, "graphio.Load", err)
+	}
+	return g, nil
+}
+
+func load(r io.Reader, opts LoadOptions) (*ir.Graph, error) {
+	d := &decoder{remaining: opts.MaxWeightBytes}
+	if d.remaining <= 0 {
+		d.remaining = DefaultMaxWeightBytes
+	}
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("graphio: %w", err)
@@ -239,27 +320,35 @@ func Load(r io.Reader) (*ir.Graph, error) {
 		if !ok && nj.Role != "" {
 			return nil, fmt.Errorf("graphio: unknown role %q", nj.Role)
 		}
-		attrs, err := decodeAttrs(nj.Attrs)
+		if err := checkNodeShape(nj.Shape); err != nil {
+			return nil, fmt.Errorf("graphio: node %s: %w", nj.Name, err)
+		}
+		attrs, err := d.decodeAttrs(nj.Attrs)
 		if err != nil {
 			return nil, err
 		}
-		w, err := decodeTensor(nj.W)
+		w, err := d.decodeTensor(nj.W)
 		if err != nil {
 			return nil, err
 		}
-		b, err := decodeTensor(nj.B)
+		b, err := d.decodeTensor(nj.B)
 		if err != nil {
 			return nil, err
 		}
 		n := &ir.Node{ID: nj.ID, Name: nj.Name, Kind: kind,
 			Attrs: attrs, W: w, B: b,
 			Shape: append([]int(nil), nj.Shape...), Role: role}
+		// byID holds only earlier nodes, so forward, cyclic, and self
+		// references are all rejected here: node order must be topological.
 		for _, id := range nj.Inputs {
 			in, ok := byID[id]
 			if !ok {
 				return nil, fmt.Errorf("graphio: node %s references undefined node %d", nj.Name, id)
 			}
 			n.Inputs = append(n.Inputs, in)
+		}
+		if _, dup := byID[nj.ID]; dup {
+			return nil, fmt.Errorf("graphio: duplicate node ID %d (%s)", nj.ID, nj.Name)
 		}
 		byID[nj.ID] = n
 		g.Nodes = append(g.Nodes, n)
@@ -279,12 +368,29 @@ func Load(r io.Reader) (*ir.Graph, error) {
 		g.Outputs = append(g.Outputs, o)
 	}
 	// Reserve past the max ID so post-load passes can add nodes.
-	for maxID := maxNodeID(g); g.NewID() < maxID; {
-	}
+	g.ReserveIDs(maxNodeID(g))
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("graphio: loaded graph invalid: %w", err)
 	}
 	return g, nil
+}
+
+// checkNodeShape validates a node's declared output shape: every dimension
+// positive, rank bounded, element count within int range. Output shapes
+// drive downstream allocations, so adversarial values must die here.
+func checkNodeShape(shape []int) error {
+	if len(shape) > 8 {
+		return fmt.Errorf("shape rank %d exceeds limit", len(shape))
+	}
+	for _, dim := range shape {
+		if dim < 1 {
+			return fmt.Errorf("non-positive dimension in shape %v", shape)
+		}
+	}
+	if _, err := tensor.CheckedNumElems(shape); err != nil {
+		return err
+	}
+	return nil
 }
 
 func maxNodeID(g *ir.Graph) int {

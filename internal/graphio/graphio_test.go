@@ -139,13 +139,17 @@ func TestLoadRejectsGarbage(t *testing.T) {
 }
 
 func TestTensorCodecRejectsBadPayload(t *testing.T) {
-	if _, err := decodeTensor(&tensJSON{Shape: []int{2, 2}, Data: "????"}); err == nil {
+	d := &decoder{remaining: DefaultMaxWeightBytes}
+	if _, err := d.decodeTensor(&tensJSON{Shape: []int{2, 2}, Data: "????"}); err == nil {
 		t.Fatal("expected base64 error")
 	}
-	if _, err := decodeTensor(&tensJSON{Shape: []int{2, 2}, Data: "AAAA"}); err == nil {
+	if _, err := d.decodeTensor(&tensJSON{Shape: []int{2, 2}, Data: "AAAA"}); err == nil {
 		t.Fatal("expected length-mismatch error")
 	}
-	got, err := decodeTensor(encodeTensor(tensor.FromSlice([]float32{1, -2.5, 3e-9, 4}, 2, 2)))
+	if _, err := d.decodeTensor(&tensJSON{Shape: []int{-1, 4}, Data: ""}); err == nil {
+		t.Fatal("expected negative-dimension error")
+	}
+	got, err := d.decodeTensor(encodeTensor(tensor.FromSlice([]float32{1, -2.5, 3e-9, 4}, 2, 2)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+// Package guard hardens the compile/execute boundary: it converts panics
+// escaping a pass or kernel into typed errors, and defines the sentinel
+// error kinds every process-boundary failure maps onto. The policy (see
+// DESIGN.md "Error handling policy") is that panics signal internal
+// invariant violations, while everything that crosses a process boundary —
+// model files, CLI flags, execution resources — fails with an error that
+// wraps exactly one of the kinds below.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel error kinds. Callers classify failures with errors.Is against
+// these; they never appear bare, only wrapped inside *Error.
+var (
+	// ErrInvalidModel marks input that failed validation: a malformed or
+	// adversarial saved graph, an unknown model name, a bad flag value.
+	ErrInvalidModel = errors.New("invalid model")
+	// ErrBudgetExceeded marks an execution aborted because live tensor
+	// bytes would exceed the configured peak-memory budget.
+	ErrBudgetExceeded = errors.New("memory budget exceeded")
+	// ErrCanceled marks an execution aborted by context cancellation or
+	// deadline expiry.
+	ErrCanceled = errors.New("canceled")
+	// ErrInternal marks a recovered panic: a pass or kernel violated an
+	// internal invariant but the process survived.
+	ErrInternal = errors.New("internal error")
+)
+
+// Error is a typed failure at the compile/execute boundary.
+type Error struct {
+	Kind error  // one of the sentinel kinds above
+	Op   string // what was running, e.g. "core.fusion", "graphio.Load"
+	Err  error  // underlying cause
+	// Stack holds the goroutine stack when the error was recovered from a
+	// panic (nil otherwise); kept for logging, not for Error().
+	Stack []byte
+}
+
+// Error renders "op: kind: cause".
+func (e *Error) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("%s: %v", e.Op, e.Kind)
+	}
+	return fmt.Sprintf("%s: %v: %v", e.Op, e.Kind, e.Err)
+}
+
+// Unwrap exposes both the kind and the cause to errors.Is/As.
+func (e *Error) Unwrap() []error {
+	if e.Err == nil {
+		return []error{e.Kind}
+	}
+	return []error{e.Kind, e.Err}
+}
+
+// New wraps err as an *Error of the given kind.
+func New(kind error, op string, err error) *Error {
+	return &Error{Kind: kind, Op: op, Err: err}
+}
+
+// Errorf builds an *Error of the given kind from a format string.
+func Errorf(kind error, op, format string, args ...any) *Error {
+	return &Error{Kind: kind, Op: op, Err: fmt.Errorf(format, args...)}
+}
+
+// Safe runs fn, converting an escaping panic into an ErrInternal *Error
+// carrying the panic value and stack. Errors returned by fn pass through
+// unchanged.
+func Safe(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{Kind: ErrInternal, Op: op,
+				Err: fmt.Errorf("panic: %v", r), Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// SafeValue is Safe for functions that also return a value. On a recovered
+// panic the zero value is returned alongside the ErrInternal error.
+func SafeValue[T any](op string, fn func() (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v = zero
+			err = &Error{Kind: ErrInternal, Op: op,
+				Err: fmt.Errorf("panic: %v", r), Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Exit codes for the CLIs, mapped from the error kinds. Documented in the
+// cmd/temco and cmd/runmodel usage comments.
+const (
+	ExitOK       = 0 // success
+	ExitInternal = 1 // internal error (recovered panic, unexpected failure)
+	ExitInvalid  = 2 // invalid model: bad file, bad flag, failed validation
+	ExitResource = 3 // resource limit: memory budget exceeded or timed out
+)
+
+// ExitCode maps err onto the CLI exit-code convention.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, ErrInvalidModel):
+		return ExitInvalid
+	case errors.Is(err, ErrBudgetExceeded), errors.Is(err, ErrCanceled):
+		return ExitResource
+	default:
+		return ExitInternal
+	}
+}

@@ -1,0 +1,79 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSafeConvertsPanic(t *testing.T) {
+	err := Safe("test.op", func() error { panic("boom") })
+	if err == nil {
+		t.Fatal("expected error from panicking fn")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("want ErrInternal, got %v", err)
+	}
+	var ge *Error
+	if !errors.As(err, &ge) {
+		t.Fatalf("want *Error, got %T", err)
+	}
+	if ge.Op != "test.op" || len(ge.Stack) == 0 {
+		t.Fatalf("missing op or stack: %+v", ge)
+	}
+}
+
+func TestSafePassesErrorsThrough(t *testing.T) {
+	want := errors.New("plain")
+	if err := Safe("op", func() error { return want }); err != want {
+		t.Fatalf("want %v, got %v", want, err)
+	}
+	if err := Safe("op", func() error { return nil }); err != nil {
+		t.Fatalf("want nil, got %v", err)
+	}
+}
+
+func TestSafeValue(t *testing.T) {
+	v, err := SafeValue("op", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	v, err = SafeValue("op", func() (int, error) { panic("kaboom") })
+	if v != 0 || !errors.Is(err, ErrInternal) {
+		t.Fatalf("got %d, %v", v, err)
+	}
+}
+
+func TestErrorWrapsKindAndCause(t *testing.T) {
+	cause := errors.New("negative dim")
+	err := New(ErrInvalidModel, "graphio.Load", cause)
+	if !errors.Is(err, ErrInvalidModel) || !errors.Is(err, cause) {
+		t.Fatalf("Is failed on %v", err)
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("must not match unrelated kind")
+	}
+	wrapped := fmt.Errorf("outer: %w", Errorf(ErrCanceled, "exec", "deadline"))
+	if !errors.Is(wrapped, ErrCanceled) {
+		t.Fatal("kind must survive further wrapping")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{New(ErrInvalidModel, "op", nil), ExitInvalid},
+		{New(ErrBudgetExceeded, "op", nil), ExitResource},
+		{New(ErrCanceled, "op", nil), ExitResource},
+		{New(ErrInternal, "op", nil), ExitInternal},
+		{errors.New("untyped"), ExitInternal},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

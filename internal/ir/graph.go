@@ -30,6 +30,14 @@ func (g *Graph) NewID() int {
 	return id
 }
 
+// ReserveIDs makes future NewID calls return values strictly greater than
+// max. Loaders use it so post-load passes never collide with loaded IDs.
+func (g *Graph) ReserveIDs(max int) {
+	if max >= g.nextID {
+		g.nextID = max + 1
+	}
+}
+
 // Input appends a graph input with the given shape.
 func (g *Graph) Input(name string, shape ...int) *Node {
 	n := &Node{ID: g.NewID(), Name: name, Kind: KindInput, Shape: append([]int(nil), shape...)}

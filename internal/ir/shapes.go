@@ -7,6 +7,17 @@ func convOut(in, k, s, p int) int {
 	return (in+2*p-k)/s + 1
 }
 
+// checkWindow rejects degenerate kernel/stride/padding combinations before
+// convOut can divide by zero. Untrusted attrs (graphio.Load) reach shape
+// inference unchecked, so this must error rather than panic.
+func checkWindow(kind Kind, kh, kw, sh, sw, ph, pw int) error {
+	if kh < 1 || kw < 1 || sh < 1 || sw < 1 || ph < 0 || pw < 0 {
+		return fmt.Errorf("%v has degenerate window: kernel %dx%d stride %dx%d pad %dx%d",
+			kind, kh, kw, sh, sw, ph, pw)
+	}
+	return nil
+}
+
 // InferShape computes the output shape of an operator application given
 // its attrs and input shapes (batch excluded). It returns an error for
 // malformed applications; Graph construction turns these into panics so
@@ -36,11 +47,17 @@ func InferShape(kind Kind, attrs any, inputs [][]int) ([]int, error) {
 		if in[0] != a.InC {
 			return nil, fmt.Errorf("conv2d input has %d channels, attrs say %d", in[0], a.InC)
 		}
+		if a.InC < 1 || a.OutC < 1 {
+			return nil, fmt.Errorf("conv2d channels %d→%d must be positive", a.InC, a.OutC)
+		}
+		if err := checkWindow(kind, a.KH, a.KW, a.SH, a.SW, a.PH, a.PW); err != nil {
+			return nil, err
+		}
 		g := a.Groups
 		if g == 0 {
 			g = 1
 		}
-		if a.InC%g != 0 || a.OutC%g != 0 {
+		if g < 0 || a.InC%g != 0 || a.OutC%g != 0 {
 			return nil, fmt.Errorf("conv2d groups %d do not divide channels %d→%d", g, a.InC, a.OutC)
 		}
 		oh := convOut(in[1], a.KH, a.SH, a.PH)
@@ -53,6 +70,9 @@ func InferShape(kind Kind, attrs any, inputs [][]int) ([]int, error) {
 		a, ok := attrs.(*PoolAttrs)
 		if !ok {
 			return nil, fmt.Errorf("pool requires *PoolAttrs")
+		}
+		if err := checkWindow(kind, a.KH, a.KW, a.SH, a.SW, a.PH, a.PW); err != nil {
+			return nil, err
 		}
 		in, err := chw(0)
 		if err != nil {
@@ -161,6 +181,9 @@ func InferShape(kind Kind, attrs any, inputs [][]int) ([]int, error) {
 		}
 		h, w := in[1], in[2]
 		if a.Pool != nil {
+			if err := checkWindow(kind, a.Pool.KH, a.Pool.KW, a.Pool.SH, a.Pool.SW, a.Pool.PH, a.Pool.PW); err != nil {
+				return nil, err
+			}
 			h = convOut(h, a.Pool.KH, a.Pool.SH, a.Pool.PH)
 			w = convOut(w, a.Pool.KW, a.Pool.SW, a.Pool.PW)
 			if h <= 0 || w <= 0 {

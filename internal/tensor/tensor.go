@@ -33,16 +33,32 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 }
 
 // NumElems returns the number of elements implied by shape.
-// It panics on negative dimensions.
+// It panics on negative dimensions and on element counts that overflow
+// int (adversarial shapes whose product wraps could otherwise slip past
+// size checks and trigger huge allocations).
 func NumElems(shape []int) int {
+	n, err := CheckedNumElems(shape)
+	if err != nil {
+		panic("tensor: " + err.Error())
+	}
+	return n
+}
+
+// CheckedNumElems is NumElems with errors instead of panics: it rejects
+// negative dimensions and products that overflow int. Process-boundary
+// decoders (graphio) use it to validate untrusted shapes.
+func CheckedNumElems(shape []int) (int, error) {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			return 0, fmt.Errorf("negative dimension in shape %v", shape)
+		}
+		if d != 0 && n > math.MaxInt/d {
+			return 0, fmt.Errorf("element count of shape %v overflows int", shape)
 		}
 		n *= d
 	}
-	return n
+	return n, nil
 }
 
 // Len returns the total number of elements.

@@ -258,3 +258,37 @@ func TestQuickAddCommutative(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCheckedNumElems(t *testing.T) {
+	if n, err := CheckedNumElems([]int{2, 3, 4}); err != nil || n != 24 {
+		t.Fatalf("got %d, %v", n, err)
+	}
+	if n, err := CheckedNumElems(nil); err != nil || n != 1 {
+		t.Fatalf("scalar: got %d, %v", n, err)
+	}
+	if _, err := CheckedNumElems([]int{2, -1}); err == nil {
+		t.Fatal("negative dim must error")
+	}
+	if _, err := CheckedNumElems([]int{math.MaxInt/2 + 1, 4}); err == nil {
+		t.Fatal("overflowing product must error")
+	}
+}
+
+// The product of an adversarial shape can wrap to a small value (here
+// exactly 0), which previously slipped past FromSlice's length check and
+// produced a tensor claiming ~2^62 elements over empty storage. New and
+// FromSlice must panic on such shapes instead.
+func TestOverflowShapeRejected(t *testing.T) {
+	wrap := []int{math.MaxInt/2 + 1, 4} // product ≡ 0 (mod 2^intSize)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s accepted an overflowing shape", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("FromSlice", func() { FromSlice([]float32{}, wrap...) })
+	mustPanic("New", func() { New(wrap...) })
+	mustPanic("NumElems", func() { NumElems(wrap) })
+}
