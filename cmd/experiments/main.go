@@ -11,6 +11,9 @@
 //	experiments -exp accuracy
 //	experiments -exp ablation
 //	experiments -exp all
+//
+// The TEMCO_WORKERS environment variable overrides kernel parallelism
+// (default: GOMAXPROCS). Kernels are deterministic across worker counts.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"temco/internal/decompose"
 	"temco/internal/experiments"
 	"temco/internal/models"
+	"temco/internal/ops"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 		epochs  = flag.Int("epochs", 25, "training epochs for the accuracy case studies")
 	)
 	flag.Parse()
+	ops.WorkersFromEnv()
 	if err := run(*exp, *res, *timeRes, *batch, *batches, *reps, *ratio, *only, *epochs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -6,6 +6,9 @@
 //
 //	memprofile -model unet -variant Decomposed -batch 4
 //	memprofile -model vgg16 -variant Original -csv > vgg16.csv
+//
+// The TEMCO_WORKERS environment variable overrides kernel parallelism
+// (default: GOMAXPROCS). Kernels are deterministic across worker counts.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"temco/internal/decompose"
 	"temco/internal/experiments"
 	"temco/internal/models"
+	"temco/internal/ops"
 )
 
 func main() {
@@ -29,6 +33,7 @@ func main() {
 		width   = flag.Int("width", 60, "plot width")
 	)
 	flag.Parse()
+	ops.WorkersFromEnv()
 	mcfg := models.DefaultConfig()
 	mcfg.H, mcfg.W = *res, *res
 	dopts := decompose.DefaultOptions()

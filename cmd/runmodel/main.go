@@ -17,6 +17,9 @@
 //	1  internal error (recovered kernel panic, unexpected failure)
 //	2  invalid model (missing/corrupt graph file, bad flags)
 //	3  resource limit hit (-timeout elapsed or -membudget exceeded)
+//
+// The TEMCO_WORKERS environment variable overrides kernel parallelism
+// (default: GOMAXPROCS). Kernels are deterministic across worker counts.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"temco/internal/graphio"
 	"temco/internal/guard"
 	"temco/internal/memplan"
+	"temco/internal/ops"
 	"temco/internal/tensor"
 )
 
@@ -43,6 +47,7 @@ func main() {
 		membudget = flag.Int64("membudget", 0, "arena memory budget in MB (0 = unlimited)")
 	)
 	flag.Parse()
+	ops.WorkersFromEnv()
 	if err := run(*path, *batch, *reps, *seed, *timeout, *membudget); err != nil {
 		fmt.Fprintln(os.Stderr, "runmodel:", err)
 		os.Exit(guard.ExitCode(err))

@@ -16,6 +16,9 @@
 //	1  internal error (recovered pass/kernel panic, unexpected failure)
 //	2  invalid model or flags (unknown model/method, bad parameter)
 //	3  resource limit hit (-timeout elapsed or -membudget exceeded)
+//
+// The TEMCO_WORKERS environment variable overrides kernel parallelism
+// (default: GOMAXPROCS). Kernels are deterministic across worker counts.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"temco/internal/ir"
 	"temco/internal/memplan"
 	"temco/internal/models"
+	"temco/internal/ops"
 	"temco/internal/tensor"
 )
 
@@ -76,6 +80,7 @@ func main() {
 		membudget = flag.Int64("membudget", 0, "peak internal-tensor memory budget for -verify execution, in MB (0 = unlimited)")
 	)
 	flag.Parse()
+	ops.WorkersFromEnv()
 	if *list {
 		for _, n := range models.Names() {
 			s, _ := models.Get(n)

@@ -1,0 +1,33 @@
+package gemm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGemm tracks the blocked kernel over the shapes the model
+// kernels actually produce: the ResNet-block im2col product, a square
+// mid-size product, and the Linear classifier shape.
+func BenchmarkGemm(b *testing.B) {
+	shapes := []struct{ m, n, k int }{
+		{64, 3136, 576}, // im2col: 64ch 3×3 over 56×56
+		{256, 256, 256},
+		{32, 512, 512}, // Linear batch 32
+	}
+	r := rand.New(rand.NewSource(9))
+	for _, s := range shapes {
+		a, _ := randSlice(r, s.m*s.k)
+		bm, _ := randSlice(r, s.k*s.n)
+		c := make([]float32, s.m*s.n)
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.n, s.k), func(b *testing.B) {
+			Gemm(s.m, s.n, s.k, 1, a, s.k, bm, s.n, 0, c, s.n) // warm the arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gemm(s.m, s.n, s.k, 1, a, s.k, bm, s.n, 0, c, s.n)
+			}
+			b.ReportMetric(2*float64(s.m)*float64(s.n)*float64(s.k)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}

@@ -1,0 +1,330 @@
+// Package gemm implements the cache-blocked, register-tiled float32/float64
+// matrix-multiply backbone shared by every matmul-shaped kernel in the
+// repository (im2col convolution, 1×1 convolution, Linear, the fused-kernel
+// micro products, and the float64 matmuls behind tensor decomposition).
+//
+// The algorithm is the classic three-level blocking scheme: A is packed once
+// into MR-row panels spanning the full K dimension, B is packed per
+// (KC × NC) cache block into NR-column panels, and an MR×NR register-tiled
+// micro-kernel accumulates over each KC slice. On amd64 with AVX2+FMA the
+// float32 micro-kernel is an 8×8 tile of fused-multiply-add vector
+// accumulators (kernel_amd64.s); everywhere else a scalar 4×4 tile is used.
+// Column strips of C are distributed over goroutines; every scratch panel
+// comes from the pooled workspace arena (workspace.go), so steady-state
+// calls allocate nothing.
+//
+// All entry points compute C = alpha·A·B + beta·C and are deterministic:
+// per-element accumulation order is independent of the worker count, so
+// serial and parallel runs produce bit-identical results.
+package gemm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cache blocking parameters: KC×NC is the packed B block (KC·NR·4 bytes of
+// B stay L1-resident inside the macro-kernel, the whole block L2-resident).
+const (
+	kc = 256
+	nc = 512
+)
+
+// maxTile bounds the register tile edge across all micro-kernels; the
+// per-tile accumulator is a stack array of maxTile² elements.
+const maxTile = 8
+
+// float covers the two element types the kernels use. Exact types (not
+// approximations) so the pool dispatch in workspace.go stays total.
+type float interface {
+	float32 | float64
+}
+
+// tileDims reports the micro-kernel tile (MR, NR) used for element type T:
+// 8×8 for float32 when the AVX2+FMA kernel is available, scalar 4×4
+// otherwise.
+func tileDims[T float]() (int, int) {
+	var z T
+	if _, ok := any(z).(float32); ok && useFMA {
+		return 8, 8
+	}
+	return 4, 4
+}
+
+// Gemm computes C = alpha·A·B + beta·C with A an m×k row-major matrix of
+// leading dimension lda, B k×n (ldb), and C m×n (ldc). Work is split over
+// column strips across SetWorkers goroutines. beta==0 never reads C.
+func Gemm(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	gemmAny(true, false, false, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// GemmBT is Gemm with B supplied row-major as an n×k matrix and used
+// transposed: C = alpha·A·Bᵀ + beta·C. This is the natural layout for
+// Linear's [Out,In] weight.
+func GemmBT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	gemmAny(true, false, true, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// GemmAT is Gemm with A supplied row-major as a k×m matrix and used
+// transposed: C = alpha·Aᵀ·B + beta·C (e.g. weight gradients dW = dYᵀ·X).
+func GemmAT(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	gemmAny(true, true, false, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// Serial is Gemm restricted to the calling goroutine. Kernels that are
+// already inside a parallelFor region (the fused kernel's per-tile products)
+// use it to avoid nested goroutine fan-out.
+func Serial(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	gemmAny(false, false, false, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// Gemm64 is Gemm over float64, used by the linalg decomposition substrate.
+func Gemm64(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	gemmAny(true, false, false, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// Gemm64AT is GemmAT over float64 (Gram matrices: G = Aᵀ·A).
+func Gemm64AT(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	gemmAny(true, true, false, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// gemmAny is the shared blocked implementation behind every entry point.
+func gemmAny[T float](parallel, transA, transB bool, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	checkDims(transA, transB, m, n, k, len(a), lda, len(b), ldb, len(c), ldc)
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 || alpha == 0 {
+		scaleC(m, n, beta, c, ldc)
+		return
+	}
+	mr, nr := tileDims[T]()
+
+	// Pack all of A once: MR-row panels spanning the full K dimension, each
+	// panel column-major (k steps of MR contiguous values). Edge rows are
+	// zero-padded so the micro-kernel never branches on MR.
+	apPtr := getWS[T](roundUp(m, mr) * k)
+	ap := *apPtr
+	packA(ap, a, lda, m, k, mr, transA)
+
+	w := Workers()
+	if !parallel || w <= 1 || n < 2*nr || m*n*k < 1<<15 {
+		gemmStrip(0, n, transB, m, k, mr, nr, alpha, ap, b, ldb, beta, c, ldc)
+		putWS(apPtr)
+		return
+	}
+	// Column strips, NR-aligned so panel boundaries (and therefore
+	// per-element accumulation order) match the serial schedule.
+	if w > (n+nr-1)/nr {
+		w = (n + nr - 1) / nr
+	}
+	per := roundUp((n+w-1)/w, nr)
+	var wg sync.WaitGroup
+	for j0 := 0; j0 < n; j0 += per {
+		j1 := min(j0+per, n)
+		wg.Add(1)
+		go func(j0, j1 int) {
+			defer wg.Done()
+			gemmStrip(j0, j1, transB, m, k, mr, nr, alpha, ap, b, ldb, beta, c, ldc)
+		}(j0, j1)
+	}
+	wg.Wait()
+	putWS(apPtr)
+}
+
+// gemmStrip runs the blocked macro-kernel over the column range [j0,j1) of
+// C. ap is the fully packed A; B is packed per (KC × NC) block into a
+// per-strip pooled panel.
+func gemmStrip[T float](j0, j1 int, transB bool, m, k, mr, nr int, alpha T, ap, b []T, ldb int, beta T, c []T, ldc int) {
+	bpPtr := getWS[T](kc * roundUp(min(nc, j1-j0), nr))
+	bp := *bpPtr
+	for jc := j0; jc < j1; jc += nc {
+		ncEff := min(nc, j1-jc)
+		ncR := roundUp(ncEff, nr)
+		for pc := 0; pc < k; pc += kc {
+			kcEff := min(kc, k-pc)
+			packB(bp[:kcEff*ncR], b, ldb, pc, kcEff, jc, ncEff, nr, transB)
+			first := pc == 0
+			for jr := 0; jr < ncEff; jr += nr {
+				bPanel := bp[(jr/nr)*nr*kcEff:][: kcEff*nr : kcEff*nr]
+				nrEff := min(nr, ncEff-jr)
+				for ir := 0; ir < m; ir += mr {
+					aPanel := ap[(ir/mr)*mr*k+pc*mr:][: kcEff*mr : kcEff*mr]
+					var acc [maxTile * maxTile]T
+					microKernel(kcEff, mr, aPanel, bPanel, &acc)
+					writeBack(c, ldc, ir, jc+jr, min(mr, m-ir), nrEff, nr, alpha, beta, first, &acc)
+				}
+			}
+		}
+	}
+	putWS(bpPtr)
+}
+
+// microKernel accumulates acc[i*nr+j] += Σ_p aPanel[p*mr+i]·bPanel[p*nr+j]
+// for the full MR×NR register tile (MR == NR here). Panels are zero-padded
+// at the edges, so no remainder handling is needed; the accumulators live
+// in registers across the whole KC slice.
+func microKernel[T float](kcEff, mr int, aPanel, bPanel []T, acc *[maxTile * maxTile]T) {
+	if mr == 8 {
+		// AVX2+FMA 8×8 kernel (float32 only; tileDims gates this path).
+		microKernel8x8F32(kcEff, aPanel, bPanel, acc)
+		return
+	}
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	var c20, c21, c22, c23 T
+	var c30, c31, c32, c33 T
+	aPanel = aPanel[:kcEff*4]
+	bPanel = bPanel[:kcEff*4]
+	for p := 0; p < kcEff; p++ {
+		ai := p * 4
+		a0, a1, a2, a3 := aPanel[ai], aPanel[ai+1], aPanel[ai+2], aPanel[ai+3]
+		b0, b1, b2, b3 := bPanel[ai], bPanel[ai+1], bPanel[ai+2], bPanel[ai+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+}
+
+// writeBack folds one micro-tile into C. The first KC slice applies beta
+// (beta==0 without reading C); later slices accumulate.
+func writeBack[T float](c []T, ldc, i0, j0, mrEff, nrEff, nr int, alpha, beta T, first bool, acc *[maxTile * maxTile]T) {
+	for i := 0; i < mrEff; i++ {
+		row := c[(i0+i)*ldc+j0:]
+		for j := 0; j < nrEff; j++ {
+			v := alpha * acc[i*nr+j]
+			switch {
+			case !first:
+				row[j] += v
+			case beta == 0:
+				row[j] = v
+			default:
+				row[j] = v + beta*row[j]
+			}
+		}
+	}
+}
+
+// packA lays A out as MR-row panels spanning all k columns, each panel
+// stored column-major; rows past m are zero-padded.
+func packA[T float](dst, a []T, lda, m, k, mr int, trans bool) {
+	idx := 0
+	for ir := 0; ir < m; ir += mr {
+		mrEff := min(mr, m-ir)
+		if trans {
+			for p := 0; p < k; p++ {
+				src := a[p*lda+ir:]
+				for r := 0; r < mrEff; r++ {
+					dst[idx+r] = src[r]
+				}
+				for r := mrEff; r < mr; r++ {
+					dst[idx+r] = 0
+				}
+				idx += mr
+			}
+			continue
+		}
+		for p := 0; p < k; p++ {
+			for r := 0; r < mrEff; r++ {
+				dst[idx+r] = a[(ir+r)*lda+p]
+			}
+			for r := mrEff; r < mr; r++ {
+				dst[idx+r] = 0
+			}
+			idx += mr
+		}
+	}
+}
+
+// packB lays the (kcEff × ncEff) block of B starting at (pc, jc) out as
+// NR-column panels, each panel row-major over the KC slice; columns past
+// ncEff are zero-padded.
+func packB[T float](dst, b []T, ldb, pc, kcEff, jc, ncEff, nr int, trans bool) {
+	idx := 0
+	for jr := 0; jr < ncEff; jr += nr {
+		nrEff := min(nr, ncEff-jr)
+		for p := 0; p < kcEff; p++ {
+			if trans {
+				for j := 0; j < nrEff; j++ {
+					dst[idx+j] = b[(jc+jr+j)*ldb+pc+p]
+				}
+			} else {
+				src := b[(pc+p)*ldb+jc+jr:]
+				for j := 0; j < nrEff; j++ {
+					dst[idx+j] = src[j]
+				}
+			}
+			for j := nrEff; j < nr; j++ {
+				dst[idx+j] = 0
+			}
+			idx += nr
+		}
+	}
+}
+
+// scaleC applies C = beta·C (the k==0 / alpha==0 degenerate case).
+func scaleC[T float](m, n int, beta T, c []T, ldc int) {
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		for j := range row {
+			row[j] *= beta
+		}
+	}
+}
+
+// checkDims validates shapes and slice extents up front so kernels fail
+// loudly at the boundary instead of corrupting memory mid-product.
+func checkDims(transA, transB bool, m, n, k, lenA, lda, lenB, ldb, lenC, ldc int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("gemm: negative dimensions m=%d n=%d k=%d", m, n, k))
+	}
+	aRows, aCols := m, k
+	if transA {
+		aRows, aCols = k, m
+	}
+	bRows, bCols := k, n
+	if transB {
+		bRows, bCols = n, k
+	}
+	if lda < aCols || (aRows > 0 && lenA < (aRows-1)*lda+aCols) {
+		panic(fmt.Sprintf("gemm: A too small: len=%d lda=%d for %d×%d", lenA, lda, aRows, aCols))
+	}
+	if ldb < bCols || (bRows > 0 && lenB < (bRows-1)*ldb+bCols) {
+		panic(fmt.Sprintf("gemm: B too small: len=%d ldb=%d for %d×%d", lenB, ldb, bRows, bCols))
+	}
+	if ldc < n || (m > 0 && n > 0 && lenC < (m-1)*ldc+n) {
+		panic(fmt.Sprintf("gemm: C too small: len=%d ldc=%d for %d×%d", lenC, ldc, m, n))
+	}
+}
+
+func roundUp(n, q int) int { return (n + q - 1) / q * q }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

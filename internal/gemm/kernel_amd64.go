@@ -1,0 +1,57 @@
+//go:build amd64
+
+package gemm
+
+import (
+	"os"
+	"unsafe"
+)
+
+// useFMA gates the 8×8 AVX2+FMA float32 micro-kernel. Detection runs once
+// at init; TEMCO_NOSIMD=1 forces the portable scalar tile (useful when
+// bisecting numerical differences, since FMA rounds once per multiply-add).
+var useFMA = detectFMA() && os.Getenv("TEMCO_NOSIMD") == ""
+
+//go:noescape
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbvAsm() (eax, edx uint32)
+
+//go:noescape
+func microKernel8x8asm(k int, a, b *float32, acc *[64]float32)
+
+// detectFMA reports whether the CPU and OS support AVX2 and FMA with YMM
+// state saving (CPUID leaves 1 and 7 plus XGETBV, the standard sequence).
+func detectFMA() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbvAsm(); lo&0x6 != 0x6 {
+		return false // OS does not save XMM+YMM state
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// microKernel8x8F32 bridges the generic macro-kernel onto the assembly
+// tile. It is only reachable when T is float32 (tileDims yields an 8-tile
+// solely for float32 with useFMA set), so the unsafe reinterpretation is
+// sound; panels are non-empty because kcEff ≥ 1.
+func microKernel8x8F32[T float](kcEff int, aPanel, bPanel []T, acc *[maxTile * maxTile]T) {
+	microKernel8x8asm(kcEff,
+		(*float32)(unsafe.Pointer(&aPanel[0])),
+		(*float32)(unsafe.Pointer(&bPanel[0])),
+		(*[64]float32)(unsafe.Pointer(acc)))
+}

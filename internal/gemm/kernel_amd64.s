@@ -1,0 +1,127 @@
+// AVX2+FMA micro-kernel and CPUID feature probes for the float32 GEMM
+// path. The micro-kernel computes an 8-row × 8-column tile of C from
+// MR=8-packed A panels and NR=8-packed B panels: per k step it loads one
+// B row vector and fuses eight broadcast-multiply-adds, one per A row,
+// into eight YMM accumulators.
+
+#include "textflag.h"
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func microKernel8x8asm(k int, a, b *float32, acc *[64]float32)
+//
+// acc[i*8+j] = Σ_p a[p*8+i] · b[p*8+j] for the full 8×8 tile. The k loop
+// is unrolled by two; Y0–Y7 hold one output row each (8 columns wide).
+TEXT ·microKernel8x8asm(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ acc+24(FP), DX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	MOVQ CX, BX
+	SHRQ $1, CX        // CX = k/2 double steps
+	JZ   tail
+
+loop2:
+	// step 0
+	VMOVUPS      (DI), Y8
+	VBROADCASTSS (SI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(SI), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(SI), Y9
+	VFMADD231PS  Y8, Y9, Y2
+	VBROADCASTSS 12(SI), Y10
+	VFMADD231PS  Y8, Y10, Y3
+	VBROADCASTSS 16(SI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(SI), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(SI), Y9
+	VFMADD231PS  Y8, Y9, Y6
+	VBROADCASTSS 28(SI), Y10
+	VFMADD231PS  Y8, Y10, Y7
+
+	// step 1
+	VMOVUPS      32(DI), Y11
+	VBROADCASTSS 32(SI), Y12
+	VFMADD231PS  Y11, Y12, Y0
+	VBROADCASTSS 36(SI), Y13
+	VFMADD231PS  Y11, Y13, Y1
+	VBROADCASTSS 40(SI), Y12
+	VFMADD231PS  Y11, Y12, Y2
+	VBROADCASTSS 44(SI), Y13
+	VFMADD231PS  Y11, Y13, Y3
+	VBROADCASTSS 48(SI), Y12
+	VFMADD231PS  Y11, Y12, Y4
+	VBROADCASTSS 52(SI), Y13
+	VFMADD231PS  Y11, Y13, Y5
+	VBROADCASTSS 56(SI), Y12
+	VFMADD231PS  Y11, Y12, Y6
+	VBROADCASTSS 60(SI), Y13
+	VFMADD231PS  Y11, Y13, Y7
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNE  loop2
+
+tail:
+	ANDQ $1, BX
+	JZ   done
+
+	VMOVUPS      (DI), Y8
+	VBROADCASTSS (SI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(SI), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(SI), Y9
+	VFMADD231PS  Y8, Y9, Y2
+	VBROADCASTSS 12(SI), Y10
+	VFMADD231PS  Y8, Y10, Y3
+	VBROADCASTSS 16(SI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(SI), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(SI), Y9
+	VFMADD231PS  Y8, Y9, Y6
+	VBROADCASTSS 28(SI), Y10
+	VFMADD231PS  Y8, Y10, Y7
+
+done:
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VMOVUPS Y4, 128(DX)
+	VMOVUPS Y5, 160(DX)
+	VMOVUPS Y6, 192(DX)
+	VMOVUPS Y7, 224(DX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package gemm
+
+// useFMA is false off amd64: every product runs on the portable scalar
+// 4×4 micro-kernel.
+const useFMA = false
+
+// microKernel8x8F32 is unreachable when useFMA is false; it exists so the
+// generic macro-kernel compiles on every architecture.
+func microKernel8x8F32[T float](kcEff int, aPanel, bPanel []T, acc *[maxTile * maxTile]T) {
+	panic("gemm: 8×8 micro-kernel invoked without AVX2 support")
+}

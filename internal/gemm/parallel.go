@@ -1,0 +1,22 @@
+package gemm
+
+import "runtime"
+
+// workers is the goroutine fan-out for parallel entry points. It mirrors
+// ops.Workers (ops.SetWorkers keeps the two in lock-step) but lives here so
+// the package has no dependency on ops — ops depends on gemm, not the
+// reverse.
+var workers = runtime.GOMAXPROCS(0)
+
+// SetWorkers sets the parallel fan-out, clamped to at least 1, and returns
+// the value applied. Prefer ops.SetWorkers, which updates both packages.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	workers = n
+	return n
+}
+
+// Workers reports the current parallel fan-out.
+func Workers() int { return workers }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gemm
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-count tests skip themselves.
+const raceEnabled = false

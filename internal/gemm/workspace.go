@@ -1,0 +1,105 @@
+package gemm
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// The workspace arena: power-of-two size-class pools of scratch slices.
+// Kernels borrow packing panels, im2col column buffers, and fused-kernel
+// tile scratch from here instead of calling make on every invocation, so
+// steady-state inference performs zero hot-path allocations. The API hands
+// out *[]T rather than []T because storing a bare slice in a sync.Pool
+// boxes a fresh header on every Put; a pointer round-trips allocation-free.
+//
+// Buffers are returned with len == the requested size but are NOT zeroed:
+// callers own the full initialization of the region they read.
+
+// poolSet is a set of sync.Pools bucketed by ceil(log2(size)). Slices are
+// always allocated at exactly their class capacity so Put can re-bucket
+// from cap alone.
+type poolSet[T any] struct {
+	classes [48]sync.Pool
+}
+
+func (ps *poolSet[T]) get(n int) *[]T {
+	if n <= 0 {
+		s := []T{}
+		return &s
+	}
+	cls := bits.Len(uint(n - 1))
+	if cls >= len(ps.classes) {
+		s := make([]T, n)
+		return &s
+	}
+	if v := ps.classes[cls].Get(); v != nil {
+		p := v.(*[]T)
+		*p = (*p)[:n]
+		return p
+	}
+	s := make([]T, 1<<cls)
+	s = s[:n]
+	return &s
+}
+
+func (ps *poolSet[T]) put(p *[]T) {
+	if p == nil || cap(*p) == 0 {
+		return
+	}
+	cls := bits.Len(uint(cap(*p))) - 1
+	if cls >= len(ps.classes) || 1<<cls != cap(*p) {
+		return // oversized or foreign slice: let the GC take it
+	}
+	*p = (*p)[:cap(*p)]
+	ps.classes[cls].Put(p)
+}
+
+var (
+	f32Pool  poolSet[float32]
+	f64Pool  poolSet[float64]
+	i32Pool  poolSet[int32]
+	boolPool poolSet[bool]
+)
+
+// GetF32 borrows a float32 scratch slice of length n (uninitialized).
+func GetF32(n int) *[]float32 { return f32Pool.get(n) }
+
+// PutF32 returns a slice borrowed with GetF32 to the arena.
+func PutF32(p *[]float32) { f32Pool.put(p) }
+
+// GetF64 borrows a float64 scratch slice of length n (uninitialized).
+func GetF64(n int) *[]float64 { return f64Pool.get(n) }
+
+// PutF64 returns a slice borrowed with GetF64 to the arena.
+func PutF64(p *[]float64) { f64Pool.put(p) }
+
+// GetI32 borrows an int32 scratch slice of length n (uninitialized).
+func GetI32(n int) *[]int32 { return i32Pool.get(n) }
+
+// PutI32 returns a slice borrowed with GetI32 to the arena.
+func PutI32(p *[]int32) { i32Pool.put(p) }
+
+// GetBool borrows a bool scratch slice of length n (uninitialized).
+func GetBool(n int) *[]bool { return boolPool.get(n) }
+
+// PutBool returns a slice borrowed with GetBool to the arena.
+func PutBool(p *[]bool) { boolPool.put(p) }
+
+// getWS dispatches the generic gemm core onto the per-type pools. The
+// float constraint admits exactly float32 and float64, so the two-way
+// branch is total.
+func getWS[T float](n int) *[]T {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return any(f32Pool.get(n)).(*[]T)
+	}
+	return any(f64Pool.get(n)).(*[]T)
+}
+
+func putWS[T float](p *[]T) {
+	if _, ok := any(p).(*[]float32); ok {
+		f32Pool.put(any(p).(*[]float32))
+		return
+	}
+	f64Pool.put(any(p).(*[]float64))
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"temco/internal/gemm"
 )
 
 // Mat is a dense row-major float64 matrix.
@@ -57,44 +59,21 @@ func (m *Mat) T() *Mat {
 	return t
 }
 
-// MatMul returns a·b.
+// MatMul returns a·b on the blocked float64 GEMM backbone.
 func MatMul(a, b *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: MatMul dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMat(a.Rows, b.Cols)
-	// ikj loop order for cache-friendly access to b and out rows.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	gemm.Gemm64(a.Rows, b.Cols, a.Cols, 1, a.Data, a.Cols, b.Data, b.Cols, 0, out.Data, b.Cols)
 	return out
 }
 
-// Gram returns aᵀ·a, the (Cols×Cols) Gram matrix of a.
+// Gram returns aᵀ·a, the (Cols×Cols) Gram matrix of a, consuming a
+// transposed in place (no materialized aᵀ).
 func Gram(a *Mat) *Mat {
 	g := NewMat(a.Cols, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		row := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for p, vp := range row {
-			if vp == 0 {
-				continue
-			}
-			grow := g.Data[p*a.Cols : (p+1)*a.Cols]
-			for q, vq := range row {
-				grow[q] += vp * vq
-			}
-		}
-	}
+	gemm.Gemm64AT(a.Cols, a.Cols, a.Rows, 1, a.Data, a.Cols, a.Data, a.Cols, 0, g.Data, a.Cols)
 	return g
 }
 

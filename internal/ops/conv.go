@@ -3,6 +3,7 @@ package ops
 import (
 	"fmt"
 
+	"temco/internal/gemm"
 	"temco/internal/ir"
 	"temco/internal/tensor"
 )
@@ -71,24 +72,16 @@ func Conv2D(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) {
 }
 
 // Linear computes out = in·Wᵀ + b with in [N,In], w [Out,In], b [Out]
-// (nil allowed), out [N,Out].
+// (nil allowed), out [N,Out]: one GEMM with the weight consumed transposed
+// in place (no materialized Wᵀ).
 func Linear(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.LinearAttrs) {
 	n := in.Dim(0)
-	parallelFor(n, func(lo, hi int) {
-		for bi := lo; bi < hi; bi++ {
-			inRow := in.Data[bi*a.In : (bi+1)*a.In]
-			outRow := out.Data[bi*a.Out : (bi+1)*a.Out]
-			for o := 0; o < a.Out; o++ {
-				acc := float32(0)
-				if b != nil {
-					acc = b.Data[o]
-				}
-				wRow := w.Data[o*a.In : (o+1)*a.In]
-				for i, v := range inRow {
-					acc += v * wRow[i]
-				}
-				outRow[o] = acc
-			}
+	beta := float32(0)
+	if b != nil {
+		for bi := 0; bi < n; bi++ {
+			copy(out.Data[bi*a.Out:(bi+1)*a.Out], b.Data)
 		}
-	})
+		beta = 1
+	}
+	gemm.GemmBT(n, a.Out, a.In, 1, in.Data, a.In, w.Data, a.In, beta, out.Data, a.Out)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"temco/internal/gemm"
 	"temco/internal/ir"
 	"temco/internal/tensor"
 )
@@ -28,16 +29,50 @@ func actFromKind(k ir.Kind) actKind {
 	}
 }
 
+// fusedScratchLens reports the per-worker scratch buffer lengths the fused
+// kernel borrows from the workspace arena. FusedWorkspaceBytes charges
+// exactly these sizes, and TestFusedWorkspaceMatchesScratch pins the two
+// together.
+//
+//	offs   int32  gather offsets into the input plane (-1 = padding)
+//	valid  bool   per-position padding mask
+//	xbuf   f32    packed input region [InC × regP] for the lconv GEMM
+//	mid    f32    restored region [MidC × regP]
+//	pooled f32    pooled tile [MidC × T²] (pool layers only)
+//	ftile  f32    fconv output tile [OutC × T²] (zero for tail fusion)
+func fusedScratchLens(a *ir.FusedAttrs) (offs, valid, xbuf, mid, pooled, ftile int) {
+	kh, kw, sh, sw := 1, 1, 1, 1
+	if a.Pool != nil {
+		kh, kw, sh, sw = a.Pool.KH, a.Pool.KW, a.Pool.SH, a.Pool.SW
+	}
+	regP := ((FusedTile-1)*sh + kh) * ((FusedTile-1)*sw + kw)
+	offs = regP
+	valid = regP
+	xbuf = a.InC * regP
+	mid = a.MidC * regP
+	if a.Pool != nil {
+		pooled = a.MidC * FusedTile * FusedTile
+	}
+	if a.FW != nil {
+		ftile = a.OutC * FusedTile * FusedTile
+	}
+	return
+}
+
 // Fused executes a lconv→act→[pool]→fconv sequence without materializing
 // the restored intermediate tensors (paper §3.2, Listing 1). in is
 // [N,InC,H,W] (a reduced tensor), out is [N,OutC,OH,OW] (the next reduced
 // tensor). Per output tile, the kernel:
 //
-//  1. computes the restored C'-channel values for the pre-pool region the
-//     tile needs (lconv, a 1×1 channel expansion) into a scratch buffer,
-//  2. applies the activation in place,
+//  1. gathers the pre-pool input region the tile needs into a packed
+//     buffer and expands it to C' channels with one GEMM (lconv, a 1×1
+//     channel expansion) on the blocked micro-kernel,
+//  2. applies the activation in place (padding positions forced to zero),
 //  3. pools the region down to the tile (when a pool layer is fused), and
-//  4. reduces back to OutC channels (fconv, a 1×1 channel reduction).
+//  4. reduces back to OutC channels with a second GEMM (fconv).
+//
+// All scratch comes from the pooled workspace arena: steady-state calls
+// allocate nothing.
 func Fused(out, in *tensor.Tensor, a *ir.FusedAttrs) {
 	n := in.Dim(0)
 	inC, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
@@ -58,158 +93,248 @@ func Fused(out, in *tensor.Tensor, a *ir.FusedAttrs) {
 
 	tilesH := (outH + FusedTile - 1) / FusedTile
 	tilesW := (outW + FusedTile - 1) / FusedTile
-	// Pre-pool region covered by one full tile.
-	regH := (FusedTile-1)*sh + kh
-	regW := (FusedTile-1)*sw + kw
+	offsLen, validLen, xbufLen, midLen, pooledLen, ftileLen := fusedScratchLens(a)
 
 	tasks := n * tilesH * tilesW
-	parallelFor(tasks, func(lo, hi int) {
-		// Scratch buffers are per worker chunk: this is the whole point of
-		// the fusion — O(MidC·tile) live bytes instead of O(MidC·H·W).
-		mid := make([]float32, a.MidC*regH*regW)
-		valid := make([]bool, regH*regW)
-		pooled := make([]float32, a.MidC*FusedTile*FusedTile)
-		for task := lo; task < hi; task++ {
-			bIdx := task / (tilesH * tilesW)
-			t := task % (tilesH * tilesW)
-			th := t / tilesW
-			tw := t % tilesW
-			oh0 := th * FusedTile
-			ow0 := tw * FusedTile
-			tileH := min(FusedTile, outH-oh0)
-			tileW := min(FusedTile, outW-ow0)
-			// Pre-pool region for this tile in restored-map coordinates.
-			rh0 := oh0*sh - ph
-			rw0 := ow0*sw - pw
-			rH := (tileH-1)*sh + kh
-			rW := (tileW-1)*sw + kw
+	if Workers <= 1 || tasks <= 1 {
+		// Serial fast path: constructing fr here (not shared with the
+		// parallel branch) keeps it on the stack, so steady-state inference
+		// allocates nothing.
+		fr := fusedRun{out: out, in: in, a: a,
+			inC: inC, h: h, w: w, outC: outC, outH: outH, outW: outW,
+			kh: kh, kw: kw, sh: sh, sw: sw, ph: ph, pw: pw,
+			isMax: isMax, hasPool: hasPool, act: act, area: area,
+			tilesH: tilesH, tilesW: tilesW,
+			offsLen: offsLen, validLen: validLen, xbufLen: xbufLen,
+			midLen: midLen, pooledLen: pooledLen, ftileLen: ftileLen}
+		fr.run(0, tasks)
+		return
+	}
+	fr := fusedRun{out: out, in: in, a: a,
+		inC: inC, h: h, w: w, outC: outC, outH: outH, outW: outW,
+		kh: kh, kw: kw, sh: sh, sw: sw, ph: ph, pw: pw,
+		isMax: isMax, hasPool: hasPool, act: act, area: area,
+		tilesH: tilesH, tilesW: tilesW,
+		offsLen: offsLen, validLen: validLen, xbufLen: xbufLen,
+		midLen: midLen, pooledLen: pooledLen, ftileLen: ftileLen}
+	parallelFor(tasks, fr.run)
+}
 
-			// Step 1+2: lconv + activation over the valid region positions.
-			for p := 0; p < rH*rW; p++ {
-				ih := rh0 + p/rW
-				iw := rw0 + p%rW
-				valid[p] = ih >= 0 && ih < h && iw >= 0 && iw < w
-			}
-			for mc := 0; mc < a.MidC; mc++ {
-				lw := a.LW.Data[mc*a.InC : (mc+1)*a.InC]
-				bias := float32(0)
-				if a.LB != nil {
-					bias = a.LB.Data[mc]
-				}
-				row := mid[mc*rH*rW:]
-				for p := 0; p < rH*rW; p++ {
-					if !valid[p] {
-						row[p] = 0
-						continue
-					}
-					ih := rh0 + p/rW
-					iw := rw0 + p%rW
-					acc := bias
-					inBase := (bIdx*inC)*h*w + ih*w + iw
-					for ic := 0; ic < inC; ic++ {
-						acc += in.Data[inBase+ic*h*w] * lw[ic]
-					}
-					row[p] = applyAct(act, acc)
-				}
-			}
+// fusedRun carries the per-invocation state of Fused so the worker body can
+// be a method rather than a closure: closures handed to parallelFor escape
+// to the heap, while the serial path above calls run directly on a
+// stack-resident value.
+type fusedRun struct {
+	out, in                     *tensor.Tensor
+	a                           *ir.FusedAttrs
+	inC, h, w                   int
+	outC, outH, outW            int
+	kh, kw, sh, sw, ph, pw      int
+	isMax, hasPool              bool
+	act                         actKind
+	area                        float32
+	tilesH, tilesW              int
+	offsLen, validLen, xbufLen  int
+	midLen, pooledLen, ftileLen int
+}
 
-			// Step 3: pool the region down to the tile.
-			if hasPool {
-				for mc := 0; mc < a.MidC; mc++ {
-					src := mid[mc*rH*rW:]
-					dst := pooled[mc*FusedTile*FusedTile:]
-					for ty := 0; ty < tileH; ty++ {
-						for tx := 0; tx < tileW; tx++ {
-							var acc float32
-							if isMax {
-								acc = float32(math.Inf(-1))
-							}
-							for r := 0; r < kh; r++ {
-								py := ty*sh + r
-								for q := 0; q < kw; q++ {
-									px := tx*sw + q
-									p := py*rW + px
-									if isMax {
-										if !valid[p] {
-											continue
-										}
-										if v := src[p]; v > acc {
-											acc = v
-										}
-									} else {
-										// Zero-padded average (padding
-										// contributes 0, divisor is full
-										// area) — matches AvgPool.
-										acc += src[p]
-									}
-								}
-							}
-							if !isMax {
-								acc /= area
-							}
-							dst[ty*FusedTile+tx] = acc
-						}
-					}
-				}
+// run processes output tiles [lo,hi). It is safe to call concurrently on
+// disjoint ranges: every tile owns its output pixels.
+func (fr *fusedRun) run(lo, hi int) {
+	out, in, a := fr.out, fr.in, fr.a
+	inC, h, w := fr.inC, fr.h, fr.w
+	outC, outH, outW := fr.outC, fr.outH, fr.outW
+	kh, kw, sh, sw, ph, pw := fr.kh, fr.kw, fr.sh, fr.sw, fr.ph, fr.pw
+	isMax, hasPool, act, area := fr.isMax, fr.hasPool, fr.act, fr.area
+	tilesH, tilesW := fr.tilesH, fr.tilesW
+
+	// Scratch is per worker chunk and pooled: this is the whole point of
+	// the fusion — O(MidC·tile) live bytes instead of O(MidC·H·W).
+	offsPtr := gemm.GetI32(fr.offsLen)
+	validPtr := gemm.GetBool(fr.validLen)
+	xbufPtr := gemm.GetF32(fr.xbufLen)
+	midPtr := gemm.GetF32(fr.midLen)
+	offs, valid, xbuf, mid := *offsPtr, *validPtr, *xbufPtr, *midPtr
+	var pooled, ftile []float32
+	var pooledPtr, ftilePtr *[]float32
+	if hasPool {
+		pooledPtr = gemm.GetF32(fr.pooledLen)
+		pooled = *pooledPtr
+	}
+	if a.FW != nil {
+		ftilePtr = gemm.GetF32(fr.ftileLen)
+		ftile = *ftilePtr
+	}
+	for task := lo; task < hi; task++ {
+		bIdx := task / (tilesH * tilesW)
+		t := task % (tilesH * tilesW)
+		th := t / tilesW
+		tw := t % tilesW
+		oh0 := th * FusedTile
+		ow0 := tw * FusedTile
+		tileH := min(FusedTile, outH-oh0)
+		tileW := min(FusedTile, outW-ow0)
+		// Pre-pool region for this tile in restored-map coordinates.
+		rh0 := oh0*sh - ph
+		rw0 := ow0*sw - pw
+		rH := (tileH-1)*sh + kh
+		rW := (tileW-1)*sw + kw
+		rP := rH * rW
+
+		// Step 1: gather the input region (zeros at padding), then one
+		// GEMM expands it to MidC channels; activation follows in place.
+		for p := 0; p < rP; p++ {
+			ih := rh0 + p/rW
+			iw := rw0 + p%rW
+			if ih >= 0 && ih < h && iw >= 0 && iw < w {
+				valid[p] = true
+				offs[p] = int32(ih*w + iw)
 			} else {
-				// Region is the tile itself; alias via copy per channel.
-				for mc := 0; mc < a.MidC; mc++ {
-					src := mid[mc*rH*rW:]
-					dst := pooled[mc*FusedTile*FusedTile:]
-					for ty := 0; ty < tileH; ty++ {
-						copy(dst[ty*FusedTile:ty*FusedTile+tileW], src[ty*rW:ty*rW+tileW])
-					}
-				}
+				valid[p] = false
+				offs[p] = -1
 			}
-
-			// Step 4: fconv back down to OutC channels. Tail fusion
-			// (FW == nil) emits the restored values directly instead.
-			if a.FW == nil {
-				for mc := 0; mc < a.MidC; mc++ {
-					src := pooled[mc*FusedTile*FusedTile:]
-					outPlane := (bIdx*outC + mc) * outH * outW
-					for ty := 0; ty < tileH; ty++ {
-						copy(out.Data[outPlane+(oh0+ty)*outW+ow0:outPlane+(oh0+ty)*outW+ow0+tileW],
-							src[ty*FusedTile:ty*FusedTile+tileW])
-					}
-				}
-				continue
-			}
-			for oc := 0; oc < outC; oc++ {
-				fw := a.FW.Data[oc*a.MidC : (oc+1)*a.MidC]
-				bias := float32(0)
-				if a.FB != nil {
-					bias = a.FB.Data[oc]
-				}
-				outPlane := (bIdx*outC + oc) * outH * outW
-				for ty := 0; ty < tileH; ty++ {
-					outRow := outPlane + (oh0+ty)*outW + ow0
-					for tx := 0; tx < tileW; tx++ {
-						acc := bias
-						p := ty*FusedTile + tx
-						for mc := 0; mc < a.MidC; mc++ {
-							acc += pooled[mc*FusedTile*FusedTile+p] * fw[mc]
-						}
-						out.Data[outRow+tx] = acc
-					}
+		}
+		for ic := 0; ic < inC; ic++ {
+			base := (bIdx*inC + ic) * h * w
+			row := xbuf[ic*rP : (ic+1)*rP]
+			for p, o := range offs[:rP] {
+				if o >= 0 {
+					row[p] = in.Data[base+int(o)]
+				} else {
+					row[p] = 0
 				}
 			}
 		}
-	})
+		beta := float32(0)
+		if a.LB != nil {
+			for mc := 0; mc < a.MidC; mc++ {
+				row := mid[mc*rP : (mc+1)*rP]
+				bv := a.LB.Data[mc]
+				for i := range row {
+					row[i] = bv
+				}
+			}
+			beta = 1
+		}
+		gemm.Serial(a.MidC, rP, inC, 1, a.LW.Data, inC, xbuf[:inC*rP], rP, beta, mid[:a.MidC*rP], rP)
+
+		// Step 2: activation over valid positions, zero at padding (a
+		// padded position must not contribute applyAct(bias) downstream).
+		for mc := 0; mc < a.MidC; mc++ {
+			row := mid[mc*rP : (mc+1)*rP]
+			for p := 0; p < rP; p++ {
+				if valid[p] {
+					row[p] = applyAct(act, row[p])
+				} else {
+					row[p] = 0
+				}
+			}
+		}
+
+		// Step 3: pool the region down to the tile. fsrc is what fconv
+		// consumes: the pooled tile (row stride T²... laid out T per row)
+		// or, with no pool, the region itself (identical coordinates).
+		fsrc := mid
+		fCols := rP
+		fld := rP
+		rowStride := rW
+		if hasPool {
+			for mc := 0; mc < a.MidC; mc++ {
+				src := mid[mc*rP:]
+				dst := pooled[mc*FusedTile*FusedTile:]
+				for ty := 0; ty < tileH; ty++ {
+					for tx := 0; tx < tileW; tx++ {
+						var acc float32
+						if isMax {
+							acc = float32(math.Inf(-1))
+						}
+						for r := 0; r < kh; r++ {
+							py := ty*sh + r
+							for q := 0; q < kw; q++ {
+								px := tx*sw + q
+								p := py*rW + px
+								if isMax {
+									if !valid[p] {
+										continue
+									}
+									if v := src[p]; v > acc {
+										acc = v
+									}
+								} else {
+									// Zero-padded average (padding
+									// contributes 0, divisor is full
+									// area) — matches AvgPool.
+									acc += src[p]
+								}
+							}
+						}
+						if !isMax {
+							acc /= area
+						}
+						dst[ty*FusedTile+tx] = acc
+					}
+				}
+			}
+			fsrc = pooled
+			fCols = tileH * FusedTile
+			fld = FusedTile * FusedTile
+			rowStride = FusedTile
+		}
+
+		// Step 4: fconv back down to OutC channels via a second GEMM.
+		// Tail fusion (FW == nil) emits the restored values directly.
+		if a.FW == nil {
+			for mc := 0; mc < a.MidC; mc++ {
+				src := fsrc[mc*fld:]
+				outPlane := (bIdx*outC + mc) * outH * outW
+				for ty := 0; ty < tileH; ty++ {
+					copy(out.Data[outPlane+(oh0+ty)*outW+ow0:outPlane+(oh0+ty)*outW+ow0+tileW],
+						src[ty*rowStride:ty*rowStride+tileW])
+				}
+			}
+			continue
+		}
+		fbeta := float32(0)
+		if a.FB != nil {
+			for oc := 0; oc < outC; oc++ {
+				row := ftile[oc*fld : oc*fld+fCols]
+				bv := a.FB.Data[oc]
+				for i := range row {
+					row[i] = bv
+				}
+			}
+			fbeta = 1
+		}
+		gemm.Serial(outC, fCols, a.MidC, 1, a.FW.Data, a.MidC, fsrc[:(a.MidC-1)*fld+fCols], fld, fbeta, ftile[:(outC-1)*fld+fCols], fld)
+		for oc := 0; oc < outC; oc++ {
+			src := ftile[oc*fld:]
+			outPlane := (bIdx*outC + oc) * outH * outW
+			for ty := 0; ty < tileH; ty++ {
+				copy(out.Data[outPlane+(oh0+ty)*outW+ow0:outPlane+(oh0+ty)*outW+ow0+tileW],
+					src[ty*rowStride:ty*rowStride+tileW])
+			}
+		}
+	}
+	gemm.PutI32(offsPtr)
+	gemm.PutBool(validPtr)
+	gemm.PutF32(xbufPtr)
+	gemm.PutF32(midPtr)
+	if pooledPtr != nil {
+		gemm.PutF32(pooledPtr)
+	}
+	if ftilePtr != nil {
+		gemm.PutF32(ftilePtr)
+	}
 }
 
 // FusedWorkspaceBytes returns the total scratch footprint of one Fused
-// invocation: per-worker tile buffers times the worker count. The memory
-// planner charges this (small, constant in H·W) amount instead of the two
-// full-size intermediates the unfused sequence allocates.
+// invocation: the per-worker arena buffers (fusedScratchLens) times the
+// worker count. The memory planner charges this (small, constant in H·W)
+// amount instead of the two full-size intermediates the unfused sequence
+// allocates.
 func FusedWorkspaceBytes(a *ir.FusedAttrs) int64 {
-	kh, kw, sh, sw := 1, 1, 1, 1
-	if a.Pool != nil {
-		kh, kw, sh, sw = a.Pool.KH, a.Pool.KW, a.Pool.SH, a.Pool.SW
-	}
-	regH := (FusedTile-1)*sh + kh
-	regW := (FusedTile-1)*sw + kw
-	perWorker := int64(a.MidC*regH*regW)*4 + int64(regH*regW) + int64(a.MidC*FusedTile*FusedTile)*4
+	offs, valid, xbuf, mid, pooled, ftile := fusedScratchLens(a)
+	perWorker := int64(offs)*4 + int64(valid) + int64(xbuf+mid+pooled+ftile)*4
 	return perWorker * int64(Workers)
 }
 

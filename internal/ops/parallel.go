@@ -5,13 +5,44 @@
 package ops
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
+
+	"temco/internal/gemm"
 )
 
 // Workers is the degree of parallelism used by the kernels. It defaults to
 // GOMAXPROCS and can be lowered for deterministic single-threaded runs.
+// Prefer SetWorkers over assigning directly: it validates the value and
+// keeps the GEMM backbone's fan-out in lock-step.
 var Workers = runtime.GOMAXPROCS(0)
+
+// SetWorkers sets the kernel parallelism for both this package and the
+// internal/gemm backbone, clamped to at least 1, and returns the value
+// applied. Every kernel is deterministic across worker counts: serial and
+// parallel runs produce bit-identical outputs.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	Workers = n
+	gemm.SetWorkers(n)
+	return n
+}
+
+// WorkersFromEnv applies the TEMCO_WORKERS environment override (used by
+// the CLIs): a positive integer sets the worker count, anything else is
+// ignored. It returns the worker count in effect afterwards.
+func WorkersFromEnv() int {
+	if s := os.Getenv("TEMCO_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			return SetWorkers(v)
+		}
+	}
+	return Workers
+}
 
 // parallelFor splits [0,n) into contiguous chunks and runs fn on each chunk
 // concurrently. fn must not retain the range beyond the call.

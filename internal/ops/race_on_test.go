@@ -1,0 +1,7 @@
+//go:build race
+
+package ops
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-count tests skip under -race.
+const raceEnabled = true

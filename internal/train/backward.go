@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"temco/internal/gemm"
 	"temco/internal/ir"
 	"temco/internal/ops"
 	"temco/internal/tensor"
@@ -111,33 +112,22 @@ func gradConv2D(dx, dw, db *tensor.Tensor, dy, x, w *tensor.Tensor, a *ir.ConvAt
 	}
 }
 
-// gradLinear accumulates gradients of out = x·Wᵀ + b.
+// gradLinear accumulates gradients of out = x·Wᵀ + b as two GEMMs on the
+// blocked backbone: dW += dYᵀ·X (A transposed in place) and dX += dY·W.
 func gradLinear(dx, dw, db *tensor.Tensor, dy, x, w *tensor.Tensor, a *ir.LinearAttrs) {
 	n := x.Dim(0)
-	for bi := 0; bi < n; bi++ {
-		dyRow := dy.Data[bi*a.Out : (bi+1)*a.Out]
-		xRow := x.Data[bi*a.In : (bi+1)*a.In]
-		for o, d := range dyRow {
-			if db != nil {
+	if db != nil {
+		for bi := 0; bi < n; bi++ {
+			for o, d := range dy.Data[bi*a.Out : (bi+1)*a.Out] {
 				db.Data[o] += d
 			}
-			if d == 0 {
-				continue
-			}
-			wRow := w.Data[o*a.In : (o+1)*a.In]
-			if dw != nil {
-				dwRow := dw.Data[o*a.In : (o+1)*a.In]
-				for i, xv := range xRow {
-					dwRow[i] += d * xv
-				}
-			}
-			if dx != nil {
-				dxRow := dx.Data[bi*a.In : (bi+1)*a.In]
-				for i, wv := range wRow {
-					dxRow[i] += d * wv
-				}
-			}
 		}
+	}
+	if dw != nil {
+		gemm.GemmAT(a.Out, a.In, n, 1, dy.Data, a.Out, x.Data, a.In, 1, dw.Data, a.In)
+	}
+	if dx != nil {
+		gemm.Gemm(n, a.In, a.Out, 1, dy.Data, a.Out, w.Data, a.In, 1, dx.Data, a.In)
 	}
 }
 
