@@ -25,6 +25,7 @@ import (
 
 	"temco/internal/decompose"
 	"temco/internal/experiments"
+	"temco/internal/guard"
 	"temco/internal/models"
 	"temco/internal/ops"
 )
@@ -42,7 +43,10 @@ func main() {
 		epochs  = flag.Int("epochs", 25, "training epochs for the accuracy case studies")
 	)
 	flag.Parse()
-	ops.WorkersFromEnv()
+	if _, err := ops.WorkersFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(guard.ExitCode(err))
+	}
 	if err := run(*exp, *res, *timeRes, *batch, *batches, *reps, *ratio, *only, *epochs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -18,6 +18,7 @@ import (
 
 	"temco/internal/decompose"
 	"temco/internal/experiments"
+	"temco/internal/guard"
 	"temco/internal/models"
 	"temco/internal/ops"
 )
@@ -33,7 +34,10 @@ func main() {
 		width   = flag.Int("width", 60, "plot width")
 	)
 	flag.Parse()
-	ops.WorkersFromEnv()
+	if _, err := ops.WorkersFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		os.Exit(guard.ExitCode(err))
+	}
 	mcfg := models.DefaultConfig()
 	mcfg.H, mcfg.W = *res, *res
 	dopts := decompose.DefaultOptions()

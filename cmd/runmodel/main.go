@@ -47,7 +47,10 @@ func main() {
 		membudget = flag.Int64("membudget", 0, "arena memory budget in MB (0 = unlimited)")
 	)
 	flag.Parse()
-	ops.WorkersFromEnv()
+	if _, err := ops.WorkersFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "runmodel:", err)
+		os.Exit(guard.ExitCode(err))
+	}
 	if err := run(*path, *batch, *reps, *seed, *timeout, *membudget); err != nil {
 		fmt.Fprintln(os.Stderr, "runmodel:", err)
 		os.Exit(guard.ExitCode(err))

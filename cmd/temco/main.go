@@ -80,7 +80,10 @@ func main() {
 		membudget = flag.Int64("membudget", 0, "peak internal-tensor memory budget for -verify execution, in MB (0 = unlimited)")
 	)
 	flag.Parse()
-	ops.WorkersFromEnv()
+	if _, err := ops.WorkersFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "temco:", err)
+		os.Exit(guard.ExitCode(err))
+	}
 	if *list {
 		for _, n := range models.Names() {
 			s, _ := models.Get(n)

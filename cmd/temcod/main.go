@@ -1,0 +1,459 @@
+// Command temcod serves TeMCO-optimized inference over HTTP with the
+// fault-tolerance stack from internal/serve: bounded admission, per-request
+// deadlines and priorities, retry with backoff, and a circuit breaker that
+// degrades to the unoptimized (decomposed) graph when the optimized graph
+// keeps failing. A deterministic fault-injection harness can be armed from
+// the command line for soak testing.
+//
+// Usage:
+//
+//	temcod -model vgg16 -res 64 -ratio 0.1 -addr :8080
+//	temcod -model resnet18 -faults "seed=42,scope=optimized,panic=0.05,budget=0.02"
+//
+// Endpoints:
+//
+//	POST /infer   {"batch":1,"seed":7} or {"data":[...]} — run inference
+//	GET  /healthz liveness (200 while the process runs)
+//	GET  /readyz  readiness (503 while draining)
+//	GET  /statsz  serving counters + injected-fault counters
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listener closes, in-flight
+// requests drain (bounded by -draintimeout), then the process exits.
+//
+// Exit codes follow the guard table: 0 success, 1 internal, 2 invalid
+// flags/model, 3 resource limit, 4 overloaded, 5 degraded.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"temco/internal/core"
+	"temco/internal/decompose"
+	"temco/internal/faultinject"
+	"temco/internal/guard"
+	"temco/internal/ir"
+	"temco/internal/models"
+	"temco/internal/ops"
+	"temco/internal/serve"
+	"temco/internal/tensor"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "vgg16", "model name (see temco -list)")
+		res       = flag.Int("res", 64, "input resolution")
+		classes   = flag.Int("classes", 100, "classifier output width")
+		ratio     = flag.Float64("ratio", 0.1, "decomposition ratio")
+		method    = flag.String("method", "tucker", "decomposition method: tucker|cp|tt")
+		seed      = flag.Uint64("seed", 42, "weight initialization seed")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		queueSize = flag.Int("queue", 64, "admission queue capacity")
+		workers   = flag.Int("serveworkers", 2, "concurrent executor goroutines")
+		deadline  = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		retries   = flag.Int("retries", 2, "max retries for retryable failures (-1 disables)")
+		membudget = flag.Int64("membudget", 0, "per-request peak-memory budget in MB (0 = unlimited)")
+		breaker   = flag.Int("breaker", 3, "consecutive failures that trip the circuit breaker")
+		probe     = flag.Duration("probe", 1*time.Second, "breaker recovery probe interval")
+		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful shutdown drain budget")
+		faults    = flag.String("faults", "", `fault injection spec, e.g. "seed=42,scope=optimized,panic=0.05,budget=0.02,slow=0.01:5ms,alloc=0.01"`)
+	)
+	flag.Parse()
+	if err := run(options{
+		model: *model, res: *res, classes: *classes, ratio: *ratio,
+		method: *method, seed: *seed, addr: *addr, queueSize: *queueSize,
+		workers: *workers, deadline: *deadline, retries: *retries,
+		membudgetMB: *membudget, breaker: *breaker, probe: *probe,
+		drain: *drain, faults: *faults,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "temcod:", err)
+		os.Exit(guard.ExitCode(err))
+	}
+}
+
+type options struct {
+	model       string
+	res         int
+	classes     int
+	ratio       float64
+	method      string
+	seed        uint64
+	addr        string
+	queueSize   int
+	workers     int
+	deadline    time.Duration
+	retries     int
+	membudgetMB int64
+	breaker     int
+	probe       time.Duration
+	drain       time.Duration
+	faults      string
+}
+
+func run(o options) error {
+	if _, err := ops.WorkersFromEnv(); err != nil {
+		return err
+	}
+	sess, inputShape, err := buildSession(o)
+	if err != nil {
+		return err
+	}
+	if o.faults != "" {
+		fcfg, err := parseFaults(o.faults)
+		if err != nil {
+			return err
+		}
+		faultinject.Enable(fcfg)
+		fmt.Printf("temcod: fault injection armed: %s\n", o.faults)
+		defer faultinject.Disable()
+	}
+
+	srv := &http.Server{Addr: o.addr, Handler: newHandler(sess, inputShape)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("temcod: serving %s (%dx%d, %s ratio %.2f) on %s\n",
+			o.model, o.res, o.res, o.method, o.ratio, o.addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return guard.New(guard.ErrInternal, "temcod.listen", err)
+	case <-ctx.Done():
+	}
+	fmt.Println("temcod: shutting down, draining in-flight requests")
+	sdctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := srv.Shutdown(sdctx); err != nil {
+		sess.Close(sdctx)
+		return guard.New(guard.ErrCanceled, "temcod.shutdown", err)
+	}
+	if err := sess.Close(sdctx); err != nil {
+		return err
+	}
+	fmt.Println("temcod: drained cleanly")
+	return nil
+}
+
+// buildSession compiles the model twice — the decomposed fallback and its
+// TeMCO-optimized form — and wraps both in a serve.Session. The graph names
+// "optimized" and "fallback" double as fault-injection scopes.
+func buildSession(o options) (*serve.Session, []int, error) {
+	var m decompose.Method
+	switch o.method {
+	case "tucker":
+		m = decompose.Tucker
+	case "cp":
+		m = decompose.CPD
+	case "tt":
+		m = decompose.TensorTrain
+	default:
+		return nil, nil, guard.Errorf(guard.ErrInvalidModel, "flags", "unknown method %q (want tucker|cp|tt)", o.method)
+	}
+	if o.res < 1 || o.classes < 1 {
+		return nil, nil, guard.Errorf(guard.ErrInvalidModel, "flags", "res and classes must be positive (got %d, %d)", o.res, o.classes)
+	}
+	if o.ratio <= 0 || o.ratio > 1 {
+		return nil, nil, guard.Errorf(guard.ErrInvalidModel, "flags", "ratio %v out of range (0, 1]", o.ratio)
+	}
+	if o.membudgetMB < 0 {
+		return nil, nil, guard.Errorf(guard.ErrInvalidModel, "flags", "membudget must be non-negative")
+	}
+	opt, fb, err := buildGraphs(o, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess, err := serve.New(opt, fb, serve.Config{
+		QueueSize:        o.queueSize,
+		Workers:          o.workers,
+		DefaultTimeout:   o.deadline,
+		MaxRetries:       o.retries,
+		BudgetBytes:      o.membudgetMB * (1 << 20),
+		BreakerThreshold: o.breaker,
+		ProbeInterval:    o.probe,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, opt.Inputs[0].Shape, nil
+}
+
+// buildGraphs compiles the decomposed fallback graph and its TeMCO-optimized
+// form. Graphs are read-only at execution time, so callers may share them
+// across sessions.
+func buildGraphs(o options, m decompose.Method) (opt, fb *ir.Graph, err error) {
+	g, err := models.Build(o.model, models.Config{H: o.res, W: o.res, Classes: o.classes, Seed: o.seed})
+	if err != nil {
+		return nil, nil, guard.New(guard.ErrInvalidModel, "build", err)
+	}
+	core.FoldBatchNorm(g)
+	dopts := decompose.DefaultOptions()
+	dopts.Ratio = o.ratio
+	dopts.Method = m
+	fb, _ = decompose.Decompose(g, dopts)
+	opt, _ = core.Optimize(fb, core.DefaultConfig())
+	opt.Name, fb.Name = "optimized", "fallback"
+	return opt, fb, nil
+}
+
+// parseFaults parses the -faults spec: comma-separated key=value pairs.
+// Keys: seed=<uint>, scope=<name>, panic=<rate>, budget=<rate>,
+// alloc=<rate>, slow=<rate>[:<delay>] (delay defaults to 5ms).
+func parseFaults(spec string) (faultinject.Config, error) {
+	var cfg faultinject.Config
+	bad := func(format string, args ...any) (faultinject.Config, error) {
+		return cfg, guard.Errorf(guard.ErrInvalidModel, "flags", "-faults: "+format, args...)
+	}
+	rate := func(k, v string) (float64, error) {
+		r, err := strconv.ParseFloat(v, 64)
+		if err != nil || r < 0 || r > 1 {
+			return 0, fmt.Errorf("%s=%q: want a rate in [0, 1]", k, v)
+		}
+		return r, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || v == "" {
+			return bad("malformed entry %q (want key=value)", part)
+		}
+		switch k {
+		case "seed":
+			s, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return bad("seed=%q: want an unsigned integer", v)
+			}
+			cfg.Seed = s
+		case "scope":
+			cfg.Scope = v
+		case "panic":
+			r, err := rate(k, v)
+			if err != nil {
+				return bad("%v", err)
+			}
+			cfg.KernelPanicRate = r
+		case "budget":
+			r, err := rate(k, v)
+			if err != nil {
+				return bad("%v", err)
+			}
+			cfg.BudgetRate = r
+		case "alloc":
+			r, err := rate(k, v)
+			if err != nil {
+				return bad("%v", err)
+			}
+			cfg.AllocRate = r
+		case "slow":
+			rv, delay, hasDelay := strings.Cut(v, ":")
+			r, err := rate(k, rv)
+			if err != nil {
+				return bad("%v", err)
+			}
+			cfg.SlowRate = r
+			cfg.SlowDelay = 5 * time.Millisecond
+			if hasDelay {
+				d, err := time.ParseDuration(delay)
+				if err != nil || d <= 0 {
+					return bad("slow=%q: want rate[:positive duration]", v)
+				}
+				cfg.SlowDelay = d
+			}
+		default:
+			return bad("unknown key %q", k)
+		}
+	}
+	return cfg, nil
+}
+
+// inferRequest is the POST /infer body. Either Data carries a flattened
+// input tensor (batch inferred from its length) or Batch/Seed ask the
+// server to fill a random input — handy for soak drivers.
+type inferRequest struct {
+	Data       []float32 `json:"data,omitempty"`
+	Batch      int       `json:"batch,omitempty"`
+	Seed       uint64    `json:"seed,omitempty"`
+	Priority   string    `json:"priority,omitempty"` // low|normal|high
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+}
+
+type inferResponse struct {
+	Shape    []int   `json:"shape"`
+	Argmax   []int   `json:"argmax"`
+	Degraded bool    `json:"degraded"`
+	Retries  int     `json:"retries"`
+	QueuedMS float64 `json:"queued_ms"`
+	ExecMS   float64 `json:"exec_ms"`
+}
+
+type statsResponse struct {
+	Serve      serve.Stats          `json:"serve"`
+	Faults     faultinject.Counters `json:"faults"`
+	Goroutines int                  `json:"goroutines"`
+}
+
+// newHandler builds the temcod HTTP API over sess. inputShape is the
+// per-sample input shape (no batch dimension).
+func newHandler(sess *serve.Session, inputShape []int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !sess.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "degraded": sess.Degraded()})
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{
+			Serve:      sess.Stats(),
+			Faults:     faultinject.CountersSnapshot(),
+			Goroutines: runtime.NumGoroutine(),
+		})
+	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req inferRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+			return
+		}
+		x, err := buildInput(req, inputShape)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sreq := serve.Request{Inputs: []*tensor.Tensor{x}}
+		switch req.Priority {
+		case "", "normal":
+			sreq.Priority = serve.PriorityNormal
+		case "low":
+			sreq.Priority = serve.PriorityLow
+		case "high":
+			sreq.Priority = serve.PriorityHigh
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("priority %q: want low|normal|high", req.Priority))
+			return
+		}
+		if req.DeadlineMS < 0 {
+			writeError(w, http.StatusBadRequest, "deadline_ms must be non-negative")
+			return
+		}
+		sreq.Timeout = time.Duration(req.DeadlineMS) * time.Millisecond
+		resp, err := sess.Infer(r.Context(), sreq)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		out := resp.Outputs[0]
+		writeJSON(w, http.StatusOK, inferResponse{
+			Shape:    out.Shape,
+			Argmax:   argmaxPerSample(out),
+			Degraded: resp.Degraded,
+			Retries:  resp.Retries,
+			QueuedMS: float64(resp.Queued) / float64(time.Millisecond),
+			ExecMS:   float64(resp.Exec) / float64(time.Millisecond),
+		})
+	})
+	return mux
+}
+
+// statusFor maps the guard failure taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, guard.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, guard.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, guard.ErrDegraded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, guard.ErrInvalidModel):
+		return http.StatusBadRequest
+	case errors.Is(err, guard.ErrBudgetExceeded):
+		return http.StatusInsufficientStorage
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// buildInput materializes the request's input tensor: explicit data (its
+// length fixing the batch) or a seeded random fill of `batch` samples.
+func buildInput(req inferRequest, shape []int) (*tensor.Tensor, error) {
+	elems := 1
+	for _, d := range shape {
+		elems *= d
+	}
+	if len(req.Data) > 0 {
+		if req.Batch != 0 && req.Batch*elems != len(req.Data) {
+			return nil, fmt.Errorf("data length %d does not match batch %d x %v", len(req.Data), req.Batch, shape)
+		}
+		if len(req.Data)%elems != 0 {
+			return nil, fmt.Errorf("data length %d is not a multiple of the sample size %d (%v)", len(req.Data), elems, shape)
+		}
+		x := tensor.New(append([]int{len(req.Data) / elems}, shape...)...)
+		copy(x.Data, req.Data)
+		return x, nil
+	}
+	batch := req.Batch
+	if batch == 0 {
+		batch = 1
+	}
+	if batch < 1 || batch > 64 {
+		return nil, fmt.Errorf("batch %d out of range [1, 64]", batch)
+	}
+	x := tensor.New(append([]int{batch}, shape...)...)
+	x.FillNormal(tensor.NewRNG(req.Seed+1), 0, 1)
+	return x, nil
+}
+
+// argmaxPerSample computes the argmax over each leading-dimension sample
+// of a [batch, ...] output — the predicted class for classifier heads.
+func argmaxPerSample(t *tensor.Tensor) []int {
+	batch := t.Dim(0)
+	if batch <= 0 || t.Len() == 0 {
+		return nil
+	}
+	per := t.Len() / batch
+	out := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		best, bestV := 0, math.Inf(-1)
+		for i := 0; i < per; i++ {
+			if v := float64(t.Data[b*per+i]); v > bestV {
+				best, bestV = i, v
+			}
+		}
+		out[b] = best
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

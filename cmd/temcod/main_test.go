@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"temco/internal/decompose"
+	"temco/internal/faultinject"
+	"temco/internal/ir"
+	"temco/internal/serve"
+)
+
+// testOptions is a small cheap model so handler tests stay fast.
+func testOptions() options {
+	return options{
+		model: "alexnet", res: 32, classes: 10, ratio: 0.25,
+		method: "tucker", seed: 1, queueSize: 8, workers: 2,
+		deadline: 10 * time.Second, retries: 1, breaker: 3,
+		probe: 50 * time.Millisecond, drain: 10 * time.Second,
+	}
+}
+
+// testGraphs memoizes the compiled graph pair: the model build + Tucker
+// decomposition dominates test time (especially under -race), and graphs
+// are read-only at execution time, so every test can share one pair.
+var testGraphs = struct {
+	once    sync.Once
+	opt, fb *ir.Graph
+	err     error
+}{}
+
+func testSession(o options) (*serve.Session, []int, error) {
+	testGraphs.once.Do(func() {
+		testGraphs.opt, testGraphs.fb, testGraphs.err = buildGraphs(o, decompose.Tucker)
+	})
+	if testGraphs.err != nil {
+		return nil, nil, testGraphs.err
+	}
+	sess, err := serve.New(testGraphs.opt, testGraphs.fb, serve.Config{
+		QueueSize:        o.queueSize,
+		Workers:          o.workers,
+		DefaultTimeout:   o.deadline,
+		MaxRetries:       o.retries,
+		BreakerThreshold: o.breaker,
+		ProbeInterval:    o.probe,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, testGraphs.opt.Inputs[0].Shape, nil
+}
+
+func newTestServer(t *testing.T, o options) (*httptest.Server, *serve.Session) {
+	t.Helper()
+	sess, shape, err := testSession(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(sess, shape))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sess.Close(ctx)
+	})
+	return ts, sess
+}
+
+func postInfer(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/infer", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("non-JSON response (status %d): %v", resp.StatusCode, err)
+	}
+	return resp, out
+}
+
+func TestHTTPInferAndProbes(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+
+	for _, ep := range []string{"/healthz", "/readyz", "/statsz"} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", ep, resp.StatusCode)
+		}
+	}
+
+	resp, out := postInfer(t, ts.URL, inferRequest{Batch: 2, Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: status %d body %v", resp.StatusCode, out)
+	}
+	if am, ok := out["argmax"].([]any); !ok || len(am) != 2 {
+		t.Fatalf("want 2 argmax entries, got %v", out["argmax"])
+	}
+	if out["degraded"] != false {
+		t.Fatalf("healthy server must not be degraded: %v", out)
+	}
+
+	// Determinism across the HTTP boundary: same seed, same prediction.
+	_, again := postInfer(t, ts.URL, inferRequest{Batch: 2, Seed: 7})
+	if fmt.Sprint(again["argmax"]) != fmt.Sprint(out["argmax"]) {
+		t.Fatalf("same seed must predict the same classes: %v vs %v", again["argmax"], out["argmax"])
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"bad priority", inferRequest{Batch: 1, Priority: "urgent"}, http.StatusBadRequest},
+		{"negative deadline", inferRequest{Batch: 1, DeadlineMS: -5}, http.StatusBadRequest},
+		{"batch too large", inferRequest{Batch: 1000}, http.StatusBadRequest},
+		{"ragged data", inferRequest{Data: []float32{1, 2, 3}}, http.StatusBadRequest},
+		{"data/batch mismatch", inferRequest{Data: make([]float32, 3*32*32), Batch: 2}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, out := postInfer(t, ts.URL, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d (want %d), body %v", c.name, resp.StatusCode, c.want, out)
+		}
+		if _, ok := out["error"]; !ok {
+			t.Errorf("%s: error body must carry an error message: %v", c.name, out)
+		}
+	}
+	// GET on /infer is rejected.
+	resp, err := http.Get(ts.URL + "/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /infer: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPDeadlineMapsToGatewayTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	faultinject.Enable(faultinject.Config{Seed: 9, Scope: "optimized", SlowRate: 1, SlowDelay: 300 * time.Millisecond})
+	defer faultinject.Disable()
+	resp, out := postInfer(t, ts.URL, inferRequest{Batch: 1, DeadlineMS: 30})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: status %d body %v", resp.StatusCode, out)
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	cfg, err := parseFaults("seed=7,scope=optimized,panic=0.1,budget=0.05,slow=0.02:3ms,alloc=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faultinject.Config{Seed: 7, Scope: "optimized", KernelPanicRate: 0.1,
+		BudgetRate: 0.05, SlowRate: 0.02, SlowDelay: 3 * time.Millisecond, AllocRate: 0.01}
+	if cfg != want {
+		t.Fatalf("got %+v want %+v", cfg, want)
+	}
+	if cfg, err := parseFaults("slow=0.5"); err != nil || cfg.SlowDelay != 5*time.Millisecond {
+		t.Fatalf("bare slow rate must default the delay: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"panic=2", "panic=x", "seed=-1", "nope=1", "panic", "slow=0.1:-3ms"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("spec %q must be rejected", bad)
+		}
+	}
+}
+
+// TestHTTPSoak hammers the HTTP API with concurrent clients and injected
+// faults, asserting no malformed responses (every status is one of the
+// documented mappings with a JSON body) and no goroutine leaks after the
+// session drains. CI runs this with TEMCO_SOAK=30s.
+func TestHTTPSoak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	o := testOptions()
+	o.queueSize = 2
+	sess, shape, err := testSession(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(sess, shape))
+
+	faultinject.Enable(faultinject.Config{
+		Seed: 42, Scope: "optimized",
+		KernelPanicRate: 0.08, BudgetRate: 0.05,
+	})
+	defer faultinject.Disable()
+
+	dur := 1500 * time.Millisecond
+	if s := os.Getenv("TEMCO_SOAK"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			dur = d
+		}
+	}
+	deadline := time.Now().Add(dur)
+	var ok, shed, degraded, failed, malformed atomic.Uint64
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusTooManyRequests:     true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusInternalServerError: true,
+		http.StatusInsufficientStorage: true,
+		http.StatusGatewayTimeout:      true,
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			prio := [...]string{"low", "normal", "high"}
+			for i := 0; time.Now().Before(deadline); i++ {
+				body, _ := json.Marshal(inferRequest{Batch: 1, Seed: uint64(c*1000 + i), Priority: prio[i%3]})
+				resp, err := client.Post(ts.URL+"/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					malformed.Add(1)
+					continue
+				}
+				var out map[string]any
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if derr != nil || !allowed[resp.StatusCode] {
+					malformed.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					if out["degraded"] == true {
+						degraded.Add(1)
+					}
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := sess.Stats()
+	cnt := faultinject.CountersSnapshot()
+	t.Logf("http soak: ok=%d degraded=%d shed=%d failed=%d stats=%+v injected=%+v",
+		ok.Load(), degraded.Load(), shed.Load(), failed.Load(), st, cnt)
+	if n := malformed.Load(); n != 0 {
+		t.Fatalf("%d malformed HTTP responses", n)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("soak served nothing")
+	}
+	if cnt.KernelPanics == 0 && cnt.BudgetFailures == 0 {
+		t.Fatalf("injection never fired: %+v", cnt)
+	}
+
+	// Drain; readiness must flip to 503 and goroutines must settle.
+	faultinject.Disable()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := sess.Close(ctx); err != nil {
+		t.Fatalf("drain close: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: status %d", resp.StatusCode)
+	}
+	ts.Close()
+	leakBy := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(leakBy) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"temco/internal/faultinject"
 	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/memplan"
@@ -91,6 +92,10 @@ func RunArenaCtx(ctx context.Context, g *ir.Graph, a memplan.Assignment, budgetB
 		if n.Kind == ir.KindInput {
 			continue
 		}
+		if faultinject.Budget(g.Name) {
+			return nil, guard.Errorf(guard.ErrBudgetExceeded, "exec.RunArenaCtx",
+				"injected budget failure at node %s", n)
+		}
 		out, err := view(n)
 		if err != nil {
 			return nil, err
@@ -99,7 +104,7 @@ func RunArenaCtx(ctx context.Context, g *ir.Graph, a memplan.Assignment, budgetB
 		for i, p := range n.Inputs {
 			in[i] = vals[p]
 		}
-		if err := guard.Safe("exec.compute", func() error { return compute(n, in, out) }); err != nil {
+		if err := guard.Safe("exec.compute", func() error { return compute(ctx, g.Name, n, in, out) }); err != nil {
 			return nil, fmt.Errorf("exec: node %s: %w", n, err)
 		}
 		vals[n] = out
@@ -113,11 +118,15 @@ func RunArenaCtx(ctx context.Context, g *ir.Graph, a memplan.Assignment, budgetB
 
 // compute runs node n's kernel writing into the caller-provided output
 // tensor. Unlike the pooled Run path, Flatten copies (no aliasing inside
-// an arena).
-func compute(n *ir.Node, in []*tensor.Tensor, out *tensor.Tensor) error {
+// an arena). The context reaches the long-running conv/fused kernels,
+// which bail out mid-node when it is canceled.
+func compute(ctx context.Context, scope string, n *ir.Node, in []*tensor.Tensor, out *tensor.Tensor) error {
+	faultinject.Kernel(scope)
 	switch n.Kind {
 	case ir.KindConv2D:
-		ops.ConvAuto(out, in[0], n.W, n.B, n.Conv())
+		if err := ops.ConvAutoCtx(ctx, out, in[0], n.W, n.B, n.Conv()); err != nil {
+			return guard.New(guard.ErrCanceled, "exec.compute", err)
+		}
 	case ir.KindLinear:
 		ops.Linear(out, in[0], n.W, n.B, n.Attrs.(*ir.LinearAttrs))
 	case ir.KindReLU:
@@ -145,7 +154,9 @@ func compute(n *ir.Node, in []*tensor.Tensor, out *tensor.Tensor) error {
 	case ir.KindSoftmax:
 		ops.Softmax(out, in[0])
 	case ir.KindFused:
-		ops.Fused(out, in[0], n.Fused())
+		if err := ops.FusedCtx(ctx, out, in[0], n.Fused()); err != nil {
+			return guard.New(guard.ErrCanceled, "exec.compute", err)
+		}
 	default:
 		return fmt.Errorf("unsupported kind %v", n.Kind)
 	}

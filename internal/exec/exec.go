@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 
+	"temco/internal/faultinject"
 	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/memplan"
@@ -79,10 +80,14 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 				"node %s needs %d live bytes (+%d workspace), budget is %d",
 				n, liveBytes+need, ws, budgetBytes)
 		}
+		if faultinject.Budget(g.Name) {
+			return nil, guard.Errorf(guard.ErrBudgetExceeded, "exec.RunCtx",
+				"injected budget failure at node %s", n)
+		}
 		liveBytes += need
 		if n.Kind != ir.KindInput {
 			out, err := guard.SafeValue("exec.dispatch", func() (*tensor.Tensor, error) {
-				return dispatch(n, vals, batch)
+				return dispatch(ctx, g.Name, n, vals, batch)
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exec: node %s: %w", n, err)
@@ -117,7 +122,13 @@ func shapeEq(a, b []int) bool {
 	return true
 }
 
-func dispatch(n *ir.Node, vals map[*ir.Node]*tensor.Tensor, batch int) (*tensor.Tensor, error) {
+// dispatch runs node n's kernel. The context reaches the long-running
+// conv/fused kernels, which check it periodically and bail out mid-node;
+// a cancellation there is wrapped as guard.ErrCanceled. The faultinject
+// hook may panic (recovered by the guard.SafeValue wrapper around this
+// call) or sleep, simulating kernel faults and slow nodes.
+func dispatch(ctx context.Context, scope string, n *ir.Node, vals map[*ir.Node]*tensor.Tensor, batch int) (*tensor.Tensor, error) {
+	faultinject.Kernel(scope)
 	in := make([]*tensor.Tensor, len(n.Inputs))
 	for i, p := range n.Inputs {
 		t, ok := vals[p]
@@ -130,7 +141,9 @@ func dispatch(n *ir.Node, vals map[*ir.Node]*tensor.Tensor, batch int) (*tensor.
 	switch n.Kind {
 	case ir.KindConv2D:
 		out := tensor.New(outShape...)
-		ops.ConvAuto(out, in[0], n.W, n.B, n.Conv())
+		if err := ops.ConvAutoCtx(ctx, out, in[0], n.W, n.B, n.Conv()); err != nil {
+			return nil, guard.New(guard.ErrCanceled, "exec.dispatch", err)
+		}
 		return out, nil
 	case ir.KindLinear:
 		out := tensor.New(outShape...)
@@ -185,7 +198,9 @@ func dispatch(n *ir.Node, vals map[*ir.Node]*tensor.Tensor, batch int) (*tensor.
 		return out, nil
 	case ir.KindFused:
 		out := tensor.New(outShape...)
-		ops.Fused(out, in[0], n.Fused())
+		if err := ops.FusedCtx(ctx, out, in[0], n.Fused()); err != nil {
+			return nil, guard.New(guard.ErrCanceled, "exec.dispatch", err)
+		}
 		return out, nil
 	default:
 		return nil, fmt.Errorf("unsupported kind %v", n.Kind)

@@ -1,0 +1,166 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// registry for exercising the failure paths of the execution and serving
+// layers. It is wired into exec's kernel dispatch, exec's budget
+// accounting, and the gemm workspace arena via three hooks (Kernel, Budget,
+// Alloc) that are a single atomic nil-check when no injector is installed —
+// production paths pay one predictable branch and nothing else.
+//
+// Faults draw from a splitmix64 stream seeded by Config.Seed, so a given
+// single-threaded call sequence reproduces the same fault schedule on every
+// run. Under concurrency the interleaving of draws is scheduling-dependent,
+// but the total fault mix still follows the configured rates, which is what
+// the soak tests assert.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the per-hook fault probabilities. All rates are in [0, 1];
+// a zero rate disables that fault class.
+type Config struct {
+	// Seed seeds the deterministic fault stream.
+	Seed uint64
+	// Scope restricts injection to hooks reporting this scope label (the
+	// executor passes the graph name), so faults can target e.g. only the
+	// TeMCO-optimized graph while its fallback stays healthy. Empty
+	// matches every scope. The workspace-arena Alloc hook carries no scope
+	// and only fires for unscoped injectors.
+	Scope string
+	// KernelPanicRate is the probability that a kernel dispatch panics
+	// (recovered upstream into guard.ErrInternal).
+	KernelPanicRate float64
+	// SlowRate is the probability that a kernel dispatch sleeps for
+	// SlowDelay before running, simulating a slow node.
+	SlowRate float64
+	// SlowDelay is how long an injected slow node sleeps.
+	SlowDelay time.Duration
+	// BudgetRate is the probability that the executor reports a spurious
+	// memory-budget failure before a node (guard.ErrBudgetExceeded).
+	BudgetRate float64
+	// AllocRate is the probability that a workspace-arena borrow panics,
+	// simulating an allocation failure inside a kernel.
+	AllocRate float64
+}
+
+// Counters reports how many faults of each class have been injected.
+type Counters struct {
+	KernelPanics   uint64
+	SlowNodes      uint64
+	BudgetFailures uint64
+	AllocFailures  uint64
+}
+
+// Injector is an installed fault source. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	state uint64 // splitmix64 state
+
+	kernelPanics   atomic.Uint64
+	slowNodes      atomic.Uint64
+	budgetFailures atomic.Uint64
+	allocFailures  atomic.Uint64
+}
+
+// active is the registry: nil means injection is disabled and every hook
+// returns after one atomic load.
+var active atomic.Pointer[Injector]
+
+// Enable installs an injector with the given config, replacing any previous
+// one, and returns it for counter inspection.
+func Enable(cfg Config) *Injector {
+	in := &Injector{cfg: cfg, state: cfg.Seed}
+	active.Store(in)
+	return in
+}
+
+// Disable removes the installed injector; the hooks become no-ops again.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether an injector is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Snapshot returns the current injected-fault counts.
+func (in *Injector) Snapshot() Counters {
+	return Counters{
+		KernelPanics:   in.kernelPanics.Load(),
+		SlowNodes:      in.slowNodes.Load(),
+		BudgetFailures: in.budgetFailures.Load(),
+		AllocFailures:  in.allocFailures.Load(),
+	}
+}
+
+// CountersSnapshot returns the installed injector's counts, or a zero value
+// when injection is disabled (for stats endpoints).
+func CountersSnapshot() Counters {
+	if in := active.Load(); in != nil {
+		return in.Snapshot()
+	}
+	return Counters{}
+}
+
+// next draws one uniform float64 in [0, 1) from the seeded stream.
+func (in *Injector) next() float64 {
+	in.mu.Lock()
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	in.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Kernel is the dispatch hook: called by the executor immediately before a
+// kernel runs, with the graph name as scope. It may sleep (slow node) and
+// may panic (kernel fault); the panic is recovered by the guard wrapper
+// around dispatch and surfaces as guard.ErrInternal.
+func Kernel(scope string) {
+	in := active.Load()
+	if in == nil || (in.cfg.Scope != "" && in.cfg.Scope != scope) {
+		return
+	}
+	if in.cfg.SlowRate > 0 && in.next() < in.cfg.SlowRate {
+		in.slowNodes.Add(1)
+		time.Sleep(in.cfg.SlowDelay)
+	}
+	if in.cfg.KernelPanicRate > 0 && in.next() < in.cfg.KernelPanicRate {
+		n := in.kernelPanics.Add(1)
+		panic(fmt.Sprintf("faultinject: kernel panic #%d", n))
+	}
+}
+
+// Budget is the executor's budget hook: it returns true when the executor
+// should report a spurious memory-budget failure for the current node.
+func Budget(scope string) bool {
+	in := active.Load()
+	if in == nil || in.cfg.BudgetRate <= 0 || (in.cfg.Scope != "" && in.cfg.Scope != scope) {
+		return false
+	}
+	if in.next() < in.cfg.BudgetRate {
+		in.budgetFailures.Add(1)
+		return true
+	}
+	return false
+}
+
+// Alloc is the workspace-arena hook: called on every scratch borrow, it may
+// panic to simulate an allocation failure inside a kernel. Workers in the
+// kernel fan-out re-raise the panic on the dispatching goroutine, where the
+// guard wrapper converts it to guard.ErrInternal. The arena has no graph
+// identity, so scoped injectors never fire here.
+func Alloc() {
+	in := active.Load()
+	if in == nil || in.cfg.AllocRate <= 0 || in.cfg.Scope != "" {
+		return
+	}
+	if in.next() < in.cfg.AllocRate {
+		n := in.allocFailures.Add(1)
+		panic(fmt.Sprintf("faultinject: allocation failure #%d", n))
+	}
+}

@@ -21,6 +21,7 @@ package gemm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Cache blocking parameters: KC×NC is the packed B block (KC·NR·4 bytes of
@@ -120,16 +121,29 @@ func gemmAny[T float](parallel, transA, transB bool, m, n, k int, alpha T, a []T
 	}
 	per := roundUp((n+w-1)/w, nr)
 	var wg sync.WaitGroup
+	// A panic inside a strip worker (e.g. an injected allocation failure in
+	// the workspace pool) is re-raised on this goroutine after all workers
+	// finish, so the guard wrappers above the kernel call can recover it;
+	// a panic in a bare spawned goroutine would kill the process.
+	var panicked atomic.Pointer[any]
 	for j0 := 0; j0 < n; j0 += per {
 		j1 := min(j0+per, n)
 		wg.Add(1)
 		go func(j0, j1 int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
 			gemmStrip(j0, j1, transB, m, k, mr, nr, alpha, ap, b, ldb, beta, c, ldc)
 		}(j0, j1)
 	}
 	wg.Wait()
 	putWS(apPtr)
+	if pv := panicked.Load(); pv != nil {
+		panic(*pv)
+	}
 }
 
 // gemmStrip runs the blocked macro-kernel over the column range [j0,j1) of

@@ -3,6 +3,8 @@ package gemm
 import (
 	"math/bits"
 	"sync"
+
+	"temco/internal/faultinject"
 )
 
 // The workspace arena: power-of-two size-class pools of scratch slices.
@@ -23,6 +25,9 @@ type poolSet[T any] struct {
 }
 
 func (ps *poolSet[T]) get(n int) *[]T {
+	// Fault-injection hook: may panic to simulate an allocation failure.
+	// One atomic nil-check when no injector is installed.
+	faultinject.Alloc()
 	if n <= 0 {
 		s := []T{}
 		return &s

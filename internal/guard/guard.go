@@ -28,6 +28,15 @@ var (
 	// ErrInternal marks a recovered panic: a pass or kernel violated an
 	// internal invariant but the process survived.
 	ErrInternal = errors.New("internal error")
+	// ErrOverloaded marks a request shed by admission control: the serving
+	// queue was full (or the session was shutting down) and the work was
+	// rejected before consuming any execution resources. Retryable by the
+	// client after backing off.
+	ErrOverloaded = errors.New("overloaded")
+	// ErrDegraded marks a request that failed while the serving tier was
+	// already degraded: the optimized graph's circuit breaker is open and
+	// the unoptimized fallback failed too.
+	ErrDegraded = errors.New("degraded")
 )
 
 // Error is a typed failure at the compile/execute boundary.
@@ -96,17 +105,26 @@ func SafeValue[T any](op string, fn func() (T, error)) (v T, err error) {
 // Exit codes for the CLIs, mapped from the error kinds. Documented in the
 // cmd/temco and cmd/runmodel usage comments.
 const (
-	ExitOK       = 0 // success
-	ExitInternal = 1 // internal error (recovered panic, unexpected failure)
-	ExitInvalid  = 2 // invalid model: bad file, bad flag, failed validation
-	ExitResource = 3 // resource limit: memory budget exceeded or timed out
+	ExitOK         = 0 // success
+	ExitInternal   = 1 // internal error (recovered panic, unexpected failure)
+	ExitInvalid    = 2 // invalid model: bad file, bad flag, failed validation
+	ExitResource   = 3 // resource limit: memory budget exceeded or timed out
+	ExitOverloaded = 4 // load shed: admission queue full, request rejected
+	ExitDegraded   = 5 // degraded: breaker open and the fallback failed too
 )
 
-// ExitCode maps err onto the CLI exit-code convention.
+// ExitCode maps err onto the CLI exit-code convention. The serving kinds
+// are checked first: a degraded failure usually wraps the fallback's
+// underlying resource or internal error, and the outer classification is
+// the one the operator needs.
 func ExitCode(err error) int {
 	switch {
 	case err == nil:
 		return ExitOK
+	case errors.Is(err, ErrOverloaded):
+		return ExitOverloaded
+	case errors.Is(err, ErrDegraded):
+		return ExitDegraded
 	case errors.Is(err, ErrInvalidModel):
 		return ExitInvalid
 	case errors.Is(err, ErrBudgetExceeded), errors.Is(err, ErrCanceled):

@@ -70,10 +70,34 @@ func TestExitCode(t *testing.T) {
 		{New(ErrCanceled, "op", nil), ExitResource},
 		{New(ErrInternal, "op", nil), ExitInternal},
 		{errors.New("untyped"), ExitInternal},
+		{New(ErrOverloaded, "serve", nil), ExitOverloaded},
+		{New(ErrDegraded, "serve", nil), ExitDegraded},
+		// A degraded failure wraps the fallback's underlying error; the
+		// outer serving classification must win.
+		{New(ErrDegraded, "serve", New(ErrInternal, "exec", nil)), ExitDegraded},
+		{New(ErrDegraded, "serve", New(ErrBudgetExceeded, "exec", nil)), ExitDegraded},
 	}
 	for _, c := range cases {
 		if got := ExitCode(c.err); got != c.want {
 			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
 		}
+	}
+}
+
+func TestServingKindsSurviveWrapping(t *testing.T) {
+	over := fmt.Errorf("http: %w", New(ErrOverloaded, "serve.Infer", errors.New("queue full")))
+	if !errors.Is(over, ErrOverloaded) {
+		t.Fatalf("ErrOverloaded must survive wrapping: %v", over)
+	}
+	if errors.Is(over, ErrDegraded) || errors.Is(over, ErrBudgetExceeded) {
+		t.Fatalf("ErrOverloaded must not match other kinds: %v", over)
+	}
+	deg := fmt.Errorf("outer: %w", New(ErrDegraded, "serve.fallback",
+		New(ErrInternal, "exec.dispatch", errors.New("kernel panic"))))
+	if !errors.Is(deg, ErrDegraded) {
+		t.Fatalf("ErrDegraded must survive wrapping: %v", deg)
+	}
+	if !errors.Is(deg, ErrInternal) {
+		t.Fatalf("the wrapped cause's kind must stay visible: %v", deg)
 	}
 }

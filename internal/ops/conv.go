@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 
 	"temco/internal/gemm"
@@ -12,6 +13,13 @@ import (
 // [OutC, InC/G, KH, KW], b is [OutC] (nil allowed), out is [N,OutC,OH,OW].
 // Work is parallelized over (batch × output channel) pairs.
 func Conv2D(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) {
+	conv2DCtx(context.Background(), out, in, w, b, a)
+}
+
+// conv2DCtx is Conv2D with a periodic cancellation check between
+// (batch × channel) output planes. On cancellation the output is partially
+// written and must be discarded by the caller.
+func conv2DCtx(ctx context.Context, out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) error {
 	n := in.Dim(0)
 	inC, inH, inW := in.Dim(1), in.Dim(2), in.Dim(3)
 	outC, outH, outW := out.Dim(1), out.Dim(2), out.Dim(3)
@@ -28,7 +36,7 @@ func Conv2D(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) {
 	sh, sw := a.SH, a.SW
 	ph, pw := a.PH, a.PW
 
-	parallelFor(n*outC, func(lo, hi int) {
+	return parallelForCtx(ctx, n*outC, func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
 			bIdx := idx / outC
 			oc := idx % outC

@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -74,6 +75,15 @@ func fusedScratchLens(a *ir.FusedAttrs) (offs, valid, xbuf, mid, pooled, ftile i
 // All scratch comes from the pooled workspace arena: steady-state calls
 // allocate nothing.
 func Fused(out, in *tensor.Tensor, a *ir.FusedAttrs) {
+	FusedCtx(context.Background(), out, in, a)
+}
+
+// FusedCtx is Fused with the context threaded into the tile loop: workers
+// re-check ctx every few tiles and abandon the rest of the kernel once it
+// is canceled, returning ctx.Err(). The output is then partially written
+// and must be discarded. A context that cannot be canceled takes the exact
+// pre-existing path and costs nothing.
+func FusedCtx(ctx context.Context, out, in *tensor.Tensor, a *ir.FusedAttrs) error {
 	n := in.Dim(0)
 	inC, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
 	outC, outH, outW := out.Dim(1), out.Dim(2), out.Dim(3)
@@ -96,7 +106,7 @@ func Fused(out, in *tensor.Tensor, a *ir.FusedAttrs) {
 	offsLen, validLen, xbufLen, midLen, pooledLen, ftileLen := fusedScratchLens(a)
 
 	tasks := n * tilesH * tilesW
-	if Workers <= 1 || tasks <= 1 {
+	if ctx.Done() == nil && (Workers <= 1 || tasks <= 1) {
 		// Serial fast path: constructing fr here (not shared with the
 		// parallel branch) keeps it on the stack, so steady-state inference
 		// allocates nothing.
@@ -108,7 +118,7 @@ func Fused(out, in *tensor.Tensor, a *ir.FusedAttrs) {
 			offsLen: offsLen, validLen: validLen, xbufLen: xbufLen,
 			midLen: midLen, pooledLen: pooledLen, ftileLen: ftileLen}
 		fr.run(0, tasks)
-		return
+		return nil
 	}
 	fr := fusedRun{out: out, in: in, a: a,
 		inC: inC, h: h, w: w, outC: outC, outH: outH, outW: outW,
@@ -117,7 +127,7 @@ func Fused(out, in *tensor.Tensor, a *ir.FusedAttrs) {
 		tilesH: tilesH, tilesW: tilesW,
 		offsLen: offsLen, validLen: validLen, xbufLen: xbufLen,
 		midLen: midLen, pooledLen: pooledLen, ftileLen: ftileLen}
-	parallelFor(tasks, fr.run)
+	return parallelForCtx(ctx, tasks, fr.run)
 }
 
 // fusedRun carries the per-invocation state of Fused so the worker body can

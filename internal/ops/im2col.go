@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"context"
+
 	"temco/internal/gemm"
 	"temco/internal/ir"
 	"temco/internal/tensor"
@@ -14,9 +16,15 @@ import (
 // steady-state inference does not allocate. Grouped convolutions fall back
 // to the direct kernel.
 func Conv2DIm2col(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) {
+	conv2DIm2colCtx(context.Background(), out, in, w, b, a)
+}
+
+// conv2DIm2colCtx is Conv2DIm2col with cancellation checks between batch
+// elements (and, via parallelForCtx, between per-worker sub-chunks). On
+// cancellation the output is partial and must be discarded.
+func conv2DIm2colCtx(ctx context.Context, out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) error {
 	if g := a.Groups; g > 1 {
-		Conv2D(out, in, w, b, a)
-		return
+		return conv2DCtx(ctx, out, in, w, b, a)
 	}
 	n := in.Dim(0)
 	inC, inH, inW := in.Dim(1), in.Dim(2), in.Dim(3)
@@ -27,7 +35,7 @@ func Conv2DIm2col(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) 
 	if n >= Workers && Workers > 1 {
 		// Enough batch elements to keep every worker busy: parallelize over
 		// the batch with a serial GEMM per element.
-		parallelFor(n, func(lo, hi int) {
+		return parallelForCtx(ctx, n, func(lo, hi int) {
 			colPtr := gemm.GetF32(rows * cols)
 			for bi := lo; bi < hi; bi++ {
 				im2col(*colPtr, in, bi, inC, inH, inW, outH, outW, a)
@@ -37,17 +45,21 @@ func Conv2DIm2col(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) 
 			}
 			gemm.PutF32(colPtr)
 		})
-		return
 	}
 	// Few batch elements: run them in order and let the GEMM itself fan out.
 	colPtr := gemm.GetF32(rows * cols)
 	for bi := 0; bi < n; bi++ {
+		if err := ctx.Err(); err != nil {
+			gemm.PutF32(colPtr)
+			return err
+		}
 		im2col(*colPtr, in, bi, inC, inH, inW, outH, outW, a)
 		cSlab := out.Data[bi*outC*cols : (bi+1)*outC*cols]
 		beta := biasFill(cSlab, cols, b)
 		gemm.Gemm(outC, cols, rows, 1, w.Data, rows, *colPtr, cols, beta, cSlab, cols)
 	}
 	gemm.PutF32(colPtr)
+	return nil
 }
 
 // biasFill prepares a [rows × cols] output slab for a beta-accumulating
@@ -106,25 +118,34 @@ func im2col(colBuf []float32, in *tensor.Tensor, bi, inC, inH, inW, outH, outW i
 // every lconv/fconv the decomposition emits, so it carries most of the
 // decomposed models' FLOPs.
 func Conv2D1x1(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) {
+	conv2D1x1Ctx(context.Background(), out, in, w, b, a)
+}
+
+// conv2D1x1Ctx is Conv2D1x1 with cancellation checks between batch
+// elements. On cancellation the output is partial and must be discarded.
+func conv2D1x1Ctx(ctx context.Context, out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) error {
 	n := in.Dim(0)
 	inC := in.Dim(1)
 	hw := in.Dim(2) * in.Dim(3)
 	outC := out.Dim(1)
 	if n >= Workers && Workers > 1 {
-		parallelFor(n, func(lo, hi int) {
+		return parallelForCtx(ctx, n, func(lo, hi int) {
 			for bi := lo; bi < hi; bi++ {
 				cSlab := out.Data[bi*outC*hw : (bi+1)*outC*hw]
 				beta := biasFill(cSlab, hw, b)
 				gemm.Serial(outC, hw, inC, 1, w.Data, inC, in.Data[bi*inC*hw:(bi+1)*inC*hw], hw, beta, cSlab, hw)
 			}
 		})
-		return
 	}
 	for bi := 0; bi < n; bi++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cSlab := out.Data[bi*outC*hw : (bi+1)*outC*hw]
 		beta := biasFill(cSlab, hw, b)
 		gemm.Gemm(outC, hw, inC, 1, w.Data, inC, in.Data[bi*inC*hw:(bi+1)*inC*hw], hw, beta, cSlab, hw)
 	}
+	return nil
 }
 
 // is1x1Pointwise reports whether the conv is a pure channel mixing that
@@ -143,18 +164,26 @@ func is1x1Pointwise(a *ir.ConvAttrs) bool {
 // at least 64 output pixels and 4 input channels, below which the direct
 // loop's smaller working set wins. Grouped convs always run direct.
 func ConvAuto(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) {
+	ConvAutoCtx(context.Background(), out, in, w, b, a)
+}
+
+// ConvAutoCtx is ConvAuto with the context threaded into the kernel: long
+// convolutions check ctx periodically (between output tiles / batch
+// elements) and return ctx.Err() once it is canceled, so a canceled
+// request stops mid-node instead of finishing the current conv. On a
+// non-nil return the output tensor holds partial garbage and must be
+// discarded. A context that cannot be canceled costs nothing.
+func ConvAutoCtx(ctx context.Context, out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs) error {
 	g := a.Groups
 	if g == 0 {
 		g = 1
 	}
 	outHW := out.Dim(2) * out.Dim(3)
 	if is1x1Pointwise(a) && outHW*a.InC >= 256 {
-		Conv2D1x1(out, in, w, b, a)
-		return
+		return conv2D1x1Ctx(ctx, out, in, w, b, a)
 	}
 	if g == 1 && a.KH*a.KW > 1 && outHW >= 64 && a.InC >= 4 {
-		Conv2DIm2col(out, in, w, b, a)
-		return
+		return conv2DIm2colCtx(ctx, out, in, w, b, a)
 	}
-	Conv2D(out, in, w, b, a)
+	return conv2DCtx(ctx, out, in, w, b, a)
 }

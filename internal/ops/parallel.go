@@ -5,12 +5,15 @@
 package ops
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"temco/internal/gemm"
+	"temco/internal/guard"
 )
 
 // Workers is the degree of parallelism used by the kernels. It defaults to
@@ -33,19 +36,38 @@ func SetWorkers(n int) int {
 }
 
 // WorkersFromEnv applies the TEMCO_WORKERS environment override (used by
-// the CLIs): a positive integer sets the worker count, anything else is
-// ignored. It returns the worker count in effect afterwards.
-func WorkersFromEnv() int {
-	if s := os.Getenv("TEMCO_WORKERS"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
-			return SetWorkers(v)
-		}
+// the CLIs). Unset or empty leaves the worker count unchanged. A value that
+// is not a positive integer is rejected with an error wrapping
+// guard.ErrInvalidModel — a typo in a deployment manifest must fail loudly,
+// not silently fall back to GOMAXPROCS. It returns the worker count in
+// effect afterwards.
+func WorkersFromEnv() (int, error) {
+	s := os.Getenv("TEMCO_WORKERS")
+	if s == "" {
+		return Workers, nil
 	}
-	return Workers
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return Workers, guard.Errorf(guard.ErrInvalidModel, "env",
+			"TEMCO_WORKERS=%q: want a positive integer", s)
+	}
+	return SetWorkers(v), nil
 }
+
+// cancelStride is how many tasks a worker runs between cancellation checks
+// in parallelForCtx. Tasks are coarse units (an output tile, a batch
+// element, a (batch, channel) plane), so even a modest stride bounds the
+// latency of honoring a canceled context to a few tiles' worth of work.
+const cancelStride = 32
 
 // parallelFor splits [0,n) into contiguous chunks and runs fn on each chunk
 // concurrently. fn must not retain the range beyond the call.
+//
+// A panic inside a worker is captured and re-raised on the calling
+// goroutine after all workers finish, so kernel panics behave identically
+// in serial and parallel runs and guard.Safe wrappers upstream can recover
+// them. Without this, a panic in a spawned worker would kill the process no
+// matter how many recover()s sit above the kernel call.
 func parallelFor(n int, fn func(lo, hi int)) {
 	w := Workers
 	if w < 1 {
@@ -62,6 +84,7 @@ func parallelFor(n int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var panicked atomic.Pointer[panicValue]
 	chunk := (n + w - 1) / w
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -71,8 +94,93 @@ func parallelFor(n int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer capturePanic(&panicked)
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	rethrow(&panicked)
+}
+
+// parallelForCtx is parallelFor with a periodic cancellation check: each
+// worker re-checks ctx every cancelStride tasks and abandons its remaining
+// range once the context is done, so a canceled request stops mid-node
+// instead of finishing the current conv. It returns ctx.Err() when the run
+// was cut short (the output tensor is then partially written and must be
+// discarded) and nil when every task ran.
+//
+// A context that can never be canceled (ctx.Done() == nil, e.g.
+// context.Background()) takes the plain parallelFor path and pays nothing.
+func parallelForCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
+	if ctx.Done() == nil {
+		parallelFor(n, fn)
+		return nil
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	var stop atomic.Bool
+	body := func(lo, hi int) {
+		for s := lo; s < hi; s += cancelStride {
+			if stop.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
+			e := s + cancelStride
+			if e > hi {
+				e = hi
+			}
+			fn(s, e)
+		}
+	}
+	if w == 1 {
+		body(0, n)
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[panicValue]
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer capturePanic(&panicked)
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	rethrow(&panicked)
+	return ctx.Err()
+}
+
+// panicValue carries a worker goroutine's panic back to the caller.
+type panicValue struct{ v any }
+
+// capturePanic records a recovered panic into p (first writer wins). It
+// must be deferred directly so recover() sees the worker's panic.
+func capturePanic(p *atomic.Pointer[panicValue]) {
+	if r := recover(); r != nil {
+		p.CompareAndSwap(nil, &panicValue{v: r})
+	}
+}
+
+// rethrow re-raises a captured worker panic on the calling goroutine.
+func rethrow(p *atomic.Pointer[panicValue]) {
+	if pv := p.Load(); pv != nil {
+		panic(pv.v)
+	}
 }

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the optimized graph is healthy and serving.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the optimized graph tripped; everything runs on the
+	// fallback until the probe interval elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the probe interval elapsed; exactly one request is
+	// allowed through on the optimized graph to test recovery.
+	BreakerHalfOpen
+)
+
+// String renders the state for stats endpoints and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is the classic closed → open → half-open → closed circuit
+// breaker guarding the TeMCO-optimized graph. Threshold consecutive
+// failures trip it open; after probeInterval one probe request is let
+// through on the optimized graph, and its outcome decides between closing
+// the breaker and re-opening it for another interval. Safe for concurrent
+// use: concurrent trippers and probers serialize on the mutex, and at most
+// one probe is in flight at a time.
+type breaker struct {
+	threshold     int
+	probeInterval time.Duration
+	now           func() time.Time // injectable clock for deterministic tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive optimized-graph failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	trips      uint64
+	probes     uint64
+	probeFails uint64
+}
+
+func newBreaker(threshold int, probeInterval time.Duration) *breaker {
+	return &breaker{threshold: threshold, probeInterval: probeInterval, now: time.Now}
+}
+
+// allow decides the graph for the next request: useOptimized reports
+// whether to run the optimized graph, and probe whether this request is the
+// recovery probe (its outcome must be reported via record with probe=true).
+func (b *breaker) allow() (useOptimized, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.probeInterval {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true, true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		b.probes++
+		return true, true
+	}
+}
+
+// record reports the outcome of a request that ran on the optimized graph.
+// Requests served by the fallback never call record: fallback failures are
+// the caller's to classify and must not move the breaker.
+func (b *breaker) record(probe, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if success {
+			b.state = BreakerClosed
+			b.fails = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.probeFails++
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		// A non-probe optimized run raced with the trip: its outcome is
+		// stale, the breaker has already decided.
+		return
+	}
+	if success {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+		b.fails = 0
+	}
+}
+
+// snapshot returns the current state and counters.
+func (b *breaker) snapshot() (state BreakerState, trips, probes, probeFails uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips, b.probes, b.probeFails
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(threshold int, probe time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, probe)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerFullCycle(t *testing.T) {
+	b, clk := testBreaker(3, time.Second)
+
+	// Closed: everything runs optimized; sub-threshold failures stay closed.
+	for i := 0; i < 2; i++ {
+		useOpt, probe := b.allow()
+		if !useOpt || probe {
+			t.Fatalf("closed breaker must allow optimized, got useOpt=%v probe=%v", useOpt, probe)
+		}
+		b.record(false, false)
+	}
+	if st, _, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("2/3 failures must stay closed, got %v", st)
+	}
+
+	// Third consecutive failure trips it open.
+	b.allow()
+	b.record(false, false)
+	st, trips, _, _ := b.snapshot()
+	if st != BreakerOpen || trips != 1 {
+		t.Fatalf("want open after threshold, got %v trips=%d", st, trips)
+	}
+
+	// Open: requests are routed to the fallback until the interval elapses.
+	if useOpt, _ := b.allow(); useOpt {
+		t.Fatal("open breaker must route to fallback")
+	}
+
+	// After the probe interval, exactly one probe goes through.
+	clk.advance(time.Second + time.Millisecond)
+	useOpt, probe := b.allow()
+	if !useOpt || !probe {
+		t.Fatalf("want a probe after the interval, got useOpt=%v probe=%v", useOpt, probe)
+	}
+	if useOpt2, probe2 := b.allow(); useOpt2 || probe2 {
+		t.Fatal("only one probe may be in flight; concurrent requests must use the fallback")
+	}
+
+	// Failed probe: back to open for another interval.
+	b.record(true, false)
+	st, _, probes, probeFails := b.snapshot()
+	if st != BreakerOpen || probes != 1 || probeFails != 1 {
+		t.Fatalf("failed probe must re-open: %v probes=%d fails=%d", st, probes, probeFails)
+	}
+	if useOpt, _ := b.allow(); useOpt {
+		t.Fatal("must stay on fallback right after a failed probe")
+	}
+
+	// Next interval: successful probe closes the breaker.
+	clk.advance(time.Second + time.Millisecond)
+	if useOpt, probe := b.allow(); !useOpt || !probe {
+		t.Fatalf("want second probe, got useOpt=%v probe=%v", useOpt, probe)
+	}
+	b.record(true, true)
+	if st, _, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("successful probe must close, got %v", st)
+	}
+	if useOpt, probe := b.allow(); !useOpt || probe {
+		t.Fatal("closed again: optimized, no probe")
+	}
+	// A success resets the consecutive-failure count.
+	b.record(false, true)
+	b.allow()
+	b.record(false, false)
+	if st, _, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatal("one failure after reset must not trip")
+	}
+}
+
+// Concurrent trippers: many goroutines reporting failures at once must trip
+// the breaker exactly once and leave consistent state. Run under -race.
+func TestBreakerConcurrentTrippers(t *testing.T) {
+	b, _ := testBreaker(3, time.Hour)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				useOpt, probe := b.allow()
+				if useOpt {
+					b.record(probe, false)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st, trips, _, _ := b.snapshot()
+	if st != BreakerOpen {
+		t.Fatalf("want open, got %v", st)
+	}
+	if trips != 1 {
+		t.Fatalf("concurrent failures must trip exactly once, got %d", trips)
+	}
+}
+
+// Stale results from optimized runs that raced with the trip must not
+// disturb the open breaker.
+func TestBreakerIgnoresStaleRecords(t *testing.T) {
+	b, _ := testBreaker(1, time.Hour)
+	b.allow()
+	b.record(false, false) // trips
+	b.record(false, true)  // stale success from a racing request
+	if st, _, _, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("stale non-probe success must not close the breaker, got %v", st)
+	}
+}

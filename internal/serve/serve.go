@@ -1,0 +1,374 @@
+// Package serve is the fault-tolerant inference serving tier. A Session
+// wraps a compiled graph pair — the TeMCO-optimized graph and its
+// unoptimized fallback — behind a bounded priority admission queue and a
+// worker pool running exec.RunCtx with per-request deadlines. Failures are
+// absorbed in layers:
+//
+//   - admission control: a full queue sheds load immediately with
+//     guard.ErrOverloaded instead of growing latency without bound;
+//   - retries: retryable failures (memory budget pressure, transient
+//     kernel panics) are retried with exponential backoff inside the
+//     request's deadline;
+//   - degradation: when the optimized graph keeps faulting, a circuit
+//     breaker trips and traffic falls back to the unoptimized graph, with
+//     periodic probes deciding when to switch back;
+//   - cancellation: deadlines propagate into the kernels themselves, so a
+//     canceled request stops mid-conv rather than finishing the node.
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"temco/internal/exec"
+	"temco/internal/guard"
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// Config tunes a Session. Zero values take the documented defaults.
+type Config struct {
+	// QueueSize bounds the admission queue; a full queue sheds load with
+	// guard.ErrOverloaded. Default 64.
+	QueueSize int
+	// Workers is the number of concurrent executor goroutines. Default 2.
+	Workers int
+	// DefaultTimeout applies to requests that carry no deadline of their
+	// own. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxRetries is how many times a retryable failure (budget exceeded,
+	// transient kernel panic) is retried before the request fails.
+	// Default 2; a negative value disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry's backoff; it doubles per attempt.
+	// Default 2ms.
+	RetryBackoff time.Duration
+	// BudgetBytes is the per-request peak-memory budget handed to
+	// exec.RunCtx (0 = unlimited).
+	BudgetBytes int64
+	// BreakerThreshold is how many consecutive optimized-graph failures
+	// trip the circuit breaker. Default 3.
+	BreakerThreshold int
+	// ProbeInterval is how long the breaker stays open before letting one
+	// probe request test the optimized graph again. Default 1s.
+	ProbeInterval time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+}
+
+// Request is one inference call.
+type Request struct {
+	// Inputs are the graph inputs (one batched tensor per graph input).
+	Inputs []*tensor.Tensor
+	// Priority orders the request in the admission queue.
+	Priority Priority
+	// Timeout is the per-request deadline measured from admission;
+	// zero takes Config.DefaultTimeout. The caller context's own deadline
+	// applies on top.
+	Timeout time.Duration
+}
+
+// Response is a completed inference.
+type Response struct {
+	// Outputs are the graph outputs, in graph order.
+	Outputs []*tensor.Tensor
+	// Degraded reports that the fallback (unoptimized) graph served this
+	// request because the optimized graph's breaker was open.
+	Degraded bool
+	// Retries is how many failed attempts preceded the successful one.
+	Retries int
+	// Queued and Exec split the request's latency into time waiting for a
+	// worker and time executing (including retries and backoff).
+	Queued, Exec time.Duration
+}
+
+// Stats is a point-in-time snapshot of a Session's counters.
+type Stats struct {
+	Accepted       uint64 `json:"accepted"`
+	Shed           uint64 `json:"shed"`
+	Completed      uint64 `json:"completed"`
+	Failed         uint64 `json:"failed"`
+	Retries        uint64 `json:"retries"`
+	DegradedServed uint64 `json:"degraded_served"`
+	QueueDepth     int    `json:"queue_depth"`
+	QueueCap       int    `json:"queue_cap"`
+	InFlight       int64  `json:"in_flight"`
+	Workers        int    `json:"workers"`
+	Breaker        string `json:"breaker"`
+	BreakerTrips   uint64 `json:"breaker_trips"`
+	Probes         uint64 `json:"probes"`
+	ProbeFailures  uint64 `json:"probe_failures"`
+	Draining       bool   `json:"draining"`
+}
+
+// Session is a concurrent inference session over an optimized graph and
+// its unoptimized fallback. Safe for concurrent use by any number of
+// callers.
+type Session struct {
+	opt, fb *ir.Graph
+	cfg     Config
+	q       *queue
+	br      *breaker
+
+	// baseCtx is canceled on forced shutdown; every request context hangs
+	// off it so in-flight kernels stop mid-node when draining times out.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	workers  sync.WaitGroup
+	draining atomic.Bool
+
+	accepted, shed, completed, failed atomic.Uint64
+	retries, degradedServed           atomic.Uint64
+	inFlight                          atomic.Int64
+}
+
+// New builds a Session serving the optimized graph with the given fallback.
+// The two graphs must be interchangeable: same input and output arity (the
+// fallback is typically the decomposed-but-unoptimized graph the optimizer
+// started from). Workers start immediately; the caller owns Close.
+func New(optimized, fallback *ir.Graph, cfg Config) (*Session, error) {
+	if optimized == nil || fallback == nil {
+		return nil, guard.Errorf(guard.ErrInvalidModel, "serve.New", "nil graph")
+	}
+	if len(optimized.Inputs) != len(fallback.Inputs) || len(optimized.Outputs) != len(fallback.Outputs) {
+		return nil, guard.Errorf(guard.ErrInvalidModel, "serve.New",
+			"fallback not interchangeable: %d/%d inputs, %d/%d outputs",
+			len(fallback.Inputs), len(optimized.Inputs), len(fallback.Outputs), len(optimized.Outputs))
+	}
+	cfg.applyDefaults()
+	s := &Session{
+		opt: optimized,
+		fb:  fallback,
+		cfg: cfg,
+		q:   newQueue(cfg.QueueSize),
+		br:  newBreaker(cfg.BreakerThreshold, cfg.ProbeInterval),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Infer admits req, waits for a worker to execute it, and returns the
+// outputs. Failure classification (all via errors.Is):
+//
+//   - guard.ErrOverloaded: queue full or session draining — shed before
+//     any execution; retry later.
+//   - guard.ErrCanceled: the deadline or caller context expired, whether
+//     queued or mid-kernel.
+//   - guard.ErrDegraded: the breaker was open and the fallback failed too
+//     (wraps the fallback's underlying error).
+//   - guard.ErrBudgetExceeded / guard.ErrInternal: the request exhausted
+//     its retries on the serving graph.
+func (s *Session) Infer(ctx context.Context, req Request) (*Response, error) {
+	if len(req.Inputs) == 0 {
+		return nil, guard.Errorf(guard.ErrInvalidModel, "serve.Infer", "request has no inputs")
+	}
+	if s.draining.Load() {
+		s.shed.Add(1)
+		return nil, guard.Errorf(guard.ErrOverloaded, "serve.Infer", "session draining")
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	// Forced shutdown cancels every in-flight request via baseCtx.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	it := &item{ctx: rctx, req: &req, enq: time.Now(), done: make(chan result, 1)}
+	if !s.q.push(it) {
+		s.shed.Add(1)
+		return nil, guard.Errorf(guard.ErrOverloaded, "serve.Infer",
+			"admission queue full (%d queued)", s.cfg.QueueSize)
+	}
+	s.accepted.Add(1)
+	select {
+	case r := <-it.done:
+		return r.resp, r.err
+	case <-rctx.Done():
+		// Still queued (or mid-run): the worker observes the canceled
+		// context and abandons the work; the buffered done channel keeps
+		// its delivery from blocking.
+		return nil, guard.New(guard.ErrCanceled, "serve.Infer", rctx.Err())
+	}
+}
+
+// worker drains the admission queue until the session closes.
+func (s *Session) worker() {
+	defer s.workers.Done()
+	for {
+		it, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.inFlight.Add(1)
+		resp, err := s.process(it)
+		s.inFlight.Add(-1)
+		if err != nil {
+			s.failed.Add(1)
+		} else {
+			s.completed.Add(1)
+		}
+		it.done <- result{resp: resp, err: err}
+	}
+}
+
+// retryable reports whether a failure class is worth retrying: memory
+// budget pressure is transient (concurrent requests release their tensors)
+// and recovered kernel panics may be transient faults.
+func retryable(err error) bool {
+	return errors.Is(err, guard.ErrBudgetExceeded) || errors.Is(err, guard.ErrInternal)
+}
+
+// process executes one admitted request: breaker-routed graph choice,
+// bounded retries with exponential backoff, degradation classification.
+func (s *Session) process(it *item) (*Response, error) {
+	queued := time.Since(it.enq)
+	if err := it.ctx.Err(); err != nil {
+		return nil, guard.New(guard.ErrCanceled, "serve.process", err)
+	}
+	start := time.Now()
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		useOpt, probe := s.br.allow()
+		g := s.opt
+		if !useOpt {
+			g = s.fb
+		}
+		res, err := exec.RunCtx(it.ctx, g, s.cfg.BudgetBytes, it.req.Inputs...)
+		canceled := err != nil && errors.Is(err, guard.ErrCanceled)
+		if useOpt {
+			if probe {
+				// A canceled probe proves nothing about recovery: count it
+				// as a failed probe and keep the breaker open.
+				s.br.record(true, err == nil)
+			} else if !canceled {
+				s.br.record(false, err == nil)
+			}
+		}
+		if err == nil {
+			if !useOpt {
+				s.degradedServed.Add(1)
+			}
+			return &Response{
+				Outputs:  res.Outputs,
+				Degraded: !useOpt,
+				Retries:  retries,
+				Queued:   queued,
+				Exec:     time.Since(start),
+			}, nil
+		}
+		if canceled {
+			return nil, err
+		}
+		if !retryable(err) || attempt >= s.cfg.MaxRetries {
+			if !useOpt {
+				// Degraded mode and the fallback failed too: the service
+				// has nothing left to serve this request with.
+				return nil, guard.New(guard.ErrDegraded, "serve.fallback", err)
+			}
+			return nil, err
+		}
+		retries++
+		s.retries.Add(1)
+		backoff := s.cfg.RetryBackoff << uint(attempt)
+		t := time.NewTimer(backoff)
+		select {
+		case <-it.ctx.Done():
+			t.Stop()
+			return nil, guard.New(guard.ErrCanceled, "serve.process", it.ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// Stats snapshots the session's counters.
+func (s *Session) Stats() Stats {
+	state, trips, probes, probeFails := s.br.snapshot()
+	return Stats{
+		Accepted:       s.accepted.Load(),
+		Shed:           s.shed.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Retries:        s.retries.Load(),
+		DegradedServed: s.degradedServed.Load(),
+		QueueDepth:     s.q.depth(),
+		QueueCap:       s.cfg.QueueSize,
+		InFlight:       s.inFlight.Load(),
+		Workers:        s.cfg.Workers,
+		Breaker:        state.String(),
+		BreakerTrips:   trips,
+		Probes:         probes,
+		ProbeFailures:  probeFails,
+		Draining:       s.draining.Load(),
+	}
+}
+
+// Ready reports whether the session accepts new requests.
+func (s *Session) Ready() bool { return !s.draining.Load() }
+
+// Degraded reports whether the optimized graph's breaker is currently not
+// closed (requests are or may be served by the fallback).
+func (s *Session) Degraded() bool {
+	state, _, _, _ := s.br.snapshot()
+	return state != BreakerClosed
+}
+
+// Close drains the session: admission stops immediately (new Infer calls
+// shed with guard.ErrOverloaded), queued and in-flight requests run to
+// completion, then the workers exit. If ctx expires first, the remaining
+// work is force-canceled (in-flight kernels stop mid-node) and Close
+// returns an error wrapping guard.ErrCanceled after the workers exit.
+// Close is idempotent; concurrent calls all wait for the drain.
+func (s *Session) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.close()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return guard.New(guard.ErrCanceled, "serve.Close", ctx.Err())
+	}
+}

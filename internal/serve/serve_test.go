@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"temco/internal/exec"
+	"temco/internal/faultinject"
+	"temco/internal/guard"
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// buildGraph builds a small conv model under the given name. Identical
+// seeds give the optimized/fallback pair identical weights, so outputs are
+// numerically interchangeable — only the graph names (the fault-injection
+// scopes) differ.
+func buildGraph(name string) *ir.Graph {
+	b := ir.NewBuilder(name, 13)
+	in := b.Input(3, 16, 16)
+	x := b.ReLU(b.Conv(in, 8, 3, 1, 1))
+	x = b.MaxPool(x, 2, 2)
+	x = b.ReLU(b.Conv(x, 8, 3, 1, 1))
+	b.Output(x)
+	return b.G
+}
+
+func servePair() (opt, fb *ir.Graph) {
+	return buildGraph("opt-graph"), buildGraph("fb-graph")
+}
+
+func serveInput(g *ir.Graph, seed uint64) *tensor.Tensor {
+	x := tensor.New(append([]int{1}, g.Inputs[0].Shape...)...)
+	x.FillNormal(tensor.NewRNG(seed), 0, 1)
+	return x
+}
+
+func newTestSession(t *testing.T, cfg Config) (*Session, *ir.Graph, *ir.Graph) {
+	t.Helper()
+	opt, fb := servePair()
+	s, err := New(opt, fb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return s, opt, fb
+}
+
+func TestInferMatchesDirectRun(t *testing.T) {
+	s, opt, _ := newTestSession(t, Config{})
+	x := serveInput(opt, 7)
+	resp, err := s.Infer(context.Background(), Request{Inputs: []*tensor.Tensor{x}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || resp.Retries != 0 {
+		t.Fatalf("healthy session: degraded=%v retries=%d", resp.Degraded, resp.Retries)
+	}
+	want, err := exec.Run(opt, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want.Outputs[0], resp.Outputs[0]); d != 0 {
+		t.Fatalf("served output deviates from direct run by %v", d)
+	}
+}
+
+func TestInferRejectsEmptyRequest(t *testing.T) {
+	s, _, _ := newTestSession(t, Config{})
+	_, err := s.Infer(context.Background(), Request{})
+	if !errors.Is(err, guard.ErrInvalidModel) {
+		t.Fatalf("want ErrInvalidModel, got %v", err)
+	}
+}
+
+func TestNewRejectsMismatchedFallback(t *testing.T) {
+	opt := buildGraph("a")
+	b := ir.NewBuilder("b", 13)
+	in := b.Input(3, 16, 16)
+	b.Output(b.ReLU(in))
+	b.Output(b.Sigmoid(in))
+	if _, err := New(opt, b.G, Config{}); !errors.Is(err, guard.ErrInvalidModel) {
+		t.Fatalf("want ErrInvalidModel for mismatched arity, got %v", err)
+	}
+}
+
+// A full admission queue must shed load immediately with ErrOverloaded.
+func TestOverloadShedding(t *testing.T) {
+	faultinject.Enable(faultinject.Config{
+		Seed: 1, Scope: "opt-graph", SlowRate: 1, SlowDelay: 50 * time.Millisecond,
+	})
+	defer faultinject.Disable()
+	s, opt, _ := newTestSession(t, Config{Workers: 1, QueueSize: 1})
+
+	type out struct{ err error }
+	results := make(chan out, 6)
+	for i := 0; i < 6; i++ {
+		go func(seed uint64) {
+			_, err := s.Infer(context.Background(), Request{Inputs: []*tensor.Tensor{serveInput(opt, seed)}})
+			results <- out{err}
+		}(uint64(i))
+	}
+	var ok, shed int
+	for i := 0; i < 6; i++ {
+		r := <-results
+		switch {
+		case r.err == nil:
+			ok++
+		case errors.Is(r.err, guard.ErrOverloaded):
+			shed++
+		default:
+			t.Fatalf("unexpected error: %v", r.err)
+		}
+	}
+	// 1 worker + 1 queue slot: at least 4 of 6 concurrent requests shed
+	// (5 when all pushes land before the worker wakes).
+	if shed < 4 || ok < 1 {
+		t.Fatalf("want >=4 shed and >=1 served, got shed=%d ok=%d", shed, ok)
+	}
+	if st := s.Stats(); st.Shed == 0 || st.Accepted == 0 {
+		t.Fatalf("stats must count sheds and admissions: %+v", st)
+	}
+}
+
+// A request deadline must cancel execution (mid-node via the kernel
+// cancellation checks) and surface as ErrCanceled.
+func TestRequestDeadline(t *testing.T) {
+	faultinject.Enable(faultinject.Config{
+		Seed: 1, Scope: "opt-graph", SlowRate: 1, SlowDelay: 60 * time.Millisecond,
+	})
+	defer faultinject.Disable()
+	s, opt, _ := newTestSession(t, Config{Workers: 1})
+	_, err := s.Infer(context.Background(), Request{
+		Inputs:  []*tensor.Tensor{serveInput(opt, 1)},
+		Timeout: 20 * time.Millisecond,
+	})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// High-priority requests must jump the queue.
+func TestQueuePriorityOrdering(t *testing.T) {
+	q := newQueue(8)
+	mk := func(p Priority) *item {
+		return &item{req: &Request{Priority: p}, done: make(chan result, 1)}
+	}
+	low, norm1, norm2, high := mk(PriorityLow), mk(PriorityNormal), mk(PriorityNormal), mk(PriorityHigh)
+	for _, it := range []*item{low, norm1, norm2, high} {
+		if !q.push(it) {
+			t.Fatal("push into non-full queue failed")
+		}
+	}
+	wantOrder := []*item{high, norm1, norm2, low}
+	for i, want := range wantOrder {
+		got, ok := q.pop()
+		if !ok || got != want {
+			t.Fatalf("pop %d: got %v (ok=%v), want item with priority %d", i, got, ok, want.req.Priority)
+		}
+	}
+}
+
+// Retryable faults on the optimized graph: the request retries, trips the
+// breaker, falls back, and succeeds degraded. After injection stops, a
+// probe closes the breaker within one interval.
+func TestDegradationAndRecovery(t *testing.T) {
+	faultinject.Enable(faultinject.Config{Seed: 9, Scope: "opt-graph", KernelPanicRate: 1})
+	s, opt, _ := newTestSession(t, Config{
+		Workers: 1, MaxRetries: 2, RetryBackoff: time.Millisecond,
+		BreakerThreshold: 2, ProbeInterval: 50 * time.Millisecond,
+	})
+	x := []*tensor.Tensor{serveInput(opt, 3)}
+
+	// Attempt 1 and 2 fail on the optimized graph (trips at threshold 2);
+	// the second retry runs on the fallback and succeeds.
+	resp, err := s.Infer(context.Background(), Request{Inputs: x})
+	if err != nil {
+		t.Fatalf("request must degrade to fallback, got %v", err)
+	}
+	if !resp.Degraded || resp.Retries != 2 {
+		t.Fatalf("want degraded response after 2 retries, got degraded=%v retries=%d", resp.Degraded, resp.Retries)
+	}
+	st := s.Stats()
+	if st.BreakerTrips != 1 || st.Breaker != "open" || st.DegradedServed != 1 {
+		t.Fatalf("breaker must be open after the trip: %+v", st)
+	}
+
+	// While open, requests go straight to the fallback: no retries burned.
+	resp, err = s.Infer(context.Background(), Request{Inputs: x})
+	if err != nil || !resp.Degraded || resp.Retries != 0 {
+		t.Fatalf("open breaker must serve fallback directly: %v %+v", err, resp)
+	}
+
+	// Injection stops; within one probe interval a probe must close the
+	// breaker and serving returns to the optimized graph.
+	faultinject.Disable()
+	deadline := time.Now().Add(s.cfg.ProbeInterval + 2*time.Second)
+	for {
+		resp, err = s.Infer(context.Background(), Request{Inputs: x})
+		if err == nil && !resp.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery within %v: err=%v stats=%+v", s.cfg.ProbeInterval, err, s.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := s.Stats(); st.Breaker != "closed" || st.Probes == 0 {
+		t.Fatalf("breaker must close via a probe: %+v", st)
+	}
+}
+
+// When the breaker is open and the fallback fails too, the error must wrap
+// ErrDegraded (and keep the underlying kind visible).
+func TestFallbackFailureIsDegraded(t *testing.T) {
+	faultinject.Enable(faultinject.Config{Seed: 4, KernelPanicRate: 1}) // unscoped: both graphs fault
+	defer faultinject.Disable()
+	s, opt, _ := newTestSession(t, Config{
+		Workers: 1, MaxRetries: -1, BreakerThreshold: 1, ProbeInterval: time.Hour,
+	})
+	x := []*tensor.Tensor{serveInput(opt, 5)}
+
+	// First request fails on the optimized graph and trips the breaker.
+	_, err := s.Infer(context.Background(), Request{Inputs: x})
+	if !errors.Is(err, guard.ErrInternal) || errors.Is(err, guard.ErrDegraded) {
+		t.Fatalf("first failure ran on optimized: want bare ErrInternal, got %v", err)
+	}
+	// Second request runs on the (also faulting) fallback: degraded.
+	_, err = s.Infer(context.Background(), Request{Inputs: x})
+	if !errors.Is(err, guard.ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	if !errors.Is(err, guard.ErrInternal) {
+		t.Fatalf("underlying kind must stay visible through ErrDegraded: %v", err)
+	}
+	if guard.ExitCode(err) != guard.ExitDegraded {
+		t.Fatalf("exit code must classify as degraded, got %d", guard.ExitCode(err))
+	}
+}
+
+// Close drains queued work, sheds new work, and is idempotent.
+func TestCloseDrainsAndSheds(t *testing.T) {
+	opt, fb := servePair()
+	s, err := New(opt, fb, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []*tensor.Tensor{serveInput(opt, 2)}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Infer(context.Background(), Request{Inputs: x})
+		done <- err
+	}()
+	// Give the request a chance to be admitted before draining.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request must complete during drain: %v", err)
+	}
+	if _, err := s.Infer(context.Background(), Request{Inputs: x}); !errors.Is(err, guard.ErrOverloaded) {
+		t.Fatalf("post-close Infer must shed, got %v", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+}

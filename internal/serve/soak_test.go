@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"temco/internal/faultinject"
+	"temco/internal/guard"
+	"temco/internal/tensor"
+)
+
+// soakDuration is how long the fault-injection phase hammers the session.
+// CI sets TEMCO_SOAK=30s; the default keeps local `go test` fast.
+func soakDuration() time.Duration {
+	if s := os.Getenv("TEMCO_SOAK"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			return d
+		}
+	}
+	return 1500 * time.Millisecond
+}
+
+// TestSoakFaultInjection is the acceptance soak: 8 concurrent clients
+// hammer a session whose optimized graph suffers seeded kernel panics and
+// memory-budget failures at a combined ~13% per-node rate. The session must
+// return zero malformed responses, never crash, shed load with
+// ErrOverloaded when the queue is full, degrade to the fallback graph after
+// the breaker trips, recover within one probe interval after injection
+// stops, and leak no goroutines. Run under -race in CI.
+func TestSoakFaultInjection(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	opt, fb := servePair()
+	probeInterval := 50 * time.Millisecond
+	s, err := New(opt, fb, Config{
+		QueueSize: 2, Workers: 2,
+		MaxRetries: 1, RetryBackoff: 500 * time.Microsecond,
+		BreakerThreshold: 3, ProbeInterval: probeInterval,
+		DefaultTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.Enable(faultinject.Config{
+		Seed:            42,
+		Scope:           "opt-graph",
+		KernelPanicRate: 0.08,
+		BudgetRate:      0.05,
+	})
+	defer faultinject.Disable()
+
+	const clients = 8
+	var (
+		ok, shed, degradedOK       atomic.Uint64
+		failInternal, failBudget   atomic.Uint64
+		failDegraded, failCanceled atomic.Uint64
+		malformed                  atomic.Uint64
+		firstMalformed             sync.Once
+		malformedDesc              string
+	)
+	outElems := 1
+	for _, d := range opt.Outputs[0].Shape {
+		outElems *= d
+	}
+
+	deadline := time.Now().Add(soakDuration())
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := 0
+			for time.Now().Before(deadline) {
+				i++
+				x := serveInput(opt, uint64(c*100003+i))
+				resp, err := s.Infer(context.Background(), Request{
+					Inputs:   []*tensor.Tensor{x},
+					Priority: Priority(i%3 - 1),
+				})
+				if err == nil {
+					// A well-formed response: one output of the right size,
+					// every element finite.
+					bad := ""
+					if len(resp.Outputs) != 1 {
+						bad = "wrong output count"
+					} else if resp.Outputs[0].Len() != outElems {
+						bad = "wrong output size"
+					} else {
+						for _, v := range resp.Outputs[0].Data {
+							if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+								bad = "non-finite output"
+								break
+							}
+						}
+					}
+					if bad != "" {
+						malformed.Add(1)
+						firstMalformed.Do(func() { malformedDesc = bad })
+						continue
+					}
+					ok.Add(1)
+					if resp.Degraded {
+						degradedOK.Add(1)
+					}
+					continue
+				}
+				// Every failure must carry exactly one well-defined serving
+				// classification.
+				switch {
+				case errors.Is(err, guard.ErrOverloaded):
+					shed.Add(1)
+				case errors.Is(err, guard.ErrDegraded):
+					failDegraded.Add(1)
+				case errors.Is(err, guard.ErrCanceled):
+					failCanceled.Add(1)
+				case errors.Is(err, guard.ErrBudgetExceeded):
+					failBudget.Add(1)
+				case errors.Is(err, guard.ErrInternal):
+					failInternal.Add(1)
+				default:
+					malformed.Add(1)
+					firstMalformed.Do(func() { malformedDesc = "untyped error: " + err.Error() })
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	cnt := inj.Snapshot()
+	t.Logf("soak: ok=%d (degraded=%d) shed=%d failInternal=%d failBudget=%d failDegraded=%d failCanceled=%d",
+		ok.Load(), degradedOK.Load(), shed.Load(), failInternal.Load(), failBudget.Load(), failDegraded.Load(), failCanceled.Load())
+	t.Logf("soak: stats=%+v injected=%+v", st, cnt)
+
+	if n := malformed.Load(); n != 0 {
+		t.Fatalf("%d malformed responses (first: %s)", n, malformedDesc)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("soak served nothing")
+	}
+	if cnt.KernelPanics == 0 || cnt.BudgetFailures == 0 {
+		t.Fatalf("injection never fired: %+v", cnt)
+	}
+	// 8 clients vs 2 workers + 2 queue slots: shedding must have occurred.
+	if shed.Load() == 0 || st.Shed == 0 {
+		t.Fatal("overload must shed with ErrOverloaded")
+	}
+	// The faulting optimized graph must have tripped the breaker and the
+	// fallback must have carried traffic.
+	if st.BreakerTrips == 0 {
+		t.Fatalf("breaker never tripped: %+v", st)
+	}
+	if degradedOK.Load() == 0 && st.DegradedServed == 0 {
+		t.Fatalf("fallback never served: %+v", st)
+	}
+	if failCanceled.Load() != 0 {
+		t.Fatalf("no deadlines configured to expire, yet %d canceled", failCanceled.Load())
+	}
+
+	// Recovery: injection stops; the breaker must close via a probe within
+	// one probe interval (plus scheduling slack) and serve non-degraded.
+	faultinject.Disable()
+	recoverBy := time.Now().Add(probeInterval + 2*time.Second)
+	recovered := false
+	for time.Now().Before(recoverBy) {
+		resp, err := s.Infer(context.Background(), Request{Inputs: []*tensor.Tensor{serveInput(opt, 1)}})
+		if err == nil && !resp.Degraded {
+			recovered = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatalf("no recovery after injection stopped: %+v", s.Stats())
+	}
+	if st := s.Stats(); st.Breaker != "closed" || st.Probes == 0 {
+		t.Fatalf("breaker must be closed via a probe after recovery: %+v", st)
+	}
+
+	// Drain and verify zero goroutine leaks.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain close: %v", err)
+	}
+	leakBy := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(leakBy) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
