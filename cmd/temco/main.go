@@ -28,9 +28,11 @@ import (
 	"time"
 
 	"flag"
+	"math"
 
 	"temco/internal/core"
 	"temco/internal/decompose"
+	"temco/internal/engine"
 	"temco/internal/exec"
 	"temco/internal/graphio"
 	"temco/internal/guard"
@@ -53,6 +55,7 @@ type options struct {
 	fusion   bool
 	trans    bool
 	verify   bool
+	engine   bool
 	dot      string
 	save     string
 	seed     uint64
@@ -73,6 +76,7 @@ func main() {
 		fusion    = flag.Bool("fusion", true, "enable activation layer fusion")
 		trans     = flag.Bool("transforms", true, "enable layer transformations")
 		verify    = flag.Bool("verify", false, "run both graphs on random data and compare outputs")
+		engineOn  = flag.Bool("engine", true, "with -verify, also run the compiled engine and require bit-identical outputs")
 		dot       = flag.String("dot", "", "write the optimized graph in DOT format to this file")
 		save      = flag.String("save", "", "write the optimized graph (weights included) to this file")
 		seed      = flag.Uint64("seed", 42, "weight initialization seed")
@@ -94,6 +98,7 @@ func main() {
 	o, err := validate(*model, *res, *classes, *batch, *ratio, *method, *timeout, *membudget)
 	if err == nil {
 		o.skipOpt, o.fusion, o.trans, o.verify = *skipOpt, *fusion, *trans, *verify
+		o.engine = *engineOn
 		o.dot, o.save, o.seed = *dot, *save, *seed
 		err = run(o)
 	}
@@ -195,6 +200,25 @@ func run(o options) error {
 		if d > 0.05 {
 			return fmt.Errorf("verification failed: outputs deviate by %v", d)
 		}
+		if o.engine {
+			// The interpreter result above is the reference; the compiled
+			// engine must reproduce it bit for bit (budget enforcement
+			// already happened on the interpreter run).
+			eng, err := engine.Compile(og, engine.Options{Batch: x.Dim(0)})
+			if err != nil {
+				return err
+			}
+			re, err := eng.Run(ctx, x)
+			if err != nil {
+				return err
+			}
+			for i, w := range ro.Outputs {
+				if !bitIdentical(re.Outputs[i], w) {
+					return fmt.Errorf("verification failed: compiled engine output %d differs from interpreter", i)
+				}
+			}
+			fmt.Printf("verify: compiled engine bit-identical to interpreter (%d outputs)\n", len(ro.Outputs))
+		}
 	}
 	if o.dot != "" {
 		if err := os.WriteFile(o.dot, []byte(og.DOT()), 0o644); err != nil {
@@ -214,6 +238,18 @@ func run(o options) error {
 		fmt.Printf("wrote %s\n", o.save)
 	}
 	return nil
+}
+
+func bitIdentical(a, b *tensor.Tensor) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func report(label string, g *ir.Graph, batch int) {

@@ -42,7 +42,9 @@ import (
 
 	"temco/internal/core"
 	"temco/internal/decompose"
+	"temco/internal/engine"
 	"temco/internal/faultinject"
+	"temco/internal/gemm"
 	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/models"
@@ -68,6 +70,7 @@ func main() {
 		breaker   = flag.Int("breaker", 3, "consecutive failures that trip the circuit breaker")
 		probe     = flag.Duration("probe", 1*time.Second, "breaker recovery probe interval")
 		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful shutdown drain budget")
+		engineOn  = flag.Bool("engine", true, "serve through the compiled plan-once/run-many engine (off = exec interpreter)")
 		faults    = flag.String("faults", "", `fault injection spec, e.g. "seed=42,scope=optimized,panic=0.05,budget=0.02,slow=0.01:5ms,alloc=0.01"`)
 	)
 	flag.Parse()
@@ -76,7 +79,7 @@ func main() {
 		method: *method, seed: *seed, addr: *addr, queueSize: *queueSize,
 		workers: *workers, deadline: *deadline, retries: *retries,
 		membudgetMB: *membudget, breaker: *breaker, probe: *probe,
-		drain: *drain, faults: *faults,
+		drain: *drain, noEngine: !*engineOn, faults: *faults,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "temcod:", err)
 		os.Exit(guard.ExitCode(err))
@@ -99,6 +102,7 @@ type options struct {
 	breaker     int
 	probe       time.Duration
 	drain       time.Duration
+	noEngine    bool
 	faults      string
 }
 
@@ -110,6 +114,9 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	// Probe the engine's steady-state allocation count once at startup,
+	// before any fault injection is armed, so /statsz can report it.
+	steadyAllocs := measureSteadyAllocs(sess)
 	if o.faults != "" {
 		fcfg, err := parseFaults(o.faults)
 		if err != nil {
@@ -120,7 +127,7 @@ func run(o options) error {
 		defer faultinject.Disable()
 	}
 
-	srv := &http.Server{Addr: o.addr, Handler: newHandler(sess, inputShape)}
+	srv := &http.Server{Addr: o.addr, Handler: newHandler(sess, inputShape, steadyAllocs)}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -188,6 +195,7 @@ func buildSession(o options) (*serve.Session, []int, error) {
 		BudgetBytes:      o.membudgetMB * (1 << 20),
 		BreakerThreshold: o.breaker,
 		ProbeInterval:    o.probe,
+		NoEngine:         o.noEngine,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -302,15 +310,44 @@ type inferResponse struct {
 	ExecMS   float64 `json:"exec_ms"`
 }
 
+// engineStatsz is the /statsz engine section: per-graph compiled-engine
+// snapshots plus the steady-state allocation probe taken at startup.
+type engineStatsz struct {
+	Enabled   bool          `json:"enabled"`
+	Optimized *engine.Stats `json:"optimized,omitempty"`
+	Fallback  *engine.Stats `json:"fallback,omitempty"`
+	// SteadyAllocsPerRun is heap allocations per steady-state engine run,
+	// measured once at startup (-1 when the engine is disabled). Zero only
+	// at TEMCO_WORKERS=1; the parallel kernel fan-out allocates.
+	SteadyAllocsPerRun float64 `json:"steady_allocs_per_run"`
+}
+
 type statsResponse struct {
 	Serve      serve.Stats          `json:"serve"`
+	GemmPool   gemm.PoolStats       `json:"gemm_pool"`
+	Engine     engineStatsz         `json:"engine"`
 	Faults     faultinject.Counters `json:"faults"`
 	Goroutines int                  `json:"goroutines"`
 }
 
+// measureSteadyAllocs probes the optimized engine's per-run allocation
+// count; -1 when the session serves through the interpreter.
+func measureSteadyAllocs(sess *serve.Session) float64 {
+	opt, _ := sess.Engines()
+	if opt == nil {
+		return -1
+	}
+	v, err := engine.MeasureSteadyAllocs(opt, 5)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
 // newHandler builds the temcod HTTP API over sess. inputShape is the
-// per-sample input shape (no batch dimension).
-func newHandler(sess *serve.Session, inputShape []int) http.Handler {
+// per-sample input shape (no batch dimension); steadyAllocs is the
+// startup allocation probe surfaced verbatim in /statsz.
+func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -323,8 +360,20 @@ func newHandler(sess *serve.Session, inputShape []int) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "degraded": sess.Degraded()})
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		es := engineStatsz{SteadyAllocsPerRun: steadyAllocs}
+		if opt, fb, optOK, fbOK := sess.EngineStats(); optOK || fbOK {
+			es.Enabled = true
+			if optOK {
+				es.Optimized = &opt
+			}
+			if fbOK {
+				es.Fallback = &fb
+			}
+		}
 		writeJSON(w, http.StatusOK, statsResponse{
 			Serve:      sess.Stats(),
+			GemmPool:   gemm.PoolStatsSnapshot(),
+			Engine:     es,
 			Faults:     faultinject.CountersSnapshot(),
 			Goroutines: runtime.NumGoroutine(),
 		})

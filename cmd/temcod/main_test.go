@@ -66,7 +66,7 @@ func newTestServer(t *testing.T, o options) (*httptest.Server, *serve.Session) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(sess, shape))
+	ts := httptest.NewServer(newHandler(sess, shape, measureSteadyAllocs(sess)))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -201,7 +201,7 @@ func TestHTTPSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(sess, shape))
+	ts := httptest.NewServer(newHandler(sess, shape, measureSteadyAllocs(sess)))
 
 	faultinject.Enable(faultinject.Config{
 		Seed: 42, Scope: "optimized",
@@ -304,5 +304,38 @@ func TestHTTPSoak(t *testing.T) {
 				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStatszEngineSections checks that /statsz carries the compiled-engine
+// and gemm-pool sections alongside the serving counters.
+func TestStatszEngineSections(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	if _, out := postInfer(t, ts.URL, inferRequest{Batch: 1, Seed: 3}); out["error"] != nil {
+		t.Fatalf("infer failed: %v", out["error"])
+	}
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Serve.EngineOptimized || !st.Serve.EngineFallback {
+		t.Fatalf("engine should serve both graphs by default: %+v", st.Serve)
+	}
+	if st.Serve.EngineRuns == 0 {
+		t.Fatalf("engine runs = 0 after a served request")
+	}
+	if !st.Engine.Enabled || st.Engine.Optimized == nil || st.Engine.Optimized.ArenaBytes <= 0 {
+		t.Fatalf("engine section missing or empty: %+v", st.Engine)
+	}
+	if st.Engine.Optimized.PrePackedBytes <= 0 {
+		t.Fatalf("optimized engine reports no pre-packed weights: %+v", st.Engine.Optimized)
+	}
+	if st.GemmPool.Hits+st.GemmPool.Misses == 0 {
+		t.Fatalf("gemm pool counters untouched after inference: %+v", st.GemmPool)
 	}
 }

@@ -1,0 +1,269 @@
+// Package engine compiles a layer graph into a reusable execution
+// artifact. exec.RunCtx re-derives the schedule, re-allocates every
+// intermediate tensor, and re-packs every constant GEMM weight panel on
+// each call; for a graph served many times all of that work is a function
+// of the graph alone. Compile hoists it out of the run loop:
+//
+//   - the topological schedule and per-node kernel plans (kernel choice,
+//     im2col gather geometry) are computed once;
+//   - every constant conv/linear/fused weight is pre-packed into the
+//     blocked GEMM's panel layout (gemm.PackA / gemm.PackBT);
+//   - memplan liveness is baked into a first-fit offset Assignment so all
+//     intermediates live inside one reusable slab.
+//
+// Run then walks the baked schedule with the same resource guards the
+// interpreter enforces — ctx cancellation between layers, the memory
+// budget, and the fault-injection hooks — while allocating nothing on the
+// steady-state path. Outputs are bit-identical to exec.RunCtx.
+//
+// An Engine is immutable and safe to share; per-worker mutable state (the
+// slab, tensor views, output buffers) lives in an Instance.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"temco/internal/exec"
+	"temco/internal/gemm"
+	"temco/internal/guard"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/ops"
+	"temco/internal/tensor"
+)
+
+// Options tunes Compile.
+type Options struct {
+	// Batch is the batch size whose arena layout is planned eagerly at
+	// compile time. Run accepts other batch sizes; each new size plans its
+	// layout (and allocates its slab) once, on first use. Default 1.
+	Batch int
+	// BudgetBytes caps the per-run footprint — the arena slab plus the
+	// largest kernel workspace must fit, exactly as exec.RunArenaCtx
+	// accounts it — returning guard.ErrBudgetExceeded from Run when
+	// exceeded. 0 is unlimited.
+	BudgetBytes int64
+}
+
+// step is one baked schedule slot: the node, its input slots, and whatever
+// the compile pass prepared for its kernel.
+type step struct {
+	node    *ir.Node
+	kind    ir.Kind
+	inSlots []int
+	w, b    *tensor.Tensor
+
+	conv     *ir.ConvAttrs
+	convPlan *ops.ConvPlan
+	lin      *ir.LinearAttrs
+	linPW    *gemm.PackedB
+	pool     *ir.PoolAttrs
+	scale    int
+	fused    *ir.FusedAttrs
+	fusedPln *ops.FusedPlan
+}
+
+// layout is the per-batch-size arena plan.
+type layout struct {
+	batch      int
+	offsets    []int64 // byte offset per schedule slot
+	arenaBytes int64
+	maxWS      int64
+}
+
+// Engine is a compiled graph: immutable after Compile and safe for
+// concurrent use. Workers execute it through per-worker Instances; the
+// convenience Run method maintains an internal instance pool.
+type Engine struct {
+	g          *ir.Graph
+	opts       Options
+	steps      []step
+	inSlots    []int // schedule slots of the graph inputs, in input order
+	outSlots   []int // schedule slots of the graph outputs, in output order
+	layerCalls int
+	packed     int64 // bytes held by pre-packed weight panels
+
+	mu      sync.Mutex
+	layouts map[int]*layout
+
+	pool sync.Pool // *Instance, for Engine.Run
+	runs atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of a compiled engine.
+type Stats struct {
+	// Runs counts completed Instance.Run calls across all instances.
+	Runs uint64 `json:"runs"`
+	// ArenaBytes is the slab size planned for Options.Batch.
+	ArenaBytes int64 `json:"arena_bytes"`
+	// MaxWorkspaceBytes is the largest kernel workspace at Options.Batch.
+	MaxWorkspaceBytes int64 `json:"max_workspace_bytes"`
+	// PrePackedBytes totals this engine's pre-packed weight panels and
+	// gather tables.
+	PrePackedBytes int64 `json:"prepacked_bytes"`
+	// PlannedBatches lists the batch sizes with baked arena layouts.
+	PlannedBatches []int `json:"planned_batches"`
+}
+
+// Compile builds the execution artifact for g. The graph is validated
+// once here; an unsupported node kind or an inconsistent graph fails with
+// guard.ErrInvalidModel (callers fall back to the exec interpreter, which
+// shares the same kernel registry — see the serve policy in DESIGN.md §9).
+// The returned engine keeps references to g's weight tensors; mutating
+// them afterwards invalidates the pre-packed panels.
+func Compile(g *ir.Graph, opts Options) (*Engine, error) {
+	if g == nil {
+		return nil, guard.Errorf(guard.ErrInvalidModel, "engine.Compile", "nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, guard.New(guard.ErrInvalidModel, "engine.Compile", err)
+	}
+	if len(g.Inputs) == 0 {
+		return nil, guard.Errorf(guard.ErrInvalidModel, "engine.Compile", "graph %s has no inputs", g.Name)
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 1
+	}
+	e := &Engine{g: g, opts: opts, layouts: make(map[int]*layout)}
+	slotOf := g.Index()
+	e.steps = make([]step, len(g.Nodes))
+	for i, n := range g.Nodes {
+		s := &e.steps[i]
+		s.node, s.kind, s.w, s.b = n, n.Kind, n.W, n.B
+		s.inSlots = make([]int, len(n.Inputs))
+		for j, p := range n.Inputs {
+			sl, ok := slotOf[p]
+			if !ok {
+				return nil, guard.Errorf(guard.ErrInvalidModel, "engine.Compile",
+					"node %s consumes %s, which is not in the schedule", n, p)
+			}
+			s.inSlots[j] = sl
+		}
+		switch n.Kind {
+		case ir.KindInput:
+		case ir.KindConv2D:
+			in := n.Inputs[0]
+			s.conv = n.Conv()
+			s.convPlan = ops.PlanConv(s.conv, n.W, in.Shape[1], in.Shape[2], n.Shape[1], n.Shape[2])
+			e.packed += s.convPlan.PackedBytes()
+		case ir.KindLinear:
+			s.lin = n.Attrs.(*ir.LinearAttrs)
+			s.linPW = gemm.PackBT(s.lin.In, s.lin.Out, n.W.Data, s.lin.In)
+			e.packed += s.linPW.Bytes()
+		case ir.KindMaxPool, ir.KindAvgPool:
+			s.pool = n.Pool()
+		case ir.KindUpsample:
+			s.scale = n.Attrs.(*ir.UpsampleAttrs).Scale
+		case ir.KindFused:
+			s.fused = n.Fused()
+			s.fusedPln = ops.PlanFused(s.fused)
+			e.packed += s.fusedPln.PackedBytes()
+		case ir.KindReLU, ir.KindSiLU, ir.KindSigmoid, ir.KindBatchNorm,
+			ir.KindGlobalAvgPool, ir.KindAdd, ir.KindConcat, ir.KindFlatten, ir.KindSoftmax:
+		default:
+			return nil, guard.Errorf(guard.ErrInvalidModel, "engine.Compile",
+				"unsupported node kind %v (node %s)", n.Kind, n)
+		}
+		if n.Kind != ir.KindInput {
+			e.layerCalls++
+		}
+	}
+	e.inSlots = make([]int, len(g.Inputs))
+	for i, n := range g.Inputs {
+		e.inSlots[i] = slotOf[n]
+	}
+	e.outSlots = make([]int, len(g.Outputs))
+	for i, n := range g.Outputs {
+		e.outSlots[i] = slotOf[n]
+	}
+	if _, err := e.layoutFor(opts.Batch); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Graph returns the compiled graph.
+func (e *Engine) Graph() *ir.Graph { return e.g }
+
+// layoutFor returns the baked arena layout for a batch size, planning and
+// verifying it on first use.
+func (e *Engine) layoutFor(batch int) (*layout, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if l, ok := e.layouts[batch]; ok {
+		return l, nil
+	}
+	asg := memplan.AssignOffsets(e.g, batch)
+	// The O(n²) verification runs once per (graph, batch), never per
+	// request: a layout bug must fail compilation, not corrupt inference.
+	if err := asg.Check(); err != nil {
+		return nil, guard.New(guard.ErrInternal, "engine.layout", err)
+	}
+	l := &layout{batch: batch, offsets: make([]int64, len(e.g.Nodes)), arenaBytes: asg.ArenaBytes}
+	for i, n := range e.g.Nodes {
+		off, ok := asg.Offsets[n]
+		if !ok {
+			return nil, guard.Errorf(guard.ErrInternal, "engine.layout", "node %s has no arena offset", n)
+		}
+		l.offsets[i] = off
+	}
+	for _, n := range e.g.Nodes {
+		if ws := memplan.Workspace(n, batch); ws > l.maxWS {
+			l.maxWS = ws
+		}
+	}
+	e.layouts[batch] = l
+	return l, nil
+}
+
+// Stats snapshots the engine's counters and plan footprint.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{Runs: e.runs.Load(), PrePackedBytes: e.packed}
+	if l, ok := e.layouts[e.opts.Batch]; ok {
+		st.ArenaBytes = l.arenaBytes
+		st.MaxWorkspaceBytes = l.maxWS
+	}
+	for b := range e.layouts {
+		st.PlannedBatches = append(st.PlannedBatches, b)
+	}
+	return st
+}
+
+// Run executes the engine on a pooled instance and returns outputs the
+// caller owns (cloned out of the instance slab). Hot serving paths should
+// hold a dedicated Instance instead and skip the clone.
+func (e *Engine) Run(ctx context.Context, inputs ...*tensor.Tensor) (*exec.Result, error) {
+	inst, _ := e.pool.Get().(*Instance)
+	if inst == nil {
+		inst = e.NewInstance()
+	}
+	r, err := inst.Run(ctx, inputs...)
+	if err != nil {
+		e.pool.Put(inst)
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, len(r.Outputs))
+	for i, t := range r.Outputs {
+		out[i] = t.Clone()
+	}
+	calls := r.LayerCalls
+	e.pool.Put(inst)
+	return &exec.Result{Outputs: out, LayerCalls: calls}, nil
+}
+
+// recoverInternal converts an escaping kernel panic into an error wrapping
+// guard.ErrInternal, preserving the panic site's stack for logging. It is
+// deferred directly (not via closure) so the steady-state path stays
+// allocation-free.
+func recoverInternal(op string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = &guard.Error{Kind: guard.ErrInternal, Op: op,
+			Err: fmt.Errorf("panic: %v", r), Stack: debug.Stack()}
+	}
+}

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+
+	"temco/internal/tensor"
+)
+
+// MeasureSteadyAllocs runs e on zero-filled inputs at the compiled batch
+// size and reports the average number of heap allocations per steady-state
+// Run, measured from runtime.MemStats.Mallocs after two warm-up runs. The
+// number is meaningful only at ops.Workers == 1 (the kernel fan-out spawns
+// goroutines, and concurrent goroutines of the caller also allocate); it
+// is exposed so operators can verify the zero-allocation hot path on a
+// live daemon rather than trusting a build-time test.
+func MeasureSteadyAllocs(e *Engine, rounds int) (float64, error) {
+	if rounds <= 0 {
+		rounds = 10
+	}
+	inst := e.NewInstance()
+	ins := make([]*tensor.Tensor, len(e.g.Inputs))
+	for i, n := range e.g.Inputs {
+		ins[i] = tensor.New(append([]int{e.opts.Batch}, n.Shape...)...)
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := inst.Run(ctx, ins...); err != nil {
+			return 0, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		if _, err := inst.Run(ctx, ins...); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(rounds), nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine_test
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so the zero-allocation gates skip under it.
+const raceEnabled = true

@@ -128,7 +128,9 @@ func compute(ctx context.Context, scope string, n *ir.Node, in []*tensor.Tensor,
 			return guard.New(guard.ErrCanceled, "exec.compute", err)
 		}
 	case ir.KindLinear:
-		ops.Linear(out, in[0], n.W, n.B, n.Attrs.(*ir.LinearAttrs))
+		if err := ops.LinearCtx(ctx, out, in[0], n.W, n.B, n.Attrs.(*ir.LinearAttrs)); err != nil {
+			return guard.New(guard.ErrCanceled, "exec.compute", err)
+		}
 	case ir.KindReLU:
 		ops.ReLU(out, in[0])
 	case ir.KindSiLU:

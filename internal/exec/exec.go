@@ -147,7 +147,9 @@ func dispatch(ctx context.Context, scope string, n *ir.Node, vals map[*ir.Node]*
 		return out, nil
 	case ir.KindLinear:
 		out := tensor.New(outShape...)
-		ops.Linear(out, in[0], n.W, n.B, n.Attrs.(*ir.LinearAttrs))
+		if err := ops.LinearCtx(ctx, out, in[0], n.W, n.B, n.Attrs.(*ir.LinearAttrs)); err != nil {
+			return nil, guard.New(guard.ErrCanceled, "exec.dispatch", err)
+		}
 		return out, nil
 	case ir.KindReLU:
 		out := tensor.New(outShape...)

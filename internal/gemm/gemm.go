@@ -105,13 +105,22 @@ func gemmAny[T float](parallel, transA, transB bool, m, n, k int, alpha T, a []T
 	// panel column-major (k steps of MR contiguous values). Edge rows are
 	// zero-padded so the micro-kernel never branches on MR.
 	apPtr := getWS[T](roundUp(m, mr) * k)
+	defer putWS(apPtr)
 	ap := *apPtr
 	packA(ap, a, lda, m, k, mr, transA)
+	gemmCore(parallel, transB, m, n, k, mr, nr, alpha, ap, b, ldb, nil, beta, c, ldc)
+}
 
+// gemmCore fans the blocked macro-kernel out over NR-aligned column strips.
+// ap is A fully packed in packA layout (pooled or pre-packed by the caller).
+// When pb is non-nil it is the pre-packed full-width B (PackedB layout) and
+// b/ldb are ignored; otherwise each strip packs its own B blocks from b.
+// The strip schedule depends only on (m, n, k, nr), so pre-packed and
+// pack-on-the-fly runs produce bit-identical results.
+func gemmCore[T float](parallel, transB bool, m, n, k, mr, nr int, alpha T, ap, b []T, ldb int, pb []T, beta T, c []T, ldc int) {
 	w := Workers()
 	if !parallel || w <= 1 || n < 2*nr || m*n*k < 1<<15 {
-		gemmStrip(0, n, transB, m, k, mr, nr, alpha, ap, b, ldb, beta, c, ldc)
-		putWS(apPtr)
+		gemmStrip(0, n, transB, m, n, k, mr, nr, alpha, ap, b, ldb, pb, beta, c, ldc)
 		return
 	}
 	// Column strips, NR-aligned so panel boundaries (and therefore
@@ -136,31 +145,46 @@ func gemmAny[T float](parallel, transA, transB bool, m, n, k int, alpha T, a []T
 					panicked.CompareAndSwap(nil, &r)
 				}
 			}()
-			gemmStrip(j0, j1, transB, m, k, mr, nr, alpha, ap, b, ldb, beta, c, ldc)
+			gemmStrip(j0, j1, transB, m, n, k, mr, nr, alpha, ap, b, ldb, pb, beta, c, ldc)
 		}(j0, j1)
 	}
 	wg.Wait()
-	putWS(apPtr)
 	if pv := panicked.Load(); pv != nil {
 		panic(*pv)
 	}
 }
 
 // gemmStrip runs the blocked macro-kernel over the column range [j0,j1) of
-// C. ap is the fully packed A; B is packed per (KC × NC) block into a
-// per-strip pooled panel.
-func gemmStrip[T float](j0, j1 int, transB bool, m, k, mr, nr int, alpha T, ap, b []T, ldb int, beta T, c []T, ldc int) {
-	bpPtr := getWS[T](kc * roundUp(min(nc, j1-j0), nr))
-	bp := *bpPtr
+// C. ap is the fully packed A. B panels come pre-packed from pb when it is
+// non-nil; otherwise the strip packs each (KC × NC) block of b into a
+// pooled panel. n is the full C width (pb indexing needs it).
+func gemmStrip[T float](j0, j1 int, transB bool, m, n, k, mr, nr int, alpha T, ap, b []T, ldb int, pb []T, beta T, c []T, ldc int) {
+	var bp []T
+	var bpPtr *[]T
+	if pb == nil {
+		bpPtr = getWS[T](kc * roundUp(min(nc, j1-j0), nr))
+		bp = *bpPtr
+	}
+	nR := roundUp(n, nr)
 	for jc := j0; jc < j1; jc += nc {
 		ncEff := min(nc, j1-jc)
 		ncR := roundUp(ncEff, nr)
 		for pc := 0; pc < k; pc += kc {
 			kcEff := min(kc, k-pc)
-			packB(bp[:kcEff*ncR], b, ldb, pc, kcEff, jc, ncEff, nr, transB)
+			if pb == nil {
+				packB(bp[:kcEff*ncR], b, ldb, pc, kcEff, jc, ncEff, nr, transB)
+			}
 			first := pc == 0
 			for jr := 0; jr < ncEff; jr += nr {
-				bPanel := bp[(jr/nr)*nr*kcEff:][: kcEff*nr : kcEff*nr]
+				var bPanel []T
+				if pb != nil {
+					// Block pc/kc starts at pc·nR (every earlier block holds
+					// kc full rows of all nR padded columns); panels inside
+					// it are nr·kcEff apart.
+					bPanel = pb[pc*nR+((jc+jr)/nr)*nr*kcEff:][: kcEff*nr : kcEff*nr]
+				} else {
+					bPanel = bp[(jr/nr)*nr*kcEff:][: kcEff*nr : kcEff*nr]
+				}
 				nrEff := min(nr, ncEff-jr)
 				for ir := 0; ir < m; ir += mr {
 					aPanel := ap[(ir/mr)*mr*k+pc*mr:][: kcEff*mr : kcEff*mr]
@@ -171,7 +195,9 @@ func gemmStrip[T float](j0, j1 int, transB bool, m, k, mr, nr int, alpha T, ap, 
 			}
 		}
 	}
-	putWS(bpPtr)
+	if bpPtr != nil {
+		putWS(bpPtr)
+	}
 }
 
 // microKernel accumulates acc[i*nr+j] += Σ_p aPanel[p*mr+i]·bPanel[p*nr+j]

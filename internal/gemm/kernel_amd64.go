@@ -7,10 +7,18 @@ import (
 	"unsafe"
 )
 
+// fmaAvailable caches the one-time CPU feature detection.
+var fmaAvailable = detectFMA()
+
 // useFMA gates the 8×8 AVX2+FMA float32 micro-kernel. Detection runs once
 // at init; TEMCO_NOSIMD=1 forces the portable scalar tile (useful when
 // bisecting numerical differences, since FMA rounds once per multiply-add).
-var useFMA = detectFMA() && os.Getenv("TEMCO_NOSIMD") == ""
+// SetSIMD flips it at runtime under the same hardware gate.
+var useFMA = fmaAvailable && os.Getenv("TEMCO_NOSIMD") == ""
+
+// simdAvailable reports whether the hardware supports the vector kernel,
+// independent of whether it is currently enabled.
+func simdAvailable() bool { return fmaAvailable }
 
 //go:noescape
 func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)

@@ -3,8 +3,12 @@
 package gemm
 
 // useFMA is false off amd64: every product runs on the portable scalar
-// 4×4 micro-kernel.
-const useFMA = false
+// 4×4 micro-kernel. It is a var only so SetSIMD compiles; simdAvailable
+// keeps it pinned to false.
+var useFMA = false
+
+// simdAvailable reports false off amd64: there is no vector kernel.
+func simdAvailable() bool { return false }
 
 // microKernel8x8F32 is unreachable when useFMA is false; it exists so the
 // generic macro-kernel compiles on every architecture.

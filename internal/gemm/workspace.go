@@ -34,14 +34,17 @@ func (ps *poolSet[T]) get(n int) *[]T {
 	}
 	cls := bits.Len(uint(n - 1))
 	if cls >= len(ps.classes) {
+		poolMisses.Add(1)
 		s := make([]T, n)
 		return &s
 	}
 	if v := ps.classes[cls].Get(); v != nil {
+		poolHits.Add(1)
 		p := v.(*[]T)
 		*p = (*p)[:n]
 		return p
 	}
+	poolMisses.Add(1)
 	s := make([]T, 1<<cls)
 	s = s[:n]
 	return &s

@@ -1,0 +1,149 @@
+package memplan
+
+// Property-based check of the static arena layout: for arbitrary graphs,
+// AssignOffsets must place every pair of simultaneously-live tensors in
+// disjoint byte ranges, and the arena it claims must sit between the
+// simulator's live-byte peak (Eq. 3/4 lower bound) and the no-reuse sum of
+// all tensor sizes. The fuzz corpus doubles as a regression suite under
+// plain `go test` (seed entries run without -fuzz).
+
+import (
+	"testing"
+
+	"temco/internal/ir"
+)
+
+// fuzzGraph decodes a byte string into a graph: each byte appends one
+// layer to a chain whose recent nodes can also be rejoined through Add,
+// Concat, and skip-style reuse, so liveness intervals genuinely overlap.
+// Every decode is total — any byte string yields a valid graph.
+func fuzzGraph(data []byte) *ir.Graph {
+	b := ir.NewBuilder("fuzz", 1)
+	// Small spatial dims keep OutBytes varied but cheap.
+	cur := b.Input(int(data[0]%7)+1, 8, 8)
+	recent := []*ir.Node{cur}
+	spatial := 8 // track H=W so pooling never underflows
+	for _, op := range data[1:] {
+		switch op % 10 {
+		case 0:
+			cur = b.Conv(cur, int(op/10)%8+1, 3, 1, 1)
+		case 1:
+			cur = b.Conv(cur, int(op/10)%8+1, 1, 1, 0)
+		case 2:
+			cur = b.ReLU(cur)
+		case 3:
+			cur = b.BatchNorm(cur)
+		case 4:
+			if spatial >= 2 {
+				cur = b.MaxPool(cur, 2, 2)
+				spatial /= 2
+			} else {
+				cur = b.SiLU(cur)
+			}
+		case 5:
+			if spatial <= 8 {
+				cur = b.Upsample(cur, 2)
+				spatial *= 2
+			} else {
+				cur = b.Sigmoid(cur)
+			}
+		case 6:
+			// Skip-style rejoin: Add needs identical shapes, so add a
+			// same-shape conv of cur instead of an older node.
+			cur = b.Add(cur, b.Conv(cur, cur.Shape[0], 3, 1, 1))
+		case 7:
+			// Concat with an earlier same-spatial node when one exists.
+			prev := cur
+			for _, r := range recent {
+				if r.Shape[1] == cur.Shape[1] && r.Shape[2] == cur.Shape[2] {
+					prev = r
+					break
+				}
+			}
+			cur = b.Concat(cur, prev)
+		case 8:
+			cur = b.SiLU(cur)
+		case 9:
+			cur = b.Conv(cur, int(op/10)%4+1, 3, 2, 1)
+			spatial = (spatial + 1) / 2
+			if spatial < 1 {
+				spatial = 1
+			}
+		}
+		recent = append(recent, cur)
+		if len(recent) > 4 {
+			recent = recent[1:]
+		}
+	}
+	b.Output(cur)
+	return b.G
+}
+
+func checkAssignment(t *testing.T, g *ir.Graph, batch int) {
+	t.Helper()
+	a := AssignOffsets(g, batch)
+	if err := a.Check(); err != nil {
+		t.Fatalf("batch %d: %v", batch, err)
+	}
+	// Independent re-derivation of the non-overlap property, not trusting
+	// Check's interval math.
+	live := Analyze(g)
+	var sum int64
+	for _, n := range g.Nodes {
+		off, ok := a.Offsets[n]
+		if !ok {
+			t.Fatalf("node %s has no offset", n)
+		}
+		if off < 0 || off%4 != 0 {
+			t.Fatalf("node %s offset %d: negative or unaligned", n, off)
+		}
+		size := n.OutBytes(batch)
+		sum += size
+		if off+size > a.ArenaBytes {
+			t.Fatalf("node %s [%d, %d) exceeds arena %d", n, off, off+size, a.ArenaBytes)
+		}
+	}
+	for i, n := range g.Nodes {
+		nb, ne := live.Begin[n], live.End[n]
+		for _, m := range g.Nodes[i+1:] {
+			mb, me := live.Begin[m], live.End[m]
+			if nb > me || mb > ne {
+				continue // lifetimes disjoint: may share bytes
+			}
+			no, mo := a.Offsets[n], a.Offsets[m]
+			if no < mo+m.OutBytes(batch) && mo < no+n.OutBytes(batch) {
+				t.Fatalf("live-overlapping %s [%d,+%d) and %s [%d,+%d) share arena bytes",
+					n, no, n.OutBytes(batch), m, mo, m.OutBytes(batch))
+			}
+		}
+	}
+	if a.ArenaBytes < a.PeakInternal {
+		t.Fatalf("arena %d below the simulated live-byte peak %d", a.ArenaBytes, a.PeakInternal)
+	}
+	if a.ArenaBytes > sum {
+		t.Fatalf("arena %d exceeds the no-reuse total %d", a.ArenaBytes, sum)
+	}
+	p := Simulate(g, batch, 0)
+	if a.PeakInternal != p.PeakInternal {
+		t.Fatalf("assignment peak %d disagrees with simulator %d", a.PeakInternal, p.PeakInternal)
+	}
+}
+
+func FuzzAssignOffsets(f *testing.F) {
+	f.Add([]byte{3, 0, 22, 64, 17, 96, 41, 7, 250, 13})
+	f.Add([]byte{1, 6, 6, 7, 4, 0, 5, 7, 9, 2, 3, 66, 77, 88})
+	f.Add([]byte{5})
+	f.Add([]byte{255, 9, 9, 9, 4, 4, 4, 7, 6, 1, 0, 128, 200, 33, 14})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 48 {
+			t.Skip() // empty has no input byte; long chains just cost time
+		}
+		g := fuzzGraph(data)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generator produced an invalid graph: %v", err)
+		}
+		for _, batch := range []int{1, 3} {
+			checkAssignment(t, g, batch)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"temco/internal/gemm"
 	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/tensor"
@@ -191,5 +192,57 @@ func TestCtxKernelsMatchAndCancel(t *testing.T) {
 	cancel2()
 	if err := FusedCtx(ctx2, fgot, in, fa); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled fused: want context.Canceled, got %v", err)
+	}
+}
+
+// A canceled context must stop Linear before it touches the output: the
+// ctx-aware path used to write the bias rows first and only then consult
+// the context (via the GEMM), leaving a half-written tensor behind. Both
+// the plain and the pre-packed entry points must return the context error
+// with the output untouched, and match Linear exactly when run.
+func TestLinearCtxCancelWritesNothing(t *testing.T) {
+	r := tensor.NewRNG(13)
+	a := &ir.LinearAttrs{In: 24, Out: 10}
+	in := randT(r, 3, 24)
+	w := randT(r, 10, 24)
+	b := randT(r, 10)
+	pw := gemm.PackBT(a.In, a.Out, w.Data, a.In)
+
+	want := tensor.New(3, 10)
+	Linear(want, in, w, b, a)
+
+	ctx := context.Background()
+	got := tensor.New(3, 10)
+	if err := LinearCtx(ctx, got, in, w, b, a); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want, got); d != 0 {
+		t.Fatalf("ctx linear deviates by %v", d)
+	}
+	pgot := tensor.New(3, 10)
+	if err := LinearPrePackedCtx(ctx, pgot, in, pw, b, a); err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want, pgot); d != 0 {
+		t.Fatalf("pre-packed linear deviates by %v", d)
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const sentinel = -123.5
+	for name, run := range map[string]func(out *tensor.Tensor) error{
+		"LinearCtx":          func(out *tensor.Tensor) error { return LinearCtx(cctx, out, in, w, b, a) },
+		"LinearPrePackedCtx": func(out *tensor.Tensor) error { return LinearPrePackedCtx(cctx, out, in, pw, b, a) },
+	} {
+		out := tensor.New(3, 10)
+		out.Fill(sentinel)
+		if err := run(out); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: want context.Canceled, got %v", name, err)
+		}
+		for i, v := range out.Data {
+			if v != sentinel {
+				t.Fatalf("%s: wrote out[%d]=%v after cancellation", name, i, v)
+			}
+		}
 	}
 }

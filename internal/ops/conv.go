@@ -30,53 +30,80 @@ func conv2DCtx(ctx context.Context, out, in *tensor.Tensor, w, b *tensor.Tensor,
 	if inC != a.InC || outC != a.OutC {
 		panic(fmt.Sprintf("ops: Conv2D channel mismatch: in %d/%d out %d/%d", inC, a.InC, outC, a.OutC))
 	}
-	icg := a.InC / g // input channels per group
-	ocg := a.OutC / g
-	kh, kw := a.KH, a.KW
-	sh, sw := a.SH, a.SW
-	ph, pw := a.PH, a.PW
+	if ctx.Done() == nil && Workers <= 1 {
+		// Serial fast path: the run state stays on the stack (see fusedRun),
+		// so steady-state inference allocates nothing.
+		cr := directConvRun{out: out, in: in, w: w, b: b,
+			inC: inC, inH: inH, inW: inW, outC: outC, outH: outH, outW: outW,
+			icg: a.InC / g, ocg: a.OutC / g,
+			kh: a.KH, kw: a.KW, sh: a.SH, sw: a.SW, ph: a.PH, pw: a.PW}
+		cr.run(0, n*outC)
+		return nil
+	}
+	cr := directConvRun{out: out, in: in, w: w, b: b,
+		inC: inC, inH: inH, inW: inW, outC: outC, outH: outH, outW: outW,
+		icg: a.InC / g, ocg: a.OutC / g,
+		kh: a.KH, kw: a.KW, sh: a.SH, sw: a.SW, ph: a.PH, pw: a.PW}
+	return parallelForCtx(ctx, n*outC, cr.run)
+}
 
-	return parallelForCtx(ctx, n*outC, func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			bIdx := idx / outC
-			oc := idx % outC
-			grp := oc / ocg
-			bias := float32(0)
-			if b != nil {
-				bias = b.Data[oc]
-			}
-			wOff := oc * icg * kh * kw
-			outOff := (bIdx*outC + oc) * outH * outW
-			for oh := 0; oh < outH; oh++ {
-				ihBase := oh*sh - ph
-				for ow := 0; ow < outW; ow++ {
-					iwBase := ow*sw - pw
-					acc := bias
-					for ic := 0; ic < icg; ic++ {
-						gic := grp*icg + ic
-						inPlane := (bIdx*inC + gic) * inH * inW
-						wPlane := wOff + ic*kh*kw
-						for r := 0; r < kh; r++ {
-							ih := ihBase + r
-							if ih < 0 || ih >= inH {
+// directConvRun carries the per-invocation state of the direct conv kernel
+// so the worker body is a method, not an escaping closure (see fusedRun).
+type directConvRun struct {
+	out, in, w, b          *tensor.Tensor
+	inC, inH, inW          int
+	outC, outH, outW       int
+	icg, ocg               int
+	kh, kw, sh, sw, ph, pw int
+}
+
+// run computes output planes [lo,hi) over the flattened (batch × channel)
+// index. Safe to call concurrently on disjoint ranges.
+func (cr *directConvRun) run(lo, hi int) {
+	out, in, w, b := cr.out, cr.in, cr.w, cr.b
+	inC, inH, inW := cr.inC, cr.inH, cr.inW
+	outC, outH, outW := cr.outC, cr.outH, cr.outW
+	icg, ocg := cr.icg, cr.ocg
+	kh, kw, sh, sw, ph, pw := cr.kh, cr.kw, cr.sh, cr.sw, cr.ph, cr.pw
+	for idx := lo; idx < hi; idx++ {
+		bIdx := idx / outC
+		oc := idx % outC
+		grp := oc / ocg
+		bias := float32(0)
+		if b != nil {
+			bias = b.Data[oc]
+		}
+		wOff := oc * icg * kh * kw
+		outOff := (bIdx*outC + oc) * outH * outW
+		for oh := 0; oh < outH; oh++ {
+			ihBase := oh*sh - ph
+			for ow := 0; ow < outW; ow++ {
+				iwBase := ow*sw - pw
+				acc := bias
+				for ic := 0; ic < icg; ic++ {
+					gic := grp*icg + ic
+					inPlane := (bIdx*inC + gic) * inH * inW
+					wPlane := wOff + ic*kh*kw
+					for r := 0; r < kh; r++ {
+						ih := ihBase + r
+						if ih < 0 || ih >= inH {
+							continue
+						}
+						rowIn := inPlane + ih*inW
+						rowW := wPlane + r*kw
+						for c := 0; c < kw; c++ {
+							iw := iwBase + c
+							if iw < 0 || iw >= inW {
 								continue
 							}
-							rowIn := inPlane + ih*inW
-							rowW := wPlane + r*kw
-							for c := 0; c < kw; c++ {
-								iw := iwBase + c
-								if iw < 0 || iw >= inW {
-									continue
-								}
-								acc += in.Data[rowIn+iw] * w.Data[rowW+c]
-							}
+							acc += in.Data[rowIn+iw] * w.Data[rowW+c]
 						}
 					}
-					out.Data[outOff+oh*outW+ow] = acc
 				}
+				out.Data[outOff+oh*outW+ow] = acc
 			}
 		}
-	})
+	}
 }
 
 // Linear computes out = in·Wᵀ + b with in [N,In], w [Out,In], b [Out]
@@ -84,12 +111,44 @@ func conv2DCtx(ctx context.Context, out, in *tensor.Tensor, w, b *tensor.Tensor,
 // in place (no materialized Wᵀ).
 func Linear(out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.LinearAttrs) {
 	n := in.Dim(0)
-	beta := float32(0)
-	if b != nil {
-		for bi := 0; bi < n; bi++ {
-			copy(out.Data[bi*a.Out:(bi+1)*a.Out], b.Data)
-		}
-		beta = 1
-	}
+	beta := linearBias(out, b, n, a.Out)
 	gemm.GemmBT(n, a.Out, a.In, 1, in.Data, a.In, w.Data, a.In, beta, out.Data, a.Out)
+}
+
+// LinearCtx is Linear with the cancellation contract the conv kernels
+// honor: a context that is already done returns its error before any work
+// — in particular before the bias rows are seeded, which the plain path
+// used to write even for requests canceled while queued. Linear is a
+// single GEMM, so there is no mid-kernel check to make.
+func LinearCtx(ctx context.Context, out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.LinearAttrs) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	Linear(out, in, w, b, a)
+	return nil
+}
+
+// LinearPrePackedCtx is LinearCtx with the [Out, In] weight supplied
+// pre-packed by gemm.PackBT — the plan-once/run-many form the compiled
+// engine uses. Bit-identical to Linear on the same operands.
+func LinearPrePackedCtx(ctx context.Context, out, in *tensor.Tensor, pw *gemm.PackedB, b *tensor.Tensor, a *ir.LinearAttrs) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n := in.Dim(0)
+	beta := linearBias(out, b, n, a.Out)
+	gemm.GemmPrePackedBT(n, 1, in.Data, a.In, pw, beta, out.Data, a.Out)
+	return nil
+}
+
+// linearBias seeds every output row with the bias vector and returns the
+// GEMM beta: 1 when seeded, 0 (never read C) without a bias.
+func linearBias(out *tensor.Tensor, b *tensor.Tensor, n, width int) float32 {
+	if b == nil {
+		return 0
+	}
+	for bi := 0; bi < n; bi++ {
+		copy(out.Data[bi*width:(bi+1)*width], b.Data)
+	}
+	return 1
 }

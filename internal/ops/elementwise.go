@@ -10,36 +10,58 @@ func sigmoid32(x float32) float32 {
 	return float32(1 / (1 + math.Exp(-float64(x))))
 }
 
+// The elementwise kernels branch to a plain range-function call when the
+// worker count is 1: a closure handed to parallelFor escapes to the heap,
+// and the compiled engine's steady-state path must allocate nothing.
+
 // ReLU applies max(0,x) elementwise.
 func ReLU(out, in *tensor.Tensor) {
-	parallelFor(in.Len(), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := in.Data[i]
-			if v < 0 {
-				v = 0
-			}
-			out.Data[i] = v
+	if Workers <= 1 {
+		reluRange(out, in, 0, in.Len())
+		return
+	}
+	parallelFor(in.Len(), func(lo, hi int) { reluRange(out, in, lo, hi) })
+}
+
+func reluRange(out, in *tensor.Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := in.Data[i]
+		if v < 0 {
+			v = 0
 		}
-	})
+		out.Data[i] = v
+	}
 }
 
 // SiLU applies x·σ(x) elementwise.
 func SiLU(out, in *tensor.Tensor) {
-	parallelFor(in.Len(), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			v := in.Data[i]
-			out.Data[i] = v * sigmoid32(v)
-		}
-	})
+	if Workers <= 1 {
+		siluRange(out, in, 0, in.Len())
+		return
+	}
+	parallelFor(in.Len(), func(lo, hi int) { siluRange(out, in, lo, hi) })
+}
+
+func siluRange(out, in *tensor.Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := in.Data[i]
+		out.Data[i] = v * sigmoid32(v)
+	}
 }
 
 // Sigmoid applies σ(x) elementwise.
 func Sigmoid(out, in *tensor.Tensor) {
-	parallelFor(in.Len(), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = sigmoid32(in.Data[i])
-		}
-	})
+	if Workers <= 1 {
+		sigmoidRange(out, in, 0, in.Len())
+		return
+	}
+	parallelFor(in.Len(), func(lo, hi int) { sigmoidRange(out, in, lo, hi) })
+}
+
+func sigmoidRange(out, in *tensor.Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out.Data[i] = sigmoid32(in.Data[i])
+	}
 }
 
 // applyAct applies one scalar activation value; used by the fused kernel so
@@ -74,51 +96,69 @@ const (
 func BatchNorm(out, in *tensor.Tensor, scale, shift *tensor.Tensor) {
 	n, c := in.Dim(0), in.Dim(1)
 	hw := in.Dim(2) * in.Dim(3)
-	parallelFor(n*c, func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			ch := idx % c
-			s, sh := scale.Data[ch], shift.Data[ch]
-			base := idx * hw
-			for i := 0; i < hw; i++ {
-				out.Data[base+i] = s*in.Data[base+i] + sh
-			}
+	if Workers <= 1 {
+		batchNormRange(out, in, scale, shift, c, hw, 0, n*c)
+		return
+	}
+	parallelFor(n*c, func(lo, hi int) { batchNormRange(out, in, scale, shift, c, hw, lo, hi) })
+}
+
+func batchNormRange(out, in, scale, shift *tensor.Tensor, c, hw, lo, hi int) {
+	for idx := lo; idx < hi; idx++ {
+		ch := idx % c
+		s, sh := scale.Data[ch], shift.Data[ch]
+		base := idx * hw
+		for i := 0; i < hw; i++ {
+			out.Data[base+i] = s*in.Data[base+i] + sh
 		}
-	})
+	}
 }
 
 // Add computes out = a + b elementwise.
 func Add(out, a, b *tensor.Tensor) {
-	parallelFor(a.Len(), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = a.Data[i] + b.Data[i]
-		}
-	})
+	if Workers <= 1 {
+		addRange(out, a, b, 0, a.Len())
+		return
+	}
+	parallelFor(a.Len(), func(lo, hi int) { addRange(out, a, b, lo, hi) })
+}
+
+func addRange(out, a, b *tensor.Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
 }
 
 // Softmax applies a numerically stable softmax over the last dimension of
 // an [N,F] tensor.
 func Softmax(out, in *tensor.Tensor) {
 	n, f := in.Dim(0), in.Dim(1)
-	parallelFor(n, func(lo, hi int) {
-		for bi := lo; bi < hi; bi++ {
-			row := in.Data[bi*f : (bi+1)*f]
-			orow := out.Data[bi*f : (bi+1)*f]
-			maxV := row[0]
-			for _, v := range row {
-				if v > maxV {
-					maxV = v
-				}
-			}
-			var sum float64
-			for i, v := range row {
-				e := math.Exp(float64(v - maxV))
-				orow[i] = float32(e)
-				sum += e
-			}
-			inv := float32(1 / sum)
-			for i := range orow {
-				orow[i] *= inv
+	if Workers <= 1 {
+		softmaxRange(out, in, f, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { softmaxRange(out, in, f, lo, hi) })
+}
+
+func softmaxRange(out, in *tensor.Tensor, f, lo, hi int) {
+	for bi := lo; bi < hi; bi++ {
+		row := in.Data[bi*f : (bi+1)*f]
+		orow := out.Data[bi*f : (bi+1)*f]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
 			}
 		}
-	})
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxV))
+			orow[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range orow {
+			orow[i] *= inv
+		}
+	}
 }

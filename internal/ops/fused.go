@@ -84,6 +84,16 @@ func Fused(out, in *tensor.Tensor, a *ir.FusedAttrs) {
 // and must be discarded. A context that cannot be canceled takes the exact
 // pre-existing path and costs nothing.
 func FusedCtx(ctx context.Context, out, in *tensor.Tensor, a *ir.FusedAttrs) error {
+	return fusedPlannedCtx(ctx, out, in, a, nil)
+}
+
+// FusedPlannedCtx is FusedCtx with the lconv/fconv weights supplied
+// pre-packed by PlanFused. Bit-identical to FusedCtx on the same operands.
+func FusedPlannedCtx(ctx context.Context, out, in *tensor.Tensor, a *ir.FusedAttrs, p *FusedPlan) error {
+	return fusedPlannedCtx(ctx, out, in, a, p)
+}
+
+func fusedPlannedCtx(ctx context.Context, out, in *tensor.Tensor, a *ir.FusedAttrs, plan *FusedPlan) error {
 	n := in.Dim(0)
 	inC, h, w := in.Dim(1), in.Dim(2), in.Dim(3)
 	outC, outH, outW := out.Dim(1), out.Dim(2), out.Dim(3)
@@ -110,7 +120,7 @@ func FusedCtx(ctx context.Context, out, in *tensor.Tensor, a *ir.FusedAttrs) err
 		// Serial fast path: constructing fr here (not shared with the
 		// parallel branch) keeps it on the stack, so steady-state inference
 		// allocates nothing.
-		fr := fusedRun{out: out, in: in, a: a,
+		fr := fusedRun{out: out, in: in, a: a, plan: plan,
 			inC: inC, h: h, w: w, outC: outC, outH: outH, outW: outW,
 			kh: kh, kw: kw, sh: sh, sw: sw, ph: ph, pw: pw,
 			isMax: isMax, hasPool: hasPool, act: act, area: area,
@@ -120,7 +130,7 @@ func FusedCtx(ctx context.Context, out, in *tensor.Tensor, a *ir.FusedAttrs) err
 		fr.run(0, tasks)
 		return nil
 	}
-	fr := fusedRun{out: out, in: in, a: a,
+	fr := fusedRun{out: out, in: in, a: a, plan: plan,
 		inC: inC, h: h, w: w, outC: outC, outH: outH, outW: outW,
 		kh: kh, kw: kw, sh: sh, sw: sw, ph: ph, pw: pw,
 		isMax: isMax, hasPool: hasPool, act: act, area: area,
@@ -137,6 +147,7 @@ func FusedCtx(ctx context.Context, out, in *tensor.Tensor, a *ir.FusedAttrs) err
 type fusedRun struct {
 	out, in                     *tensor.Tensor
 	a                           *ir.FusedAttrs
+	plan                        *FusedPlan // pre-packed weights; nil packs per call
 	inC, h, w                   int
 	outC, outH, outW            int
 	kh, kw, sh, sw, ph, pw      int
@@ -226,7 +237,11 @@ func (fr *fusedRun) run(lo, hi int) {
 			}
 			beta = 1
 		}
-		gemm.Serial(a.MidC, rP, inC, 1, a.LW.Data, inC, xbuf[:inC*rP], rP, beta, mid[:a.MidC*rP], rP)
+		if fr.plan != nil {
+			gemm.SerialPackedA(rP, 1, fr.plan.lw, xbuf[:inC*rP], rP, beta, mid[:a.MidC*rP], rP)
+		} else {
+			gemm.Serial(a.MidC, rP, inC, 1, a.LW.Data, inC, xbuf[:inC*rP], rP, beta, mid[:a.MidC*rP], rP)
+		}
 
 		// Step 2: activation over valid positions, zero at padding (a
 		// padded position must not contribute applyAct(bias) downstream).
@@ -315,7 +330,11 @@ func (fr *fusedRun) run(lo, hi int) {
 			}
 			fbeta = 1
 		}
-		gemm.Serial(outC, fCols, a.MidC, 1, a.FW.Data, a.MidC, fsrc[:(a.MidC-1)*fld+fCols], fld, fbeta, ftile[:(outC-1)*fld+fCols], fld)
+		if fr.plan != nil {
+			gemm.SerialPackedA(fCols, 1, fr.plan.fw, fsrc[:(a.MidC-1)*fld+fCols], fld, fbeta, ftile[:(outC-1)*fld+fCols], fld)
+		} else {
+			gemm.Serial(outC, fCols, a.MidC, 1, a.FW.Data, a.MidC, fsrc[:(a.MidC-1)*fld+fCols], fld, fbeta, ftile[:(outC-1)*fld+fCols], fld)
+		}
 		for oc := 0; oc < outC; oc++ {
 			src := ftile[oc*fld:]
 			outPlane := (bIdx*outC + oc) * outH * outW

@@ -1,0 +1,225 @@
+package ops
+
+import (
+	"context"
+
+	"temco/internal/gemm"
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// Compile-time kernel plans. ConvAutoCtx re-derives the kernel choice,
+// re-packs the weight panels, and re-computes the im2col gather geometry on
+// every call; for a graph executed many times all of that is a function of
+// the node alone. PlanConv/PlanFused hoist it out of the run loop, and the
+// *PlannedCtx kernels consume the prepared plan. Planned execution is
+// bit-identical to the auto path: the plan replicates ConvAutoCtx's
+// dispatch thresholds exactly and the pre-packed GEMMs share the blocked
+// core's schedule.
+
+// convKernel names the kernel a ConvPlan selected.
+type convKernel uint8
+
+const (
+	convDirect convKernel = iota
+	convPointwise
+	convIm2col
+)
+
+// ConvPlan is the prepared execution of one Conv2D node at fixed spatial
+// dimensions: kernel choice, GEMM geometry, the im2col gather table, and
+// the pre-packed weight panels.
+type ConvPlan struct {
+	kernel convKernel
+	// rows/cols are the per-batch-element GEMM dimensions: W[OutC × rows] ·
+	// col[rows × cols] for im2col, W[OutC × InC] · in[InC × cols] pointwise.
+	rows, cols int
+	// idx is the per-channel im2col gather table, [KH·KW·cols] input-plane
+	// offsets with -1 marking padding positions.
+	idx []int32
+	// pw is the weight pre-packed as the GEMM's A operand (GEMM paths only).
+	pw *gemm.PackedA
+}
+
+// PackedBytes reports the plan's resident footprint (packed panels plus
+// gather table), for engine statistics.
+func (p *ConvPlan) PackedBytes() int64 {
+	var b int64
+	if p.pw != nil {
+		b += p.pw.Bytes()
+	}
+	return b + int64(len(p.idx))*4
+}
+
+// PlanConv prepares a Conv2D with input plane inH×inW and output plane
+// outH×outW. The kernel choice replicates ConvAutoCtx's dispatch
+// thresholds exactly, so planned and auto execution pick the same kernel.
+func PlanConv(a *ir.ConvAttrs, w *tensor.Tensor, inH, inW, outH, outW int) *ConvPlan {
+	g := a.Groups
+	if g == 0 {
+		g = 1
+	}
+	outHW := outH * outW
+	p := &ConvPlan{}
+	switch {
+	case is1x1Pointwise(a) && outHW*a.InC >= 256:
+		p.kernel = convPointwise
+		p.rows, p.cols = a.InC, outHW
+		p.pw = gemm.PackA(a.OutC, a.InC, w.Data, a.InC)
+	case g == 1 && a.KH*a.KW > 1 && outHW >= 64 && a.InC >= 4:
+		p.kernel = convIm2col
+		p.rows, p.cols = a.InC*a.KH*a.KW, outHW
+		p.pw = gemm.PackA(a.OutC, p.rows, w.Data, p.rows)
+		p.idx = im2colIndex(inH, inW, outH, outW, a)
+	default:
+		p.kernel = convDirect
+	}
+	return p
+}
+
+// ConvPlannedCtx executes a planned convolution; out/in must have the
+// spatial dimensions the plan was built for (any batch size). A nil plan
+// falls back to ConvAutoCtx. Same cancellation contract as ConvAutoCtx.
+func ConvPlannedCtx(ctx context.Context, out, in *tensor.Tensor, w, b *tensor.Tensor, a *ir.ConvAttrs, p *ConvPlan) error {
+	if p == nil {
+		return ConvAutoCtx(ctx, out, in, w, b, a)
+	}
+	switch p.kernel {
+	case convPointwise:
+		return conv1x1PlannedCtx(ctx, out, in, b, p)
+	case convIm2col:
+		return im2colPlannedCtx(ctx, out, in, b, p)
+	default:
+		return conv2DCtx(ctx, out, in, w, b, a)
+	}
+}
+
+// conv1x1PlannedCtx mirrors conv2D1x1Ctx with the weight pre-packed.
+func conv1x1PlannedCtx(ctx context.Context, out, in *tensor.Tensor, b *tensor.Tensor, p *ConvPlan) error {
+	n := in.Dim(0)
+	inC := in.Dim(1)
+	hw := in.Dim(2) * in.Dim(3)
+	outC := out.Dim(1)
+	if n >= Workers && Workers > 1 {
+		return parallelForCtx(ctx, n, func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				cSlab := out.Data[bi*outC*hw : (bi+1)*outC*hw]
+				beta := biasFill(cSlab, hw, b)
+				gemm.SerialPackedA(hw, 1, p.pw, in.Data[bi*inC*hw:(bi+1)*inC*hw], hw, beta, cSlab, hw)
+			}
+		})
+	}
+	for bi := 0; bi < n; bi++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cSlab := out.Data[bi*outC*hw : (bi+1)*outC*hw]
+		beta := biasFill(cSlab, hw, b)
+		gemm.GemmPackedA(hw, 1, p.pw, in.Data[bi*inC*hw:(bi+1)*inC*hw], hw, beta, cSlab, hw)
+	}
+	return nil
+}
+
+// im2colPlannedCtx mirrors conv2DIm2colCtx with the weight pre-packed and
+// the window unfold driven by the plan's gather table instead of
+// re-deriving offsets per call.
+func im2colPlannedCtx(ctx context.Context, out, in *tensor.Tensor, b *tensor.Tensor, p *ConvPlan) error {
+	n := in.Dim(0)
+	inC := in.Dim(1)
+	inHW := in.Dim(2) * in.Dim(3)
+	outC := out.Dim(1)
+	rows, cols := p.rows, p.cols
+	if n >= Workers && Workers > 1 {
+		return parallelForCtx(ctx, n, func(lo, hi int) {
+			colPtr := gemm.GetF32(rows * cols)
+			for bi := lo; bi < hi; bi++ {
+				im2colIndexed(*colPtr, in, bi, inC, inHW, p.idx)
+				cSlab := out.Data[bi*outC*cols : (bi+1)*outC*cols]
+				beta := biasFill(cSlab, cols, b)
+				gemm.SerialPackedA(cols, 1, p.pw, *colPtr, cols, beta, cSlab, cols)
+			}
+			gemm.PutF32(colPtr)
+		})
+	}
+	colPtr := gemm.GetF32(rows * cols)
+	for bi := 0; bi < n; bi++ {
+		if err := ctx.Err(); err != nil {
+			gemm.PutF32(colPtr)
+			return err
+		}
+		im2colIndexed(*colPtr, in, bi, inC, inHW, p.idx)
+		cSlab := out.Data[bi*outC*cols : (bi+1)*outC*cols]
+		beta := biasFill(cSlab, cols, b)
+		gemm.GemmPackedA(cols, 1, p.pw, *colPtr, cols, beta, cSlab, cols)
+	}
+	gemm.PutF32(colPtr)
+	return nil
+}
+
+// im2colIndex precomputes the window-unfold gather table: entry
+// ((r·KW+q)·cols + oh·outW + ow) holds the input-plane offset feeding
+// column (oh,ow) of kernel tap (r,q), or -1 at padding. The table is
+// channel-independent; im2colIndexed replays it per input channel.
+func im2colIndex(inH, inW, outH, outW int, a *ir.ConvAttrs) []int32 {
+	cols := outH * outW
+	idx := make([]int32, a.KH*a.KW*cols)
+	i := 0
+	for r := 0; r < a.KH; r++ {
+		for q := 0; q < a.KW; q++ {
+			for oh := 0; oh < outH; oh++ {
+				ih := oh*a.SH - a.PH + r
+				for ow := 0; ow < outW; ow++ {
+					iw := ow*a.SW - a.PW + q
+					if ih < 0 || ih >= inH || iw < 0 || iw >= inW {
+						idx[i] = -1
+					} else {
+						idx[i] = int32(ih*inW + iw)
+					}
+					i++
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// im2colIndexed unfolds one batch element through the gather table,
+// producing exactly the [InC·KH·KW, outH·outW] column matrix im2col builds.
+func im2colIndexed(colBuf []float32, in *tensor.Tensor, bi, inC, inHW int, idx []int32) {
+	kl := len(idx)
+	for ic := 0; ic < inC; ic++ {
+		src := in.Data[(bi*inC+ic)*inHW:][:inHW]
+		dst := colBuf[ic*kl : (ic+1)*kl]
+		for i, o := range idx {
+			if o >= 0 {
+				dst[i] = src[o]
+			} else {
+				dst[i] = 0
+			}
+		}
+	}
+}
+
+// FusedPlan pre-packs a fused node's lconv and fconv weights as the A
+// operands of the per-tile GEMMs.
+type FusedPlan struct {
+	lw, fw *gemm.PackedA // fw is nil for tail fusion (no fconv)
+}
+
+// PackedBytes reports the plan's resident packed-panel footprint.
+func (p *FusedPlan) PackedBytes() int64 {
+	b := p.lw.Bytes()
+	if p.fw != nil {
+		b += p.fw.Bytes()
+	}
+	return b
+}
+
+// PlanFused prepares a fused lconv→act→[pool]→fconv node.
+func PlanFused(a *ir.FusedAttrs) *FusedPlan {
+	p := &FusedPlan{lw: gemm.PackA(a.MidC, a.InC, a.LW.Data, a.InC)}
+	if a.FW != nil {
+		p.fw = gemm.PackA(a.OutC, a.MidC, a.FW.Data, a.MidC)
+	}
+	return p
+}

@@ -7,64 +7,74 @@ import (
 	"temco/internal/tensor"
 )
 
+// Like the elementwise kernels, the pooling family branches to a plain
+// range call at Workers <= 1 so steady-state execution allocates nothing
+// (closures handed to parallelFor escape to the heap).
+
 // MaxPool computes 2-D max pooling over [N,C,H,W]. Padding positions are
 // ignored (treated as -inf), matching framework semantics.
 func MaxPool(out, in *tensor.Tensor, a *ir.PoolAttrs) {
-	poolRun(out, in, a, true)
+	poolDispatch(out, in, a, true)
 }
 
 // AvgPool computes 2-D average pooling over [N,C,H,W]. The divisor is the
 // full kernel area (count_include_pad semantics with zero padding).
 func AvgPool(out, in *tensor.Tensor, a *ir.PoolAttrs) {
-	poolRun(out, in, a, false)
+	poolDispatch(out, in, a, false)
 }
 
-func poolRun(out, in *tensor.Tensor, a *ir.PoolAttrs, isMax bool) {
+func poolDispatch(out, in *tensor.Tensor, a *ir.PoolAttrs, isMax bool) {
 	n, c := in.Dim(0), in.Dim(1)
+	if Workers <= 1 {
+		poolRange(out, in, a, isMax, 0, n*c)
+		return
+	}
+	parallelFor(n*c, func(lo, hi int) { poolRange(out, in, a, isMax, lo, hi) })
+}
+
+func poolRange(out, in *tensor.Tensor, a *ir.PoolAttrs, isMax bool, lo, hi int) {
 	inH, inW := in.Dim(2), in.Dim(3)
 	outH, outW := out.Dim(2), out.Dim(3)
 	area := float32(a.KH * a.KW)
-	parallelFor(n*c, func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			inPlane := idx * inH * inW
-			outPlane := idx * outH * outW
-			for oh := 0; oh < outH; oh++ {
-				for ow := 0; ow < outW; ow++ {
-					hBase := oh*a.SH - a.PH
-					wBase := ow*a.SW - a.PW
-					var acc float32
-					if isMax {
-						acc = float32(math.Inf(-1))
+	for idx := lo; idx < hi; idx++ {
+		inPlane := idx * inH * inW
+		outPlane := idx * outH * outW
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				hBase := oh*a.SH - a.PH
+				wBase := ow*a.SW - a.PW
+				var acc float32
+				if isMax {
+					acc = float32(math.Inf(-1))
+				}
+				for r := 0; r < a.KH; r++ {
+					ih := hBase + r
+					if ih < 0 || ih >= inH {
+						continue
 					}
-					for r := 0; r < a.KH; r++ {
-						ih := hBase + r
-						if ih < 0 || ih >= inH {
+					row := inPlane + ih*inW
+					for q := 0; q < a.KW; q++ {
+						iw := wBase + q
+						if iw < 0 || iw >= inW {
 							continue
 						}
-						row := inPlane + ih*inW
-						for q := 0; q < a.KW; q++ {
-							iw := wBase + q
-							if iw < 0 || iw >= inW {
-								continue
+						v := in.Data[row+iw]
+						if isMax {
+							if v > acc {
+								acc = v
 							}
-							v := in.Data[row+iw]
-							if isMax {
-								if v > acc {
-									acc = v
-								}
-							} else {
-								acc += v
-							}
+						} else {
+							acc += v
 						}
 					}
-					if !isMax {
-						acc /= area
-					}
-					out.Data[outPlane+oh*outW+ow] = acc
 				}
+				if !isMax {
+					acc /= area
+				}
+				out.Data[outPlane+oh*outW+ow] = acc
 			}
 		}
-	})
+	}
 }
 
 // GlobalAvgPool averages each [H,W] plane to a single value: [N,C,H,W] →
@@ -72,55 +82,73 @@ func poolRun(out, in *tensor.Tensor, a *ir.PoolAttrs, isMax bool) {
 func GlobalAvgPool(out, in *tensor.Tensor) {
 	n, c := in.Dim(0), in.Dim(1)
 	hw := in.Dim(2) * in.Dim(3)
+	if Workers <= 1 {
+		globalAvgRange(out, in, hw, 0, n*c)
+		return
+	}
+	parallelFor(n*c, func(lo, hi int) { globalAvgRange(out, in, hw, lo, hi) })
+}
+
+func globalAvgRange(out, in *tensor.Tensor, hw, lo, hi int) {
 	inv := float32(1) / float32(hw)
-	parallelFor(n*c, func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			base := idx * hw
-			var s float32
-			for i := 0; i < hw; i++ {
-				s += in.Data[base+i]
-			}
-			out.Data[idx] = s * inv
+	for idx := lo; idx < hi; idx++ {
+		base := idx * hw
+		var s float32
+		for i := 0; i < hw; i++ {
+			s += in.Data[base+i]
 		}
-	})
+		out.Data[idx] = s * inv
+	}
 }
 
 // Upsample performs nearest-neighbour upsampling by an integer scale.
 func Upsample(out, in *tensor.Tensor, scale int) {
 	n, c := in.Dim(0), in.Dim(1)
+	if Workers <= 1 {
+		upsampleRange(out, in, scale, 0, n*c)
+		return
+	}
+	parallelFor(n*c, func(lo, hi int) { upsampleRange(out, in, scale, lo, hi) })
+}
+
+func upsampleRange(out, in *tensor.Tensor, scale, lo, hi int) {
 	inH, inW := in.Dim(2), in.Dim(3)
 	outH, outW := out.Dim(2), out.Dim(3)
-	parallelFor(n*c, func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			inPlane := idx * inH * inW
-			outPlane := idx * outH * outW
-			for oh := 0; oh < outH; oh++ {
-				ih := oh / scale
-				inRow := inPlane + ih*inW
-				outRow := outPlane + oh*outW
-				for ow := 0; ow < outW; ow++ {
-					out.Data[outRow+ow] = in.Data[inRow+ow/scale]
-				}
+	for idx := lo; idx < hi; idx++ {
+		inPlane := idx * inH * inW
+		outPlane := idx * outH * outW
+		for oh := 0; oh < outH; oh++ {
+			ih := oh / scale
+			inRow := inPlane + ih*inW
+			outRow := outPlane + oh*outW
+			for ow := 0; ow < outW; ow++ {
+				out.Data[outRow+ow] = in.Data[inRow+ow/scale]
 			}
 		}
-	})
+	}
 }
 
 // Concat concatenates the inputs along the channel dimension.
 func Concat(out *tensor.Tensor, ins []*tensor.Tensor) {
 	n := out.Dim(0)
+	if Workers <= 1 {
+		concatRange(out, ins, 0, n)
+		return
+	}
+	parallelFor(n, func(lo, hi int) { concatRange(out, ins, lo, hi) })
+}
+
+func concatRange(out *tensor.Tensor, ins []*tensor.Tensor, lo, hi int) {
 	outC := out.Dim(1)
 	hw := out.Dim(2) * out.Dim(3)
-	parallelFor(n, func(lo, hi int) {
-		for bi := lo; bi < hi; bi++ {
-			cOff := 0
-			for _, in := range ins {
-				c := in.Dim(1)
-				src := in.Data[bi*c*hw : (bi+1)*c*hw]
-				dst := out.Data[(bi*outC+cOff)*hw : (bi*outC+cOff+c)*hw]
-				copy(dst, src)
-				cOff += c
-			}
+	for bi := lo; bi < hi; bi++ {
+		cOff := 0
+		for _, in := range ins {
+			c := in.Dim(1)
+			src := in.Data[bi*c*hw : (bi+1)*c*hw]
+			dst := out.Data[(bi*outC+cOff)*hw : (bi*outC+cOff+c)*hw]
+			copy(dst, src)
+			cOff += c
 		}
-	})
+	}
 }

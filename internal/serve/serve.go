@@ -1,8 +1,12 @@
 // Package serve is the fault-tolerant inference serving tier. A Session
 // wraps a compiled graph pair — the TeMCO-optimized graph and its
 // unoptimized fallback — behind a bounded priority admission queue and a
-// worker pool running exec.RunCtx with per-request deadlines. Failures are
-// absorbed in layers:
+// worker pool with per-request deadlines. Each worker owns a compiled
+// engine.Instance per graph (plan-once/run-many: pre-packed weights and a
+// private arena slab, so the steady-state hot path allocates nothing and
+// workers never contend on buffers); when the engine is disabled or a
+// graph fails to compile, the worker falls back to the exec.RunCtx
+// interpreter, which is bit-identical. Failures are absorbed in layers:
 //
 //   - admission control: a full queue sheds load immediately with
 //     guard.ErrOverloaded instead of growing latency without bound;
@@ -24,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"temco/internal/engine"
 	"temco/internal/exec"
 	"temco/internal/guard"
 	"temco/internal/ir"
@@ -56,6 +61,14 @@ type Config struct {
 	// ProbeInterval is how long the breaker stays open before letting one
 	// probe request test the optimized graph again. Default 1s.
 	ProbeInterval time.Duration
+	// NoEngine disables the compiled engine and serves every request
+	// through the exec.RunCtx interpreter. The zero value keeps the engine
+	// on; it also stays on when compilation fails (the session silently
+	// serves that graph interpreted — outputs are identical either way).
+	// With the engine on, the memory budget is accounted the arena way
+	// (slab + largest kernel workspace, as exec.RunArenaCtx does) rather
+	// than by live-tensor tracking.
+	NoEngine bool
 }
 
 func (c *Config) applyDefaults() {
@@ -127,6 +140,12 @@ type Stats struct {
 	Probes         uint64 `json:"probes"`
 	ProbeFailures  uint64 `json:"probe_failures"`
 	Draining       bool   `json:"draining"`
+	// EngineOptimized / EngineFallback report whether the respective graph
+	// serves through a compiled engine (false = interpreter path).
+	EngineOptimized bool `json:"engine_optimized"`
+	EngineFallback  bool `json:"engine_fallback"`
+	// EngineRuns counts completed compiled-engine runs across both graphs.
+	EngineRuns uint64 `json:"engine_runs"`
 }
 
 // Session is a concurrent inference session over an optimized graph and
@@ -137,6 +156,12 @@ type Session struct {
 	cfg     Config
 	q       *queue
 	br      *breaker
+
+	// optEng/fbEng are the compiled engines, nil when Config.NoEngine is
+	// set or the graph did not compile (that graph then serves through the
+	// interpreter). Engines are immutable and shared; each worker holds its
+	// own Instances.
+	optEng, fbEng *engine.Engine
 
 	// baseCtx is canceled on forced shutdown; every request context hangs
 	// off it so in-flight kernels stop mid-node when draining times out.
@@ -171,6 +196,13 @@ func New(optimized, fallback *ir.Graph, cfg Config) (*Session, error) {
 		cfg: cfg,
 		q:   newQueue(cfg.QueueSize),
 		br:  newBreaker(cfg.BreakerThreshold, cfg.ProbeInterval),
+	}
+	if !cfg.NoEngine {
+		// Compile-or-fall-back: an engine that will not compile (e.g. an
+		// unsupported node kind) is not an error — the interpreter serves
+		// that graph with identical outputs, just without the plan reuse.
+		s.optEng, _ = engine.Compile(optimized, engine.Options{Batch: 1, BudgetBytes: cfg.BudgetBytes})
+		s.fbEng, _ = engine.Compile(fallback, engine.Options{Batch: 1, BudgetBytes: cfg.BudgetBytes})
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
@@ -227,16 +259,25 @@ func (s *Session) Infer(ctx context.Context, req Request) (*Response, error) {
 	}
 }
 
-// worker drains the admission queue until the session closes.
+// worker drains the admission queue until the session closes. Each worker
+// owns its engine instances: the arena slab and output buffers are
+// per-worker, so the hot path never takes a lock or touches shared state.
 func (s *Session) worker() {
 	defer s.workers.Done()
+	var optInst, fbInst *engine.Instance
+	if s.optEng != nil {
+		optInst = s.optEng.NewInstance()
+	}
+	if s.fbEng != nil {
+		fbInst = s.fbEng.NewInstance()
+	}
 	for {
 		it, ok := s.q.pop()
 		if !ok {
 			return
 		}
 		s.inFlight.Add(1)
-		resp, err := s.process(it)
+		resp, err := s.process(it, optInst, fbInst)
 		s.inFlight.Add(-1)
 		if err != nil {
 			s.failed.Add(1)
@@ -256,7 +297,10 @@ func retryable(err error) bool {
 
 // process executes one admitted request: breaker-routed graph choice,
 // bounded retries with exponential backoff, degradation classification.
-func (s *Session) process(it *item) (*Response, error) {
+// The chosen graph runs on the worker's compiled instance when one exists,
+// else through the interpreter; error classification (and therefore the
+// retry and breaker behavior) is identical on both paths.
+func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response, error) {
 	queued := time.Since(it.enq)
 	if err := it.ctx.Err(); err != nil {
 		return nil, guard.New(guard.ErrCanceled, "serve.process", err)
@@ -265,11 +309,11 @@ func (s *Session) process(it *item) (*Response, error) {
 	retries := 0
 	for attempt := 0; ; attempt++ {
 		useOpt, probe := s.br.allow()
-		g := s.opt
+		g, inst := s.opt, optInst
 		if !useOpt {
-			g = s.fb
+			g, inst = s.fb, fbInst
 		}
-		res, err := exec.RunCtx(it.ctx, g, s.cfg.BudgetBytes, it.req.Inputs...)
+		res, err := s.runOnce(it, g, inst)
 		canceled := err != nil && errors.Is(err, guard.ErrCanceled)
 		if useOpt {
 			if probe {
@@ -316,10 +360,48 @@ func (s *Session) process(it *item) (*Response, error) {
 	}
 }
 
+// runOnce executes one attempt on the worker's compiled instance, or on
+// the interpreter when the graph has no engine. Engine outputs alias the
+// instance's reusable buffers, so they are cloned before they escape to
+// the caller; the engine's internal run stays allocation-free either way.
+func (s *Session) runOnce(it *item, g *ir.Graph, inst *engine.Instance) (*exec.Result, error) {
+	if inst == nil {
+		return exec.RunCtx(it.ctx, g, s.cfg.BudgetBytes, it.req.Inputs...)
+	}
+	res, err := inst.Run(it.ctx, it.req.Inputs...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, len(res.Outputs))
+	for i, o := range res.Outputs {
+		out[i] = o.Clone()
+	}
+	return &exec.Result{Outputs: out, LayerCalls: res.LayerCalls}, nil
+}
+
+// Engines returns the compiled engines for the optimized and fallback
+// graphs (nil for a graph serving through the interpreter). Engines are
+// immutable; callers may take their own Instances, e.g. to probe
+// steady-state allocation behavior on a live daemon.
+func (s *Session) Engines() (opt, fb *engine.Engine) { return s.optEng, s.fbEng }
+
+// EngineStats reports the compiled-engine snapshots for the optimized and
+// fallback graphs. ok is false for a graph serving through the interpreter
+// (engine disabled or compilation fell back); its Stats is then zero.
+func (s *Session) EngineStats() (opt, fb engine.Stats, optOK, fbOK bool) {
+	if s.optEng != nil {
+		opt, optOK = s.optEng.Stats(), true
+	}
+	if s.fbEng != nil {
+		fb, fbOK = s.fbEng.Stats(), true
+	}
+	return opt, fb, optOK, fbOK
+}
+
 // Stats snapshots the session's counters.
 func (s *Session) Stats() Stats {
 	state, trips, probes, probeFails := s.br.snapshot()
-	return Stats{
+	st := Stats{
 		Accepted:       s.accepted.Load(),
 		Shed:           s.shed.Load(),
 		Completed:      s.completed.Load(),
@@ -336,6 +418,15 @@ func (s *Session) Stats() Stats {
 		ProbeFailures:  probeFails,
 		Draining:       s.draining.Load(),
 	}
+	if s.optEng != nil {
+		st.EngineOptimized = true
+		st.EngineRuns += s.optEng.Stats().Runs
+	}
+	if s.fbEng != nil {
+		st.EngineFallback = true
+		st.EngineRuns += s.fbEng.Stats().Runs
+	}
+	return st
 }
 
 // Ready reports whether the session accepts new requests.
