@@ -1,11 +1,15 @@
 // Command memprofile prints the internal-tensor memory timeline of one
 // model variant (paper Fig. 4) either as a textual plot or as CSV suitable
-// for external plotting.
+// for external plotting. With -measured it additionally *runs* the graph
+// with the interpreter's memory recorder enabled and compares the measured
+// live-byte curve against the static prediction, exiting nonzero when the
+// two diverge beyond -tol.
 //
 // Usage:
 //
 //	memprofile -model unet -variant Decomposed -batch 4
 //	memprofile -model vgg16 -variant Original -csv > vgg16.csv
+//	memprofile -model unet -variant Decomposed -measured -tol 0.1
 //
 // The TEMCO_WORKERS environment variable overrides kernel parallelism
 // (default: GOMAXPROCS). Kernels are deterministic across worker counts.
@@ -25,13 +29,15 @@ import (
 
 func main() {
 	var (
-		model   = flag.String("model", "unet", "model name")
-		variant = flag.String("variant", "Decomposed", "Original|Decomposed|Fusion|Skip-Opt|Skip-Opt+Fusion")
-		res     = flag.Int("res", 64, "input resolution")
-		batch   = flag.Int("batch", 4, "batch size")
-		ratio   = flag.Float64("ratio", 0.1, "decomposition ratio")
-		csv     = flag.Bool("csv", false, "emit CSV instead of a plot")
-		width   = flag.Int("width", 60, "plot width")
+		model    = flag.String("model", "unet", "model name")
+		variant  = flag.String("variant", "Decomposed", "Original|Decomposed|Fusion|Skip-Opt|Skip-Opt+Fusion")
+		res      = flag.Int("res", 64, "input resolution")
+		batch    = flag.Int("batch", 4, "batch size")
+		ratio    = flag.Float64("ratio", 0.1, "decomposition ratio")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a plot")
+		width    = flag.Int("width", 60, "plot width")
+		measured = flag.Bool("measured", false, "run the graph and compare the measured memory curve against the prediction")
+		tol      = flag.Float64("tol", 0.10, "with -measured, max allowed relative peak divergence before a nonzero exit")
 	)
 	flag.Parse()
 	if _, err := ops.WorkersFromEnv(); err != nil {
@@ -47,6 +53,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memprofile:", err)
 		os.Exit(1)
 	}
+	if *measured {
+		if err := runMeasured(s, *model, *variant, mcfg, dopts, *batch, *tol, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(guard.ExitCode(err))
+		}
+		return
+	}
 	if *csv {
 		fmt.Println("index,layer,live_bytes,skip_bytes")
 		for _, p := range s.Points {
@@ -56,3 +69,45 @@ func main() {
 	}
 	fmt.Print(s.Sparkline(*width))
 }
+
+// runMeasured executes the graph with the memory recorder armed, prints the
+// predicted and measured curves side by side, and enforces -tol on the peak
+// divergence. Divergence beyond tolerance means the interpreter's live-set
+// accounting and the static planner disagree — a bug in one of the two —
+// and maps to guard.ErrInternal (exit code 1), following the guard table.
+func runMeasured(pred experiments.TimelineSeries, model, variant string,
+	mcfg models.Config, dopts decompose.Options, batch int, tol float64, csv bool) error {
+	meas, err := experiments.MeasuredTimeline(model, experiments.Variant(variant), mcfg, dopts, batch)
+	if err != nil {
+		return err
+	}
+	c, err := experiments.Compare(pred, meas)
+	if err != nil {
+		return err
+	}
+	if csv {
+		byStep := make(map[int]int64, len(meas.Points))
+		for _, p := range meas.Points {
+			byStep[p.Index] = p.LiveBytes
+		}
+		fmt.Println("index,layer,predicted_bytes,measured_bytes")
+		for _, p := range pred.Points {
+			fmt.Printf("%d,%s,%d,%d\n", p.Index, p.Layer, p.LiveBytes, byStep[p.Index])
+		}
+	} else {
+		fmt.Printf("%s / %s, batch %d — predicted vs measured internal-tensor memory\n",
+			c.Model, c.Variant, c.Batch)
+		fmt.Printf("  predicted peak  %12d bytes (%.2f MB)\n", c.PredictedPeak, mb(c.PredictedPeak))
+		fmt.Printf("  measured peak   %12d bytes (%.2f MB)\n", c.MeasuredPeak, mb(c.MeasuredPeak))
+		fmt.Printf("  peak divergence %11.3f%%   worst point %8.3f%%   (%d points, tolerance %.1f%%)\n",
+			c.PeakRelDiff*100, c.MaxPointRelDiff*100, c.Points, tol*100)
+	}
+	if c.PeakRelDiff > tol {
+		return guard.Errorf(guard.ErrInternal, "memprofile",
+			"measured peak diverges from prediction by %.2f%% (tolerance %.1f%%)",
+			c.PeakRelDiff*100, tol*100)
+	}
+	return nil
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -9,6 +9,7 @@
 //	temco -model vgg16 -res 64 -batch 4 -ratio 0.1 -method tucker -verify
 //	temco -model unet -dot out.dot
 //	temco -model resnet18 -verify -timeout 30s -membudget 256
+//	temco -model unet -verify -trace out.json   # per-step Chrome trace
 //
 // Exit codes:
 //
@@ -39,6 +40,7 @@ import (
 	"temco/internal/ir"
 	"temco/internal/memplan"
 	"temco/internal/models"
+	"temco/internal/obs"
 	"temco/internal/ops"
 	"temco/internal/tensor"
 )
@@ -61,6 +63,7 @@ type options struct {
 	seed     uint64
 	timeout  time.Duration
 	budgetMB int64
+	traceOut string
 }
 
 func main() {
@@ -82,6 +85,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "weight initialization seed")
 		timeout   = flag.Duration("timeout", 0, "abort -verify execution after this duration (0 = none)")
 		membudget = flag.Int64("membudget", 0, "peak internal-tensor memory budget for -verify execution, in MB (0 = unlimited)")
+		traceOut  = flag.String("trace", "", "with -verify, record per-step spans and write Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 	if _, err := ops.WorkersFromEnv(); err != nil {
@@ -100,6 +104,7 @@ func main() {
 		o.skipOpt, o.fusion, o.trans, o.verify = *skipOpt, *fusion, *trans, *verify
 		o.engine = *engineOn
 		o.dot, o.save, o.seed = *dot, *save, *seed
+		o.traceOut = *traceOut
 		err = run(o)
 	}
 	if err != nil {
@@ -184,6 +189,13 @@ func run(o options) error {
 			ctx, cancel = context.WithTimeout(ctx, o.timeout)
 			defer cancel()
 		}
+		var tracer *obs.Tracer
+		if o.traceOut != "" {
+			// Unscoped: spans from the decomposed, optimized, and engine runs
+			// all land in one trace, on separate lanes.
+			tracer = obs.EnableTrace(obs.TraceConfig{})
+			defer obs.DisableTrace()
+		}
 		budget := o.budgetMB * (1 << 20)
 		x := tensor.New(2, 3, o.res, o.res)
 		x.FillNormal(tensor.NewRNG(7), 0, 1)
@@ -218,6 +230,20 @@ func run(o options) error {
 				}
 			}
 			fmt.Printf("verify: compiled engine bit-identical to interpreter (%d outputs)\n", len(ro.Outputs))
+		}
+		if tracer != nil {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d spans to %s\n", len(tracer.Spans()), o.traceOut)
 		}
 	}
 	if o.dot != "" {

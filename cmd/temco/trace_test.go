@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunWritesChromeTrace runs -verify with -trace and checks the output
+// is valid Chrome trace_event JSON carrying one complete event per
+// executed step, with the live-byte accounting in args.
+func TestRunWritesChromeTrace(t *testing.T) {
+	o := testOptions(t, "alexnet", "tucker")
+	o.verify, o.engine, o.seed = true, true, 1
+	o.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	cats := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		cats[ev.Cat] = true
+		if ev.Ph != "X" {
+			t.Fatalf("event %s: phase %q, want complete event X", ev.Name, ev.Ph)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("event %s: negative ts/dur (%v, %v)", ev.Name, ev.Ts, ev.Dur)
+		}
+		if _, ok := ev.Args["live_bytes"]; !ok {
+			t.Fatalf("event %s: args missing live_bytes: %v", ev.Name, ev.Args)
+		}
+	}
+	// -verify runs the interpreter on both graphs and the compiled engine:
+	// the unscoped trace must carry spans from both executors.
+	if !cats["exec"] || !cats["engine"] {
+		t.Fatalf("trace categories %v, want both exec and engine", cats)
+	}
+}

@@ -15,7 +15,14 @@
 //	POST /infer   {"batch":1,"seed":7} or {"data":[...]} — run inference
 //	GET  /healthz liveness (200 while the process runs)
 //	GET  /readyz  readiness (503 while draining)
-//	GET  /statsz  serving counters + injected-fault counters
+//	GET  /statsz  serving counters + injected-fault counters (JSON)
+//	GET  /metrics the same counters in Prometheus text format
+//	GET  /debug/pprof/ net/http/pprof profiles
+//
+// /statsz and /metrics render the same obs.Registry instruments, so the two
+// views cannot drift. -trace FILE records per-step execution spans for the
+// process lifetime and writes Chrome trace_event JSON (chrome://tracing,
+// Perfetto) at shutdown.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener closes, in-flight
 // requests drain (bounded by -draintimeout), then the process exits.
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +56,7 @@ import (
 	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/models"
+	"temco/internal/obs"
 	"temco/internal/ops"
 	"temco/internal/serve"
 	"temco/internal/tensor"
@@ -72,6 +81,7 @@ func main() {
 		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful shutdown drain budget")
 		engineOn  = flag.Bool("engine", true, "serve through the compiled plan-once/run-many engine (off = exec interpreter)")
 		faults    = flag.String("faults", "", `fault injection spec, e.g. "seed=42,scope=optimized,panic=0.05,budget=0.02,slow=0.01:5ms,alloc=0.01"`)
+		traceOut  = flag.String("trace", "", "record per-step spans and write Chrome trace_event JSON to this file at shutdown")
 	)
 	flag.Parse()
 	if err := run(options{
@@ -80,6 +90,7 @@ func main() {
 		workers: *workers, deadline: *deadline, retries: *retries,
 		membudgetMB: *membudget, breaker: *breaker, probe: *probe,
 		drain: *drain, noEngine: !*engineOn, faults: *faults,
+		traceOut: *traceOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "temcod:", err)
 		os.Exit(guard.ExitCode(err))
@@ -104,11 +115,31 @@ type options struct {
 	drain       time.Duration
 	noEngine    bool
 	faults      string
+	traceOut    string
 }
 
 func run(o options) error {
 	if _, err := ops.WorkersFromEnv(); err != nil {
 		return err
+	}
+	// Process-wide collectors on the default registry: runtime gauges plus
+	// the gemm pool and fault-injection counters the serving layer perturbs.
+	// The session's own instruments live on its per-session registry; the
+	// /metrics handler renders both.
+	obs.RegisterProcessMetrics(obs.Default())
+	gemm.RegisterMetrics(obs.Default())
+	faultinject.RegisterMetrics(obs.Default())
+	if o.traceOut != "" {
+		tracer := obs.EnableTrace(obs.TraceConfig{Capacity: 1 << 18})
+		defer func() {
+			obs.DisableTrace()
+			if err := writeTraceFile(tracer, o.traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "temcod: writing trace:", err)
+				return
+			}
+			fmt.Printf("temcod: wrote %d spans (%d dropped) to %s\n",
+				len(tracer.Spans()), tracer.Dropped(), o.traceOut)
+		}()
 	}
 	sess, inputShape, err := buildSession(o)
 	if err != nil {
@@ -378,6 +409,17 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64) htt
 			Goroutines: runtime.NumGoroutine(),
 		})
 	})
+	// /metrics renders the session's registry next to the process-wide
+	// default registry (runtime, gemm pool, fault counters) in Prometheus
+	// text format — the same instruments /statsz serializes as JSON.
+	mux.Handle("/metrics", obs.Handler(sess.Metrics(), obs.Default()))
+	// net/http/pprof registers on DefaultServeMux; mirror its routes onto
+	// this private mux so profiles ship with the daemon.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -495,6 +537,19 @@ func argmaxPerSample(t *tensor.Tensor) []int {
 		out[b] = best
 	}
 	return out
+}
+
+// writeTraceFile dumps the tracer's spans as Chrome trace_event JSON.
+func writeTraceFile(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,187 @@
+package main
+
+// Telemetry surface of the daemon: /metrics must emit well-formed
+// Prometheus text that agrees with the /statsz JSON (both render the same
+// obs.Registry instruments), pprof must be mounted, and concurrent scrapes
+// against live inference traffic must be race-clean (CI runs this file
+// under -race).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"temco/internal/obs"
+)
+
+func getBody(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+// metricValue extracts the value of an unlabeled sample from an exposition.
+func metricValue(t *testing.T, expo, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(expo, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad value in %q: %v", name, line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		if _, out := postInfer(t, ts.URL, inferRequest{Batch: 1, Seed: uint64(i)}); out["error"] != nil {
+			t.Fatalf("infer failed: %v", out["error"])
+		}
+	}
+	status, ctype, expo := getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: status %d", status)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q, want Prometheus text 0.0.4", ctype)
+	}
+	if err := obs.CheckExposition([]byte(expo)); err != nil {
+		t.Fatalf("malformed exposition: %v\n%s", err, expo)
+	}
+	if v := metricValue(t, expo, "temco_serve_accepted_total"); v != runs {
+		t.Errorf("accepted_total = %v, want %d", v, runs)
+	}
+	if v := metricValue(t, expo, "temco_serve_completed_total"); v != runs {
+		t.Errorf("completed_total = %v, want %d", v, runs)
+	}
+	if v := metricValue(t, expo, "temco_serve_queue_wait_seconds_count"); v != runs {
+		t.Errorf("queue_wait count = %v, want %d", v, runs)
+	}
+	for _, name := range []string{
+		"temco_serve_queue_depth", "temco_serve_queue_capacity",
+		"temco_serve_breaker_state", "temco_serve_engine_runs_total",
+		"temco_serve_run_seconds_sum",
+	} {
+		if !strings.Contains(expo, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+// TestStatszAgreesWithMetrics is the regression test for the /statsz
+// rebuild: both endpoints render the same registry instruments, so a quiet
+// session must report identical counters through either view.
+func TestStatszAgreesWithMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	const runs = 2
+	for i := 0; i < runs; i++ {
+		if _, out := postInfer(t, ts.URL, inferRequest{Batch: 1, Seed: uint64(i)}); out["error"] != nil {
+			t.Fatalf("infer failed: %v", out["error"])
+		}
+	}
+	var st statsResponse
+	status, _, body := getBody(t, ts.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("/statsz: status %d", status)
+	}
+	if err := json.NewDecoder(bytes.NewReader([]byte(body))).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	_, _, expo := getBody(t, ts.URL+"/metrics")
+	if got := metricValue(t, expo, "temco_serve_accepted_total"); got != float64(st.Serve.Accepted) {
+		t.Errorf("accepted: metrics %v vs statsz %d", got, st.Serve.Accepted)
+	}
+	if got := metricValue(t, expo, "temco_serve_completed_total"); got != float64(st.Serve.Completed) {
+		t.Errorf("completed: metrics %v vs statsz %d", got, st.Serve.Completed)
+	}
+	if st.Serve.QueueWaitCount != uint64(st.Serve.Accepted) {
+		t.Errorf("queue wait count %d, want one observation per accepted request (%d)",
+			st.Serve.QueueWaitCount, st.Serve.Accepted)
+	}
+	if st.Serve.RunSecondsTotal <= 0 {
+		t.Errorf("run_seconds_total = %v after %d runs", st.Serve.RunSecondsTotal, runs)
+	}
+}
+
+// TestConcurrentScrapes races /statsz and /metrics scrapes against live
+// inference traffic. The assertion is the race detector: CI runs this
+// package with -race, so any unsynchronized read between the serving hot
+// path and a scrape fails the build.
+func TestConcurrentScrapes(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				b, _ := json.Marshal(inferRequest{Batch: 1, Seed: uint64(c*100 + i)})
+				resp, err := http.Post(ts.URL+"/infer", "application/json", bytes.NewReader(b))
+				if err != nil {
+					t.Errorf("infer: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	for _, ep := range []string{"/statsz", "/metrics"} {
+		wg.Add(1)
+		go func(ep string) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(ts.URL + ep)
+				if err != nil {
+					t.Errorf("%s: %v", ep, err)
+					return
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d, read err %v", ep, resp.StatusCode, rerr)
+					return
+				}
+				if ep == "/metrics" {
+					if err := obs.CheckExposition(body); err != nil {
+						t.Errorf("%s mid-traffic: %v", ep, err)
+						return
+					}
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+}
+
+func TestPprofMounted(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	status, _, body := getBody(t, ts.URL+"/debug/pprof/cmdline")
+	if status != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: status %d, %d bytes", status, len(body))
+	}
+	status, _, _ = getBody(t, ts.URL+"/debug/pprof/")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", status)
+	}
+}

@@ -3,11 +3,14 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"temco/internal/exec"
 	"temco/internal/faultinject"
+	"temco/internal/gemm"
 	"temco/internal/guard"
 	"temco/internal/ir"
+	"temco/internal/obs"
 	"temco/internal/ops"
 	"temco/internal/tensor"
 )
@@ -133,20 +136,57 @@ func (it *Instance) Run(ctx context.Context, inputs ...*tensor.Tensor) (r *exec.
 		}
 		copy(dst.Data, inputs[i].Data)
 	}
+	// Telemetry hooks: one atomic load each, nil (and therefore free) when
+	// disabled. When enabled, spans carry the step's arena offset and the
+	// arena high-water mark — the engine's measured memory trajectory is
+	// how far into the slab the layout has actually written, the number to
+	// hold against the planner's arena size.
+	tr := obs.TraceFor(e.g.Name)
+	mr := obs.MemRecorderFor(e.g.Name)
+	var lane uint64
+	if tr != nil {
+		lane = tr.Lane()
+	}
+	var watermark int64
 	for i := range e.steps {
 		s := &e.steps[i]
 		if err := ctx.Err(); err != nil {
 			return nil, guard.New(guard.ErrCanceled, "engine.Run", err)
 		}
+		if tr != nil || mr != nil {
+			if end := st.lay.offsets[i] + int64(st.vals[i].Len())*4; end > watermark {
+				watermark = end
+			}
+		}
 		if s.kind == ir.KindInput {
+			if mr != nil {
+				mr.Record(i, s.node.Name, watermark)
+			}
 			continue
 		}
 		if faultinject.Budget(e.g.Name) {
 			return nil, guard.Errorf(guard.ErrBudgetExceeded, "engine.Run",
 				"injected budget failure at node %s", s.node)
 		}
+		var t0 time.Duration
+		var p0 gemm.PoolStats
+		if tr != nil {
+			t0, p0 = tr.Since(), gemm.PoolStatsSnapshot()
+		}
 		if err := st.compute(ctx, e.g.Name, s, i); err != nil {
 			return nil, fmt.Errorf("engine: node %s: %w", s.node, err)
+		}
+		if tr != nil {
+			p1 := gemm.PoolStatsSnapshot()
+			tr.Record(obs.Span{
+				Name: s.node.Name, Cat: "engine", Kind: s.kind.String(),
+				Lane: lane, Step: i, Start: t0, Dur: tr.Since() - t0,
+				LiveBytes: watermark, ArenaOff: st.lay.offsets[i],
+				PackHits: p1.Hits - p0.Hits, PackMisses: p1.Misses - p0.Misses,
+			})
+		}
+		if mr != nil {
+			mr.Record(i, s.node.Name, watermark)
 		}
 	}
 	for j, sl := range e.outSlots {

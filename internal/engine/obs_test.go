@@ -1,0 +1,143 @@
+package engine_test
+
+// Telemetry contract of the compiled engine: with the obs hooks disabled
+// (the default) the steady-state Run stays zero-allocation — that is the
+// existing TestEngineZeroAllocSteadyState gate, which now runs with the
+// hook checks compiled in — and with tracing and memory recording enabled
+// the overhead is bounded: spans and samples land in preallocated buffers,
+// so the enabled steady state allocates nothing either.
+
+import (
+	"context"
+	"testing"
+
+	"temco/internal/engine"
+	"temco/internal/memplan"
+	"temco/internal/obs"
+	"temco/internal/ops"
+)
+
+func TestEngineTraceSpans(t *testing.T) {
+	g := buildOptimized(t, "vgg11")
+	e, err := engine.Compile(g, engine.Options{Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := e.NewInstance()
+	x := randInput(g, 1, 11)
+
+	tr := obs.EnableTrace(obs.TraceConfig{Scope: g.Name})
+	defer obs.DisableTrace()
+	mr := obs.EnableMemRecord(g.Name, len(g.Nodes))
+	defer obs.DisableMemRecord()
+
+	res, err := inst.Run(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != res.LayerCalls {
+		t.Fatalf("recorded %d spans, want one per layer call (%d)", len(spans), res.LayerCalls)
+	}
+	arena := e.Stats().ArenaBytes
+	prevStep := -1
+	for _, sp := range spans {
+		if sp.Cat != "engine" {
+			t.Fatalf("span cat %q, want engine", sp.Cat)
+		}
+		if sp.Step <= prevStep {
+			t.Fatalf("span steps not increasing: %d after %d", sp.Step, prevStep)
+		}
+		prevStep = sp.Step
+		if sp.Dur < 0 {
+			t.Fatalf("span %s has negative duration", sp.Name)
+		}
+		if sp.ArenaOff < 0 || sp.ArenaOff >= arena {
+			t.Fatalf("span %s arena offset %d outside [0, %d)", sp.Name, sp.ArenaOff, arena)
+		}
+		if sp.LiveBytes <= 0 || sp.LiveBytes > arena {
+			t.Fatalf("span %s live bytes %d outside (0, %d]", sp.Name, sp.LiveBytes, arena)
+		}
+	}
+
+	samples := mr.Samples()
+	if len(samples) != len(g.Nodes) {
+		t.Fatalf("recorded %d memory samples, want one per node (%d)", len(samples), len(g.Nodes))
+	}
+	peak, _ := mr.Peak()
+	if peak <= 0 || peak > arena {
+		t.Fatalf("measured arena watermark %d outside (0, %d]", peak, arena)
+	}
+	// The watermark must reach the planned arena size: the layout sizes the
+	// slab as the maximum end offset the schedule touches.
+	if peak != arena {
+		t.Fatalf("measured arena watermark %d != planned arena bytes %d", peak, arena)
+	}
+}
+
+// TestEngineTelemetryEnabledBoundedAllocs extends the zero-allocation gate
+// to the *enabled* path: spans append into the tracer's fixed buffer and
+// samples into a preallocated recorder, so even a fully traced steady-state
+// Run must not touch the heap.
+func TestEngineTelemetryEnabledBoundedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	prev := ops.SetWorkers(1)
+	defer ops.SetWorkers(prev)
+	g := buildOptimized(t, "alexnet")
+	e, err := engine.Compile(g, engine.Options{Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := e.NewInstance()
+	x := randInput(g, 1, 13)
+	ctx := context.Background()
+
+	obs.EnableTrace(obs.TraceConfig{Scope: g.Name, Capacity: 1 << 18})
+	defer obs.DisableTrace()
+	obs.EnableMemRecord(g.Name, 1<<20)
+	defer obs.DisableMemRecord()
+
+	for i := 0; i < 2; i++ {
+		if _, err := inst.Run(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var runErr error
+	allocs := testing.AllocsPerRun(20, func() {
+		_, runErr = inst.Run(ctx, x)
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if allocs != 0 {
+		t.Errorf("telemetry-enabled steady-state Run allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestEngineMeasuredVsPredictedArena checks the engine's measured arena
+// watermark against the planner: the high-water mark of slab writes equals
+// memplan.AssignOffsets' arena size, and stays at or below the
+// interpreter-model peak-with-workspace prediction's arena plan.
+func TestEngineMeasuredVsPredictedArena(t *testing.T) {
+	for _, name := range []string{"alexnet", "unet-s"} {
+		g := buildOptimized(t, name)
+		e, err := engine.Compile(g, engine.Options{Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr := obs.EnableMemRecord(g.Name, len(g.Nodes))
+		if _, err := e.Run(context.Background(), randInput(g, 1, 5)); err != nil {
+			obs.DisableMemRecord()
+			t.Fatal(err)
+		}
+		obs.DisableMemRecord()
+		peak, _ := mr.Peak()
+		asg := memplan.AssignOffsets(g, 1)
+		if peak != asg.ArenaBytes {
+			t.Errorf("%s: measured watermark %d != planned arena %d", name, peak, asg.ArenaBytes)
+		}
+	}
+}

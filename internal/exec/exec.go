@@ -7,11 +7,14 @@ package exec
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"temco/internal/faultinject"
+	"temco/internal/gemm"
 	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/memplan"
+	"temco/internal/obs"
 	"temco/internal/ops"
 	"temco/internal/tensor"
 )
@@ -67,6 +70,19 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 		}
 		freeAt[e] = append(freeAt[e], n)
 	}
+	// Telemetry hooks resolve once per run: one atomic load each, nil when
+	// disabled (the common case, which then costs nothing per step). The
+	// memory recorder tracks *measured* live bytes — summed from the actual
+	// tensors held in vals, not the planner's OutBytes model — so
+	// cmd/memprofile can check the static Fig. 4 prediction against what
+	// this executor really keeps live.
+	tr := obs.TraceFor(g.Name)
+	mr := obs.MemRecorderFor(g.Name)
+	var lane uint64
+	if tr != nil {
+		lane = tr.Lane()
+	}
+	var measuredLive int64
 	var liveBytes int64
 	res := &Result{}
 	for i, n := range g.Nodes {
@@ -85,6 +101,10 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 				"injected budget failure at node %s", n)
 		}
 		liveBytes += need
+		var t0 obsStart
+		if tr != nil {
+			t0 = beginSpan(tr)
+		}
 		if n.Kind != ir.KindInput {
 			out, err := guard.SafeValue("exec.dispatch", func() (*tensor.Tensor, error) {
 				return dispatch(ctx, g.Name, n, vals, batch)
@@ -94,9 +114,21 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 			}
 			vals[n] = out
 			res.LayerCalls++
+			if tr != nil {
+				endSpan(tr, t0, n, lane, i, liveBytes, -1)
+			}
+		}
+		if mr != nil {
+			// Count the tensor actually held for n (aliased Flatten views
+			// count at their aliased size, matching the planner's model).
+			measuredLive += int64(vals[n].Len()) * 4
+			mr.Record(i, n.Name, measuredLive)
 		}
 		for _, m := range freeAt[i] {
 			liveBytes -= m.OutBytes(batch)
+			if mr != nil {
+				measuredLive -= int64(vals[m].Len()) * 4
+			}
 			delete(vals, m)
 		}
 	}
@@ -120,6 +152,30 @@ func shapeEq(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// obsStart captures the tracer clock and the gemm workspace-pool counters
+// at step entry, so the step's span can report its duration and how much
+// kernel scratch came from the pool versus fresh allocation.
+type obsStart struct {
+	at   time.Duration
+	pool gemm.PoolStats
+}
+
+func beginSpan(tr *obs.Tracer) obsStart {
+	return obsStart{at: tr.Since(), pool: gemm.PoolStatsSnapshot()}
+}
+
+// endSpan records one per-step span. All arguments are scalars and
+// interned strings; recording never allocates (see obs.Tracer.Record).
+func endSpan(tr *obs.Tracer, t0 obsStart, n *ir.Node, lane uint64, step int, live, arenaOff int64) {
+	p1 := gemm.PoolStatsSnapshot()
+	tr.Record(obs.Span{
+		Name: n.Name, Cat: "exec", Kind: n.Kind.String(), Lane: lane, Step: step,
+		Start: t0.at, Dur: tr.Since() - t0.at,
+		LiveBytes: live, ArenaOff: arenaOff,
+		PackHits: p1.Hits - t0.pool.Hits, PackMisses: p1.Misses - t0.pool.Misses,
+	})
 }
 
 // dispatch runs node n's kernel. The context reaches the long-running

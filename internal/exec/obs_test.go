@@ -1,0 +1,86 @@
+package exec
+
+// Telemetry contract of the interpreter: RunCtx's measured memory samples
+// (actual live tensor bytes per step) must reproduce memplan.Simulate's
+// predicted timeline, and per-step spans must cover every dispatched
+// kernel with the executor's live-byte accounting attached.
+
+import (
+	"context"
+	"testing"
+
+	"temco/internal/memplan"
+	"temco/internal/obs"
+)
+
+func TestRunCtxMeasuredTimelineMatchesSimulate(t *testing.T) {
+	g := guardModel(t)
+	batch := 2
+	x := guardInput(g, batch)
+
+	mr := obs.EnableMemRecord(g.Name, len(g.Nodes))
+	defer obs.DisableMemRecord()
+	if _, err := RunCtx(context.Background(), g, 0, x); err != nil {
+		t.Fatal(err)
+	}
+	samples := mr.Samples()
+	if len(samples) != len(g.Nodes) {
+		t.Fatalf("recorded %d samples, want one per node (%d)", len(samples), len(g.Nodes))
+	}
+
+	p := memplan.Simulate(g, batch, 0)
+	if len(p.Events) != len(samples) {
+		t.Fatalf("prediction has %d events, measurement has %d", len(p.Events), len(samples))
+	}
+	for i, ev := range p.Events {
+		if samples[i].Step != ev.Index {
+			t.Fatalf("step %d: sample index %d != event index %d", i, samples[i].Step, ev.Index)
+		}
+		if samples[i].LiveBytes != ev.LiveBytes {
+			t.Errorf("step %d (%s): measured %d bytes, predicted %d",
+				i, ev.Name, samples[i].LiveBytes, ev.LiveBytes)
+		}
+	}
+	peak, _ := mr.Peak()
+	if peak != p.PeakInternal {
+		t.Errorf("measured peak %d != predicted peak %d", peak, p.PeakInternal)
+	}
+}
+
+func TestRunCtxSpans(t *testing.T) {
+	g := guardModel(t)
+	x := guardInput(g, 1)
+
+	tr := obs.EnableTrace(obs.TraceConfig{Scope: g.Name})
+	defer obs.DisableTrace()
+	res, err := RunCtx(context.Background(), g, 0, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) != res.LayerCalls {
+		t.Fatalf("recorded %d spans, want one per layer call (%d)", len(spans), res.LayerCalls)
+	}
+	for _, sp := range spans {
+		if sp.Cat != "exec" {
+			t.Fatalf("span cat %q, want exec", sp.Cat)
+		}
+		if sp.ArenaOff != -1 {
+			t.Fatalf("interpreter span %s claims arena offset %d", sp.Name, sp.ArenaOff)
+		}
+		if sp.LiveBytes <= 0 {
+			t.Fatalf("span %s has live bytes %d, want > 0", sp.Name, sp.LiveBytes)
+		}
+		if sp.Dur < 0 {
+			t.Fatalf("span %s has negative duration", sp.Name)
+		}
+	}
+	// A scoped tracer must ignore runs of other graphs.
+	other := obs.EnableTrace(obs.TraceConfig{Scope: "someone-else"})
+	if _, err := RunCtx(context.Background(), g, 0, x); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(other.Spans()); got != 0 {
+		t.Fatalf("scoped tracer recorded %d spans from a foreign graph", got)
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"temco/internal/decompose"
+	"temco/internal/exec"
+	"temco/internal/models"
+	"temco/internal/obs"
+	"temco/internal/tensor"
+)
+
+// MeasuredTimeline is Timeline's empirical twin: instead of asking
+// memplan.Simulate what the interpreter *should* hold live at each step, it
+// runs the variant graph through exec.Run with an obs.MemRecorder scoped to
+// the graph and reports the bytes the executor *actually* held. The two
+// series share TimelineSeries, so the same Sparkline/CSV paths render both;
+// measured points carry no skip-byte attribution (the recorder sees sizes,
+// not roles), so SkipBytes and PeakSkipShare stay zero.
+//
+// The function swaps the process-global memory-record hook for the duration
+// of the run: callers must not race it against another measured run.
+func MeasuredTimeline(name string, v Variant, mcfg models.Config, dopts decompose.Options, batch int) (TimelineSeries, error) {
+	spec, err := models.Get(name)
+	if err != nil {
+		return TimelineSeries{}, err
+	}
+	g, err := BuildVariant(spec, v, mcfg, dopts)
+	if err != nil {
+		return TimelineSeries{}, err
+	}
+	x := tensor.New(batch, 3, mcfg.H, mcfg.W)
+	x.FillNormal(tensor.NewRNG(1), 0, 1)
+	mr := obs.EnableMemRecord(g.Name, len(g.Nodes))
+	defer obs.DisableMemRecord()
+	if _, err := exec.Run(g, x); err != nil {
+		return TimelineSeries{}, err
+	}
+	s := TimelineSeries{Model: name, Variant: v, Batch: batch}
+	for _, sm := range mr.Samples() {
+		s.Points = append(s.Points, TimelinePoint{Index: sm.Step, Layer: sm.Node, LiveBytes: sm.LiveBytes})
+	}
+	return s, nil
+}
+
+// TimelineComparison quantifies how far a measured curve strays from its
+// static prediction. The interpreter's accounting should reproduce the
+// planner exactly, so any drift here is a bug in one of the two — the
+// comparison is the regression tripwire, not a tolerance band to live in.
+type TimelineComparison struct {
+	Model   string
+	Variant Variant
+	Batch   int
+	// PredictedPeak / MeasuredPeak are the maxima of the two curves.
+	PredictedPeak, MeasuredPeak int64
+	// PeakRelDiff is |measured-predicted| / predicted (0 when both are 0).
+	PeakRelDiff float64
+	// Points is how many step-aligned sample pairs were compared;
+	// MaxPointRelDiff the worst per-point relative difference among them.
+	Points          int
+	MaxPointRelDiff float64
+}
+
+// Compare aligns a predicted and a measured series by step index and
+// returns peak and per-point divergence. The series must describe the same
+// model, variant, and batch.
+func Compare(pred, meas TimelineSeries) (TimelineComparison, error) {
+	if pred.Model != meas.Model || pred.Variant != meas.Variant || pred.Batch != meas.Batch {
+		return TimelineComparison{}, fmt.Errorf(
+			"experiments.Compare: series mismatch: %s/%s/b%d vs %s/%s/b%d",
+			pred.Model, pred.Variant, pred.Batch, meas.Model, meas.Variant, meas.Batch)
+	}
+	c := TimelineComparison{Model: pred.Model, Variant: pred.Variant, Batch: pred.Batch}
+	byStep := make(map[int]int64, len(meas.Points))
+	for _, p := range meas.Points {
+		byStep[p.Index] = p.LiveBytes
+		if p.LiveBytes > c.MeasuredPeak {
+			c.MeasuredPeak = p.LiveBytes
+		}
+	}
+	for _, p := range pred.Points {
+		if p.LiveBytes > c.PredictedPeak {
+			c.PredictedPeak = p.LiveBytes
+		}
+		m, ok := byStep[p.Index]
+		if !ok {
+			continue
+		}
+		c.Points++
+		if d := relDiff(m, p.LiveBytes); d > c.MaxPointRelDiff {
+			c.MaxPointRelDiff = d
+		}
+	}
+	c.PeakRelDiff = relDiff(c.MeasuredPeak, c.PredictedPeak)
+	return c, nil
+}
+
+// relDiff is |got-want| / want, with the 0/0 case defined as 0.
+func relDiff(got, want int64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(float64(got-want)) / float64(want)
+}

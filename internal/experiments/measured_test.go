@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"temco/internal/decompose"
+	"temco/internal/models"
+)
+
+// The interpreter's measured live-byte curve must reproduce the static
+// prediction exactly: both account internal tensors at the same instant
+// (after the node computes, before its dead inputs release). Any drift is
+// a bug in the planner or the executor's release-list accounting.
+func TestMeasuredTimelineMatchesPrediction(t *testing.T) {
+	mcfg := models.DefaultConfig()
+	mcfg.H, mcfg.W = 32, 32
+	dopts := decompose.DefaultOptions()
+	dopts.Ratio = 0.2
+	for _, name := range []string{"alexnet", "unet-s"} {
+		pred, err := Timeline(name, Decomposed, mcfg, dopts, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := MeasuredTimeline(name, Decomposed, mcfg, dopts, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compare(pred, meas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Points == 0 {
+			t.Fatalf("%s: no aligned points", name)
+		}
+		if c.PeakRelDiff != 0 || c.MaxPointRelDiff != 0 {
+			t.Errorf("%s: measured curve diverges: peak %v, worst point %v (predicted peak %d, measured %d)",
+				name, c.PeakRelDiff, c.MaxPointRelDiff, c.PredictedPeak, c.MeasuredPeak)
+		}
+	}
+}
+
+func TestCompareRejectsMismatchedSeries(t *testing.T) {
+	a := TimelineSeries{Model: "alexnet", Variant: Decomposed, Batch: 1}
+	b := TimelineSeries{Model: "vgg16", Variant: Decomposed, Batch: 1}
+	if _, err := Compare(a, b); err == nil {
+		t.Fatal("Compare must reject series from different models")
+	}
+}
+
+func TestCompareDetectsDivergence(t *testing.T) {
+	a := TimelineSeries{Model: "m", Variant: Decomposed, Batch: 1,
+		Points: []TimelinePoint{{Index: 0, LiveBytes: 100}, {Index: 1, LiveBytes: 200}}}
+	b := TimelineSeries{Model: "m", Variant: Decomposed, Batch: 1,
+		Points: []TimelinePoint{{Index: 0, LiveBytes: 100}, {Index: 1, LiveBytes: 260}}}
+	c, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PredictedPeak != 200 || c.MeasuredPeak != 260 {
+		t.Fatalf("peaks %d/%d, want 200/260", c.PredictedPeak, c.MeasuredPeak)
+	}
+	if got, want := c.PeakRelDiff, 0.3; got != want {
+		t.Fatalf("peak rel diff %v, want %v", got, want)
+	}
+	if got, want := c.MaxPointRelDiff, 0.3; got != want {
+		t.Fatalf("max point rel diff %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,23 @@
+package faultinject
+
+import "temco/internal/obs"
+
+// RegisterMetrics exposes the injected-fault counters on an obs.Registry as
+// sampled CounterFuncs over CountersSnapshot, so chaos drills show up on
+// /metrics next to the serving counters they perturb. With no injector
+// installed every sample reads zero. Register on obs.Default() once at
+// process start (registration is idempotent per registry).
+func RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("temco_fault_kernel_panics_total",
+		"Injected kernel panics.",
+		func() float64 { return float64(CountersSnapshot().KernelPanics) })
+	reg.CounterFunc("temco_fault_slow_nodes_total",
+		"Injected slow-node delays.",
+		func() float64 { return float64(CountersSnapshot().SlowNodes) })
+	reg.CounterFunc("temco_fault_budget_failures_total",
+		"Injected spurious memory-budget failures.",
+		func() float64 { return float64(CountersSnapshot().BudgetFailures) })
+	reg.CounterFunc("temco_fault_alloc_failures_total",
+		"Injected workspace allocation failures.",
+		func() float64 { return float64(CountersSnapshot().AllocFailures) })
+}

@@ -1,0 +1,23 @@
+package gemm
+
+import "temco/internal/obs"
+
+// RegisterMetrics exposes the workspace-pool and pre-pack counters on an
+// obs.Registry as sampled CounterFuncs: the package's own atomics stay the
+// single source of truth, so a /metrics scrape and a PoolStatsSnapshot in
+// the same process can never disagree. Register on obs.Default() once at
+// process start (registration is idempotent per registry).
+func RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("temco_gemm_pool_hits_total",
+		"Workspace borrows satisfied from a pool.",
+		func() float64 { return float64(poolHits.Load()) })
+	reg.CounterFunc("temco_gemm_pool_misses_total",
+		"Workspace borrows that had to allocate.",
+		func() float64 { return float64(poolMisses.Load()) })
+	reg.CounterFunc("temco_gemm_prepacks_total",
+		"PackA/PackB/PackBT invocations.",
+		func() float64 { return float64(prePacks.Load()) })
+	reg.CounterFunc("temco_gemm_prepacked_bytes",
+		"Bytes held by pre-packed operand panels.",
+		func() float64 { return float64(prePackedBytes.Load()) })
+}

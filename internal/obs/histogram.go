@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets, in seconds. They span 500µs
+// to 10s, covering both the sub-millisecond compiled-engine path and
+// interpreter runs of the large Fig. 11 models under load.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: counts
+// per upper bound plus a running sum and total count. Observe is lock-free
+// (two atomic adds and one CAS loop for the sum); rendering reads are
+// weakly consistent across buckets, which Prometheus scrapes tolerate.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound covers v (le is inclusive); values
+	// beyond the last bound land in the +Inf overflow slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns the cumulative bucket counts (one per bound, plus +Inf
+// last), the sum, and the count, as one weakly consistent view.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64, sum float64, count uint64) {
+	bounds = h.bounds
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative, h.Sum(), h.count.Load()
+}
+
+// write renders the histogram in exposition format under name. The _count
+// line repeats the +Inf bucket (not the count atomic) so the exposition
+// invariant count == bucket{+Inf} holds even when Observe races a scrape.
+func (h *Histogram) write(bw *bufio.Writer, name string) {
+	bounds, cum, sum, _ := h.Snapshot()
+	for i, b := range bounds {
+		fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum[i])
+	}
+	inf := cum[len(cum)-1]
+	fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, inf)
+	fmt.Fprintf(bw, "%s_sum %s\n", name, strconv.FormatFloat(sum, 'g', -1, 64))
+	fmt.Fprintf(bw, "%s_count %d\n", name, inf)
+}

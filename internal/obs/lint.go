@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text-format output: every sample
+// line parses, every metric family is preceded by HELP and TYPE lines,
+// histogram buckets are cumulative with a +Inf bucket whose value equals
+// _count, and no family is declared twice. It exists so the CI smoke that
+// scrapes temcod's /metrics asserts real exposition-format invariants
+// instead of just a 200 status.
+func CheckExposition(data []byte) error {
+	type family struct {
+		typ     string
+		lastLe  float64
+		lastCum uint64
+		infSeen bool
+		infVal  uint64
+		count   uint64
+		hasCnt  bool
+	}
+	families := map[string]*family{}
+	declared := map[string]bool{}
+	var cur string
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(text, "# HELP "), " ", 2)
+			if len(parts) == 0 || !validName(parts[0]) {
+				return fmt.Errorf("line %d: malformed HELP: %q", line, text)
+			}
+			if declared[parts[0]] {
+				return fmt.Errorf("line %d: family %s declared twice", line, parts[0])
+			}
+			declared[parts[0]] = true
+			cur = ""
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(parts) != 2 || !validName(parts[0]) {
+				return fmt.Errorf("line %d: malformed TYPE: %q", line, text)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", line, parts[1])
+			}
+			if !declared[parts[0]] {
+				return fmt.Errorf("line %d: TYPE for %s without preceding HELP", line, parts[0])
+			}
+			cur = parts[0]
+			families[cur] = &family{typ: parts[1]}
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // comment
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		fam := families[base]
+		if fam == nil || cur != base {
+			return fmt.Errorf("line %d: sample %s outside its TYPE block", line, name)
+		}
+		if fam.typ == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", line)
+				}
+				cum := uint64(value)
+				if cum < fam.lastCum {
+					return fmt.Errorf("line %d: bucket counts not cumulative (%d < %d)", line, cum, fam.lastCum)
+				}
+				fam.lastCum = cum
+				if le == "+Inf" {
+					fam.infSeen, fam.infVal = true, cum
+				} else {
+					b, err := strconv.ParseFloat(le, 64)
+					if err != nil || b < fam.lastLe && fam.lastLe != 0 {
+						return fmt.Errorf("line %d: bad le bound %q", line, le)
+					}
+					fam.lastLe = b
+				}
+			case strings.HasSuffix(name, "_count"):
+				fam.count, fam.hasCnt = uint64(value), true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, fam := range families {
+		if fam.typ != "histogram" {
+			continue
+		}
+		if !fam.infSeen {
+			return fmt.Errorf("histogram %s has no +Inf bucket", name)
+		}
+		if fam.hasCnt && fam.count != fam.infVal {
+			return fmt.Errorf("histogram %s: count %d != +Inf bucket %d", name, fam.count, fam.infVal)
+		}
+	}
+	if len(families) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	return nil
+}
+
+// parseSample splits one exposition sample line into name, labels, value.
+func parseSample(text string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := text
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		name = text[:i]
+		j := strings.IndexByte(text, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set: %q", text)
+		}
+		for _, kv := range strings.Split(text[i+1:j], ",") {
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			uq, uqErr := strconv.Unquote(v)
+			if !ok || uqErr != nil {
+				return "", nil, 0, fmt.Errorf("malformed label %q", kv)
+			}
+			labels[k] = uq
+		}
+		rest = strings.TrimSpace(text[j+1:])
+	} else {
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample: %q", text)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	value, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %v", text, err)
+	}
+	return name, labels, value, nil
+}

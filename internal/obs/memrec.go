@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MemSample is one measured memory point: the executor's live
+// internal-tensor bytes right after the node at Step ran (before tensors
+// whose last use was this step are released) — the same instant
+// memplan.Simulate samples for its predicted timeline, so the two series
+// align step for step.
+type MemSample struct {
+	Step      int
+	Node      string
+	LiveBytes int64
+}
+
+// MemRecorder collects measured live-bytes-over-steps from executor runs.
+// Recording takes a mutex and never allocates while under capacity; the
+// buffer grows past capacity rather than dropping (a truncated memory
+// timeline would silently understate the peak, the one number this
+// recorder exists to verify).
+type MemRecorder struct {
+	scope string
+
+	mu      sync.Mutex
+	samples []MemSample
+}
+
+// memActive is the hook registry: nil means memory recording is disabled
+// and MemRecorderFor returns after one atomic load.
+var memActive atomic.Pointer[MemRecorder]
+
+// EnableMemRecord installs a recorder restricted to executor runs of the
+// graph named scope (empty records all), replacing any previous one.
+// capacity preallocates the sample buffer (pass the node count of the
+// graph you are about to run; <= 0 gets a default).
+func EnableMemRecord(scope string, capacity int) *MemRecorder {
+	if capacity <= 0 {
+		capacity = 1 << 12
+	}
+	m := &MemRecorder{scope: scope, samples: make([]MemSample, 0, capacity)}
+	memActive.Store(m)
+	return m
+}
+
+// DisableMemRecord removes the installed recorder.
+func DisableMemRecord() { memActive.Store(nil) }
+
+// MemRecorderFor returns the installed recorder when recording is enabled
+// and its scope admits the given graph name, else nil.
+func MemRecorderFor(scope string) *MemRecorder {
+	m := memActive.Load()
+	if m == nil || (m.scope != "" && m.scope != scope) {
+		return nil
+	}
+	return m
+}
+
+// Record appends one sample.
+func (m *MemRecorder) Record(step int, node string, live int64) {
+	m.mu.Lock()
+	m.samples = append(m.samples, MemSample{Step: step, Node: node, LiveBytes: live})
+	m.mu.Unlock()
+}
+
+// Samples returns a copy of the recorded samples.
+func (m *MemRecorder) Samples() []MemSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemSample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// Peak returns the maximum recorded live bytes and the step it occurred
+// at (first hit); zero values when nothing was recorded.
+func (m *MemRecorder) Peak() (bytes int64, step int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.samples {
+		if s.LiveBytes > bytes {
+			bytes, step = s.LiveBytes, s.Step
+		}
+	}
+	return bytes, step
+}
+
+// Reset clears the recorded samples, keeping the buffer.
+func (m *MemRecorder) Reset() {
+	m.mu.Lock()
+	m.samples = m.samples[:0]
+	m.mu.Unlock()
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMemRecorderScopeAndPeak(t *testing.T) {
+	m := EnableMemRecord("unet", 16)
+	defer DisableMemRecord()
+	if MemRecorderFor("unet") != m {
+		t.Fatal("scope match did not return the recorder")
+	}
+	if MemRecorderFor("vgg16") != nil {
+		t.Fatal("scope mismatch returned the recorder")
+	}
+	m.Record(0, "input", 100)
+	m.Record(1, "conv1", 400)
+	m.Record(2, "relu1", 300)
+	bytes, step := m.Peak()
+	if bytes != 400 || step != 1 {
+		t.Fatalf("peak = %d at step %d, want 400 at 1", bytes, step)
+	}
+	if got := m.Samples(); len(got) != 3 || got[2].Node != "relu1" {
+		t.Fatalf("samples = %+v", got)
+	}
+	m.Reset()
+	if len(m.Samples()) != 0 {
+		t.Fatal("Reset did not clear samples")
+	}
+}
+
+func TestMemRecorderGrowsPastCapacity(t *testing.T) {
+	m := EnableMemRecord("", 2)
+	defer DisableMemRecord()
+	for i := 0; i < 10; i++ {
+		m.Record(i, "n", int64(i))
+	}
+	// Unlike the tracer, the memory recorder must never drop: a truncated
+	// timeline would understate the measured peak.
+	if len(m.Samples()) != 10 {
+		t.Fatalf("kept %d samples, want 10", len(m.Samples()))
+	}
+}
+
+func TestMemRecorderConcurrent(t *testing.T) {
+	m := EnableMemRecord("", 1024)
+	defer DisableMemRecord()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Record(i, "n", int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if len(m.Samples()) != 800 {
+		t.Fatalf("recorded %d samples, want 800", len(m.Samples()))
+	}
+}
+
+// TestHookDisabledZeroAlloc is the obs-side half of the disabled-cost
+// guarantee: with no tracer or recorder installed, the per-run hook
+// lookups are two atomic loads and zero heap allocations.
+func TestHookDisabledZeroAlloc(t *testing.T) {
+	DisableTrace()
+	DisableMemRecord()
+	allocs := testing.AllocsPerRun(100, func() {
+		if TraceFor("g") != nil || MemRecorderFor("g") != nil {
+			t.Fatal("hooks unexpectedly enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hook lookup allocates %v per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,23 @@
+// Package obs is the unified telemetry layer: a metrics registry rendered
+// in Prometheus text format, a per-step span tracer exportable as Chrome
+// trace_event JSON, and a measured memory recorder that samples actual
+// live-bytes-over-steps from the executors. It is stdlib-only and built so
+// the disabled path is free: the tracer and memory recorder hang off
+// atomic.Pointer registries (the pattern proven by internal/faultinject),
+// so an uninstrumented run pays one atomic load per executor invocation
+// and zero heap allocations. Metrics instruments are plain atomics the
+// holders update directly; there is no sampling goroutine.
+//
+// The three pieces answer three operator questions:
+//
+//   - Registry / Counter / Gauge / Histogram: "what is the service doing
+//     right now?" — scrapeable rates and latency distributions
+//     (temcod's /metrics, and the same instruments behind /statsz).
+//   - Tracer / Span: "where did this run spend its time?" — per-step spans
+//     carrying op kind, node name, duration, live bytes, arena offset, and
+//     gemm pack-pool hits, loadable in chrome://tracing or Perfetto.
+//   - MemRecorder / MemSample: "does the planner's Fig. 4 memory timeline
+//     match what the executor actually holds live?" — measured
+//     live-bytes-over-steps for predicted-vs-measured comparison
+//     (cmd/memprofile -measured).
+package obs

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent use;
+// Inc/Add are single atomic adds, cheap enough for per-request paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depth, in-flight).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind tags an entry for TYPE lines and idempotent re-registration.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric family.
+type entry struct {
+	name, help string
+	kind       metricKind
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+	fn         func() float64
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration is expected at setup time; reads
+// (WritePrometheus) may run concurrently with instrument updates.
+// Registering a name that already exists with the same kind returns the
+// existing instrument (so per-process collectors like the gemm pool can be
+// registered idempotently); a kind mismatch panics — that is a programming
+// error, not an operational condition.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*entry
+	ordered []*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+// defaultRegistry collects process-wide instruments (gemm pool, fault
+// injection, runtime stats); per-session instruments live in their own
+// registries so sessions never collide on names.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return defaultRegistry }
+
+// validName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// register inserts or returns the existing entry for name.
+func (r *Registry) register(name, help string, kind metricKind, build func() *entry) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		if e.kind.String() != kind.String() {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, e.kind))
+		}
+		return e
+	}
+	e := build()
+	e.name, e.help, e.kind = name, help, kind
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	return e
+}
+
+// Counter registers (or returns the existing) counter with this name.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.register(name, help, kindCounter, func() *entry { return &entry{c: &Counter{}} })
+	if e.c == nil {
+		panic(fmt.Sprintf("obs: metric %q is a counter func, not a counter", name))
+	}
+	return e.c
+}
+
+// Gauge registers (or returns the existing) gauge with this name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.register(name, help, kindGauge, func() *entry { return &entry{g: &Gauge{}} })
+	if e.g == nil {
+		panic(fmt.Sprintf("obs: metric %q is a gauge func, not a gauge", name))
+	}
+	return e.g
+}
+
+// Histogram registers (or returns the existing) fixed-bucket histogram.
+// bounds must be strictly increasing upper bounds; the +Inf bucket is
+// implicit. Pass nil for DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	e := r.register(name, help, kindHistogram, func() *entry { return &entry{h: newHistogram(bounds)} })
+	return e.h
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at scrape
+// time — the bridge for counters owned elsewhere (gemm pool atomics, the
+// fault-injection registry, breaker trip counts). fn must be safe for
+// concurrent use and monotonic.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	e := r.register(name, help, kindCounterFunc, func() *entry { return &entry{} })
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time (queue depth,
+// goroutine count, breaker state).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	e := r.register(name, help, kindGaugeFunc, func() *entry { return &entry{} })
+	r.mu.Lock()
+	e.fn = fn
+	r.mu.Unlock()
+}
+
+// snapshotEntries copies the entry list so exposition never holds the
+// registration lock while formatting.
+func (r *Registry) snapshotEntries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, len(r.ordered))
+	copy(out, r.ordered)
+	return out
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.snapshotEntries() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %s\n", e.name, strconv.FormatUint(e.c.Value(), 10))
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %s\n", e.name, strconv.FormatInt(e.g.Value(), 10))
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(e.fn()))
+		case kindHistogram:
+			e.h.write(bw, e.name)
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the given registries concatenated as one Prometheus
+// scrape, with the standard text-format content type. temcod mounts this
+// on /metrics over the session registry plus Default().
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			if err := r.WritePrometheus(w); err != nil {
+				return // client went away; nothing useful to do
+			}
+		}
+	})
+}
+
+// RegisterProcessMetrics adds Go runtime instruments (goroutines, heap
+// bytes, GC cycles) to reg. Idempotent; heap figures are sampled from
+// runtime.ReadMemStats at scrape time.
+func RegisterProcessMetrics(reg *Registry) {
+	reg.GaugeFunc("temco_process_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("temco_process_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	reg.CounterFunc("temco_process_gc_cycles_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+}
+
+// sortedNames returns the registered metric names, sorted — used by tests
+// and debug output.
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Names lists the registered metric names in sorted order.
+func (r *Registry) Names() []string { return r.sortedNames() }

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("temco_test_total", "test counter")
+	g := r.Gauge("temco_test_depth", "test gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	// Idempotent re-registration returns the same instrument.
+	if r.Counter("temco_test_total", "test counter") != c {
+		t.Fatal("re-registering a counter returned a new instrument")
+	}
+	if r.Gauge("temco_test_depth", "test gauge") != g {
+		t.Fatal("re-registering a gauge returned a new instrument")
+	}
+}
+
+func TestRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("temco_test_total", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("temco_test_total", "g")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("1bad-name", "x")
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	bounds, cum, sum, count := h.Snapshot()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	want := []uint64{1, 3, 4, 5} // cumulative per le=0.1, 1, 10, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if math.Abs(sum-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", sum)
+	}
+}
+
+func TestHistogramBoundary(t *testing.T) {
+	// le is inclusive: an observation exactly on a bound lands in it.
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1)
+	_, cum, _, _ := h.Snapshot()
+	if cum[0] != 1 {
+		t.Fatalf("observation at bound went to bucket %v, want le=1", cum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum = %v, want 8", h.Sum())
+	}
+}
+
+func TestWritePrometheusAndLint(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("temco_test_requests_total", "Requests handled.")
+	c.Add(3)
+	r.Gauge("temco_test_queue_depth", "Queued requests.").Set(2)
+	h := r.Histogram("temco_test_latency_seconds", "Request latency.", nil)
+	h.Observe(0.003)
+	h.Observe(0.7)
+	r.GaugeFunc("temco_test_workers", "Worker count.", func() float64 { return 4 })
+	r.CounterFunc("temco_test_pool_hits_total", "Pool hits.", func() float64 { return 11 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE temco_test_requests_total counter",
+		"temco_test_requests_total 3",
+		"# TYPE temco_test_queue_depth gauge",
+		"temco_test_queue_depth 2",
+		"# TYPE temco_test_latency_seconds histogram",
+		`temco_test_latency_seconds_bucket{le="+Inf"} 2`,
+		"temco_test_latency_seconds_count 2",
+		"temco_test_workers 4",
+		"temco_test_pool_hits_total 11",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("CheckExposition rejected our own output: %v\n%s", err, out)
+	}
+}
+
+func TestCheckExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no help":          "temco_x_total 3\n",
+		"bad value":        "# HELP temco_x_total x\n# TYPE temco_x_total counter\ntemco_x_total abc\n",
+		"double declared":  "# HELP temco_x x\n# TYPE temco_x gauge\ntemco_x 1\n# HELP temco_x x\n# TYPE temco_x gauge\ntemco_x 2\n",
+		"non-cumulative":   "# HELP temco_h h\n# TYPE temco_h histogram\ntemco_h_bucket{le=\"1\"} 5\ntemco_h_bucket{le=\"2\"} 3\ntemco_h_bucket{le=\"+Inf\"} 5\ntemco_h_sum 1\ntemco_h_count 5\n",
+		"no inf bucket":    "# HELP temco_h h\n# TYPE temco_h histogram\ntemco_h_bucket{le=\"1\"} 5\ntemco_h_sum 1\ntemco_h_count 5\n",
+		"count mismatches": "# HELP temco_h h\n# TYPE temco_h histogram\ntemco_h_bucket{le=\"+Inf\"} 5\ntemco_h_sum 1\ntemco_h_count 4\n",
+		"empty":            "",
+	}
+	for name, in := range cases {
+		if err := CheckExposition([]byte(in)); err == nil {
+			t.Errorf("%s: CheckExposition accepted malformed input", name)
+		}
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("temco_b_total", "b")
+	r.Counter("temco_a_total", "a")
+	names := r.Names()
+	if len(names) != 2 || names[0] != "temco_a_total" || names[1] != "temco_b_total" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestDefaultRegistryProcessMetrics(t *testing.T) {
+	// RegisterProcessMetrics must be idempotent on the shared registry.
+	RegisterProcessMetrics(Default())
+	RegisterProcessMetrics(Default())
+	var buf bytes.Buffer
+	if err := Default().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "temco_process_goroutines") {
+		t.Fatalf("process metrics missing:\n%s", buf.String())
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one recorded step of an executor run. All fields are scalars or
+// interned strings (node names, kind mnemonics), so recording a span never
+// allocates.
+type Span struct {
+	// Name is the node name; Cat is the executor ("exec", "engine"); Kind
+	// is the operator mnemonic.
+	Name, Cat, Kind string
+	// Lane distinguishes concurrent runs (one lane per Run invocation);
+	// exported as the Chrome trace tid so parallel workers stack cleanly.
+	Lane uint64
+	// Step is the schedule slot.
+	Step int
+	// Start and Dur position the span on the tracer's clock (time since
+	// EnableTrace).
+	Start, Dur time.Duration
+	// LiveBytes is the executor's live internal-tensor bytes while this
+	// step ran (interpreter: release-list accounting; engine: the arena
+	// high-water mark).
+	LiveBytes int64
+	// ArenaOff is the step's output offset in the engine arena; -1 on the
+	// interpreter path, which has no arena.
+	ArenaOff int64
+	// PackHits / PackMisses are the gemm workspace-pool hits and misses
+	// this step incurred (pool reuse visible per step).
+	PackHits, PackMisses uint64
+}
+
+// TraceConfig tunes EnableTrace.
+type TraceConfig struct {
+	// Scope restricts recording to executor runs of the graph with this
+	// name (the same scope labels faultinject uses); empty records all.
+	Scope string
+	// Capacity bounds the span buffer; further spans are counted as
+	// dropped rather than grown, keeping the enabled hot path
+	// allocation-free. Default 1 << 16.
+	Capacity int
+}
+
+// Tracer records spans into a preallocated buffer. Recording takes a
+// mutex (spans from concurrent workers interleave) but never allocates;
+// when the buffer is full, spans are dropped and counted.
+type Tracer struct {
+	scope string
+	start time.Time
+	lanes atomic.Uint64
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped uint64
+}
+
+// traceActive is the hook registry: nil means tracing is disabled and
+// TraceFor returns after one atomic load.
+var traceActive atomic.Pointer[Tracer]
+
+// EnableTrace installs a tracer, replacing any previous one, and returns
+// it for span extraction after the traced runs complete.
+func EnableTrace(cfg TraceConfig) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1 << 16
+	}
+	t := &Tracer{scope: cfg.Scope, start: time.Now(), spans: make([]Span, 0, cfg.Capacity)}
+	traceActive.Store(t)
+	return t
+}
+
+// DisableTrace removes the installed tracer; the hooks become no-ops.
+func DisableTrace() { traceActive.Store(nil) }
+
+// TraceFor returns the installed tracer when tracing is enabled and its
+// scope admits the given graph name, else nil. Executors call this once
+// per run and skip all instrumentation on nil.
+func TraceFor(scope string) *Tracer {
+	t := traceActive.Load()
+	if t == nil || (t.scope != "" && t.scope != scope) {
+		return nil
+	}
+	return t
+}
+
+// Lane allocates a lane id for one executor run; concurrent runs get
+// distinct lanes so their spans do not interleave in the trace viewer.
+func (t *Tracer) Lane() uint64 { return t.lanes.Add(1) }
+
+// Since returns the time elapsed on the tracer's clock.
+func (t *Tracer) Since() time.Duration { return time.Since(t.start) }
+
+// Record appends one span, dropping (and counting) it when the buffer is
+// full. The append never reallocates: capacity was fixed at EnableTrace.
+func (t *Tracer) Record(sp Span) {
+	t.mu.Lock()
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, sp)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped reports how many spans did not fit the buffer.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeEvent is one trace_event record in the Chrome/Perfetto JSON
+// object format ("X" complete events with microsecond timestamps).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorded spans as Chrome trace_event JSON,
+// loadable in chrome://tracing and Perfetto. Spans become complete ("X")
+// events; live bytes, arena offsets, and pool hits ride in args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	ct := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, sp := range spans {
+		args := map[string]any{
+			"kind":       sp.Kind,
+			"step":       sp.Step,
+			"live_bytes": sp.LiveBytes,
+		}
+		if sp.ArenaOff >= 0 {
+			args["arena_off"] = sp.ArenaOff
+		}
+		if sp.PackHits > 0 || sp.PackMisses > 0 {
+			args["pack_hits"] = sp.PackHits
+			args["pack_misses"] = sp.PackMisses
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat,
+			Ph:   "X",
+			Ts:   float64(sp.Start) / float64(time.Microsecond),
+			Dur:  float64(sp.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  sp.Lane,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	DisableTrace()
+	if TraceFor("anything") != nil {
+		t.Fatal("TraceFor returned a tracer with tracing disabled")
+	}
+	if MemRecorderFor("anything") != nil {
+		t.Fatal("MemRecorderFor returned a recorder with recording disabled")
+	}
+}
+
+func TestTraceScope(t *testing.T) {
+	tr := EnableTrace(TraceConfig{Scope: "optimized"})
+	defer DisableTrace()
+	if TraceFor("optimized") != tr {
+		t.Fatal("scope match did not return the tracer")
+	}
+	if TraceFor("fallback") != nil {
+		t.Fatal("scope mismatch returned the tracer")
+	}
+	all := EnableTrace(TraceConfig{})
+	if TraceFor("anything") != all {
+		t.Fatal("empty scope should match everything")
+	}
+}
+
+func TestTraceRecordAndExport(t *testing.T) {
+	tr := EnableTrace(TraceConfig{Capacity: 8})
+	defer DisableTrace()
+	lane := tr.Lane()
+	tr.Record(Span{Name: "conv1", Cat: "engine", Kind: "conv2d", Lane: lane,
+		Step: 3, Start: time.Millisecond, Dur: 2 * time.Millisecond,
+		LiveBytes: 4096, ArenaOff: 128, PackHits: 2, PackMisses: 1})
+	tr.Record(Span{Name: "relu1", Cat: "exec", Kind: "relu", Lane: lane,
+		Step: 4, Start: 3 * time.Millisecond, Dur: time.Millisecond,
+		LiveBytes: 8192, ArenaOff: -1})
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "conv1" || spans[0].LiveBytes != 4096 {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(ct.TraceEvents) != 2 {
+		t.Fatalf("trace has %d events, want 2", len(ct.TraceEvents))
+	}
+	ev := ct.TraceEvents[0]
+	for _, key := range []string{"name", "cat", "ph", "ts", "dur", "pid", "tid"} {
+		if _, ok := ev[key]; !ok {
+			t.Errorf("trace event missing %q: %v", key, ev)
+		}
+	}
+	if ev["ph"] != "X" {
+		t.Errorf("ph = %v, want X", ev["ph"])
+	}
+	args, ok := ev["args"].(map[string]any)
+	if !ok {
+		t.Fatalf("event args missing: %v", ev)
+	}
+	if args["arena_off"].(float64) != 128 {
+		t.Errorf("arena_off = %v, want 128", args["arena_off"])
+	}
+	// Interpreter span (ArenaOff < 0) must not claim an arena offset.
+	if _, ok := ct.TraceEvents[1]["args"].(map[string]any)["arena_off"]; ok {
+		t.Error("interpreter span exported an arena_off")
+	}
+}
+
+func TestTraceCapacityDrops(t *testing.T) {
+	tr := EnableTrace(TraceConfig{Capacity: 2})
+	defer DisableTrace()
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Name: "n", Step: i})
+	}
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("kept %d spans, want 2", len(tr.Spans()))
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestTraceConcurrentRecord(t *testing.T) {
+	tr := EnableTrace(TraceConfig{Capacity: 10000})
+	defer DisableTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lane := tr.Lane()
+			for i := 0; i < 100; i++ {
+				tr.Record(Span{Name: "n", Lane: lane, Step: i, Start: tr.Since()})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("recorded %d spans, want 800", got)
+	}
+	lanes := map[uint64]bool{}
+	for _, sp := range tr.Spans() {
+		lanes[sp.Lane] = true
+	}
+	if len(lanes) != 8 {
+		t.Fatalf("got %d lanes, want 8", len(lanes))
+	}
+}
+
+func TestTraceRecordNoAllocSteadyState(t *testing.T) {
+	tr := EnableTrace(TraceConfig{Capacity: 4})
+	defer DisableTrace()
+	sp := Span{Name: "n", Cat: "engine", Kind: "conv2d"}
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Record(sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", allocs)
+	}
+}

@@ -54,10 +54,25 @@ type breaker struct {
 	trips      uint64
 	probes     uint64
 	probeFails uint64
+
+	// onTransition, when set, is called on every state change while b.mu is
+	// held: it must be cheap and must not re-enter the breaker. The session
+	// uses it to count transitions on its metrics registry.
+	onTransition func(from, to BreakerState)
 }
 
 func newBreaker(threshold int, probeInterval time.Duration) *breaker {
 	return &breaker{threshold: threshold, probeInterval: probeInterval, now: time.Now}
+}
+
+// setState moves the breaker to a new state, firing onTransition. Callers
+// hold b.mu.
+func (b *breaker) setState(to BreakerState) {
+	from := b.state
+	b.state = to
+	if from != to && b.onTransition != nil {
+		b.onTransition(from, to)
+	}
 }
 
 // allow decides the graph for the next request: useOptimized reports
@@ -73,7 +88,7 @@ func (b *breaker) allow() (useOptimized, probe bool) {
 		if b.now().Sub(b.openedAt) < b.probeInterval {
 			return false, false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		b.probes++
 		return true, true
@@ -96,10 +111,10 @@ func (b *breaker) record(probe, success bool) {
 	if probe {
 		b.probing = false
 		if success {
-			b.state = BreakerClosed
+			b.setState(BreakerClosed)
 			b.fails = 0
 		} else {
-			b.state = BreakerOpen
+			b.setState(BreakerOpen)
 			b.openedAt = b.now()
 			b.probeFails++
 		}
@@ -116,7 +131,7 @@ func (b *breaker) record(probe, success bool) {
 	}
 	b.fails++
 	if b.fails >= b.threshold {
-		b.state = BreakerOpen
+		b.setState(BreakerOpen)
 		b.openedAt = b.now()
 		b.trips++
 		b.fails = 0

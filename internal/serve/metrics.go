@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"temco/internal/obs"
+)
+
+// sessionMetrics is the session's instrument set, registered on a
+// per-session obs.Registry. The session's counters live here and nowhere
+// else: Stats() reads these same instruments, so the /statsz JSON view and
+// the /metrics Prometheus view can never drift. Sampled values (queue
+// depth, breaker state, engine runs) are GaugeFunc/CounterFunc closures
+// over the owning structures, again a single source of truth.
+type sessionMetrics struct {
+	reg *obs.Registry
+
+	accepted, shed, completed, failed *obs.Counter
+	retries, degradedServed           *obs.Counter
+	breakerTransitions                *obs.Counter
+	inFlight                          *obs.Gauge
+	queueWait, runLatency             *obs.Histogram
+}
+
+// newSessionMetrics builds and registers the session's instruments. Called
+// after the queue, breaker, and engines exist: the sampled closures read
+// them at scrape time.
+func newSessionMetrics(s *Session) *sessionMetrics {
+	reg := obs.NewRegistry()
+	m := &sessionMetrics{reg: reg}
+	m.accepted = reg.Counter("temco_serve_accepted_total",
+		"Requests admitted to the queue.")
+	m.shed = reg.Counter("temco_serve_shed_total",
+		"Requests shed at admission (queue full or draining).")
+	m.completed = reg.Counter("temco_serve_completed_total",
+		"Requests completed successfully.")
+	m.failed = reg.Counter("temco_serve_failed_total",
+		"Requests that exhausted retries or failed terminally.")
+	m.retries = reg.Counter("temco_serve_retries_total",
+		"Retry attempts across all requests.")
+	m.degradedServed = reg.Counter("temco_serve_degraded_total",
+		"Requests served by the fallback graph while the breaker was not closed.")
+	m.breakerTransitions = reg.Counter("temco_serve_breaker_transitions_total",
+		"Circuit breaker state transitions (any direction).")
+	m.inFlight = reg.Gauge("temco_serve_in_flight",
+		"Requests currently executing on a worker.")
+	m.queueWait = reg.Histogram("temco_serve_queue_wait_seconds",
+		"Time from admission to a worker picking the request up.", nil)
+	m.runLatency = reg.Histogram("temco_serve_run_seconds",
+		"Worker execution time per request, including retries and backoff.", nil)
+
+	reg.GaugeFunc("temco_serve_queue_depth",
+		"Requests waiting in the admission queue.",
+		func() float64 { return float64(s.q.depth()) })
+	reg.GaugeFunc("temco_serve_queue_capacity",
+		"Admission queue capacity.",
+		func() float64 { return float64(s.cfg.QueueSize) })
+	reg.GaugeFunc("temco_serve_workers",
+		"Executor goroutines.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("temco_serve_breaker_state",
+		"Circuit breaker state: 0 closed, 1 open, 2 half-open.",
+		func() float64 {
+			state, _, _, _ := s.br.snapshot()
+			return float64(state)
+		})
+	reg.CounterFunc("temco_serve_breaker_trips_total",
+		"Closed-to-open breaker trips.",
+		func() float64 {
+			_, trips, _, _ := s.br.snapshot()
+			return float64(trips)
+		})
+	reg.CounterFunc("temco_serve_probes_total",
+		"Half-open recovery probes attempted.",
+		func() float64 {
+			_, _, probes, _ := s.br.snapshot()
+			return float64(probes)
+		})
+	reg.CounterFunc("temco_serve_probe_failures_total",
+		"Recovery probes that failed (breaker re-opened).",
+		func() float64 {
+			_, _, _, fails := s.br.snapshot()
+			return float64(fails)
+		})
+	reg.CounterFunc("temco_serve_engine_runs_total",
+		"Completed compiled-engine runs across both graphs.",
+		func() float64 {
+			var runs uint64
+			if s.optEng != nil {
+				runs += s.optEng.Stats().Runs
+			}
+			if s.fbEng != nil {
+				runs += s.fbEng.Stats().Runs
+			}
+			return float64(runs)
+		})
+	return m
+}
+
+// Metrics returns the session's metrics registry, ready to be served next
+// to obs.Default() on a /metrics endpoint. The registry is per-session, so
+// several sessions in one process never collide on instrument names.
+func (s *Session) Metrics() *obs.Registry { return s.met.reg }

@@ -1,0 +1,94 @@
+package serve
+
+// The session's counters live on its obs.Registry and nowhere else:
+// Stats() and a /metrics render must agree by construction. These tests
+// pin the new Stats fields (queue wait, run time, breaker transitions),
+// the exposition's validity, and the transition callback's bookkeeping.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"temco/internal/faultinject"
+	"temco/internal/obs"
+	"temco/internal/tensor"
+)
+
+func TestStatsSourcedFromRegistry(t *testing.T) {
+	s, opt, _ := newTestSession(t, Config{Workers: 1})
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		if _, err := s.Infer(context.Background(), Request{Inputs: []*tensor.Tensor{serveInput(opt, uint64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Accepted != runs || st.Completed != runs || st.Failed != 0 {
+		t.Fatalf("counters after %d clean runs: %+v", runs, st)
+	}
+	if st.QueueWaitCount != runs {
+		t.Fatalf("queue wait count %d, want one observation per request (%d)", st.QueueWaitCount, runs)
+	}
+	if st.QueueWaitSecondsTotal < 0 {
+		t.Fatalf("negative cumulative queue wait %v", st.QueueWaitSecondsTotal)
+	}
+	if st.RunSecondsTotal <= 0 {
+		t.Fatalf("run seconds total %v after %d runs, want > 0", st.RunSecondsTotal, runs)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in flight %d while idle", st.InFlight)
+	}
+
+	var b strings.Builder
+	if err := s.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	expo := b.String()
+	if err := obs.CheckExposition([]byte(expo)); err != nil {
+		t.Fatalf("session registry renders malformed exposition: %v\n%s", err, expo)
+	}
+	for _, name := range []string{
+		"temco_serve_accepted_total 3", "temco_serve_completed_total 3",
+		"temco_serve_queue_wait_seconds_count 3", "temco_serve_engine_runs_total",
+	} {
+		if !strings.Contains(expo, name) {
+			t.Errorf("exposition missing %q", name)
+		}
+	}
+}
+
+// Breaker transitions are counted in every direction: closed→open on the
+// trip, open→half-open on the probe grant, half-open→closed on recovery.
+func TestStatsBreakerTransitions(t *testing.T) {
+	faultinject.Enable(faultinject.Config{Seed: 9, Scope: "opt-graph", KernelPanicRate: 1})
+	s, opt, _ := newTestSession(t, Config{
+		Workers: 1, MaxRetries: 2, RetryBackoff: time.Millisecond,
+		BreakerThreshold: 2, ProbeInterval: 20 * time.Millisecond,
+	})
+	x := []*tensor.Tensor{serveInput(opt, 3)}
+	if _, err := s.Infer(context.Background(), Request{Inputs: x}); err != nil {
+		t.Fatalf("request must degrade to fallback, got %v", err)
+	}
+	if st := s.Stats(); st.BreakerTransitions != 1 || st.Breaker != "open" {
+		t.Fatalf("after the trip: transitions=%d breaker=%s", st.BreakerTransitions, st.Breaker)
+	}
+	faultinject.Disable()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := s.Infer(context.Background(), Request{Inputs: x})
+		if err == nil && !resp.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery: err=%v stats=%+v", err, s.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// closed→open, open→half-open, half-open→closed: at least 3 (a failed
+	// probe would add re-open/re-grant pairs, never break the count).
+	if st := s.Stats(); st.BreakerTransitions < 3 || st.Breaker != "closed" {
+		t.Fatalf("after recovery: transitions=%d breaker=%s", st.BreakerTransitions, st.Breaker)
+	}
+}

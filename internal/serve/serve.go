@@ -123,7 +123,10 @@ type Response struct {
 	Queued, Exec time.Duration
 }
 
-// Stats is a point-in-time snapshot of a Session's counters.
+// Stats is a point-in-time snapshot of a Session's counters. Every field
+// is read from the session's obs.Registry instruments — the same ones a
+// /metrics scrape renders — so the JSON and Prometheus views of a session
+// can never disagree.
 type Stats struct {
 	Accepted       uint64 `json:"accepted"`
 	Shed           uint64 `json:"shed"`
@@ -140,6 +143,18 @@ type Stats struct {
 	Probes         uint64 `json:"probes"`
 	ProbeFailures  uint64 `json:"probe_failures"`
 	Draining       bool   `json:"draining"`
+	// BreakerTransitions counts breaker state changes in any direction
+	// (trips, probe grants, closes, re-opens).
+	BreakerTransitions uint64 `json:"breaker_transitions"`
+	// QueueWaitSecondsTotal is the cumulative time requests spent waiting
+	// for a worker; QueueWaitCount the number of waits observed. Their
+	// ratio is the mean queue wait; the full distribution is the
+	// temco_serve_queue_wait_seconds histogram on /metrics.
+	QueueWaitSecondsTotal float64 `json:"queue_wait_seconds_total"`
+	QueueWaitCount        uint64  `json:"queue_wait_count"`
+	// RunSecondsTotal is the cumulative worker execution time (including
+	// retries and backoff), the _sum of temco_serve_run_seconds.
+	RunSecondsTotal float64 `json:"run_seconds_total"`
 	// EngineOptimized / EngineFallback report whether the respective graph
 	// serves through a compiled engine (false = interpreter path).
 	EngineOptimized bool `json:"engine_optimized"`
@@ -171,9 +186,9 @@ type Session struct {
 	workers  sync.WaitGroup
 	draining atomic.Bool
 
-	accepted, shed, completed, failed atomic.Uint64
-	retries, degradedServed           atomic.Uint64
-	inFlight                          atomic.Int64
+	// met holds every session counter, gauge, and histogram, registered on
+	// a per-session obs.Registry; Stats() and /metrics both read it.
+	met *sessionMetrics
 }
 
 // New builds a Session serving the optimized graph with the given fallback.
@@ -204,6 +219,10 @@ func New(optimized, fallback *ir.Graph, cfg Config) (*Session, error) {
 		s.optEng, _ = engine.Compile(optimized, engine.Options{Batch: 1, BudgetBytes: cfg.BudgetBytes})
 		s.fbEng, _ = engine.Compile(fallback, engine.Options{Batch: 1, BudgetBytes: cfg.BudgetBytes})
 	}
+	// Instruments go live after the structures their sampled closures read
+	// (queue, breaker, engines) exist, and before any worker starts.
+	s.met = newSessionMetrics(s)
+	s.br.onTransition = func(from, to BreakerState) { s.met.breakerTransitions.Inc() }
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -228,7 +247,7 @@ func (s *Session) Infer(ctx context.Context, req Request) (*Response, error) {
 		return nil, guard.Errorf(guard.ErrInvalidModel, "serve.Infer", "request has no inputs")
 	}
 	if s.draining.Load() {
-		s.shed.Add(1)
+		s.met.shed.Inc()
 		return nil, guard.Errorf(guard.ErrOverloaded, "serve.Infer", "session draining")
 	}
 	timeout := req.Timeout
@@ -243,11 +262,11 @@ func (s *Session) Infer(ctx context.Context, req Request) (*Response, error) {
 
 	it := &item{ctx: rctx, req: &req, enq: time.Now(), done: make(chan result, 1)}
 	if !s.q.push(it) {
-		s.shed.Add(1)
+		s.met.shed.Inc()
 		return nil, guard.Errorf(guard.ErrOverloaded, "serve.Infer",
 			"admission queue full (%d queued)", s.cfg.QueueSize)
 	}
-	s.accepted.Add(1)
+	s.met.accepted.Inc()
 	select {
 	case r := <-it.done:
 		return r.resp, r.err
@@ -276,13 +295,15 @@ func (s *Session) worker() {
 		if !ok {
 			return
 		}
-		s.inFlight.Add(1)
+		s.met.inFlight.Add(1)
+		start := time.Now()
 		resp, err := s.process(it, optInst, fbInst)
-		s.inFlight.Add(-1)
+		s.met.runLatency.Observe(time.Since(start).Seconds())
+		s.met.inFlight.Add(-1)
 		if err != nil {
-			s.failed.Add(1)
+			s.met.failed.Inc()
 		} else {
-			s.completed.Add(1)
+			s.met.completed.Inc()
 		}
 		it.done <- result{resp: resp, err: err}
 	}
@@ -302,6 +323,7 @@ func retryable(err error) bool {
 // retry and breaker behavior) is identical on both paths.
 func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response, error) {
 	queued := time.Since(it.enq)
+	s.met.queueWait.Observe(queued.Seconds())
 	if err := it.ctx.Err(); err != nil {
 		return nil, guard.New(guard.ErrCanceled, "serve.process", err)
 	}
@@ -326,7 +348,7 @@ func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response
 		}
 		if err == nil {
 			if !useOpt {
-				s.degradedServed.Add(1)
+				s.met.degradedServed.Inc()
 			}
 			return &Response{
 				Outputs:  res.Outputs,
@@ -348,7 +370,7 @@ func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response
 			return nil, err
 		}
 		retries++
-		s.retries.Add(1)
+		s.met.retries.Inc()
 		backoff := s.cfg.RetryBackoff << uint(attempt)
 		t := time.NewTimer(backoff)
 		select {
@@ -402,21 +424,25 @@ func (s *Session) EngineStats() (opt, fb engine.Stats, optOK, fbOK bool) {
 func (s *Session) Stats() Stats {
 	state, trips, probes, probeFails := s.br.snapshot()
 	st := Stats{
-		Accepted:       s.accepted.Load(),
-		Shed:           s.shed.Load(),
-		Completed:      s.completed.Load(),
-		Failed:         s.failed.Load(),
-		Retries:        s.retries.Load(),
-		DegradedServed: s.degradedServed.Load(),
-		QueueDepth:     s.q.depth(),
-		QueueCap:       s.cfg.QueueSize,
-		InFlight:       s.inFlight.Load(),
-		Workers:        s.cfg.Workers,
-		Breaker:        state.String(),
-		BreakerTrips:   trips,
-		Probes:         probes,
-		ProbeFailures:  probeFails,
-		Draining:       s.draining.Load(),
+		Accepted:              s.met.accepted.Value(),
+		Shed:                  s.met.shed.Value(),
+		Completed:             s.met.completed.Value(),
+		Failed:                s.met.failed.Value(),
+		Retries:               s.met.retries.Value(),
+		DegradedServed:        s.met.degradedServed.Value(),
+		QueueDepth:            s.q.depth(),
+		QueueCap:              s.cfg.QueueSize,
+		InFlight:              s.met.inFlight.Value(),
+		Workers:               s.cfg.Workers,
+		Breaker:               state.String(),
+		BreakerTrips:          trips,
+		Probes:                probes,
+		ProbeFailures:         probeFails,
+		Draining:              s.draining.Load(),
+		BreakerTransitions:    s.met.breakerTransitions.Value(),
+		QueueWaitSecondsTotal: s.met.queueWait.Sum(),
+		QueueWaitCount:        s.met.queueWait.Count(),
+		RunSecondsTotal:       s.met.runLatency.Sum(),
 	}
 	if s.optEng != nil {
 		st.EngineOptimized = true
