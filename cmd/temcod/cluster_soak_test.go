@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"temco/internal/cluster"
+	"temco/internal/serve"
+)
+
+// soakReplica is a real temcod handler (real serve.Session, real /readyz
+// and /infer) on a fixed port, so the process can be "killed" abruptly and
+// restarted at the same address — exactly what the cluster prober sees
+// when a replica crashes and comes back.
+type soakReplica struct {
+	t    *testing.T
+	sess *serve.Session
+	addr string
+
+	mu  sync.Mutex
+	srv *http.Server
+}
+
+func newSoakReplica(t *testing.T, o options) *soakReplica {
+	t.Helper()
+	sess, shape, err := testSession(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &soakReplica{t: t, sess: sess, addr: ln.Addr().String()}
+	r.serveOn(ln, shape)
+	return r
+}
+
+func (r *soakReplica) serveOn(ln net.Listener, shape []int) {
+	srv := &http.Server{Handler: newHandler(r.sess, shape, -1, false)}
+	r.mu.Lock()
+	r.srv = srv
+	r.mu.Unlock()
+	go srv.Serve(ln)
+}
+
+func (r *soakReplica) url() string { return "http://" + r.addr }
+
+// kill closes the listener and every active connection — an abrupt
+// process death, not a drain.
+func (r *soakReplica) kill() {
+	r.mu.Lock()
+	srv := r.srv
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// restart re-listens on the same address.
+func (r *soakReplica) restart(shape []int) error {
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", r.addr); err == nil {
+			r.serveOn(ln, shape)
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("rebinding %s: %v", r.addr, err)
+}
+
+// TestClusterSoak runs 3 real replicas behind a cluster.Router, hammers
+// the front with concurrent clients, kills one whole replica mid-run, and
+// restarts it: every client must receive a well-formed response or a
+// typed retryable error, the fleet must return to all-healthy within the
+// re-probe window, and nothing may leak. CI runs this with TEMCO_SOAK.
+func TestClusterSoak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	o := testOptions()
+	o.queueSize = 4
+
+	sess0, shape, err := testSession(o) // warm the memoized graphs first
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	sess0.Close(ctx)
+	cancel()
+
+	reps := []*soakReplica{newSoakReplica(t, o), newSoakReplica(t, o), newSoakReplica(t, o)}
+	urls := make([]string, len(reps))
+	for i, r := range reps {
+		urls[i] = r.url()
+	}
+	probeInterval := 25 * time.Millisecond
+	table, err := cluster.NewTable(urls, cluster.Config{
+		ProbeInterval:   probeInterval,
+		FailThreshold:   2,
+		MaxProbeBackoff: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := cluster.NewRouter(table, cluster.RouterConfig{})
+	table.Start()
+	front := httptest.NewServer(http.HandlerFunc(router.ServeInfer))
+
+	allHealthy := func() bool {
+		for _, r := range table.Replicas() {
+			if r.State() != cluster.StateHealthy {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !allHealthy() {
+		if time.Now().After(deadline) {
+			t.Fatal("fleet never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	dur := 2 * time.Second
+	if s := os.Getenv("TEMCO_SOAK"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			dur = d
+		}
+	}
+
+	// Kill replica 0 a third of the way in; restart it at two thirds.
+	killAt := time.AfterFunc(dur/3, func() { reps[0].kill() })
+	defer killAt.Stop()
+	restartErr := make(chan error, 1)
+	restartAt := time.AfterFunc(2*dur/3, func() { restartErr <- reps[0].restart(shape) })
+	defer restartAt.Stop()
+
+	// Every status the stack can legitimately produce, each with a JSON
+	// body: temcod's guard mapping, plus the router's typed 502s (partial
+	// response mid-kill, or every attempt refused) and 503 (no replica).
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusTooManyRequests:     true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusInternalServerError: true,
+		http.StatusInsufficientStorage: true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusBadGateway:          true,
+	}
+	end := time.Now().Add(dur)
+	var ok, shed, routerErr, malformed atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; time.Now().Before(end); i++ {
+				body, _ := json.Marshal(inferRequest{Batch: 1, Seed: uint64(c*10000 + i)})
+				resp, err := client.Post(front.URL+"/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					malformed.Add(1)
+					continue
+				}
+				var out map[string]any
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if derr != nil || !allowed[resp.StatusCode] {
+					t.Logf("malformed: status %d err %v body %v", resp.StatusCode, derr, out)
+					malformed.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				case http.StatusBadGateway, http.StatusServiceUnavailable:
+					// The router's typed errors must say whether retrying helps.
+					if _, has := out["retryable"]; !has && out["error"] == nil {
+						malformed.Add(1)
+					}
+					routerErr.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := <-restartErr; err != nil {
+		t.Fatal(err)
+	}
+
+	st := router.Stats()
+	t.Logf("cluster soak: ok=%d shed=%d routerErr=%d stats=%+v", ok.Load(), shed.Load(), routerErr.Load(), st)
+	if n := malformed.Load(); n != 0 {
+		t.Fatalf("%d malformed responses under replica kill/restart", n)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("soak served nothing")
+	}
+	if st.Ejections == 0 {
+		t.Fatal("killed replica was never ejected")
+	}
+
+	// Recovery: the restarted replica must return to healthy within the
+	// re-probe window (backoff cap + one probe round, with slack).
+	deadline = time.Now().Add(5 * time.Second)
+	for !allHealthy() {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never recovered after restart: %+v", table.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := router.Stats(); st.Revivals == 0 {
+		t.Fatalf("restart must count a revival: %+v", st)
+	}
+
+	// Teardown and leak check.
+	front.Close()
+	table.Close()
+	for _, r := range reps {
+		r.kill()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := r.sess.Close(ctx); err != nil {
+			t.Errorf("closing replica session: %v", err)
+		}
+		cancel()
+	}
+	leakBy := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(leakBy) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

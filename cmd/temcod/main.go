@@ -14,7 +14,10 @@
 //
 //	POST /infer   {"batch":1,"seed":7} or {"data":[...]} — run inference
 //	GET  /healthz liveness (200 while the process runs)
-//	GET  /readyz  readiness (503 while draining)
+//	GET  /readyz  readiness (503 while draining); the ready body carries
+//	              queue depth, breaker state, and the degraded flag for the
+//	              temcor routing tier
+//	POST /quitz   exit the process immediately (only with -quitz armed)
 //	GET  /statsz  serving counters + injected-fault counters (JSON)
 //	GET  /metrics the same counters in Prometheus text format
 //	GET  /debug/pprof/ net/http/pprof profiles
@@ -48,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"temco/internal/cluster"
 	"temco/internal/core"
 	"temco/internal/decompose"
 	"temco/internal/engine"
@@ -80,8 +84,9 @@ func main() {
 		probe     = flag.Duration("probe", 1*time.Second, "breaker recovery probe interval")
 		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful shutdown drain budget")
 		engineOn  = flag.Bool("engine", true, "serve through the compiled plan-once/run-many engine (off = exec interpreter)")
-		faults    = flag.String("faults", "", `fault injection spec, e.g. "seed=42,scope=optimized,panic=0.05,budget=0.02,slow=0.01:5ms,alloc=0.01"`)
+		faults    = flag.String("faults", "", `fault injection spec, e.g. "seed=42,scope=optimized,panic=0.05,budget=0.02,slow=0.01:5ms,alloc=0.01,blackhole=0.05,httpdelay=0.1:20ms"`)
 		traceOut  = flag.String("trace", "", "record per-step spans and write Chrome trace_event JSON to this file at shutdown")
+		quitz     = flag.Bool("quitz", false, "expose POST /quitz, which exits the process immediately (soak-test kill hook)")
 	)
 	flag.Parse()
 	if err := run(options{
@@ -90,7 +95,7 @@ func main() {
 		workers: *workers, deadline: *deadline, retries: *retries,
 		membudgetMB: *membudget, breaker: *breaker, probe: *probe,
 		drain: *drain, noEngine: !*engineOn, faults: *faults,
-		traceOut: *traceOut,
+		traceOut: *traceOut, quitz: *quitz,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "temcod:", err)
 		os.Exit(guard.ExitCode(err))
@@ -116,6 +121,7 @@ type options struct {
 	noEngine    bool
 	faults      string
 	traceOut    string
+	quitz       bool
 }
 
 func run(o options) error {
@@ -158,7 +164,10 @@ func run(o options) error {
 		defer faultinject.Disable()
 	}
 
-	srv := &http.Server{Addr: o.addr, Handler: newHandler(sess, inputShape, steadyAllocs)}
+	srv := &http.Server{Addr: o.addr, Handler: newHandler(sess, inputShape, steadyAllocs, o.quitz)}
+	if o.quitz {
+		fmt.Println("temcod: /quitz kill hook armed")
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -254,7 +263,11 @@ func buildGraphs(o options, m decompose.Method) (opt, fb *ir.Graph, err error) {
 
 // parseFaults parses the -faults spec: comma-separated key=value pairs.
 // Keys: seed=<uint>, scope=<name>, panic=<rate>, budget=<rate>,
-// alloc=<rate>, slow=<rate>[:<delay>] (delay defaults to 5ms).
+// alloc=<rate>, slow=<rate>[:<delay>] (delay defaults to 5ms),
+// blackhole=<rate>, httpdelay=<rate>[:<delay>] (delay defaults to 5ms).
+// The kernel-level faults (panic/budget/alloc/slow) match graph-name
+// scopes; the HTTP-level faults (blackhole/httpdelay) fire when the scope
+// is empty or "http".
 func parseFaults(spec string) (faultinject.Config, error) {
 	var cfg faultinject.Config
 	bad := func(format string, args ...any) (faultinject.Config, error) {
@@ -313,6 +326,27 @@ func parseFaults(spec string) (faultinject.Config, error) {
 					return bad("slow=%q: want rate[:positive duration]", v)
 				}
 				cfg.SlowDelay = d
+			}
+		case "blackhole":
+			r, err := rate(k, v)
+			if err != nil {
+				return bad("%v", err)
+			}
+			cfg.HTTPBlackholeRate = r
+		case "httpdelay":
+			rv, delay, hasDelay := strings.Cut(v, ":")
+			r, err := rate(k, rv)
+			if err != nil {
+				return bad("%v", err)
+			}
+			cfg.HTTPDelayRate = r
+			cfg.HTTPDelay = 5 * time.Millisecond
+			if hasDelay {
+				d, err := time.ParseDuration(delay)
+				if err != nil || d <= 0 {
+					return bad("httpdelay=%q: want rate[:positive duration]", v)
+				}
+				cfg.HTTPDelay = d
 			}
 		default:
 			return bad("unknown key %q", k)
@@ -375,21 +409,60 @@ func measureSteadyAllocs(sess *serve.Session) float64 {
 	return v
 }
 
+// exitProcess is swapped out in tests of the /quitz kill hook.
+var exitProcess = os.Exit
+
 // newHandler builds the temcod HTTP API over sess. inputShape is the
 // per-sample input shape (no batch dimension); steadyAllocs is the
-// startup allocation probe surfaced verbatim in /statsz.
-func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64) http.Handler {
+// startup allocation probe surfaced verbatim in /statsz; quitz arms the
+// POST /quitz kill hook. All routes pass through the HTTP fault layer
+// (faultinject scope "http"): injected latency and connection blackholes
+// exercise the cluster tier's probe and retry paths.
+func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64, quitz bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	// /readyz serializes cluster.Health, the exact struct the temcor prober
+	// decodes, so the replica's encoder and the router's decoder cannot
+	// drift. Queue depth, breaker state, and in-flight feed the router's
+	// least-loaded placement; a non-closed breaker marks the replica
+	// degraded and the fleet routes around it.
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !sess.Ready() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		st := sess.Stats()
+		h := cluster.Health{
+			Ready:        sess.Ready(),
+			Degraded:     sess.Degraded(),
+			QueueDepth:   st.QueueDepth,
+			QueueCap:     st.QueueCap,
+			InFlight:     st.InFlight,
+			BreakerState: st.Breaker,
+		}
+		if !h.Ready {
+			h.Reason = "draining"
+			writeJSON(w, http.StatusServiceUnavailable, h)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "degraded": sess.Degraded()})
+		writeJSON(w, http.StatusOK, h)
 	})
+	if quitz {
+		mux.HandleFunc("/quitz", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				writeError(w, http.StatusMethodNotAllowed, "POST only")
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]bool{"quitting": true})
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			// Exit off the handler goroutine after the response flushes: the
+			// point is an abrupt process death (no drain), not a shutdown.
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				exitProcess(1)
+			}()
+		})
+	}
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		es := engineStatsz{SteadyAllocsPerRun: steadyAllocs}
 		if opt, fb, optOK, fbOK := sess.EngineStats(); optOK || fbOK {
@@ -454,7 +527,13 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64) htt
 		sreq.Timeout = time.Duration(req.DeadlineMS) * time.Millisecond
 		resp, err := sess.Infer(r.Context(), sreq)
 		if err != nil {
-			writeError(w, statusFor(err), err.Error())
+			status := statusFor(err)
+			// Backpressure statuses tell well-behaved clients (and the temcor
+			// router) when trying again is worthwhile.
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, status, err.Error())
 			return
 		}
 		out := resp.Outputs[0]
@@ -467,7 +546,35 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64) htt
 			ExecMS:   float64(resp.Exec) / float64(time.Millisecond),
 		})
 	})
-	return mux
+	return withHTTPFaults(mux)
+}
+
+// withHTTPFaults is the replica-level fault layer: when an injector with
+// the "http" scope (or no scope) is armed, requests may be delayed or
+// blackholed — the connection closes without any response bytes, exactly
+// what a process crash mid-accept looks like to the temcor router.
+func withHTTPFaults(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		delay, blackhole := faultinject.HTTPFault(faultinject.HTTPScope)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if blackhole {
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			// No hijack support (HTTP/2): abort the response stream instead.
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // statusFor maps the guard failure taxonomy onto HTTP status codes.

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"temco/internal/cluster"
 	"temco/internal/decompose"
 	"temco/internal/faultinject"
 	"temco/internal/ir"
@@ -66,7 +67,7 @@ func newTestServer(t *testing.T, o options) (*httptest.Server, *serve.Session) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(sess, shape, measureSteadyAllocs(sess)))
+	ts := httptest.NewServer(newHandler(sess, shape, measureSteadyAllocs(sess), false))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -201,7 +202,7 @@ func TestHTTPSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(sess, shape, measureSteadyAllocs(sess)))
+	ts := httptest.NewServer(newHandler(sess, shape, measureSteadyAllocs(sess), false))
 
 	faultinject.Enable(faultinject.Config{
 		Seed: 42, Scope: "optimized",
@@ -337,5 +338,161 @@ func TestStatszEngineSections(t *testing.T) {
 	}
 	if st.GemmPool.Hits+st.GemmPool.Misses == 0 {
 		t.Fatalf("gemm pool counters untouched after inference: %+v", st.GemmPool)
+	}
+}
+
+// TestReadyzHealthBody: the ready path serializes cluster.Health — queue
+// depth, breaker state, and the degraded flag the temcor prober consumes.
+func TestReadyzHealthBody(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h cluster.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ready || h.Degraded || h.BreakerState != "closed" {
+		t.Fatalf("healthy readyz body: %+v", h)
+	}
+	if h.QueueCap == 0 {
+		t.Fatalf("readyz must report the queue capacity: %+v", h)
+	}
+}
+
+// TestRetryAfterOnShed: backpressure responses carry Retry-After so the
+// router (and well-behaved clients) know a later retry can help.
+func TestRetryAfterOnShed(t *testing.T) {
+	o := testOptions()
+	sess, shape, err := testSession(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(sess, shape, -1, false))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A drained session sheds every new request with guard.ErrOverloaded.
+	resp, out := postInfer(t, ts.URL, inferRequest{Batch: 1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained infer: status %d body %v", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response must carry Retry-After")
+	}
+}
+
+// TestQuitzHook: POST /quitz answers, flushes, and then kills the process;
+// the route does not exist unless armed.
+func TestQuitzHook(t *testing.T) {
+	o := testOptions()
+	sess, shape, err := testSession(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sess.Close(ctx)
+	}()
+
+	exited := make(chan int, 1)
+	old := exitProcess
+	exitProcess = func(code int) { exited <- code }
+	defer func() { exitProcess = old }()
+
+	armed := httptest.NewServer(newHandler(sess, shape, -1, true))
+	defer armed.Close()
+	resp, err := http.Get(armed.URL + "/quitz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /quitz: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(armed.URL+"/quitz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out["quitting"] != true {
+		t.Fatalf("POST /quitz: %d %v", resp.StatusCode, out)
+	}
+	select {
+	case code := <-exited:
+		if code != 1 {
+			t.Fatalf("quitz exit code %d, want 1", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("quitz never exited the process")
+	}
+
+	unarmed := httptest.NewServer(newHandler(sess, shape, -1, false))
+	defer unarmed.Close()
+	resp, err = http.Post(unarmed.URL+"/quitz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unarmed /quitz: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPFaultLayer: blackholes close the connection with no response
+// bytes; injected delays stall but still answer.
+func TestHTTPFaultLayer(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+
+	faultinject.Enable(faultinject.Config{Seed: 3, Scope: faultinject.HTTPScope, HTTPBlackholeRate: 1})
+	if _, err := http.Get(ts.URL + "/healthz"); err == nil {
+		t.Fatal("blackholed request must fail at the connection level")
+	}
+	faultinject.Disable()
+
+	faultinject.Enable(faultinject.Config{Seed: 3, Scope: faultinject.HTTPScope,
+		HTTPDelayRate: 1, HTTPDelay: 80 * time.Millisecond})
+	defer faultinject.Disable()
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Fatalf("injected delay not applied: %v", el)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delayed request: status %d", resp.StatusCode)
+	}
+}
+
+func TestParseFaultsHTTPKeys(t *testing.T) {
+	cfg, err := parseFaults("seed=7,scope=http,blackhole=0.2,httpdelay=0.1:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faultinject.Config{Seed: 7, Scope: "http",
+		HTTPBlackholeRate: 0.2, HTTPDelayRate: 0.1, HTTPDelay: 20 * time.Millisecond}
+	if cfg != want {
+		t.Fatalf("got %+v want %+v", cfg, want)
+	}
+	if cfg, err := parseFaults("httpdelay=0.5"); err != nil || cfg.HTTPDelay != 5*time.Millisecond {
+		t.Fatalf("bare httpdelay rate must default the delay: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"blackhole=2", "httpdelay=0.1:-1ms", "httpdelay=x"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("spec %q must be rejected", bad)
+		}
 	}
 }

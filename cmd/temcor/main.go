@@ -1,0 +1,201 @@
+// Command temcor fronts a fleet of temcod replicas: an active health
+// prober maintains a replica table from each replica's /readyz and the
+// router places every inference request on the least-loaded healthy
+// replica, falling back to rendezvous hashing for keyed affinity
+// (X-Temco-Shard-Key). Connection errors and complete 429/503 responses
+// are retried on another replica; a response that dies mid-body is never
+// retried, because the replica already executed the request. A replica
+// whose local circuit breaker has tripped reports itself degraded on
+// /readyz and the whole fleet routes around it while anything healthy
+// remains — the breaker sheds traffic cluster-wide. Optional hedged
+// requests (-hedge) duplicate an attempt that outlives the observed
+// latency percentile.
+//
+// Usage:
+//
+//	temcor -replicas http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	temcor -replicas ... -hedge -hedgequantile 0.95
+//
+// Endpoints:
+//
+//	POST /infer   proxied inference; response carries X-Temco-Replica
+//	GET  /healthz liveness (200 while the process runs)
+//	GET  /readyz  readiness (503 until at least one replica is routable)
+//	GET  /statsz  router counters + per-replica health table (JSON)
+//	GET  /metrics cluster registry in Prometheus text format
+//
+// /statsz and /metrics render the same cluster registry, so the two views
+// cannot drift. SIGINT/SIGTERM triggers graceful shutdown: the listener
+// closes, in-flight proxied requests drain (bounded by -draintimeout),
+// then the prober stops and the process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"temco/internal/cluster"
+	"temco/internal/guard"
+	"temco/internal/obs"
+)
+
+func main() {
+	var (
+		replicas  = flag.String("replicas", "", "comma-separated temcod base URLs (required)")
+		addr      = flag.String("addr", ":8090", "HTTP listen address")
+		probeIvl  = flag.Duration("probeinterval", 250*time.Millisecond, "health probe interval per replica")
+		probeTO   = flag.Duration("probetimeout", 1*time.Second, "health probe timeout")
+		failThr   = flag.Int("failthreshold", 3, "consecutive probe failures that eject a replica")
+		maxProbe  = flag.Duration("maxprobebackoff", 8*time.Second, "re-probe backoff cap for ejected replicas")
+		retries   = flag.Int("retries", 2, "max additional replicas to try after a connection error or shed (-1 disables)")
+		attemptTO = flag.Duration("attempttimeout", 30*time.Second, "per-attempt proxy timeout")
+		hedge     = flag.Bool("hedge", false, "hedge slow attempts on a second replica (presumes idempotent inference)")
+		hedgeQ    = flag.Float64("hedgequantile", 0.95, "latency quantile that arms the hedge timer")
+		hedgeMin  = flag.Duration("minhedgedelay", 10*time.Millisecond, "floor on the hedge delay")
+		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+	if err := run(options{
+		replicas: *replicas, addr: *addr,
+		probeInterval: *probeIvl, probeTimeout: *probeTO,
+		failThreshold: *failThr, maxProbeBackoff: *maxProbe,
+		retries: *retries, attemptTimeout: *attemptTO,
+		hedge: *hedge, hedgeQuantile: *hedgeQ, minHedgeDelay: *hedgeMin,
+		drain: *drain,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "temcor:", err)
+		os.Exit(guard.ExitCode(err))
+	}
+}
+
+type options struct {
+	replicas        string
+	addr            string
+	probeInterval   time.Duration
+	probeTimeout    time.Duration
+	failThreshold   int
+	maxProbeBackoff time.Duration
+	retries         int
+	attemptTimeout  time.Duration
+	hedge           bool
+	hedgeQuantile   float64
+	minHedgeDelay   time.Duration
+	drain           time.Duration
+}
+
+func run(o options) error {
+	var urls []string
+	for _, u := range strings.Split(o.replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return guard.Errorf(guard.ErrInvalidModel, "flags", "-replicas is required (comma-separated temcod base URLs)")
+	}
+	// Process-wide collectors on the default registry; the cluster tier's
+	// instruments live on the table's own registry and /metrics renders both.
+	obs.RegisterProcessMetrics(obs.Default())
+	table, err := cluster.NewTable(urls, cluster.Config{
+		ProbeInterval:   o.probeInterval,
+		ProbeTimeout:    o.probeTimeout,
+		FailThreshold:   o.failThreshold,
+		MaxProbeBackoff: o.maxProbeBackoff,
+	})
+	if err != nil {
+		return err
+	}
+	router := cluster.NewRouter(table, cluster.RouterConfig{
+		MaxRetries:     o.retries,
+		AttemptTimeout: o.attemptTimeout,
+		Hedge:          o.hedge,
+		HedgeQuantile:  o.hedgeQuantile,
+		MinHedgeDelay:  o.minHedgeDelay,
+	})
+	table.Start()
+	defer table.Close()
+
+	srv := &http.Server{Addr: o.addr, Handler: newHandler(table, router)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("temcor: routing %d replicas on %s\n", len(urls), o.addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return guard.New(guard.ErrInternal, "temcor.listen", err)
+	case <-ctx.Done():
+	}
+	fmt.Println("temcor: shutting down, draining proxied requests")
+	sdctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := srv.Shutdown(sdctx); err != nil {
+		return guard.New(guard.ErrCanceled, "temcor.shutdown", err)
+	}
+	fmt.Println("temcor: drained cleanly")
+	return nil
+}
+
+// statsResponse is the /statsz body: router counters next to the live
+// per-replica health table.
+type statsResponse struct {
+	Router     cluster.RouterStats     `json:"router"`
+	Replicas   []cluster.ReplicaStatus `json:"replicas"`
+	Routable   int                     `json:"routable"`
+	Goroutines int                     `json:"goroutines"`
+}
+
+// newHandler builds the temcor HTTP API over the table and router.
+func newHandler(table *cluster.Table, router *cluster.Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		routable := table.Routable()
+		if routable == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ready": false, "reason": "no routable replica", "routable": 0,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ready": true, "routable": routable, "replicas": len(table.Replicas()),
+		})
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{
+			Router:     router.Stats(),
+			Replicas:   table.Status(),
+			Routable:   table.Routable(),
+			Goroutines: runtime.NumGoroutine(),
+		})
+	})
+	// /metrics renders the cluster registry (replica states, placements,
+	// retries, hedges, ejections) next to the process-wide default registry.
+	mux.Handle("/metrics", obs.Handler(table.Metrics(), obs.Default()))
+	mux.HandleFunc("/infer", router.ServeInfer)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

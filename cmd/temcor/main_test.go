@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"temco/internal/cluster"
+	"temco/internal/guard"
+	"temco/internal/obs"
+)
+
+// fakeReplica is a stub temcod: scriptable /readyz health plus an /infer
+// endpoint that answers with its own name.
+type fakeReplica struct {
+	name string
+	srv  *httptest.Server
+
+	mu     sync.Mutex
+	health cluster.Health
+	status int
+}
+
+func newFakeReplica(name string) *fakeReplica {
+	f := &fakeReplica{
+		name:   name,
+		health: cluster.Health{Ready: true, BreakerState: "closed"},
+		status: http.StatusOK,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		h, st := f.health, f.status
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(st)
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"argmax":[1],"served_by":%q}`, f.name)
+	})
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+func (f *fakeReplica) set(h cluster.Health, status int) {
+	f.mu.Lock()
+	f.health, f.status = h, status
+	f.mu.Unlock()
+}
+
+// newTestCluster wires n fake replicas behind a probing table, a router,
+// and the temcor handler, waiting until every replica is classified.
+func newTestCluster(t *testing.T, n int) (*httptest.Server, *cluster.Table, []*fakeReplica) {
+	t.Helper()
+	reps := make([]*fakeReplica, n)
+	urls := make([]string, n)
+	for i := range reps {
+		reps[i] = newFakeReplica(fmt.Sprintf("replica-%d", i))
+		urls[i] = reps[i].srv.URL
+	}
+	table, err := cluster.NewTable(urls, cluster.Config{ProbeInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := cluster.NewRouter(table, cluster.RouterConfig{})
+	table.Start()
+	front := httptest.NewServer(newHandler(table, router))
+	t.Cleanup(func() {
+		front.Close()
+		table.Close()
+		for _, r := range reps {
+			r.srv.Close()
+		}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy := 0
+		for _, r := range table.Replicas() {
+			if r.State() == cluster.StateHealthy {
+				healthy++
+			}
+		}
+		if healthy == n {
+			return front, table, reps
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never became healthy: %d/%d", healthy, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("non-JSON response from %s (status %d): %v", url, resp.StatusCode, err)
+	}
+	return resp, out
+}
+
+func TestRunRejectsEmptyReplicas(t *testing.T) {
+	err := run(options{replicas: " , "})
+	if err == nil || guard.ExitCode(err) != 2 {
+		t.Fatalf("empty -replicas must fail with the invalid-flags exit code, got %v", err)
+	}
+}
+
+func TestTemcorEndpoints(t *testing.T) {
+	front, _, reps := newTestCluster(t, 3)
+
+	resp, out := getJSON(t, front.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || out["ok"] != true {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, out)
+	}
+
+	resp, out = getJSON(t, front.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || out["ready"] != true || out["routable"] != float64(3) {
+		t.Fatalf("readyz: %d %v", resp.StatusCode, out)
+	}
+
+	// Proxied inference lands on some replica and names it in the header.
+	preq, _ := http.NewRequest(http.MethodPost, front.URL+"/infer", strings.NewReader(`{"batch":1}`))
+	preq.Header.Set("Content-Type", "application/json")
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pout map[string]any
+	if err := json.NewDecoder(presp.Body).Decode(&pout); err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK || pout["served_by"] == nil {
+		t.Fatalf("proxied infer: %d %v", presp.StatusCode, pout)
+	}
+	if presp.Header.Get(cluster.ReplicaHeader) == "" {
+		t.Fatalf("proxied response must name its replica")
+	}
+
+	resp, err = http.Get(front.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Routable != 3 || len(st.Replicas) != 3 {
+		t.Fatalf("statsz replica table: %+v", st)
+	}
+	if st.Router.Placements == 0 || st.Router.Probes == 0 {
+		t.Fatalf("statsz router counters untouched: %+v", st.Router)
+	}
+	for _, r := range st.Replicas {
+		if r.State != "healthy" {
+			t.Fatalf("replica %s: state %q", r.URL, r.State)
+		}
+	}
+
+	// All replicas down: readiness flips to 503.
+	for _, r := range reps {
+		r.set(cluster.Health{Ready: false, Reason: "draining"}, http.StatusServiceUnavailable)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, out = getJSON(t, front.URL+"/readyz")
+		if resp.StatusCode == http.StatusServiceUnavailable && out["ready"] == false {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never flipped after fleet drain: %d %v", resp.StatusCode, out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTemcorMetricsExposition validates the acceptance criterion: temcor's
+// /metrics serves the cluster registry (per-replica health state,
+// placements, retries, hedges, ejections) and the output passes the
+// exposition lint.
+func TestTemcorMetricsExposition(t *testing.T) {
+	front, _, _ := newTestCluster(t, 2)
+
+	// Drive one proxied request so the counters move.
+	resp, err := http.Post(front.URL+"/infer", "application/json", strings.NewReader(`{"batch":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckExposition(body); err != nil {
+		t.Fatalf("/metrics fails the exposition lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"temco_cluster_replica_state{replica=",
+		"temco_cluster_replica_placements_total{replica=",
+		"temco_cluster_placements_total",
+		"temco_cluster_retries_total",
+		"temco_cluster_hedges_total",
+		"temco_cluster_ejections_total",
+		"temco_cluster_probes_total",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestTemcorRoutesAroundTrippedBreaker: a replica reporting its breaker
+// open is shed cluster-wide while healthy capacity remains.
+func TestTemcorRoutesAroundTrippedBreaker(t *testing.T) {
+	front, table, reps := newTestCluster(t, 2)
+
+	reps[0].set(cluster.Health{Ready: true, Degraded: true, BreakerState: "open"}, http.StatusOK)
+	deadline := time.Now().Add(5 * time.Second)
+	for table.Replicas()[0].State() != cluster.StateDegraded {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker-open replica never classified degraded")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(front.URL+"/infer", "application/json", strings.NewReader(`{"batch":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if out["served_by"] != "replica-1" {
+			t.Fatalf("request %d landed on the breaker-tripped replica: %v", i, out)
+		}
+	}
+}

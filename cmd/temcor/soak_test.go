@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves a TCP port by binding and releasing it. Mildly racy
+// (another process could grab it), but standard for multi-process tests.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+// daemon is one spawned temcod/temcor process.
+type daemon struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+func spawn(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+	go func() { d.done <- cmd.Wait() }()
+	return d
+}
+
+// exitCode waits for the process and returns its exit code.
+func (d *daemon) exitCode(t *testing.T, within time.Duration) int {
+	t.Helper()
+	select {
+	case err := <-d.done:
+		if err == nil {
+			return 0
+		}
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		t.Fatalf("waiting for process: %v", err)
+	case <-time.After(within):
+		d.cmd.Process.Kill()
+		t.Fatalf("process %d did not exit within %v", d.cmd.Process.Pid, within)
+	}
+	return -1
+}
+
+func waitReady(t *testing.T, url string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became ready: %v", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestProcessClusterSoak is the full-fidelity cluster soak: real temcod
+// and temcor binaries as separate processes, one replica killed through
+// its /quitz hook mid-load and restarted, recovery and exit codes
+// asserted. Gated by TEMCO_SOAK because it builds two binaries and
+// initializes three models.
+func TestProcessClusterSoak(t *testing.T) {
+	soak := os.Getenv("TEMCO_SOAK")
+	if soak == "" {
+		t.Skip("set TEMCO_SOAK (e.g. 30s) to run the process-level cluster soak")
+	}
+	dur := 10 * time.Second
+	if d, err := time.ParseDuration(soak); err == nil && d > 0 {
+		dur = d
+	}
+
+	bindir := t.TempDir()
+	temcod := filepath.Join(bindir, "temcod")
+	temcor := filepath.Join(bindir, "temcor")
+	for _, b := range [][2]string{{temcod, "temco/cmd/temcod"}, {temcor, "temco/cmd/temcor"}} {
+		out, err := exec.Command("go", "build", "-o", b[0], b[1]).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", b[1], err, out)
+		}
+	}
+
+	// Three replicas with the /quitz kill hook armed.
+	replicaArgs := func(port int) []string {
+		return []string{
+			"-model", "alexnet", "-res", "32", "-classes", "10", "-ratio", "0.25",
+			"-queue", "8", "-addr", fmt.Sprintf("127.0.0.1:%d", port), "-quitz",
+		}
+	}
+	ports := []int{freePort(t), freePort(t), freePort(t)}
+	urls := make([]string, 3)
+	replicas := make([]*daemon, 3)
+	for i, p := range ports {
+		replicas[i] = spawn(t, temcod, replicaArgs(p)...)
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	t.Cleanup(func() {
+		for _, d := range replicas {
+			if d != nil && d.cmd.ProcessState == nil {
+				d.cmd.Process.Kill()
+			}
+		}
+	})
+	for _, u := range urls {
+		waitReady(t, u, 60*time.Second)
+	}
+
+	routerPort := freePort(t)
+	routerURL := fmt.Sprintf("http://127.0.0.1:%d", routerPort)
+	router := spawn(t, temcor,
+		"-replicas", urls[0]+","+urls[1]+","+urls[2],
+		"-addr", fmt.Sprintf("127.0.0.1:%d", routerPort),
+		"-probeinterval", "50ms", "-failthreshold", "2", "-maxprobebackoff", "400ms")
+	t.Cleanup(func() {
+		if router.cmd.ProcessState == nil {
+			router.cmd.Process.Kill()
+		}
+	})
+	waitReady(t, routerURL, 30*time.Second)
+
+	// Load: 8 concurrent clients for the whole soak window.
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusTooManyRequests: true,
+		http.StatusServiceUnavailable: true, http.StatusBadGateway: true,
+		http.StatusGatewayTimeout: true, http.StatusInternalServerError: true,
+		http.StatusInsufficientStorage: true,
+	}
+	end := time.Now().Add(dur)
+	var ok, malformed atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; time.Now().Before(end); i++ {
+				body, _ := json.Marshal(map[string]any{"batch": 1, "seed": c*100000 + i})
+				resp, err := client.Post(routerURL+"/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					malformed.Add(1)
+					continue
+				}
+				var out map[string]any
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if derr != nil || !allowed[resp.StatusCode] {
+					t.Logf("malformed: status %d err %v body %v", resp.StatusCode, derr, out)
+					malformed.Add(1)
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					ok.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Kill replica 0 via /quitz a third in; it must exit with the
+	// documented kill code 1. Restart it at the same address two thirds in.
+	time.Sleep(dur / 3)
+	resp, err := http.Post(urls[0]+"/quitz", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /quitz: %v", err)
+	}
+	resp.Body.Close()
+	if code := replicas[0].exitCode(t, 10*time.Second); code != 1 {
+		t.Fatalf("quitz-killed replica exit code %d, want 1", code)
+	}
+	time.Sleep(dur / 3)
+	replicas[0] = spawn(t, temcod, replicaArgs(ports[0])...)
+	waitReady(t, urls[0], 60*time.Second)
+
+	wg.Wait()
+	if n := malformed.Load(); n != 0 {
+		t.Fatalf("%d malformed responses during process-level soak", n)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("soak served nothing")
+	}
+
+	// Recovery: temcor must report the whole fleet healthy, with the kill
+	// visible as >=1 ejection and >=1 revival.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(routerURL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st statsResponse
+		jerr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if jerr != nil {
+			t.Fatal(jerr)
+		}
+		healthy := 0
+		for _, r := range st.Replicas {
+			if r.State == "healthy" {
+				healthy++
+			}
+		}
+		if healthy == 3 {
+			if st.Router.Ejections == 0 || st.Router.Revivals == 0 {
+				t.Fatalf("kill must register as ejection+revival: %+v", st.Router)
+			}
+			t.Logf("process soak: ok=%d router=%+v", ok.Load(), st.Router)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never recovered: %+v", st.Replicas)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Graceful shutdown all around: SIGTERM, exit code 0.
+	router.cmd.Process.Signal(syscall.SIGTERM)
+	if code := router.exitCode(t, 45*time.Second); code != 0 {
+		t.Fatalf("temcor exit code %d, want 0", code)
+	}
+	for i, d := range replicas {
+		d.cmd.Process.Signal(syscall.SIGTERM)
+		if code := d.exitCode(t, 45*time.Second); code != 0 {
+			t.Fatalf("replica %d exit code %d, want 0", i, code)
+		}
+	}
+}

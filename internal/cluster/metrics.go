@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"temco/internal/obs"
+)
+
+// metrics is the cluster tier's instrument set on its own obs.Registry:
+// per-replica families are labeled vec samples over the live table, so the
+// /metrics and /statsz views read the same state. temcor serves this
+// registry next to obs.Default().
+type metrics struct {
+	reg *obs.Registry
+
+	probes, probeFailures *obs.Counter
+	ejections, revivals   *obs.Counter
+
+	// Router counters, registered here so the whole tier scrapes as one.
+	placements, retries     *obs.Counter
+	hedges, hedgeWins       *obs.Counter
+	noReplica, partialAbort *obs.Counter
+	proxyLatency            *obs.Histogram
+}
+
+func newMetrics(t *Table) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+	m.probes = reg.Counter("temco_cluster_probes_total",
+		"Health probes issued across all replicas.")
+	m.probeFailures = reg.Counter("temco_cluster_probe_failures_total",
+		"Health probes that failed (connection error, timeout, bad body).")
+	m.ejections = reg.Counter("temco_cluster_ejections_total",
+		"Replicas ejected to the dead state after consecutive probe failures.")
+	m.revivals = reg.Counter("temco_cluster_revivals_total",
+		"Dead replicas revived by a successful re-probe.")
+	m.placements = reg.Counter("temco_cluster_placements_total",
+		"Proxied attempts placed on a replica (including retries and hedges).")
+	m.retries = reg.Counter("temco_cluster_retries_total",
+		"Attempts retried on another replica after a connection error or a complete 429/503.")
+	m.hedges = reg.Counter("temco_cluster_hedges_total",
+		"Hedged attempts fired after the latency-percentile delay.")
+	m.hedgeWins = reg.Counter("temco_cluster_hedge_wins_total",
+		"Requests won by the hedged attempt rather than the primary.")
+	m.noReplica = reg.Counter("temco_cluster_no_replica_total",
+		"Requests failed because no routable replica remained.")
+	m.partialAbort = reg.Counter("temco_cluster_partial_aborts_total",
+		"Requests aborted without retry because a replica died mid-response.")
+	m.proxyLatency = reg.Histogram("temco_cluster_proxy_seconds",
+		"End-to-end proxied request latency, including retries and hedges.", nil)
+
+	reg.GaugeFunc("temco_cluster_replicas",
+		"Configured replicas.",
+		func() float64 { return float64(len(t.replicas)) })
+	reg.GaugeFunc("temco_cluster_routable_replicas",
+		"Replicas currently able to take traffic (healthy or degraded).",
+		func() float64 { return float64(t.Routable()) })
+	reg.GaugeVecFunc("temco_cluster_replica_state",
+		"Per-replica health state: 0 healthy, 1 degraded, 2 draining, 3 dead.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(t.replicas))
+			for i, r := range t.replicas {
+				out[i] = obs.LabeledValue{
+					Labels: [][2]string{{"replica", r.url}},
+					Value:  float64(r.State()),
+				}
+			}
+			return out
+		})
+	reg.GaugeVecFunc("temco_cluster_replica_queue_depth",
+		"Per-replica admission queue depth from the last successful probe.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(t.replicas))
+			for i, r := range t.replicas {
+				r.mu.Lock()
+				depth := r.health.QueueDepth
+				r.mu.Unlock()
+				out[i] = obs.LabeledValue{
+					Labels: [][2]string{{"replica", r.url}},
+					Value:  float64(depth),
+				}
+			}
+			return out
+		})
+	reg.GaugeVecFunc("temco_cluster_replica_in_flight",
+		"Per-replica requests currently proxied by this router.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(t.replicas))
+			for i, r := range t.replicas {
+				out[i] = obs.LabeledValue{
+					Labels: [][2]string{{"replica", r.url}},
+					Value:  float64(r.inFlight.Load()),
+				}
+			}
+			return out
+		})
+	reg.CounterVecFunc("temco_cluster_replica_placements_total",
+		"Per-replica proxied attempt placements.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(t.replicas))
+			for i, r := range t.replicas {
+				out[i] = obs.LabeledValue{
+					Labels: [][2]string{{"replica", r.url}},
+					Value:  float64(r.placements.Load()),
+				}
+			}
+			return out
+		})
+	return m
+}

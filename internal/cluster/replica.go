@@ -1,0 +1,173 @@
+// Package cluster is the temcor routing tier: the pieces that turn N
+// independent temcod replicas into one fault-tolerant fleet. A Table holds
+// the replica set and actively probes each replica's /readyz, classifying
+// it healthy / degraded / draining / dead, ejecting replicas that stop
+// answering and re-probing ejected ones on an exponential backoff. A
+// Router places requests on the table — least reported queue depth with a
+// rendezvous-hash fallback — retries connection errors and complete
+// 429/503 responses on another replica, and optionally hedges slow
+// requests after an observed latency percentile.
+//
+// The tier integrates with the single-process breaker semantics from
+// internal/serve: a replica whose local circuit breaker is not closed
+// reports itself degraded on /readyz, and the table routes around it while
+// anything healthy remains — a replica tripping its breaker sheds traffic
+// cluster-wide instead of melting its own fallback path.
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Health is the enriched /readyz body a temcod replica reports. The daemon
+// serializes this exact struct, so the router's probe decoder and the
+// replica's encoder cannot drift.
+type Health struct {
+	// Ready is false while the replica drains (it then answers 503).
+	Ready bool `json:"ready"`
+	// Reason explains a not-ready state ("draining").
+	Reason string `json:"reason,omitempty"`
+	// Degraded reports that the replica's circuit breaker is not closed:
+	// requests are or may be served by the fallback graph.
+	Degraded bool `json:"degraded"`
+	// QueueDepth / QueueCap describe the replica's admission queue, the
+	// router's least-loaded placement signal.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// InFlight is the number of requests executing on the replica's workers.
+	InFlight int64 `json:"in_flight"`
+	// BreakerState is the replica's breaker position: closed, open,
+	// half-open.
+	BreakerState string `json:"breaker_state"`
+}
+
+// State classifies a replica from the router's point of view.
+type State int32
+
+const (
+	// StateHealthy: the replica answers /readyz ready with a closed breaker.
+	StateHealthy State = iota
+	// StateDegraded: the replica answers but reports a tripped breaker (it
+	// serves through its fallback graph), or a probe just failed and the
+	// replica is suspect but not yet ejected. Degraded replicas receive
+	// traffic only when nothing healthy remains.
+	StateDegraded
+	// StateDraining: the replica answered 503 ready=false; it is shutting
+	// down gracefully and must receive no new traffic.
+	StateDraining
+	// StateDead: probes failed FailThreshold times in a row; the replica is
+	// ejected and re-probed on an exponential backoff.
+	StateDead
+)
+
+// String renders the state for stats endpoints and metrics.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDraining:
+		return "draining"
+	case StateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Replica is one temcod backend tracked by the table. Safe for concurrent
+// use; the prober writes the probed fields, the router reads them.
+type Replica struct {
+	url string
+
+	mu          sync.Mutex
+	state       State
+	health      Health    // last successfully decoded /readyz body
+	lastOK      time.Time // when health was last refreshed
+	consecFails int       // consecutive failed probes
+	nextProbe   time.Time // ejected replicas re-probe no earlier than this
+
+	// inFlight counts router-side requests currently proxied to this
+	// replica; it sharpens the queue-depth signal between probe rounds.
+	inFlight atomic.Int64
+	// placements counts requests the router placed here.
+	placements atomic.Uint64
+}
+
+// URL returns the replica's base URL.
+func (r *Replica) URL() string { return r.url }
+
+// State returns the replica's current classification.
+func (r *Replica) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// ReplicaStatus is one replica's row in the router's /statsz table.
+type ReplicaStatus struct {
+	URL                 string `json:"url"`
+	State               string `json:"state"`
+	Health              Health `json:"health"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	InFlight            int64  `json:"in_flight"`
+	Placements          uint64 `json:"placements_total"`
+}
+
+// snapshot returns a consistent view of the replica for stats and metrics.
+func (r *Replica) snapshot() ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStatus{
+		URL:                 r.url,
+		State:               r.state.String(),
+		Health:              r.health,
+		ConsecutiveFailures: r.consecFails,
+		InFlight:            r.inFlight.Load(),
+		Placements:          r.placements.Load(),
+	}
+}
+
+// Config tunes a Table. Zero values take the documented defaults.
+type Config struct {
+	// ProbeInterval is the health-probe period per replica. Default 250ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz round trip. Default 1s.
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures eject a replica
+	// to StateDead. Default 3.
+	FailThreshold int
+	// MaxProbeBackoff caps the exponential re-probe backoff for dead
+	// replicas. Default 8s.
+	MaxProbeBackoff time.Duration
+	// Client performs probes and proxied requests. Default: a dedicated
+	// client with pooled connections and no global timeout (per-request
+	// contexts bound every call).
+	Client *http.Client
+}
+
+func (c *Config) applyDefaults() {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.MaxProbeBackoff <= 0 {
+		c.MaxProbeBackoff = 8 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     30 * time.Second,
+		}}
+	}
+}

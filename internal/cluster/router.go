@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardKeyHeader carries an optional client affinity key: requests with
+// the same key rendezvous onto the same replica whenever load allows.
+const ShardKeyHeader = "X-Temco-Shard-Key"
+
+// ReplicaHeader names the replica that served a proxied response.
+const ReplicaHeader = "X-Temco-Replica"
+
+// RouterConfig tunes a Router. Zero values take the documented defaults.
+type RouterConfig struct {
+	// MaxRetries is how many additional replicas an attempt may move to
+	// after a connection error or a complete 429/503 response. Default 2;
+	// negative disables retries.
+	MaxRetries int
+	// AttemptTimeout bounds one proxied attempt. Default 30s.
+	AttemptTimeout time.Duration
+	// Hedge enables hedged requests: when an attempt outlives the observed
+	// HedgeQuantile latency, one backup attempt fires on another replica
+	// and the first complete response wins. Hedging re-executes the
+	// inference, so it presumes idempotent requests (inference is a pure
+	// function of its input). Off by default.
+	Hedge bool
+	// HedgeQuantile is the latency quantile that arms the hedge timer.
+	// Default 0.95.
+	HedgeQuantile float64
+	// MinHedgeDelay floors the hedge delay so cold or noisy latency
+	// estimates cannot hedge instantly. Default 10ms.
+	MinHedgeDelay time.Duration
+	// MaxBodyBytes caps the buffered request body (the body must be held
+	// for replay across retries and hedges). Default 64MiB.
+	MaxBodyBytes int64
+}
+
+func (c *RouterConfig) applyDefaults() {
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 30 * time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.MinHedgeDelay <= 0 {
+		c.MinHedgeDelay = 10 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+}
+
+// RouterStats is the router section of temcor's /statsz.
+type RouterStats struct {
+	Placements    uint64 `json:"placements"`
+	Retries       uint64 `json:"retries"`
+	Hedges        uint64 `json:"hedges"`
+	HedgeWins     uint64 `json:"hedge_wins"`
+	NoReplica     uint64 `json:"no_replica"`
+	PartialAborts uint64 `json:"partial_aborts"`
+	Ejections     uint64 `json:"ejections"`
+	Revivals      uint64 `json:"revivals"`
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+}
+
+// Router proxies inference requests onto a Table with health-aware
+// placement, cross-replica retries, and optional hedging. Safe for
+// concurrent use.
+type Router struct {
+	table *Table
+	cfg   RouterConfig
+	lat   latencyDigest
+}
+
+// NewRouter builds a router over table. The table's registry carries the
+// router's counters too, so the whole tier scrapes as one.
+func NewRouter(table *Table, cfg RouterConfig) *Router {
+	cfg.applyDefaults()
+	return &Router{table: table, cfg: cfg}
+}
+
+// Stats snapshots the router-and-prober counters.
+func (rt *Router) Stats() RouterStats {
+	m := rt.table.met
+	return RouterStats{
+		Placements:    m.placements.Value(),
+		Retries:       m.retries.Value(),
+		Hedges:        m.hedges.Value(),
+		HedgeWins:     m.hedgeWins.Value(),
+		NoReplica:     m.noReplica.Value(),
+		PartialAborts: m.partialAbort.Value(),
+		Ejections:     m.ejections.Value(),
+		Revivals:      m.revivals.Value(),
+		Probes:        m.probes.Value(),
+		ProbeFailures: m.probeFailures.Value(),
+	}
+}
+
+// attemptResult is one proxied attempt's outcome.
+type attemptResult struct {
+	rep         *Replica
+	status      int
+	body        []byte
+	contentType string
+	retryAfter  string
+	connErr     error // no response received: connection refused/reset/timeout
+	partial     bool  // response started, body died: the replica executed
+	dur         time.Duration
+}
+
+// final reports whether the attempt produced a response the client should
+// receive as-is: any complete response that is not a retryable shed/drain
+// status. 429 and 503 are complete responses too, but the router prefers
+// trying another replica first.
+func (a *attemptResult) final() bool {
+	return a.connErr == nil && !a.partial &&
+		a.status != http.StatusTooManyRequests && a.status != http.StatusServiceUnavailable
+}
+
+// ServeInfer proxies one inference request. The decision ladder per
+// attempt: connection errors and complete 429/503 responses move to
+// another replica (bounded by MaxRetries); a partial response — status
+// received, body truncated — is never retried, because the replica already
+// executed the request and died mid-answer; any other complete response is
+// relayed verbatim with the serving replica named in ReplicaHeader.
+func (rt *Router) ServeInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeRouterError(w, http.StatusMethodNotAllowed, "POST only", false)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, "reading body: "+err.Error(), false)
+		return
+	}
+	start := time.Now()
+	key := r.Header.Get(ShardKeyHeader)
+	tried := map[string]bool{}
+	var lastShed *attemptResult
+	connErrs := 0
+	for attempt := 0; attempt <= rt.cfg.MaxRetries; attempt++ {
+		primary := rt.table.pick(key, tried)
+		if primary == nil {
+			break
+		}
+		tried[primary.url] = true
+		results := rt.launch(r.Context(), primary, key, tried, body)
+		partial := false
+		for _, res := range results {
+			if res.final() {
+				rt.lat.observe(res.dur)
+				rt.table.met.proxyLatency.Observe(time.Since(start).Seconds())
+				if res.rep != primary {
+					rt.table.met.hedgeWins.Inc()
+				}
+				relay(w, res)
+				return
+			}
+		}
+		for _, res := range results {
+			switch {
+			case res.partial:
+				partial = true
+			case res.connErr != nil:
+				connErrs++
+			default: // complete 429/503
+				lastShed = res
+			}
+		}
+		if partial {
+			// The replica executed the request and the answer was lost;
+			// re-executing is not the router's call to make.
+			rt.table.met.partialAbort.Inc()
+			writeRouterError(w, http.StatusBadGateway,
+				"replica died mid-response; not retried", true)
+			return
+		}
+		if attempt < rt.cfg.MaxRetries {
+			rt.table.met.retries.Inc()
+		}
+	}
+	rt.table.met.proxyLatency.Observe(time.Since(start).Seconds())
+	if lastShed != nil {
+		// Every attempt was shed or hit a draining replica: relay the last
+		// complete backpressure response, Retry-After included.
+		relay(w, lastShed)
+		return
+	}
+	rt.table.met.noReplica.Inc()
+	status := http.StatusServiceUnavailable
+	msg := "no replica available"
+	if connErrs > 0 {
+		status = http.StatusBadGateway
+		msg = "all replica attempts failed with connection errors"
+	}
+	w.Header().Set("Retry-After", "1")
+	writeRouterError(w, status, msg, true)
+}
+
+// launch runs one placement round: the primary attempt, plus — when
+// hedging is armed and the latency digest has warmed up — a single backup
+// attempt on another replica after the hedge delay. It returns the results
+// collected until the first relayable response (or until every launched
+// attempt finished); the shared context cancels the losing attempt.
+func (rt *Router) launch(ctx context.Context, primary *Replica, key string, tried map[string]bool, body []byte) []*attemptResult {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resc := make(chan *attemptResult, 2)
+	launched := 1
+	go rt.attempt(actx, primary, body, resc)
+
+	var hedgeC <-chan time.Time
+	var hedgeRep *Replica
+	if rt.cfg.Hedge {
+		if d, ok := rt.hedgeDelay(); ok {
+			if hedgeRep = rt.table.pick(key, tried); hedgeRep != nil {
+				timer := time.NewTimer(d)
+				defer timer.Stop()
+				hedgeC = timer.C
+			}
+		}
+	}
+
+	var out []*attemptResult
+	for {
+		select {
+		case res := <-resc:
+			out = append(out, res)
+			if res.final() || len(out) == launched {
+				return out
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			tried[hedgeRep.url] = true
+			launched++
+			rt.table.met.hedges.Inc()
+			go rt.attempt(actx, hedgeRep, body, resc)
+		}
+	}
+}
+
+// attempt proxies the buffered body to one replica and classifies the
+// outcome. The result channel is buffered, so a canceled loser never
+// blocks.
+func (rt *Router) attempt(ctx context.Context, rep *Replica, body []byte, resc chan<- *attemptResult) {
+	rt.table.met.placements.Inc()
+	rep.placements.Add(1)
+	rep.inFlight.Add(1)
+	defer rep.inFlight.Add(-1)
+	start := time.Now()
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep.url+"/infer", bytes.NewReader(body))
+	if err != nil {
+		resc <- &attemptResult{rep: rep, connErr: err}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.table.cfg.Client.Do(req)
+	if err != nil {
+		resc <- &attemptResult{rep: rep, connErr: err}
+		return
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		resc <- &attemptResult{rep: rep, status: resp.StatusCode, partial: true}
+		return
+	}
+	resc <- &attemptResult{
+		rep:         rep,
+		status:      resp.StatusCode,
+		body:        b,
+		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		dur:         time.Since(start),
+	}
+}
+
+// hedgeDelay returns the armed hedge delay: the observed HedgeQuantile
+// latency floored at MinHedgeDelay. ok is false until the digest has seen
+// enough samples to estimate a percentile — hedging stays off cold rather
+// than firing on noise.
+func (rt *Router) hedgeDelay() (time.Duration, bool) {
+	q, ok := rt.lat.quantile(rt.cfg.HedgeQuantile)
+	if !ok {
+		return 0, false
+	}
+	if q < rt.cfg.MinHedgeDelay {
+		q = rt.cfg.MinHedgeDelay
+	}
+	return q, true
+}
+
+// relay writes a buffered replica response to the client verbatim.
+func relay(w http.ResponseWriter, res *attemptResult) {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	if res.retryAfter != "" {
+		w.Header().Set("Retry-After", res.retryAfter)
+	}
+	w.Header().Set(ReplicaHeader, res.rep.url)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// writeRouterError emits the router's own JSON error body. retryable tells
+// well-behaved clients whether trying again later can help (shed load,
+// dead fleet) or not (bad request, lost partial response — the caller must
+// decide whether re-executing is safe).
+func writeRouterError(w http.ResponseWriter, status int, msg string, retryable bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":     msg,
+		"status":    status,
+		"retryable": retryable,
+	})
+}
+
+// latencyDigest estimates latency quantiles from a sliding window of
+// successful proxied attempts: a fixed ring of samples, with the quantile
+// recomputed every few observations and cached atomically so the hot path
+// reads one atomic load.
+type latencyDigest struct {
+	mu      sync.Mutex
+	samples [256]float64 // seconds
+	n       int          // total observations
+	cached  atomic.Uint64
+	cachedQ atomic.Uint64 // float bits of the quantile the cache was built for
+}
+
+// digestWarmup is how many samples the digest needs before it reports a
+// quantile.
+const digestWarmup = 16
+
+func (d *latencyDigest) observe(dur time.Duration) {
+	sec := dur.Seconds()
+	d.mu.Lock()
+	d.samples[d.n%len(d.samples)] = sec
+	d.n++
+	recompute := d.n%8 == 0 || d.n == digestWarmup
+	d.mu.Unlock()
+	if recompute {
+		d.recompute()
+	}
+}
+
+func (d *latencyDigest) recompute() {
+	q := math.Float64frombits(d.cachedQ.Load())
+	if q <= 0 || q >= 1 {
+		return // quantile() not called yet; first call recomputes
+	}
+	d.cached.Store(math.Float64bits(d.quantileLocked(q)))
+}
+
+func (d *latencyDigest) quantileLocked(q float64) float64 {
+	d.mu.Lock()
+	n := d.n
+	if n > len(d.samples) {
+		n = len(d.samples)
+	}
+	buf := make([]float64, n)
+	copy(buf, d.samples[:n])
+	d.mu.Unlock()
+	sort.Float64s(buf)
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}
+
+// quantile returns the cached q-quantile in time.Duration form; ok is
+// false until digestWarmup samples have been observed.
+func (d *latencyDigest) quantile(q float64) (time.Duration, bool) {
+	d.mu.Lock()
+	warm := d.n >= digestWarmup
+	d.mu.Unlock()
+	if !warm {
+		return 0, false
+	}
+	if math.Float64frombits(d.cachedQ.Load()) != q {
+		d.cachedQ.Store(math.Float64bits(q))
+		d.cached.Store(math.Float64bits(d.quantileLocked(q)))
+	}
+	v := math.Float64frombits(d.cached.Load())
+	return time.Duration(v * float64(time.Second)), true
+}

@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"strings"
+	"testing"
+	"time"
+
+	"temco/internal/obs"
+)
+
+// inferStub is a scriptable fake temcod /infer endpoint.
+type inferStub struct {
+	srv     *httptest.Server
+	handler func(w http.ResponseWriter, r *http.Request)
+}
+
+func newInferStub(h func(w http.ResponseWriter, r *http.Request)) *inferStub {
+	s := &inferStub{handler: h}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.handler(w, r)
+	}))
+	return s
+}
+
+// routerUnderTest wires stubs into a table (states set directly; the
+// prober never runs) and returns the router plus its HTTP front.
+func routerUnderTest(t *testing.T, cfg RouterConfig, depths []int, stubs ...*inferStub) (*Router, *httptest.Server, *Table) {
+	t.Helper()
+	urls := make([]string, len(stubs))
+	for i, s := range stubs {
+		urls[i] = s.srv.URL
+	}
+	tab, err := NewTable(urls, Config{ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tab.Replicas() {
+		d := 0
+		if i < len(depths) {
+			d = depths[i]
+		}
+		setReplica(tab, r, StateHealthy, Health{Ready: true, QueueDepth: d, BreakerState: "closed"})
+	}
+	rt := NewRouter(tab, cfg)
+	front := httptest.NewServer(http.HandlerFunc(rt.ServeInfer))
+	t.Cleanup(func() { front.Close(); tab.Close() })
+	return rt, front, tab
+}
+
+func postJSON(t *testing.T, url string, body string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestRouterProxiesSuccess(t *testing.T) {
+	stub := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := httputil.DumpRequest(r, true)
+		if !bytes.Contains(body, []byte(`"batch":2`)) {
+			t.Errorf("body not forwarded: %s", body)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"argmax":[7,7]}`)
+	})
+	defer stub.srv.Close()
+	_, front, tab := routerUnderTest(t, RouterConfig{}, nil, stub)
+
+	resp := postJSON(t, front.URL, `{"batch":2}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ReplicaHeader); got != stub.srv.URL {
+		t.Fatalf("%s = %q, want %q", ReplicaHeader, got, stub.srv.URL)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["argmax"] == nil {
+		t.Fatalf("response not relayed: %v", out)
+	}
+	if tab.met.placements.Value() != 1 || tab.Replicas()[0].placements.Load() != 1 {
+		t.Fatalf("placement counters: %d/%d", tab.met.placements.Value(), tab.Replicas()[0].placements.Load())
+	}
+	if resp2 := postJSON(t, front.URL, `{"batch":2}`, nil); resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d", resp2.StatusCode)
+	} else {
+		resp2.Body.Close()
+	}
+}
+
+func TestRouterRejectsNonPost(t *testing.T) {
+	stub := newInferStub(func(w http.ResponseWriter, r *http.Request) {})
+	defer stub.srv.Close()
+	_, front, _ := routerUnderTest(t, RouterConfig{}, nil, stub)
+	resp, err := http.Get(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+}
+
+// TestRouterRetriesConnError: the least-loaded replica's process is gone
+// (connection refused); the router must move the attempt to the next
+// replica and succeed.
+func TestRouterRetriesConnError(t *testing.T) {
+	good := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	defer good.srv.Close()
+	// A listener that is closed immediately: connection refused, stable port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	tab, err := NewTable([]string{deadURL, good.srv.URL}, Config{ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead replica looks best on paper (lower depth): the router must
+	// pick it first and recover via retry.
+	setReplica(tab, tab.Replicas()[0], StateHealthy, Health{Ready: true, QueueDepth: 0})
+	setReplica(tab, tab.Replicas()[1], StateHealthy, Health{Ready: true, QueueDepth: 5})
+	rt := NewRouter(tab, RouterConfig{})
+	front := httptest.NewServer(http.HandlerFunc(rt.ServeInfer))
+	defer front.Close()
+	defer tab.Close()
+
+	resp := postJSON(t, front.URL, `{"batch":1}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ReplicaHeader); got != good.srv.URL {
+		t.Fatalf("served by %q, want the good replica", got)
+	}
+	if rt.Stats().Retries == 0 {
+		t.Fatal("retry counter untouched")
+	}
+}
+
+// TestRouterRetriesShedResponses: complete 429/503 responses are retried on
+// another replica; when every replica sheds, the last shed response is
+// relayed with its Retry-After intact.
+func TestRouterRetriesShedResponses(t *testing.T) {
+	shedding := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"overloaded","status":429}`)
+	})
+	defer shedding.srv.Close()
+	good := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	defer good.srv.Close()
+
+	_, front, _ := routerUnderTest(t, RouterConfig{}, []int{0, 5}, shedding, good)
+	resp := postJSON(t, front.URL, `{"batch":1}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(ReplicaHeader) != good.srv.URL {
+		t.Fatalf("shed response must be retried on the other replica: %d via %q",
+			resp.StatusCode, resp.Header.Get(ReplicaHeader))
+	}
+
+	// Fleet-wide shed: the backpressure response itself is the answer.
+	_, front2, _ := routerUnderTest(t, RouterConfig{}, nil, shedding)
+	resp2 := postJSON(t, front2.URL, `{"batch":1}`, nil)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("fleet-wide shed: status %d", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") != "1" {
+		t.Fatal("Retry-After must be relayed")
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil || out["error"] == nil {
+		t.Fatalf("shed body must be relayed JSON: %v %v", out, err)
+	}
+}
+
+// TestRouterNeverRetriesPartial: a replica that starts a response and dies
+// mid-body already executed the request; the router must abort with a
+// typed 502 and must not place the request anywhere else.
+func TestRouterNeverRetriesPartial(t *testing.T) {
+	partial := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("no hijacker")
+			return
+		}
+		conn, buf, err := hj.Hijack()
+		if err != nil {
+			return
+		}
+		buf.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{\"trunc")
+		buf.Flush()
+		conn.Close()
+	})
+	defer partial.srv.Close()
+	good := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	defer good.srv.Close()
+
+	rt, front, tab := routerUnderTest(t, RouterConfig{}, []int{0, 5}, partial, good)
+	resp := postJSON(t, front.URL, `{"batch":1}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("partial response: status %d, want 502", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["retryable"] != true {
+		t.Fatalf("partial abort must be marked retryable-by-the-caller: %v", out)
+	}
+	if st := rt.Stats(); st.PartialAborts != 1 {
+		t.Fatalf("partial aborts: %+v", st)
+	}
+	if n := tab.Replicas()[1].placements.Load(); n != 0 {
+		t.Fatalf("request must not be retried after a partial response (good replica saw %d)", n)
+	}
+}
+
+// TestRouterNoReplica: a fleet with nothing routable fails fast with a
+// typed, retryable 503 and Retry-After.
+func TestRouterNoReplica(t *testing.T) {
+	stub := newInferStub(func(w http.ResponseWriter, r *http.Request) {})
+	defer stub.srv.Close()
+	rt, front, tab := routerUnderTest(t, RouterConfig{}, nil, stub)
+	setReplica(tab, tab.Replicas()[0], StateDead, Health{})
+
+	resp := postJSON(t, front.URL, `{"batch":1}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no-replica failure must carry Retry-After")
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out["retryable"] != true {
+		t.Fatalf("want retryable JSON error, got %v (%v)", out, err)
+	}
+	if rt.Stats().NoReplica != 1 {
+		t.Fatalf("stats: %+v", rt.Stats())
+	}
+}
+
+// TestRouterHedging: a slow primary is hedged onto another replica after
+// the latency-percentile delay, and the fast backup wins.
+func TestRouterHedging(t *testing.T) {
+	slow := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(500 * time.Millisecond):
+		}
+		fmt.Fprint(w, `{"who":"slow"}`)
+	})
+	defer slow.srv.Close()
+	fast := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"who":"fast"}`)
+	})
+	defer fast.srv.Close()
+
+	rt, front, _ := routerUnderTest(t, RouterConfig{Hedge: true, MinHedgeDelay: 5 * time.Millisecond},
+		[]int{0, 5}, slow, fast)
+	// Warm the digest: 5ms typical latency, so the hedge arms at ~5ms.
+	for i := 0; i < digestWarmup; i++ {
+		rt.lat.observe(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	resp := postJSON(t, front.URL, `{"batch":1}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ReplicaHeader); got != fast.srv.URL {
+		t.Fatalf("hedge must win: served by %q", got)
+	}
+	if el := time.Since(start); el >= 500*time.Millisecond {
+		t.Fatalf("hedged request waited for the slow primary: %v", el)
+	}
+	st := rt.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("hedge counters: %+v", st)
+	}
+}
+
+// TestRouterHedgeStaysColdWithoutSamples: no hedge fires before the digest
+// warms up, so cold starts cannot double traffic on noise.
+func TestRouterHedgeStaysColdWithoutSamples(t *testing.T) {
+	rt := NewRouter(&Table{cfg: Config{}}, RouterConfig{Hedge: true})
+	if _, ok := rt.hedgeDelay(); ok {
+		t.Fatal("hedge delay must stay disarmed before warmup")
+	}
+	for i := 0; i < digestWarmup; i++ {
+		rt.lat.observe(20 * time.Millisecond)
+	}
+	d, ok := rt.hedgeDelay()
+	if !ok || d < rt.cfg.MinHedgeDelay {
+		t.Fatalf("warmed hedge delay: %v ok=%v", d, ok)
+	}
+}
+
+// TestRouterShardKeyAffinity: equal load → the shard key pins placement.
+func TestRouterShardKeyAffinity(t *testing.T) {
+	mk := func(name string) *inferStub {
+		return newInferStub(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"who":%q}`, name)
+		})
+	}
+	a, b, c := mk("a"), mk("b"), mk("c")
+	defer a.srv.Close()
+	defer b.srv.Close()
+	defer c.srv.Close()
+	_, front, _ := routerUnderTest(t, RouterConfig{}, nil, a, b, c)
+
+	var firstWho string
+	for i := 0; i < 8; i++ {
+		resp := postJSON(t, front.URL, `{"batch":1}`, map[string]string{ShardKeyHeader: "tenant-42"})
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		who, _ := out["who"].(string)
+		if firstWho == "" {
+			firstWho = who
+		} else if who != firstWho {
+			t.Fatalf("keyed requests moved: %q then %q", firstWho, who)
+		}
+	}
+}
+
+// TestClusterMetricsExposition: the cluster registry renders lint-clean
+// Prometheus text with per-replica labeled families.
+func TestClusterMetricsExposition(t *testing.T) {
+	stub := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	defer stub.srv.Close()
+	_, front, tab := routerUnderTest(t, RouterConfig{}, nil, stub)
+	resp := postJSON(t, front.URL, `{"batch":1}`, nil)
+	resp.Body.Close()
+
+	var buf bytes.Buffer
+	if err := tab.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"temco_cluster_replica_state{replica=",
+		"temco_cluster_replica_placements_total{replica=",
+		"temco_cluster_placements_total 1",
+		"temco_cluster_routable_replicas 1",
+		"temco_cluster_proxy_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if err := obs.CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("cluster exposition fails lint: %v\n%s", err, out)
+	}
+}

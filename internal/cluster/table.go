@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"temco/internal/guard"
+	"temco/internal/obs"
+)
+
+// Table is the probed replica set. Start launches the prober loop; Close
+// stops it. Safe for concurrent use by the prober, the router, and stats
+// scrapes.
+type Table struct {
+	cfg      Config
+	replicas []*Replica
+	met      *metrics
+	now      func() time.Time // injectable clock for deterministic tests
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewTable builds a table over the given replica base URLs (scheme://host:port,
+// no trailing slash required). The prober does not run until Start.
+func NewTable(urls []string, cfg Config) (*Table, error) {
+	if len(urls) == 0 {
+		return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.NewTable", "no replicas")
+	}
+	cfg.applyDefaults()
+	t := &Table{
+		cfg:  cfg,
+		now:  time.Now,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.NewTable", "empty replica URL")
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.NewTable", "replica %q: want an http(s) URL", u)
+		}
+		if seen[u] {
+			return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.NewTable", "duplicate replica %q", u)
+		}
+		seen[u] = true
+		// Until the first probe answers, a replica is degraded-suspect: the
+		// router may use it if nothing healthy exists yet, and the first
+		// probe round resolves the real state within ProbeInterval.
+		t.replicas = append(t.replicas, &Replica{url: u, state: StateDegraded})
+	}
+	t.met = newMetrics(t)
+	return t, nil
+}
+
+// Replicas returns the fixed replica set.
+func (t *Table) Replicas() []*Replica { return t.replicas }
+
+// Status snapshots every replica for the /statsz table.
+func (t *Table) Status() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(t.replicas))
+	for i, r := range t.replicas {
+		out[i] = r.snapshot()
+	}
+	return out
+}
+
+// Routable reports how many replicas can take traffic (healthy or
+// degraded): the router's readiness signal.
+func (t *Table) Routable() int {
+	n := 0
+	for _, r := range t.replicas {
+		if st := r.State(); st == StateHealthy || st == StateDegraded {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics returns the cluster registry (replica states, placements,
+// retries, hedges, ejections), ready for obs.Handler.
+func (t *Table) Metrics() *obs.Registry { return t.met.reg }
+
+// Start launches the prober loop: one immediate round, then a round every
+// ProbeInterval. Idempotent.
+func (t *Table) Start() {
+	t.startOnce.Do(func() {
+		go func() {
+			defer close(t.done)
+			t.ProbeOnce()
+			tick := time.NewTicker(t.cfg.ProbeInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-t.stop:
+					return
+				case <-tick.C:
+					t.ProbeOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the prober and waits for it to exit. Idempotent; safe to
+// call even when Start never ran.
+func (t *Table) Close() {
+	t.closeOnce.Do(func() { close(t.stop) })
+	t.startOnce.Do(func() { close(t.done) }) // Start never ran: nothing to wait for
+	<-t.done
+}
+
+// ProbeOnce runs one probe round: every replica whose re-probe time has
+// arrived is probed concurrently, and the round returns when all answers
+// are in. The prober calls this on its ticker; tests call it directly for
+// deterministic state transitions.
+func (t *Table) ProbeOnce() {
+	now := t.now()
+	var wg sync.WaitGroup
+	for _, r := range t.replicas {
+		r.mu.Lock()
+		due := !r.nextProbe.After(now)
+		r.mu.Unlock()
+		if !due {
+			continue
+		}
+		wg.Add(1)
+		go func(r *Replica) {
+			defer wg.Done()
+			t.probe(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// probe performs one /readyz round trip and reclassifies the replica.
+func (t *Table) probe(r *Replica) {
+	t.met.probes.Inc()
+	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/readyz", nil)
+	if err != nil {
+		t.probeFailed(r)
+		return
+	}
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		t.probeFailed(r)
+		return
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h); err != nil {
+		t.probeFailed(r)
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK && h.Ready:
+		st := StateHealthy
+		// A tripped breaker (the replica serves through its fallback) marks
+		// the replica degraded: the fleet routes around it while anything
+		// healthy remains, instead of piling load on its fallback path.
+		if h.Degraded || (h.BreakerState != "" && h.BreakerState != "closed") {
+			st = StateDegraded
+		}
+		t.probeOK(r, st, h)
+	case resp.StatusCode == http.StatusServiceUnavailable && !h.Ready:
+		// The process is alive and draining: not a failure, but no traffic.
+		t.probeOK(r, StateDraining, h)
+	default:
+		t.probeFailed(r)
+	}
+}
+
+// probeOK records a successful probe: the replica answered coherently, so
+// the failure streak resets and the next probe is one interval out.
+func (t *Table) probeOK(r *Replica, st State, h Health) {
+	now := t.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateDead {
+		t.met.revivals.Inc()
+	}
+	r.state = st
+	r.health = h
+	r.lastOK = now
+	r.consecFails = 0
+	r.nextProbe = now.Add(t.cfg.ProbeInterval)
+}
+
+// probeFailed records a failed probe (connection error, timeout, garbage
+// body). Below the threshold the replica turns degraded-suspect; at the
+// threshold it is ejected to StateDead and re-probed on an exponential
+// backoff capped at MaxProbeBackoff.
+func (t *Table) probeFailed(r *Replica) {
+	t.met.probeFailures.Inc()
+	now := t.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails++
+	if r.consecFails < t.cfg.FailThreshold {
+		if r.state != StateDead {
+			r.state = StateDegraded
+		}
+		r.nextProbe = now.Add(t.cfg.ProbeInterval)
+		return
+	}
+	if r.state != StateDead {
+		r.state = StateDead
+		t.met.ejections.Inc()
+	}
+	shift := r.consecFails - t.cfg.FailThreshold
+	if shift > 16 {
+		shift = 16
+	}
+	backoff := t.cfg.ProbeInterval << uint(shift)
+	if backoff > t.cfg.MaxProbeBackoff {
+		backoff = t.cfg.MaxProbeBackoff
+	}
+	r.nextProbe = now.Add(backoff)
+}
+
+// pick chooses a replica for one attempt, excluding already-tried ones.
+// Healthy replicas are preferred; degraded ones serve only when nothing
+// healthy remains; draining and dead replicas never serve. Among the
+// candidates, placement is least-loaded (last reported queue depth plus
+// in-flight, sharpened by the router's own in-flight count); ties — and
+// the whole decision when every candidate's health report has gone stale —
+// fall back to rendezvous hashing on key, so a keyed workload keeps
+// landing on the same replica as long as the fleet membership holds.
+// Returns nil when no replica is available.
+func (t *Table) pick(key string, exclude map[string]bool) *Replica {
+	now := t.now()
+	stale := now.Add(-3 * t.cfg.ProbeInterval)
+	var candidates []*Replica
+	fresh := 0
+	for pass := 0; pass < 2 && len(candidates) == 0; pass++ {
+		want := StateHealthy
+		if pass == 1 {
+			want = StateDegraded
+		}
+		for _, r := range t.replicas {
+			if exclude[r.url] {
+				continue
+			}
+			r.mu.Lock()
+			ok := r.state == want
+			if ok && r.lastOK.After(stale) {
+				fresh++
+			}
+			r.mu.Unlock()
+			if ok {
+				candidates = append(candidates, r)
+			}
+		}
+	}
+	switch len(candidates) {
+	case 0:
+		return nil
+	case 1:
+		return candidates[0]
+	}
+	if fresh == 0 {
+		// Every load report is stale: depth numbers would be noise, so fall
+		// back to pure rendezvous hashing for stable placement.
+		return rendezvous(key, candidates)
+	}
+	best := candidates[:0:0]
+	bestScore := int64(1<<63 - 1)
+	for _, r := range candidates {
+		r.mu.Lock()
+		score := int64(r.health.QueueDepth) + r.health.InFlight
+		r.mu.Unlock()
+		score += r.inFlight.Load()
+		if score < bestScore {
+			bestScore = score
+			best = append(best[:0], r)
+		} else if score == bestScore {
+			best = append(best, r)
+		}
+	}
+	if len(best) == 1 {
+		return best[0]
+	}
+	return rendezvous(key, best)
+}
+
+// rendezvous picks the highest-random-weight replica for key: every
+// observer with the same candidate set and key agrees on the winner, and
+// removing a replica only moves the keys that lived on it.
+func rendezvous(key string, candidates []*Replica) *Replica {
+	var best *Replica
+	var bestW uint64
+	for _, r := range candidates {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s\x00%s", key, r.url)
+		if w := h.Sum64(); best == nil || w > bestW {
+			best, bestW = r, w
+		}
+	}
+	return best
+}

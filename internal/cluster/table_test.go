@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable clock for deterministic prober tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// replicaStub is a scriptable fake temcod replica.
+type replicaStub struct {
+	srv *httptest.Server
+
+	mu     sync.Mutex
+	health Health
+	status int
+	down   bool // reject with a hijacked close, simulating a dead process
+}
+
+func newReplicaStub() *replicaStub {
+	s := &replicaStub{health: Health{Ready: true, BreakerState: "closed"}, status: http.StatusOK}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		h, st, down := s.health, s.status, s.down
+		s.mu.Unlock()
+		if down {
+			hj, _ := w.(http.Hijacker)
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(st)
+		json.NewEncoder(w).Encode(h)
+	}))
+	return s
+}
+
+func (s *replicaStub) set(h Health, status int) {
+	s.mu.Lock()
+	s.health, s.status, s.down = h, status, false
+	s.mu.Unlock()
+}
+
+func (s *replicaStub) kill() {
+	s.mu.Lock()
+	s.down = true
+	s.mu.Unlock()
+}
+
+func TestNewTableValidation(t *testing.T) {
+	for _, bad := range [][]string{
+		nil,
+		{""},
+		{"127.0.0.1:8080"}, // missing scheme
+		{"http://a", "http://a"},
+	} {
+		if _, err := NewTable(bad, Config{}); err == nil {
+			t.Errorf("NewTable(%v) must fail", bad)
+		}
+	}
+	tab, err := NewTable([]string{"http://a:1/", " http://b:2 "}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Replicas()[0].URL() != "http://a:1" || tab.Replicas()[1].URL() != "http://b:2" {
+		t.Fatalf("URL normalization: %v, %v", tab.Replicas()[0].URL(), tab.Replicas()[1].URL())
+	}
+}
+
+func TestProbeClassification(t *testing.T) {
+	stub := newReplicaStub()
+	defer stub.srv.Close()
+	tab, err := NewTable([]string{stub.srv.URL}, Config{ProbeInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Replicas()[0]
+
+	// Healthy replica.
+	tab.ProbeOnce()
+	if st := r.State(); st != StateHealthy {
+		t.Fatalf("ready replica: want healthy, got %v", st)
+	}
+	if h := r.snapshot().Health; !h.Ready || h.BreakerState != "closed" {
+		t.Fatalf("health snapshot: %+v", h)
+	}
+
+	// Tripped breaker reports degraded: the fleet must route around it.
+	stub.set(Health{Ready: true, Degraded: true, BreakerState: "open", QueueDepth: 3}, http.StatusOK)
+	time.Sleep(15 * time.Millisecond) // let nextProbe arrive
+	tab.ProbeOnce()
+	if st := r.State(); st != StateDegraded {
+		t.Fatalf("breaker-open replica: want degraded, got %v", st)
+	}
+	if d := r.snapshot().Health.QueueDepth; d != 3 {
+		t.Fatalf("queue depth not captured: %d", d)
+	}
+
+	// Draining: alive, but takes no traffic and is not a probe failure.
+	stub.set(Health{Ready: false, Reason: "draining"}, http.StatusServiceUnavailable)
+	time.Sleep(15 * time.Millisecond)
+	tab.ProbeOnce()
+	if st := r.State(); st != StateDraining {
+		t.Fatalf("draining replica: want draining, got %v", st)
+	}
+	if r.snapshot().ConsecutiveFailures != 0 {
+		t.Fatal("draining must not count as a probe failure")
+	}
+}
+
+func TestProbeEjectionBackoffAndRevival(t *testing.T) {
+	stub := newReplicaStub()
+	defer stub.srv.Close()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	cfg := Config{ProbeInterval: 100 * time.Millisecond, FailThreshold: 3, MaxProbeBackoff: 800 * time.Millisecond}
+	tab, err := NewTable([]string{stub.srv.URL}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.now = clk.now
+	r := tab.Replicas()[0]
+
+	tab.ProbeOnce()
+	if st := r.State(); st != StateHealthy {
+		t.Fatalf("want healthy, got %v", st)
+	}
+
+	// Kill the process: below the threshold the replica is suspect
+	// (degraded), at the threshold it is ejected dead.
+	stub.kill()
+	for i := 1; i < cfg.FailThreshold; i++ {
+		clk.advance(cfg.ProbeInterval)
+		tab.ProbeOnce()
+		if st := r.State(); st != StateDegraded {
+			t.Fatalf("fail %d/%d: want degraded-suspect, got %v", i, cfg.FailThreshold, st)
+		}
+	}
+	clk.advance(cfg.ProbeInterval)
+	tab.ProbeOnce()
+	if st := r.State(); st != StateDead {
+		t.Fatalf("want dead at threshold, got %v", st)
+	}
+	if tab.met.ejections.Value() != 1 {
+		t.Fatalf("ejections: %d", tab.met.ejections.Value())
+	}
+
+	// Exponential re-probe: each further failure doubles the wait, capped.
+	wantGaps := []time.Duration{
+		100 * time.Millisecond, // shift 0 right at ejection
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+	}
+	for i, want := range wantGaps {
+		r.mu.Lock()
+		gap := r.nextProbe.Sub(clk.now())
+		r.mu.Unlock()
+		if gap != want {
+			t.Fatalf("backoff step %d: want %v, got %v", i, want, gap)
+		}
+		clk.advance(gap)
+		tab.ProbeOnce()
+	}
+
+	// A probe before nextProbe must be skipped entirely.
+	probes := tab.met.probes.Value()
+	tab.ProbeOnce()
+	if tab.met.probes.Value() != probes {
+		t.Fatal("backed-off replica must not be probed early")
+	}
+
+	// Revival: the process comes back, one successful probe restores it.
+	stub.set(Health{Ready: true, BreakerState: "closed"}, http.StatusOK)
+	clk.advance(cfg.MaxProbeBackoff)
+	tab.ProbeOnce()
+	if st := r.State(); st != StateHealthy {
+		t.Fatalf("revived replica: want healthy, got %v", st)
+	}
+	if tab.met.revivals.Value() != 1 {
+		t.Fatalf("revivals: %d", tab.met.revivals.Value())
+	}
+	if r.snapshot().ConsecutiveFailures != 0 {
+		t.Fatal("revival must reset the failure streak")
+	}
+}
+
+// setReplica forces a replica into a state with fresh health, bypassing
+// the prober — placement tests script the table directly.
+func setReplica(tab *Table, r *Replica, st State, h Health) {
+	r.mu.Lock()
+	r.state = st
+	r.health = h
+	r.lastOK = tab.now()
+	r.mu.Unlock()
+}
+
+func TestPickPlacement(t *testing.T) {
+	tab, err := NewTable([]string{"http://r1:1", "http://r2:1", "http://r3:1"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2, r3 := tab.Replicas()[0], tab.Replicas()[1], tab.Replicas()[2]
+
+	// Least queue depth wins among healthy replicas.
+	setReplica(tab, r1, StateHealthy, Health{Ready: true, QueueDepth: 5})
+	setReplica(tab, r2, StateHealthy, Health{Ready: true, QueueDepth: 1})
+	setReplica(tab, r3, StateDegraded, Health{Ready: true, Degraded: true})
+	if got := tab.pick("", nil); got != r2 {
+		t.Fatalf("least-depth: want r2, got %v", got.URL())
+	}
+
+	// Router-side in-flight sharpens the signal between probes.
+	r2.inFlight.Add(10)
+	if got := tab.pick("", nil); got != r1 {
+		t.Fatalf("in-flight-adjusted: want r1, got %v", got.URL())
+	}
+	r2.inFlight.Add(-10)
+
+	// Healthy replicas are preferred over degraded ones even at higher
+	// depth; degraded serves only when nothing healthy remains.
+	setReplica(tab, r3, StateDegraded, Health{Ready: true, QueueDepth: 0})
+	if got := tab.pick("", nil); got == r3 {
+		t.Fatal("degraded replica must not serve while healthy ones exist")
+	}
+	setReplica(tab, r1, StateDead, Health{})
+	setReplica(tab, r2, StateDraining, Health{})
+	if got := tab.pick("", nil); got != r3 {
+		t.Fatalf("degraded fallback: want r3, got %v", got)
+	}
+
+	// Dead and draining never serve; full exclusion returns nil.
+	if got := tab.pick("", map[string]bool{r3.url: true}); got != nil {
+		t.Fatalf("want nil with everything excluded/dead, got %v", got.URL())
+	}
+
+	// Ties rendezvous on the key: stable per key, spread across keys.
+	setReplica(tab, r1, StateHealthy, Health{Ready: true, QueueDepth: 2})
+	setReplica(tab, r2, StateHealthy, Health{Ready: true, QueueDepth: 2})
+	setReplica(tab, r3, StateHealthy, Health{Ready: true, QueueDepth: 2})
+	first := tab.pick("model-a", nil)
+	for i := 0; i < 10; i++ {
+		if got := tab.pick("model-a", nil); got != first {
+			t.Fatal("rendezvous must be stable for one key")
+		}
+	}
+	spread := map[*Replica]bool{}
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		spread[tab.pick(k, nil)] = true
+	}
+	if len(spread) < 2 {
+		t.Fatal("rendezvous must spread distinct keys across replicas")
+	}
+
+	// Stale health reports: depth numbers are noise, placement falls back
+	// to pure rendezvous (still stable).
+	for _, r := range tab.Replicas() {
+		r.mu.Lock()
+		r.lastOK = tab.now().Add(-time.Hour)
+		r.health.QueueDepth = 0
+		r.mu.Unlock()
+	}
+	stale := tab.pick("model-a", nil)
+	for i := 0; i < 5; i++ {
+		if got := tab.pick("model-a", nil); got != stale {
+			t.Fatal("stale-health rendezvous must be stable")
+		}
+	}
+}
+
+func TestTableCloseWithoutStart(t *testing.T) {
+	tab, err := NewTable([]string{"http://r1:1"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Close() // must not hang or panic
+}
+
+func TestProberLoopRuns(t *testing.T) {
+	stub := newReplicaStub()
+	defer stub.srv.Close()
+	tab, err := NewTable([]string{stub.srv.URL}, Config{ProbeInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Start()
+	defer tab.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for tab.Replicas()[0].State() != StateHealthy {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never classified the replica healthy")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if tab.met.probes.Value() == 0 {
+		t.Fatal("probe counter untouched")
+	}
+}

@@ -44,6 +44,18 @@ type Config struct {
 	// AllocRate is the probability that a workspace-arena borrow panics,
 	// simulating an allocation failure inside a kernel.
 	AllocRate float64
+	// HTTPBlackholeRate is the probability that an incoming HTTP request to
+	// the daemon is blackholed: the connection is dropped without writing
+	// any response, simulating a replica dying or a network partition
+	// mid-request. Consumed by the daemon's HTTPFault middleware; routers
+	// must see these as connection errors, not responses.
+	HTTPBlackholeRate float64
+	// HTTPDelayRate is the probability that an incoming HTTP request is
+	// delayed by HTTPDelay before handling, simulating an overloaded or
+	// network-latent replica.
+	HTTPDelayRate float64
+	// HTTPDelay is how long an injected HTTP delay sleeps.
+	HTTPDelay time.Duration
 }
 
 // Counters reports how many faults of each class have been injected.
@@ -52,6 +64,8 @@ type Counters struct {
 	SlowNodes      uint64
 	BudgetFailures uint64
 	AllocFailures  uint64
+	HTTPBlackholes uint64
+	HTTPDelays     uint64
 }
 
 // Injector is an installed fault source. Safe for concurrent use.
@@ -65,6 +79,8 @@ type Injector struct {
 	slowNodes      atomic.Uint64
 	budgetFailures atomic.Uint64
 	allocFailures  atomic.Uint64
+	httpBlackholes atomic.Uint64
+	httpDelays     atomic.Uint64
 }
 
 // active is the registry: nil means injection is disabled and every hook
@@ -92,6 +108,8 @@ func (in *Injector) Snapshot() Counters {
 		SlowNodes:      in.slowNodes.Load(),
 		BudgetFailures: in.budgetFailures.Load(),
 		AllocFailures:  in.allocFailures.Load(),
+		HTTPBlackholes: in.httpBlackholes.Load(),
+		HTTPDelays:     in.httpDelays.Load(),
 	}
 }
 
@@ -147,6 +165,35 @@ func Budget(scope string) bool {
 		return true
 	}
 	return false
+}
+
+// HTTPScope is the scope label the daemon's HTTP middleware reports to
+// HTTPFault: replica-level faults target the HTTP surface, not a graph, so
+// they use this label instead of a graph name.
+const HTTPScope = "http"
+
+// HTTPFault is the replica-level hook: called by the daemon once per
+// incoming HTTP request, it returns an injected pre-handling delay
+// (zero for none) and whether to blackhole the connection — drop it
+// without writing any response, so clients and routers observe a
+// connection error exactly as if the replica process had died mid-request.
+// Scope matching follows Kernel: an unscoped injector fires everywhere, a
+// scoped one only when scope equals its Config.Scope (daemons pass
+// HTTPScope).
+func HTTPFault(scope string) (delay time.Duration, blackhole bool) {
+	in := active.Load()
+	if in == nil || (in.cfg.Scope != "" && in.cfg.Scope != scope) {
+		return 0, false
+	}
+	if in.cfg.HTTPDelayRate > 0 && in.next() < in.cfg.HTTPDelayRate {
+		in.httpDelays.Add(1)
+		delay = in.cfg.HTTPDelay
+	}
+	if in.cfg.HTTPBlackholeRate > 0 && in.next() < in.cfg.HTTPBlackholeRate {
+		in.httpBlackholes.Add(1)
+		blackhole = true
+	}
+	return delay, blackhole
 }
 
 // Alloc is the workspace-arena hook: called on every scratch borrow, it may

@@ -120,3 +120,36 @@ func TestSlowNode(t *testing.T) {
 		t.Fatalf("counter: %+v", in.Snapshot())
 	}
 }
+
+func TestHTTPFault(t *testing.T) {
+	// Disabled: no-op.
+	Disable()
+	if d, b := HTTPFault(HTTPScope); d != 0 || b {
+		t.Fatalf("disabled HTTPFault must be a no-op, got %v %v", d, b)
+	}
+
+	// Rate-1 blackhole and delay both fire and count.
+	in := Enable(Config{Seed: 3, HTTPBlackholeRate: 1, HTTPDelayRate: 1, HTTPDelay: 7 * time.Millisecond})
+	defer Disable()
+	d, b := HTTPFault(HTTPScope)
+	if d != 7*time.Millisecond || !b {
+		t.Fatalf("want delay+blackhole, got %v %v", d, b)
+	}
+	if c := in.Snapshot(); c.HTTPBlackholes != 1 || c.HTTPDelays != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+
+	// A graph-scoped injector never fires on the HTTP surface.
+	in = Enable(Config{Seed: 3, Scope: "optimized", HTTPBlackholeRate: 1})
+	if _, b := HTTPFault(HTTPScope); b {
+		t.Fatal("graph-scoped injector must not fire HTTP faults")
+	}
+	// An HTTP-scoped injector does.
+	in = Enable(Config{Seed: 3, Scope: HTTPScope, HTTPBlackholeRate: 1})
+	if _, b := HTTPFault(HTTPScope); !b {
+		t.Fatal("http-scoped injector must fire")
+	}
+	if c := in.Snapshot(); c.HTTPBlackholes != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}

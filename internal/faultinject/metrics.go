@@ -20,4 +20,10 @@ func RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("temco_fault_alloc_failures_total",
 		"Injected workspace allocation failures.",
 		func() float64 { return float64(CountersSnapshot().AllocFailures) })
+	reg.CounterFunc("temco_fault_http_blackholes_total",
+		"Injected HTTP connection blackholes (replica-level).",
+		func() float64 { return float64(CountersSnapshot().HTTPBlackholes) })
+	reg.CounterFunc("temco_fault_http_delays_total",
+		"Injected HTTP pre-handling delays (replica-level).",
+		func() float64 { return float64(CountersSnapshot().HTTPDelays) })
 }

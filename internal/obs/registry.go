@@ -50,17 +50,27 @@ const (
 	kindHistogram
 	kindCounterFunc
 	kindGaugeFunc
+	kindCounterVecFunc
+	kindGaugeVecFunc
 )
 
 func (k metricKind) String() string {
 	switch k {
-	case kindCounter, kindCounterFunc:
+	case kindCounter, kindCounterFunc, kindCounterVecFunc:
 		return "counter"
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindGaugeVecFunc:
 		return "gauge"
 	default:
 		return "histogram"
 	}
+}
+
+// LabeledValue is one sample of a labeled metric family: ordered label
+// key/value pairs plus the value. Label keys must match the metric-name
+// grammar; values are escaped at exposition time.
+type LabeledValue struct {
+	Labels [][2]string
+	Value  float64
 }
 
 // entry is one registered metric family.
@@ -71,6 +81,7 @@ type entry struct {
 	g          *Gauge
 	h          *Histogram
 	fn         func() float64
+	vfn        func() []LabeledValue
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
@@ -180,6 +191,26 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.mu.Unlock()
 }
 
+// CounterVecFunc registers a labeled counter family whose samples are
+// produced by fn at scrape time — the bridge for per-member counters owned
+// elsewhere (e.g. per-replica placement counts in the cluster router). fn
+// must be safe for concurrent use and every sample monotonic.
+func (r *Registry) CounterVecFunc(name, help string, fn func() []LabeledValue) {
+	e := r.register(name, help, kindCounterVecFunc, func() *entry { return &entry{} })
+	r.mu.Lock()
+	e.vfn = fn
+	r.mu.Unlock()
+}
+
+// GaugeVecFunc registers a labeled gauge family sampled from fn at scrape
+// time (e.g. per-replica health state keyed by a replica label).
+func (r *Registry) GaugeVecFunc(name, help string, fn func() []LabeledValue) {
+	e := r.register(name, help, kindGaugeVecFunc, func() *entry { return &entry{} })
+	r.mu.Lock()
+	e.vfn = fn
+	r.mu.Unlock()
+}
+
 // snapshotEntries copies the entry list so exposition never holds the
 // registration lock while formatting.
 func (r *Registry) snapshotEntries() []*entry {
@@ -204,11 +235,35 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %s\n", e.name, strconv.FormatInt(e.g.Value(), 10))
 		case kindCounterFunc, kindGaugeFunc:
 			fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(e.fn()))
+		case kindCounterVecFunc, kindGaugeVecFunc:
+			for _, lv := range e.vfn() {
+				writeLabeledSample(bw, e.name, lv)
+			}
 		case kindHistogram:
 			e.h.write(bw, e.name)
 		}
 	}
 	return bw.Flush()
+}
+
+// writeLabeledSample renders one `name{k="v",...} value` exposition line.
+// Label values are quote-escaped; a sample with no labels degenerates to a
+// bare sample line.
+func writeLabeledSample(bw *bufio.Writer, name string, lv LabeledValue) {
+	if len(lv.Labels) == 0 {
+		fmt.Fprintf(bw, "%s %s\n", name, formatFloat(lv.Value))
+		return
+	}
+	bw.WriteString(name)
+	bw.WriteByte('{')
+	for i, kv := range lv.Labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "%s=%s", kv[0], strconv.Quote(kv[1]))
+	}
+	bw.WriteByte('}')
+	fmt.Fprintf(bw, " %s\n", formatFloat(lv.Value))
 }
 
 func formatFloat(v float64) string {

@@ -184,3 +184,39 @@ func TestDefaultRegistryProcessMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVecFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVecFunc("temco_test_replica_state", "Per-replica state.", func() []LabeledValue {
+		return []LabeledValue{
+			{Labels: [][2]string{{"replica", "http://127.0.0.1:8080"}}, Value: 0},
+			{Labels: [][2]string{{"replica", `quoted"and\slashed`}}, Value: 3},
+		}
+	})
+	r.CounterVecFunc("temco_test_placements_total", "Per-replica placements.", func() []LabeledValue {
+		return []LabeledValue{
+			{Labels: [][2]string{{"replica", "a"}, {"shard", "0"}}, Value: 41},
+			{Value: 1}, // label-less sample degenerates to a bare line
+		}
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`temco_test_replica_state{replica="http://127.0.0.1:8080"} 0`,
+		`temco_test_replica_state{replica="quoted\"and\\slashed"} 3`,
+		`temco_test_placements_total{replica="a",shard="0"} 41`,
+		"temco_test_placements_total 1",
+		"# TYPE temco_test_replica_state gauge",
+		"# TYPE temco_test_placements_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("vec exposition fails lint: %v\n%s", err, out)
+	}
+}

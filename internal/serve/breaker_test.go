@@ -1,7 +1,14 @@
 package serve
 
 import (
+	"context"
+	"errors"
+	"runtime"
+
 	"sync"
+	"temco/internal/faultinject"
+	"temco/internal/guard"
+	"temco/internal/tensor"
 	"testing"
 	"time"
 )
@@ -136,5 +143,117 @@ func TestBreakerIgnoresStaleRecords(t *testing.T) {
 	b.record(false, true)  // stale success from a racing request
 	if st, _, _, _ := b.snapshot(); st != BreakerOpen {
 		t.Fatalf("stale non-probe success must not close the breaker, got %v", st)
+	}
+}
+
+// TestCloseRacesHalfOpenProbe covers Session.Close racing an in-flight
+// half-open breaker probe: the drain must complete without deadlock or
+// goroutine leaks, and the breaker must land in a consistent state (the
+// probing flag released, the state fully resolved by the probe's outcome —
+// never stuck half-open with a phantom probe). Both drain flavors are
+// exercised: graceful (the probe finishes and closes the breaker) and
+// forced (the drain deadline expires, the probe is canceled mid-kernel and
+// the canceled probe keeps the breaker open).
+func TestCloseRacesHalfOpenProbe(t *testing.T) {
+	for _, forced := range []bool{false, true} {
+		name := "graceful"
+		if forced {
+			name = "forced"
+		}
+		t.Run(name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			opt, fb := servePair()
+			s, err := New(opt, fb, Config{
+				QueueSize: 8, Workers: 2, MaxRetries: -1,
+				BreakerThreshold: 1, ProbeInterval: time.Millisecond,
+				DefaultTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Trip the breaker: one deterministic optimized-graph failure.
+			faultinject.Enable(faultinject.Config{Seed: 1, Scope: "opt-graph", KernelPanicRate: 1})
+			if _, err := s.Infer(context.Background(), Request{Inputs: []*tensor.Tensor{serveInput(opt, 1)}}); err == nil {
+				t.Fatal("injected failure must surface")
+			}
+			if st, _, _, _ := s.br.snapshot(); st != BreakerOpen {
+				t.Fatalf("breaker must be open after threshold-1 failure, got %v", st)
+			}
+
+			// Re-arm: the optimized graph now runs slowly but succeeds, so
+			// the recovery probe is reliably in flight when Close lands.
+			faultinject.Enable(faultinject.Config{Seed: 2, Scope: "opt-graph", SlowRate: 1, SlowDelay: 50 * time.Millisecond})
+			defer faultinject.Disable()
+			time.Sleep(2 * time.Millisecond) // let the probe interval elapse
+
+			var wg sync.WaitGroup
+			wg.Add(1)
+			probeErrc := make(chan error, 1)
+			go func() {
+				defer wg.Done()
+				_, err := s.Infer(context.Background(), Request{Inputs: []*tensor.Tensor{serveInput(opt, 2)}})
+				probeErrc <- err
+			}()
+			time.Sleep(10 * time.Millisecond) // probe admitted and running
+
+			ctx := context.Background()
+			if forced {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, 5*time.Millisecond)
+				defer cancel()
+			} else {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, 10*time.Second)
+				defer cancel()
+			}
+			closeErr := s.Close(ctx)
+			wg.Wait()
+			probeErr := <-probeErrc
+
+			if forced {
+				if closeErr == nil || !errors.Is(closeErr, guard.ErrCanceled) {
+					t.Fatalf("forced drain must report ErrCanceled, got %v", closeErr)
+				}
+			} else if closeErr != nil {
+				t.Fatalf("graceful drain: %v", closeErr)
+			}
+
+			// State consistency: no phantom probe may survive Close, and the
+			// state must reflect the probe's real outcome.
+			s.br.mu.Lock()
+			state, probing := s.br.state, s.br.probing
+			s.br.mu.Unlock()
+			if probing {
+				t.Fatalf("%s: probing flag stuck after Close (state %v)", name, state)
+			}
+			switch {
+			case probeErr == nil:
+				if state != BreakerClosed {
+					t.Fatalf("successful probe must close the breaker, got %v", state)
+				}
+			case errors.Is(probeErr, guard.ErrCanceled):
+				if state != BreakerOpen {
+					t.Fatalf("canceled probe proves nothing and must re-open, got %v", state)
+				}
+			default:
+				t.Fatalf("probe failed with unexpected error: %v", probeErr)
+			}
+
+			// No goroutine may outlive the drain.
+			leakBy := time.Now().Add(5 * time.Second)
+			for {
+				runtime.GC()
+				if n := runtime.NumGoroutine(); n <= before {
+					break
+				}
+				if time.Now().After(leakBy) {
+					buf := make([]byte, 1<<16)
+					t.Fatalf("goroutine leak: %d before, %d after\n%s",
+						before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
 	}
 }

@@ -23,6 +23,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"math/rand/v2"
 	"time"
 
 	"sync"
@@ -49,7 +50,9 @@ type Config struct {
 	// transient kernel panic) is retried before the request fails.
 	// Default 2; a negative value disables retries.
 	MaxRetries int
-	// RetryBackoff is the first retry's backoff; it doubles per attempt.
+	// RetryBackoff is the first retry's backoff base; the base doubles per
+	// attempt and each delay is equal-jittered to [base/2, base] so
+	// simultaneous failures across workers do not retry in lockstep.
 	// Default 2ms.
 	RetryBackoff time.Duration
 	// BudgetBytes is the per-request peak-memory budget handed to
@@ -371,8 +374,7 @@ func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response
 		}
 		retries++
 		s.met.retries.Inc()
-		backoff := s.cfg.RetryBackoff << uint(attempt)
-		t := time.NewTimer(backoff)
+		t := time.NewTimer(jitterBackoff(s.cfg.RetryBackoff, attempt, rand.Float64()))
 		select {
 		case <-it.ctx.Done():
 			t.Stop()
@@ -380,6 +382,28 @@ func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response
 		case <-t.C:
 		}
 	}
+}
+
+// maxBackoffShift caps the exponential term so a long retry ladder cannot
+// overflow time.Duration (and 2ms << 16 ≈ 2m is already beyond any sane
+// request deadline).
+const maxBackoffShift = 16
+
+// jitterBackoff computes the attempt'th retry delay: exponential growth
+// with equal jitter, uniformly drawn from [exp/2, exp] where
+// exp = base << attempt. u is the uniform sample in [0, 1). A bare
+// exponential synchronizes the retries of every worker that failed on the
+// same event (breaker trip, budget spike), thundering-herding the fallback
+// path at exactly base, 2·base, 4·base…; keeping half the delay
+// deterministic preserves the backpressure shape while the random half
+// decorrelates the herd.
+func jitterBackoff(base time.Duration, attempt int, u float64) time.Duration {
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
+	}
+	exp := base << uint(attempt)
+	half := exp / 2
+	return half + time.Duration(u*float64(exp-half))
 }
 
 // runOnce executes one attempt on the worker's compiled instance, or on

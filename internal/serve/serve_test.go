@@ -274,3 +274,28 @@ func TestCloseDrainsAndSheds(t *testing.T) {
 		t.Fatalf("Close must be idempotent: %v", err)
 	}
 }
+
+func TestJitterBackoff(t *testing.T) {
+	base := 2 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		exp := base << uint(attempt)
+		lo := jitterBackoff(base, attempt, 0)
+		hi := jitterBackoff(base, attempt, 0.999999)
+		if lo != exp/2 {
+			t.Fatalf("attempt %d: u=0 must give exp/2 = %v, got %v", attempt, exp/2, lo)
+		}
+		if hi < lo || hi > exp {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, hi, lo, exp)
+		}
+	}
+	// Distinct uniform samples must decorrelate: that is the whole point of
+	// the jitter (synchronized workers thundering-herd the fallback path).
+	if a, b := jitterBackoff(base, 3, 0.1), jitterBackoff(base, 3, 0.9); a == b {
+		t.Fatalf("distinct u must give distinct backoffs, both %v", a)
+	}
+	// The shift is capped: absurd attempt counts must not overflow into
+	// negative or zero durations.
+	if d := jitterBackoff(base, 1<<20, 0.5); d < base<<(maxBackoffShift-1) || d > base<<maxBackoffShift {
+		t.Fatalf("capped backoff out of range: %v", d)
+	}
+}
