@@ -9,6 +9,13 @@
 //
 //	temcod -model vgg16 -res 64 -ratio 0.1 -addr :8080
 //	temcod -model resnet18 -faults "seed=42,scope=optimized,panic=0.05,budget=0.02"
+//	temcod -model alexnet -batch-max 8 -batch-window 2ms
+//
+// -batch-max N (with N > 1) turns on dynamic request batching: concurrent
+// /infer requests coalesce for up to -batch-window into one engine run at
+// a compiled batch bucket, multiplying throughput under concurrent load at
+// the cost of up to one window of added latency. Outputs are bit-identical
+// to solo runs.
 //
 // Endpoints:
 //
@@ -84,6 +91,8 @@ func main() {
 		probe     = flag.Duration("probe", 1*time.Second, "breaker recovery probe interval")
 		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful shutdown drain budget")
 		engineOn  = flag.Bool("engine", true, "serve through the compiled plan-once/run-many engine (off = exec interpreter)")
+		batchMax  = flag.Int("batch-max", 0, "coalesce concurrent /infer requests into batches of up to this many sample rows (0 or 1 = off)")
+		batchWin  = flag.Duration("batch-window", 2*time.Millisecond, "how long an open batch accumulates before dispatching partially full")
 		faults    = flag.String("faults", "", `fault injection spec, e.g. "seed=42,scope=optimized,panic=0.05,budget=0.02,slow=0.01:5ms,alloc=0.01,blackhole=0.05,httpdelay=0.1:20ms"`)
 		traceOut  = flag.String("trace", "", "record per-step spans and write Chrome trace_event JSON to this file at shutdown")
 		quitz     = flag.Bool("quitz", false, "expose POST /quitz, which exits the process immediately (soak-test kill hook)")
@@ -94,7 +103,8 @@ func main() {
 		method: *method, seed: *seed, addr: *addr, queueSize: *queueSize,
 		workers: *workers, deadline: *deadline, retries: *retries,
 		membudgetMB: *membudget, breaker: *breaker, probe: *probe,
-		drain: *drain, noEngine: !*engineOn, faults: *faults,
+		drain: *drain, noEngine: !*engineOn, batchMax: *batchMax,
+		batchWindow: *batchWin, faults: *faults,
 		traceOut: *traceOut, quitz: *quitz,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "temcod:", err)
@@ -119,6 +129,8 @@ type options struct {
 	probe       time.Duration
 	drain       time.Duration
 	noEngine    bool
+	batchMax    int
+	batchWindow time.Duration
 	faults      string
 	traceOut    string
 	quitz       bool
@@ -223,6 +235,9 @@ func buildSession(o options) (*serve.Session, []int, error) {
 	if o.membudgetMB < 0 {
 		return nil, nil, guard.Errorf(guard.ErrInvalidModel, "flags", "membudget must be non-negative")
 	}
+	if o.batchMax < 0 {
+		return nil, nil, guard.Errorf(guard.ErrInvalidModel, "flags", "batch-max must be non-negative")
+	}
 	opt, fb, err := buildGraphs(o, m)
 	if err != nil {
 		return nil, nil, err
@@ -236,6 +251,8 @@ func buildSession(o options) (*serve.Session, []int, error) {
 		BreakerThreshold: o.breaker,
 		ProbeInterval:    o.probe,
 		NoEngine:         o.noEngine,
+		MaxBatchSize:     o.batchMax,
+		MaxBatchLatency:  o.batchWindow,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -387,10 +404,23 @@ type engineStatsz struct {
 	SteadyAllocsPerRun float64 `json:"steady_allocs_per_run"`
 }
 
+// batchingStatsz is the /statsz batching section: the coalescer's knobs
+// and the compiled bucket ladder, next to the live counters already in the
+// serve section (batched_runs, padded_slots, batch_pending, ...).
+type batchingStatsz struct {
+	Enabled  bool    `json:"enabled"`
+	MaxBatch int     `json:"max_batch,omitempty"`
+	WindowMS float64 `json:"window_ms,omitempty"`
+	// Buckets is the runtime ladder batched runs pad to; every entry has
+	// an arena layout planned at session start.
+	Buckets []int `json:"buckets"`
+}
+
 type statsResponse struct {
 	Serve      serve.Stats          `json:"serve"`
 	GemmPool   gemm.PoolStats       `json:"gemm_pool"`
 	Engine     engineStatsz         `json:"engine"`
+	Batching   batchingStatsz       `json:"batching"`
 	Faults     faultinject.Counters `json:"faults"`
 	Goroutines int                  `json:"goroutines"`
 }
@@ -436,6 +466,7 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64, qui
 			QueueDepth:   st.QueueDepth,
 			QueueCap:     st.QueueCap,
 			InFlight:     st.InFlight,
+			BatchPending: st.BatchPending,
 			BreakerState: st.Breaker,
 		}
 		if !h.Ready {
@@ -474,10 +505,18 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64, qui
 				es.Fallback = &fb
 			}
 		}
+		bs := batchingStatsz{Buckets: sess.BatchBuckets()}
+		var window time.Duration
+		if bs.Enabled, bs.MaxBatch, window = sess.BatchConfig(); bs.Enabled {
+			bs.WindowMS = float64(window) / float64(time.Millisecond)
+		} else {
+			bs.MaxBatch = 0
+		}
 		writeJSON(w, http.StatusOK, statsResponse{
 			Serve:      sess.Stats(),
 			GemmPool:   gemm.PoolStatsSnapshot(),
 			Engine:     es,
+			Batching:   bs,
 			Faults:     faultinject.CountersSnapshot(),
 			Goroutines: runtime.NumGoroutine(),
 		})

@@ -54,6 +54,8 @@ func testSession(o options) (*serve.Session, []int, error) {
 		MaxRetries:       o.retries,
 		BreakerThreshold: o.breaker,
 		ProbeInterval:    o.probe,
+		MaxBatchSize:     o.batchMax,
+		MaxBatchLatency:  o.batchWindow,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -493,6 +495,107 @@ func TestParseFaultsHTTPKeys(t *testing.T) {
 	for _, bad := range []string{"blackhole=2", "httpdelay=0.1:-1ms", "httpdelay=x"} {
 		if _, err := parseFaults(bad); err == nil {
 			t.Errorf("spec %q must be rejected", bad)
+		}
+	}
+}
+
+// TestHTTPBatchedInfer: with -batch-max armed, concurrent /infer requests
+// coalesce into batched engine runs, every response stays well-formed, and
+// each request's argmax is identical to what a batching-off server returns
+// for the same seed.
+func TestHTTPBatchedInfer(t *testing.T) {
+	solo := testOptions()
+	soloTS, _ := newTestServer(t, solo)
+	batched := testOptions()
+	batched.batchMax, batched.batchWindow = 4, 50*time.Millisecond
+	batchTS, batchSess := newTestServer(t, batched)
+
+	const n = 8
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		resp, out := postInfer(t, soloTS.URL, inferRequest{Batch: 1, Seed: uint64(i)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solo request %d: status %d body %v", i, resp.StatusCode, out)
+		}
+		want[i] = out["argmax"].([]any)[0].(float64)
+	}
+
+	got := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, out := postInfer(t, batchTS.URL, inferRequest{Batch: 1, Seed: uint64(i)})
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d body %v", resp.StatusCode, out)
+				return
+			}
+			got[i] = out["argmax"].([]any)[0].(float64)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("batched request %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("request %d: batched argmax %v != solo %v", i, got[i], want[i])
+		}
+	}
+	st := batchSess.Stats()
+	if !st.Batching {
+		t.Fatalf("session must report batching on: %+v", st)
+	}
+	if st.BatchedRuns == 0 || st.BatchedRequests == 0 {
+		t.Fatalf("no coalesced runs under concurrent load: %+v", st)
+	}
+}
+
+// TestStatszBatchingSection: /statsz carries the batching knobs and the
+// compiled bucket ladder, off and on.
+func TestStatszBatchingSection(t *testing.T) {
+	readStats := func(url string) statsResponse {
+		t.Helper()
+		resp, err := http.Get(url + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st statsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	offTS, _ := newTestServer(t, testOptions())
+	st := readStats(offTS.URL)
+	if st.Batching.Enabled || st.Serve.Batching {
+		t.Fatalf("batching must default off: %+v", st.Batching)
+	}
+	if len(st.Batching.Buckets) != 1 || st.Batching.Buckets[0] != 1 {
+		t.Fatalf("batching-off ladder should be [1]: %v", st.Batching.Buckets)
+	}
+
+	o := testOptions()
+	o.batchMax, o.batchWindow = 8, 3*time.Millisecond
+	onTS, _ := newTestServer(t, o)
+	st = readStats(onTS.URL)
+	if !st.Batching.Enabled || !st.Serve.Batching {
+		t.Fatalf("batching section must report enabled: %+v", st.Batching)
+	}
+	if st.Batching.MaxBatch != 8 || st.Batching.WindowMS != 3 {
+		t.Fatalf("knobs not surfaced: %+v", st.Batching)
+	}
+	wantBuckets := []int{1, 4, 8}
+	if len(st.Batching.Buckets) != len(wantBuckets) {
+		t.Fatalf("runtime ladder %v, want %v", st.Batching.Buckets, wantBuckets)
+	}
+	for i, b := range wantBuckets {
+		if st.Batching.Buckets[i] != b {
+			t.Fatalf("runtime ladder %v, want %v", st.Batching.Buckets, wantBuckets)
 		}
 	}
 }

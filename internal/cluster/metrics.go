@@ -80,6 +80,21 @@ func newMetrics(t *Table) *metrics {
 			}
 			return out
 		})
+	reg.GaugeVecFunc("temco_cluster_replica_batch_pending",
+		"Per-replica requests waiting in the batch-accumulation window, from the last successful probe.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(t.replicas))
+			for i, r := range t.replicas {
+				r.mu.Lock()
+				pending := r.health.BatchPending
+				r.mu.Unlock()
+				out[i] = obs.LabeledValue{
+					Labels: [][2]string{{"replica", r.url}},
+					Value:  float64(pending),
+				}
+			}
+			return out
+		})
 	reg.GaugeVecFunc("temco_cluster_replica_in_flight",
 		"Per-replica requests currently proxied by this router.",
 		func() []obs.LabeledValue {

@@ -39,6 +39,11 @@ type Health struct {
 	QueueCap   int `json:"queue_cap"`
 	// InFlight is the number of requests executing on the replica's workers.
 	InFlight int64 `json:"in_flight"`
+	// BatchPending is the number of requests sitting in the replica's
+	// open batch-accumulation window: load the admission queue no longer
+	// shows but a worker has not yet picked up. Zero when the replica
+	// serves without batching.
+	BatchPending int64 `json:"batch_pending,omitempty"`
 	// BreakerState is the replica's breaker position: closed, open,
 	// half-open.
 	BreakerState string `json:"breaker_state"`

@@ -391,3 +391,37 @@ func TestClusterMetricsExposition(t *testing.T) {
 		t.Fatalf("cluster exposition fails lint: %v\n%s", err, out)
 	}
 }
+
+// TestRouterRoutesAroundBatchPending: two replicas report the same queue
+// depth on /readyz, but one holds requests in its batch-accumulation
+// window; the router must place traffic on the emptier one.
+func TestRouterRoutesAroundBatchPending(t *testing.T) {
+	served := make([]int, 2)
+	busy := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		served[0]++
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	idle := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		served[1]++
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	defer busy.srv.Close()
+	defer idle.srv.Close()
+	_, front, tab := routerUnderTest(t, RouterConfig{}, nil, busy, idle)
+	rs := tab.Replicas()
+	setReplica(tab, rs[0], StateHealthy,
+		Health{Ready: true, QueueDepth: 2, BatchPending: 5, BreakerState: "closed"})
+	setReplica(tab, rs[1], StateHealthy,
+		Health{Ready: true, QueueDepth: 2, BreakerState: "closed"})
+
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, front.URL, `{"batch":1}`, nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if served[0] != 0 || served[1] != 3 {
+		t.Fatalf("placement split busy/idle = %d/%d, want 0/3", served[0], served[1])
+	}
+}

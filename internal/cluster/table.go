@@ -281,7 +281,9 @@ func (t *Table) pick(key string, exclude map[string]bool) *Replica {
 	bestScore := int64(1<<63 - 1)
 	for _, r := range candidates {
 		r.mu.Lock()
-		score := int64(r.health.QueueDepth) + r.health.InFlight
+		// BatchPending is load the replica holds in its coalescer window —
+		// invisible to QueueDepth but a worker slot away from executing.
+		score := int64(r.health.QueueDepth) + r.health.InFlight + r.health.BatchPending
 		r.mu.Unlock()
 		score += r.inFlight.Load()
 		if score < bestScore {

@@ -319,3 +319,30 @@ func TestProberLoopRuns(t *testing.T) {
 		t.Fatal("probe counter untouched")
 	}
 }
+
+// TestPickBatchPending: requests sitting in a replica's batch-accumulation
+// window are load the admission queue no longer shows; placement must see
+// them through Health.BatchPending.
+func TestPickBatchPending(t *testing.T) {
+	tab, err := NewTable([]string{"http://r1:1", "http://r2:1"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := tab.Replicas()[0], tab.Replicas()[1]
+
+	// Equal queue depth, but r1 holds 6 requests in its coalescer window:
+	// r2 must win.
+	setReplica(tab, r1, StateHealthy, Health{Ready: true, QueueDepth: 1, BatchPending: 6})
+	setReplica(tab, r2, StateHealthy, Health{Ready: true, QueueDepth: 1})
+	if got := tab.pick("", nil); got != r2 {
+		t.Fatalf("batch-pending-adjusted: want r2, got %v", got.URL())
+	}
+
+	// The signal composes with queue depth: a deep queue with an empty
+	// window loses to a shallow queue with a small window.
+	setReplica(tab, r1, StateHealthy, Health{Ready: true, QueueDepth: 0, BatchPending: 2})
+	setReplica(tab, r2, StateHealthy, Health{Ready: true, QueueDepth: 7})
+	if got := tab.pick("", nil); got != r1 {
+		t.Fatalf("composed score: want r1, got %v", got.URL())
+	}
+}

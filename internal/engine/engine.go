@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +43,12 @@ type Options struct {
 	// compile time. Run accepts other batch sizes; each new size plans its
 	// layout (and allocates its slab) once, on first use. Default 1.
 	Batch int
+	// Batches lists additional batch sizes whose arena layouts are planned
+	// eagerly at compile time — the bucket ladder a batching serving tier
+	// runs on. Planning at compile time keeps the O(n²) layout check off
+	// the first request at each bucket. Duplicates (including Batch) are
+	// fine; a non-positive entry fails compilation.
+	Batches []int
 	// BudgetBytes caps the per-run footprint — the arena slab plus the
 	// largest kernel workspace must fit, exactly as exec.RunArenaCtx
 	// accounts it — returning guard.ErrBudgetExceeded from Run when
@@ -183,6 +190,15 @@ func Compile(g *ir.Graph, opts Options) (*Engine, error) {
 	if _, err := e.layoutFor(opts.Batch); err != nil {
 		return nil, err
 	}
+	for _, b := range opts.Batches {
+		if b <= 0 {
+			return nil, guard.Errorf(guard.ErrInvalidModel, "engine.Compile",
+				"invalid batch bucket %d", b)
+		}
+		if _, err := e.layoutFor(b); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -232,6 +248,7 @@ func (e *Engine) Stats() Stats {
 	for b := range e.layouts {
 		st.PlannedBatches = append(st.PlannedBatches, b)
 	}
+	sort.Ints(st.PlannedBatches)
 	return st
 }
 

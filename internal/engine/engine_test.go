@@ -423,3 +423,75 @@ func TestEngineStats(t *testing.T) {
 		t.Errorf("ArenaBytes = %d, want memplan's %d", st.ArenaBytes, asg.ArenaBytes)
 	}
 }
+
+// TestCompileBatchLadder: Options.Batches plans the whole bucket ladder
+// eagerly so no request pays the O(n²) layout check on the hot path, and
+// Stats reports the planned sizes sorted.
+func TestCompileBatchLadder(t *testing.T) {
+	g := buildOptimized(t, "alexnet")
+	e, err := engine.Compile(g, engine.Options{Batch: 1, Batches: []int{8, 4, 1, 32, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 8, 16, 32}
+	got := e.Stats().PlannedBatches
+	if len(got) != len(want) {
+		t.Fatalf("planned batches %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("planned batches %v, want %v", got, want)
+		}
+	}
+	// Every ladder entry is immediately runnable and bit-identical to the
+	// interpreter at that batch size.
+	x := randInput(g, 4, 11)
+	gotRes, err := e.Run(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := exec.RunCtx(context.Background(), g, 0, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "ladder-batch-4", gotRes, wantRes)
+
+	if _, err := engine.Compile(g, engine.Options{Batches: []int{4, 0}}); !errors.Is(err, guard.ErrInvalidModel) {
+		t.Fatalf("non-positive bucket must fail compilation, got %v", err)
+	}
+}
+
+// TestEngineZeroAllocSteadyStateBatchedBucket extends the zero-alloc gate
+// to a batched bucket: a fixed-bucket batched run (the serving coalescer's
+// steady state) must not touch the heap either. The name shares the
+// TestEngineZeroAllocSteadyState prefix so CI's alloc gate runs it.
+func TestEngineZeroAllocSteadyStateBatchedBucket(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	prev := ops.SetWorkers(1)
+	defer ops.SetWorkers(prev)
+	ctx := context.Background()
+	g := buildOptimized(t, "alexnet")
+	e, err := engine.Compile(g, engine.Options{Batch: 1, Batches: []int{4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := e.NewInstance()
+	x := randInput(g, 8, 21)
+	for i := 0; i < 2; i++ {
+		if _, err := inst.Run(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var runErr error
+	allocs := testing.AllocsPerRun(20, func() {
+		_, runErr = inst.Run(ctx, x)
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if allocs != 0 {
+		t.Errorf("%v allocs per steady-state batched Run, want 0", allocs)
+	}
+}

@@ -1,0 +1,70 @@
+package gemm
+
+// ConvRowAccum accumulates a stride-1 convolution row:
+//
+//	dst[j] += Σ_{r<rows} Σ_{c<kw} w[r·kw+c] · x[r·xStride+c+j]
+//
+// for every j < len(dst). Each output element keeps its own (r, c)-ordered
+// accumulation chain with one rounding per multiply and one per add, so the
+// vector path is bit-identical to this portable loop and to a scalar direct
+// convolution visiting the same taps in the same order — vectorization is
+// across independent output columns, never across a sum.
+//
+// The batched direct-conv kernel uses this for interior output columns,
+// where the full kh×kw window is in bounds: rows and kw are the clipped
+// kernel extents and xStride is the input row stride.
+func ConvRowAccum(dst, x, w []float32, rows, kw, xStride int) {
+	n := len(dst)
+	if n == 0 || rows <= 0 || kw <= 0 {
+		return
+	}
+	if need := (rows-1)*xStride + kw - 1 + n; need > len(x) {
+		panic("gemm: ConvRowAccum x too short")
+	}
+	if rows*kw > len(w) {
+		panic("gemm: ConvRowAccum w too short")
+	}
+	if convRowAccumArch(dst, x, w, rows, kw, xStride) {
+		return
+	}
+	for r := 0; r < rows; r++ {
+		wr := w[r*kw : r*kw+kw]
+		xr := x[r*xStride:]
+		for c, v := range wr {
+			xc := xr[c : c+n]
+			for j, xv := range xc {
+				dst[j] += xv * v
+			}
+		}
+	}
+}
+
+// ConvRowAccumQuad is ConvRowAccum over four samples in lock-step: one
+// weight broadcast feeds all four, which is what makes the batched direct
+// conv's per-tap cost drop below the single-sample kernel's. Each sample
+// keeps its own accumulation chain in the single-sample tap order, so the
+// result is bit-identical to four ConvRowAccum calls. All four dst slices
+// must share one length.
+func ConvRowAccumQuad(d0, d1, d2, d3, x0, x1, x2, x3, w []float32, rows, kw, xStride int) {
+	n := len(d0)
+	if n == 0 || rows <= 0 || kw <= 0 {
+		return
+	}
+	if len(d1) != n || len(d2) != n || len(d3) != n {
+		panic("gemm: ConvRowAccumQuad dst length mismatch")
+	}
+	need := (rows-1)*xStride + kw - 1 + n
+	if need > len(x0) || need > len(x1) || need > len(x2) || need > len(x3) {
+		panic("gemm: ConvRowAccumQuad x too short")
+	}
+	if rows*kw > len(w) {
+		panic("gemm: ConvRowAccumQuad w too short")
+	}
+	if convRowAccumQuadArch(d0, d1, d2, d3, x0, x1, x2, x3, w, rows, kw, xStride) {
+		return
+	}
+	ConvRowAccum(d0, x0, w, rows, kw, xStride)
+	ConvRowAccum(d1, x1, w, rows, kw, xStride)
+	ConvRowAccum(d2, x2, w, rows, kw, xStride)
+	ConvRowAccum(d3, x3, w, rows, kw, xStride)
+}

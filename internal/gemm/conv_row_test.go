@@ -1,0 +1,91 @@
+package gemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// convRowRef is the reference accumulation: per output column, taps in
+// (r, c) order, one rounding per multiply and one per add — the exact
+// order the direct convolution's scalar path uses.
+func convRowRef(dst, x, w []float32, rows, kw, xStride int) {
+	for j := range dst {
+		acc := dst[j]
+		for r := 0; r < rows; r++ {
+			for c := 0; c < kw; c++ {
+				acc += x[r*xStride+c+j] * w[r*kw+c]
+			}
+		}
+		dst[j] = acc
+	}
+}
+
+// TestConvRowAccumBitExact pins the vector path (when available) and the
+// portable loop to the per-column scalar reference, bit for bit, across
+// widths that exercise full blocks, tails, and sub-vector rows.
+func TestConvRowAccumBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, simd := range []bool{false, true} {
+		prev := SetSIMD(simd)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + r.Intn(40)
+			rows := 1 + r.Intn(4)
+			kw := 1 + r.Intn(5)
+			xStride := kw + n - 1 + r.Intn(8)
+			x, _ := randSlice(r, (rows-1)*xStride+kw-1+n)
+			w, _ := randSlice(r, rows*kw)
+			dst, _ := randSlice(r, n)
+			want := append([]float32(nil), dst...)
+			convRowRef(want, x, w, rows, kw, xStride)
+			ConvRowAccum(dst, x, w, rows, kw, xStride)
+			for j := range dst {
+				if math.Float32bits(dst[j]) != math.Float32bits(want[j]) {
+					t.Fatalf("simd=%v trial=%d n=%d rows=%d kw=%d stride=%d: dst[%d]=%v want %v",
+						simd, trial, n, rows, kw, xStride, j, dst[j], want[j])
+				}
+			}
+		}
+		SetSIMD(prev)
+	}
+}
+
+// TestConvRowAccumQuadBitExact pins the four-sample kernel to four
+// independent reference accumulations, bit for bit, on both dispatch paths.
+func TestConvRowAccumQuadBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, simd := range []bool{false, true} {
+		prev := SetSIMD(simd)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + r.Intn(40)
+			rows := 1 + r.Intn(4)
+			kw := 1 + r.Intn(5)
+			xStride := kw + n - 1 + r.Intn(8)
+			w, _ := randSlice(r, rows*kw)
+			var d, x, want [4][]float32
+			for k := 0; k < 4; k++ {
+				x[k], _ = randSlice(r, (rows-1)*xStride+kw-1+n)
+				d[k], _ = randSlice(r, n)
+				want[k] = append([]float32(nil), d[k]...)
+				convRowRef(want[k], x[k], w, rows, kw, xStride)
+			}
+			ConvRowAccumQuad(d[0], d[1], d[2], d[3], x[0], x[1], x[2], x[3], w, rows, kw, xStride)
+			for k := 0; k < 4; k++ {
+				for j := range d[k] {
+					if math.Float32bits(d[k][j]) != math.Float32bits(want[k][j]) {
+						t.Fatalf("simd=%v trial=%d n=%d rows=%d kw=%d stride=%d: d%d[%d]=%v want %v",
+							simd, trial, n, rows, kw, xStride, k, j, d[k][j], want[k][j])
+					}
+				}
+			}
+		}
+		SetSIMD(prev)
+	}
+}
+
+func TestConvRowAccumDegenerate(t *testing.T) {
+	// Zero-length dst and non-positive extents are no-ops, not crashes.
+	ConvRowAccum(nil, nil, nil, 1, 1, 1)
+	ConvRowAccum(make([]float32, 4), make([]float32, 4), make([]float32, 1), 0, 1, 4)
+	ConvRowAccum(make([]float32, 4), make([]float32, 4), make([]float32, 1), 1, 0, 4)
+}

@@ -29,6 +29,68 @@ func xgetbvAsm() (eax, edx uint32)
 //go:noescape
 func microKernel8x8asm(k int, a, b *float32, acc *[64]float32)
 
+//go:noescape
+func convRowAccumAsm(dst, x, w *float32, n, rows, kw, xStride int)
+
+//go:noescape
+func convRowAccumQuadAsm(d0, d1, d2, d3, x0, x1, x2, x3, w *float32, n, rows, kw, xStride int)
+
+// convRowAccumQuadArch runs the four-sample AVX row-accumulation kernel
+// when the vector path is enabled; same no-FMA guarantee as the
+// single-sample kernel.
+func convRowAccumQuadArch(d0, d1, d2, d3, x0, x1, x2, x3, w []float32, rows, kw, xStride int) bool {
+	if !useFMA {
+		return false
+	}
+	convRowAccumQuadAsm(&d0[0], &d1[0], &d2[0], &d3[0],
+		&x0[0], &x1[0], &x2[0], &x3[0], &w[0], len(d0), rows, kw, xStride)
+	return true
+}
+
+//go:noescape
+func maxPool2x2RowAsm(dst, r0, r1 *float32, n, clamp int)
+
+//go:noescape
+func reluAsm(p *float32, n int)
+
+// maxPool2x2Arch runs ⌊n/8⌋ eight-wide blocks of the pool row when the
+// vector path is enabled; the caller finishes the remainder. Compare+blend
+// (not VMAXPS) keeps the scalar tie rule, so results never change.
+func maxPool2x2Arch(dst, r0, r1 []float32, clamp bool) bool {
+	if !useFMA {
+		return false
+	}
+	c := 0
+	if clamp {
+		c = 1
+	}
+	maxPool2x2RowAsm(&dst[0], &r0[0], &r1[0], len(dst), c)
+	return true
+}
+
+// reluArch clamps in place with MAXPS when the vector path is enabled;
+// +0 as the tie-keeping operand preserves -0 and NaN exactly like the
+// scalar loop.
+func reluArch(v []float32) bool {
+	if !useFMA {
+		return false
+	}
+	reluAsm(&v[0], len(v))
+	return true
+}
+
+// convRowAccumArch runs the AVX row-accumulation kernel when the vector
+// path is enabled. It uses separate multiply and add instructions (no FMA),
+// so enabling it never changes results relative to the portable loop; the
+// gate exists only to share the TEMCO_NOSIMD escape hatch.
+func convRowAccumArch(dst, x, w []float32, rows, kw, xStride int) bool {
+	if !useFMA {
+		return false
+	}
+	convRowAccumAsm(&dst[0], &x[0], &w[0], len(dst), rows, kw, xStride)
+	return true
+}
+
 // detectFMA reports whether the CPU and OS support AVX2 and FMA with YMM
 // state saving (CPUID leaves 1 and 7 plus XGETBV, the standard sequence).
 func detectFMA() bool {

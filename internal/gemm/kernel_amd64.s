@@ -125,3 +125,412 @@ done:
 	VMOVUPS Y7, 224(DX)
 	VZEROUPPER
 	RET
+
+// func convRowAccumAsm(dst, x, w *float32, n, rows, kw, xStride int)
+//
+// dst[j] += Σ_{r<rows} Σ_{c<kw} w[r·kw+c] · x[r·xStride+c+j] for j < n.
+// Unlike the GEMM tile above this kernel deliberately uses separate
+// VMULPS/VADDPS (two roundings per term, in (r,c) order per lane), so its
+// results are bit-identical to the portable scalar loop and to the direct
+// convolution's per-sample path — vector lanes are independent output
+// elements, never a reassociated sum. rows, kw and n must be >= 1.
+TEXT ·convRowAccumAsm(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), DX
+	MOVQ x+8(FP), SI
+	MOVQ w+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ rows+32(FP), R11
+	MOVQ kw+40(FP), R12
+	MOVQ xStride+48(FP), R13
+	SHLQ $2, R13       // x row stride in bytes
+
+crblock:
+	CMPQ CX, $8
+	JLT  crtail
+	VMOVUPS (DX), Y0
+	MOVQ    DI, R8     // weight cursor
+	MOVQ    SI, R9     // x row cursor
+	MOVQ    R11, R14   // remaining rows
+
+crrow:
+	MOVQ R9, R10       // x element cursor
+	MOVQ R12, R15      // remaining taps in the row
+
+crcol:
+	VBROADCASTSS (R8), Y2
+	VMOVUPS      (R10), Y1
+	VMULPS       Y1, Y2, Y1
+	VADDPS       Y1, Y0, Y0
+	ADDQ         $4, R8
+	ADDQ         $4, R10
+	DECQ         R15
+	JNE          crcol
+
+	ADDQ R13, R9
+	DECQ R14
+	JNE  crrow
+
+	VMOVUPS Y0, (DX)
+	ADDQ    $32, DX
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JMP     crblock
+
+crtail:
+	// Four-wide XMM block for sub-YMM runs (the 4×4 feature planes of the
+	// deepest conv layers land here): same ordering guarantees as above.
+	CMPQ    CX, $4
+	JLT     crscalar
+	VMOVUPS (DX), X0
+	MOVQ    DI, R8
+	MOVQ    SI, R9
+	MOVQ    R11, R14
+
+cr4row:
+	MOVQ R9, R10
+	MOVQ R12, R15
+
+cr4col:
+	VBROADCASTSS (R8), X2
+	VMOVUPS      (R10), X1
+	VMULPS       X1, X2, X1
+	VADDPS       X1, X0, X0
+	ADDQ         $4, R8
+	ADDQ         $4, R10
+	DECQ         R15
+	JNE          cr4col
+
+	ADDQ R13, R9
+	DECQ R14
+	JNE  cr4row
+
+	VMOVUPS X0, (DX)
+	ADDQ    $16, DX
+	ADDQ    $16, SI
+	SUBQ    $4, CX
+	JMP     crtail
+
+crscalar:
+	TESTQ CX, CX
+	JZ    crdone
+	MOVSS (DX), X0
+	MOVQ  DI, R8
+	MOVQ  SI, R9
+	MOVQ  R11, R14
+
+crtrow:
+	MOVQ R9, R10
+	MOVQ R12, R15
+
+crtcol:
+	MOVSS (R8), X2
+	MULSS (R10), X2
+	ADDSS X2, X0
+	ADDQ  $4, R8
+	ADDQ  $4, R10
+	DECQ  R15
+	JNE   crtcol
+
+	ADDQ R13, R9
+	DECQ R14
+	JNE  crtrow
+
+	MOVSS X0, (DX)
+	ADDQ  $4, DX
+	ADDQ  $4, SI
+	DECQ  CX
+	JMP   crscalar
+
+crdone:
+	VZEROUPPER
+	RET
+
+// func maxPool2x2RowAsm(dst, r0, r1 *float32, n, clamp int)
+//
+// dst[i] = max(-Inf, r0[2i], r0[2i+1], r1[2i], r1[2i+1]) with the scalar
+// first-wins tie rule: each candidate replaces the accumulator only when
+// strictly greater (ordered compare, so NaN never replaces), implemented
+// as VCMPPS(GT_OQ)+VBLENDVPS rather than VMAXPS, whose tie rule would
+// flip -0/+0 results. With clamp != 0 a final acc < 0 → +0 select is
+// applied (ReLU absorbed into the pool read). Processes ⌊n/8⌋ blocks of
+// eight outputs; the caller handles the remainder. n must be >= 8.
+TEXT ·maxPool2x2RowAsm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DX
+	MOVQ r0+8(FP), SI
+	MOVQ r1+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ clamp+32(FP), R8
+
+	MOVQ         $0xFF800000, AX // float32 -Inf bit pattern
+	MOVQ         AX, X7
+	VBROADCASTSS X7, Y7
+	VXORPS       Y6, Y6, Y6
+
+mpblock:
+	// Deinterleave 16 consecutive floats per row into even/odd columns:
+	// shuffle picks (0,2) of each 128-bit lane from both halves, then a
+	// quadword permute restores ascending order across lanes.
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VSHUFPS $0x88, Y1, Y0, Y2
+	VPERMPD $0xD8, Y2, Y2
+	VSHUFPS $0xDD, Y1, Y0, Y3
+	VPERMPD $0xD8, Y3, Y3
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VSHUFPS $0x88, Y1, Y0, Y4
+	VPERMPD $0xD8, Y4, Y4
+	VSHUFPS $0xDD, Y1, Y0, Y5
+	VPERMPD $0xD8, Y5, Y5
+
+	// acc = -Inf, then candidates in the scalar visiting order:
+	// r0 even, r0 odd, r1 even, r1 odd.
+	VMOVAPS   Y7, Y0
+	VCMPPS    $0x1E, Y0, Y2, Y1
+	VBLENDVPS Y1, Y2, Y0, Y0
+	VCMPPS    $0x1E, Y0, Y3, Y1
+	VBLENDVPS Y1, Y3, Y0, Y0
+	VCMPPS    $0x1E, Y0, Y4, Y1
+	VBLENDVPS Y1, Y4, Y0, Y0
+	VCMPPS    $0x1E, Y0, Y5, Y1
+	VBLENDVPS Y1, Y5, Y0, Y0
+
+	TESTQ R8, R8
+	JZ    mpstore
+	VCMPPS    $0x11, Y6, Y0, Y1
+	VBLENDVPS Y1, Y6, Y0, Y0
+
+mpstore:
+	VMOVUPS Y0, (DX)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	ADDQ    $32, DX
+	SUBQ    $8, CX
+	CMPQ    CX, $8
+	JGE     mpblock
+	VZEROUPPER
+	RET
+
+// func convRowAccumQuadAsm(d0, d1, d2, d3, x0, x1, x2, x3, w *float32, n, rows, kw, xStride int)
+//
+// Four samples of convRowAccumAsm in lock-step: dk[j] += Σ w[r·kw+c] ·
+// xk[r·xStride+c+j]. One weight broadcast feeds all four samples' rows,
+// and per sample the tap order and rounding (separate multiply and add)
+// are exactly those of the single-sample kernel, so results are
+// bit-identical to four independent calls. rows, kw and n must be >= 1.
+TEXT ·convRowAccumQuadAsm(SB), NOSPLIT, $0-104
+	MOVQ d0+0(FP), DX
+	MOVQ d1+8(FP), BX
+	MOVQ d2+16(FP), R12
+	MOVQ d3+24(FP), R13
+	MOVQ x0+32(FP), SI
+	MOVQ x1+40(FP), DI
+	MOVQ x2+48(FP), R10
+	MOVQ x3+56(FP), R11
+	MOVQ n+72(FP), CX
+
+qblock:
+	CMPQ    CX, $8
+	JLT     qtail
+	VMOVUPS (DX), Y0
+	VMOVUPS (BX), Y1
+	VMOVUPS (R12), Y2
+	VMOVUPS (R13), Y3
+	MOVQ    w+64(FP), R8
+	XORQ    R9, R9
+	MOVQ    rows+80(FP), R14
+
+qrow:
+	MOVQ R9, AX
+	MOVQ kw+88(FP), R15
+
+qcol:
+	VBROADCASTSS (R8), Y4
+	VMOVUPS      (SI)(AX*1), Y5
+	VMULPS       Y5, Y4, Y5
+	VADDPS       Y5, Y0, Y0
+	VMOVUPS      (DI)(AX*1), Y5
+	VMULPS       Y5, Y4, Y5
+	VADDPS       Y5, Y1, Y1
+	VMOVUPS      (R10)(AX*1), Y5
+	VMULPS       Y5, Y4, Y5
+	VADDPS       Y5, Y2, Y2
+	VMOVUPS      (R11)(AX*1), Y5
+	VMULPS       Y5, Y4, Y5
+	VADDPS       Y5, Y3, Y3
+	ADDQ         $4, R8
+	ADDQ         $4, AX
+	DECQ         R15
+	JNE          qcol
+
+	MOVQ xStride+96(FP), R15
+	SHLQ $2, R15
+	ADDQ R15, R9
+	DECQ R14
+	JNE  qrow
+
+	VMOVUPS Y0, (DX)
+	VMOVUPS Y1, (BX)
+	VMOVUPS Y2, (R12)
+	VMOVUPS Y3, (R13)
+	ADDQ    $32, DX
+	ADDQ    $32, BX
+	ADDQ    $32, R12
+	ADDQ    $32, R13
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, R10
+	ADDQ    $32, R11
+	SUBQ    $8, CX
+	JMP     qblock
+
+qtail:
+	CMPQ    CX, $4
+	JLT     qscalar
+	VMOVUPS (DX), X0
+	VMOVUPS (BX), X1
+	VMOVUPS (R12), X2
+	VMOVUPS (R13), X3
+	MOVQ    w+64(FP), R8
+	XORQ    R9, R9
+	MOVQ    rows+80(FP), R14
+
+q4row:
+	MOVQ R9, AX
+	MOVQ kw+88(FP), R15
+
+q4col:
+	VBROADCASTSS (R8), X4
+	VMOVUPS      (SI)(AX*1), X5
+	VMULPS       X5, X4, X5
+	VADDPS       X5, X0, X0
+	VMOVUPS      (DI)(AX*1), X5
+	VMULPS       X5, X4, X5
+	VADDPS       X5, X1, X1
+	VMOVUPS      (R10)(AX*1), X5
+	VMULPS       X5, X4, X5
+	VADDPS       X5, X2, X2
+	VMOVUPS      (R11)(AX*1), X5
+	VMULPS       X5, X4, X5
+	VADDPS       X5, X3, X3
+	ADDQ         $4, R8
+	ADDQ         $4, AX
+	DECQ         R15
+	JNE          q4col
+
+	MOVQ xStride+96(FP), R15
+	SHLQ $2, R15
+	ADDQ R15, R9
+	DECQ R14
+	JNE  q4row
+
+	VMOVUPS X0, (DX)
+	VMOVUPS X1, (BX)
+	VMOVUPS X2, (R12)
+	VMOVUPS X3, (R13)
+	ADDQ    $16, DX
+	ADDQ    $16, BX
+	ADDQ    $16, R12
+	ADDQ    $16, R13
+	ADDQ    $16, SI
+	ADDQ    $16, DI
+	ADDQ    $16, R10
+	ADDQ    $16, R11
+	SUBQ    $4, CX
+	JMP     qtail
+
+qscalar:
+	TESTQ CX, CX
+	JZ    qdone
+	MOVSS (DX), X0
+	MOVSS (BX), X1
+	MOVSS (R12), X2
+	MOVSS (R13), X3
+	MOVQ  w+64(FP), R8
+	XORQ  R9, R9
+	MOVQ  rows+80(FP), R14
+
+qsrow:
+	MOVQ R9, AX
+	MOVQ kw+88(FP), R15
+
+qscol:
+	MOVSS (R8), X4
+	MOVSS (SI)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X0
+	MOVSS (DI)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X1
+	MOVSS (R10)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X2
+	MOVSS (R11)(AX*1), X5
+	MULSS X4, X5
+	ADDSS X5, X3
+	ADDQ  $4, R8
+	ADDQ  $4, AX
+	DECQ  R15
+	JNE   qscol
+
+	MOVQ xStride+96(FP), R15
+	SHLQ $2, R15
+	ADDQ R15, R9
+	DECQ R14
+	JNE  qsrow
+
+	MOVSS X0, (DX)
+	MOVSS X1, (BX)
+	MOVSS X2, (R12)
+	MOVSS X3, (R13)
+	ADDQ  $4, DX
+	ADDQ  $4, BX
+	ADDQ  $4, R12
+	ADDQ  $4, R13
+	ADDQ  $4, SI
+	ADDQ  $4, DI
+	ADDQ  $4, R10
+	ADDQ  $4, R11
+	DECQ  CX
+	JMP   qscalar
+
+qdone:
+	VZEROUPPER
+	RET
+
+// func reluAsm(p *float32, n int)
+//
+// p[i] = (0 > p[i]) ? +0 : p[i] — exactly the scalar `if v < 0 { v = 0 }`:
+// MAXPS with +0 as the first operand returns the second on ties and
+// unordered, so -0 and NaN pass through unchanged while negatives become
+// +0. n must be >= 1.
+TEXT ·reluAsm(SB), NOSPLIT, $0-16
+	MOVQ   p+0(FP), SI
+	MOVQ   n+8(FP), CX
+	VXORPS Y1, Y1, Y1
+	CMPQ   CX, $8
+	JLT    rltail
+
+rlblock:
+	VMOVUPS (SI), Y0
+	VMAXPS  Y0, Y1, Y0
+	VMOVUPS Y0, (SI)
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	CMPQ    CX, $8
+	JGE     rlblock
+
+rltail:
+	TESTQ CX, CX
+	JZ    rldone
+	MOVSS (SI), X0
+	XORPS X2, X2
+	MAXSS X0, X2
+	MOVSS X2, (SI)
+	ADDQ  $4, SI
+	DECQ  CX
+	JMP   rltail
+
+rldone:
+	VZEROUPPER
+	RET

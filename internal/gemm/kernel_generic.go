@@ -15,3 +15,21 @@ func simdAvailable() bool { return false }
 func microKernel8x8F32[T float](kcEff int, aPanel, bPanel []T, acc *[maxTile * maxTile]T) {
 	panic("gemm: 8×8 micro-kernel invoked without AVX2 support")
 }
+
+// convRowAccumArch reports no vector row-accumulation kernel off amd64;
+// ConvRowAccum falls back to the portable loop, which is bit-identical.
+func convRowAccumArch(dst, x, w []float32, rows, kw, xStride int) bool {
+	return false
+}
+
+// convRowAccumQuadArch reports no four-sample vector kernel off amd64;
+// ConvRowAccumQuad falls back to four portable calls.
+func convRowAccumQuadArch(d0, d1, d2, d3, x0, x1, x2, x3, w []float32, rows, kw, xStride int) bool {
+	return false
+}
+
+// maxPool2x2Arch reports no vector pool kernel off amd64.
+func maxPool2x2Arch(dst, r0, r1 []float32, clamp bool) bool { return false }
+
+// reluArch reports no vector clamp kernel off amd64.
+func reluArch(v []float32) bool { return false }

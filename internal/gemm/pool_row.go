@@ -1,0 +1,72 @@
+package gemm
+
+import "math"
+
+// negInf32 is the max-pool identity element.
+var negInf32 = float32(math.Inf(-1))
+
+// This file hosts the two non-GEMM element kernels the fused conv runner
+// leans on. They live here, next to the GEMM micro-kernels, because this
+// package owns the vector dispatch (useFMA / TEMCO_NOSIMD / SetSIMD) and
+// the amd64 assembly they share a file with.
+
+// MaxPool2x2Row computes one output row of a 2×2/stride-2 max pool:
+//
+//	dst[i] = max(-Inf, r0[2i], r0[2i+1], r1[2i], r1[2i+1])
+//
+// with the first-wins tie rule of a scalar `if v > acc { acc = v }` chain
+// (a NaN candidate never replaces the accumulator, and on -0/+0 ties the
+// earlier value survives). With clamp set, a final `acc < 0 → +0` select
+// absorbs a ReLU into the pool read. The vector path reproduces these
+// semantics with ordered compare+blend, so it is bit-identical to the
+// portable loop on every input.
+func MaxPool2x2Row(dst, r0, r1 []float32, clamp bool) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	if 2*n > len(r0) || 2*n > len(r1) {
+		panic("gemm: MaxPool2x2Row source rows too short")
+	}
+	i := 0
+	if n >= 8 && maxPool2x2Arch(dst, r0, r1, clamp) {
+		i = n &^ 7
+	}
+	for ; i < n; i++ {
+		p := 2 * i
+		acc := negInf32
+		if v := r0[p]; v > acc {
+			acc = v
+		}
+		if v := r0[p+1]; v > acc {
+			acc = v
+		}
+		if v := r1[p]; v > acc {
+			acc = v
+		}
+		if v := r1[p+1]; v > acc {
+			acc = v
+		}
+		if clamp && acc < 0 {
+			acc = 0
+		}
+		dst[i] = acc
+	}
+}
+
+// ReLU clamps negatives to +0 in place: `if v < 0 { v = 0 }` per element,
+// so -0 and NaN pass through unchanged. The vector path (MAXPS with +0 as
+// the tie-keeping operand) is bit-identical to the portable loop.
+func ReLU(v []float32) {
+	if len(v) == 0 {
+		return
+	}
+	if reluArch(v) {
+		return
+	}
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package gemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// poolRef is the scalar first-wins chain the fused runner used inline.
+func poolRef(dst, r0, r1 []float32, clamp bool) {
+	for i := range dst {
+		p := 2 * i
+		acc := float32(math.Inf(-1))
+		for _, v := range []float32{r0[p], r0[p+1], r1[p], r1[p+1]} {
+			if v > acc {
+				acc = v
+			}
+		}
+		if clamp && acc < 0 {
+			acc = 0
+		}
+		dst[i] = acc
+	}
+}
+
+// poolTestValue mixes ordinary values with the tie/unordered corners that
+// distinguish compare+blend from VMAXPS: ±0, ±Inf, NaN.
+func poolTestValue(r *rand.Rand) float32 {
+	switch r.Intn(8) {
+	case 0:
+		return float32(math.Copysign(0, -1))
+	case 1:
+		return 0
+	case 2:
+		return float32(math.Inf(-1))
+	case 3:
+		return float32(math.NaN())
+	default:
+		return float32(r.NormFloat64())
+	}
+}
+
+func TestMaxPool2x2RowBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, simd := range []bool{false, true} {
+		prev := SetSIMD(simd)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + r.Intn(20)
+			r0 := make([]float32, 2*n)
+			r1 := make([]float32, 2*n)
+			for i := range r0 {
+				r0[i] = poolTestValue(r)
+				r1[i] = poolTestValue(r)
+			}
+			clamp := trial%2 == 0
+			want := make([]float32, n)
+			poolRef(want, r0, r1, clamp)
+			dst := make([]float32, n)
+			MaxPool2x2Row(dst, r0, r1, clamp)
+			for i := range dst {
+				if math.Float32bits(dst[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("simd=%v trial=%d n=%d clamp=%v: dst[%d]=%x want %x",
+						simd, trial, n, clamp, i,
+						math.Float32bits(dst[i]), math.Float32bits(want[i]))
+				}
+			}
+		}
+		SetSIMD(prev)
+	}
+}
+
+func TestReLUBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, simd := range []bool{false, true} {
+		prev := SetSIMD(simd)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + r.Intn(40)
+			v := make([]float32, n)
+			for i := range v {
+				v[i] = poolTestValue(r)
+			}
+			want := make([]float32, n)
+			for i, x := range v {
+				want[i] = x
+				if x < 0 {
+					want[i] = 0
+				}
+			}
+			ReLU(v)
+			for i := range v {
+				if math.Float32bits(v[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("simd=%v trial=%d n=%d: v[%d]=%x want %x",
+						simd, trial, n, i,
+						math.Float32bits(v[i]), math.Float32bits(want[i]))
+				}
+			}
+		}
+		SetSIMD(prev)
+	}
+}

@@ -3,6 +3,7 @@ package ops
 import (
 	"math"
 
+	"temco/internal/gemm"
 	"temco/internal/tensor"
 )
 
@@ -24,13 +25,14 @@ func ReLU(out, in *tensor.Tensor) {
 }
 
 func reluRange(out, in *tensor.Tensor, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		v := in.Data[i]
-		if v < 0 {
-			v = 0
-		}
-		out.Data[i] = v
+	if lo >= hi {
+		return
 	}
+	dst := out.Data[lo:hi]
+	if src := in.Data[lo:hi]; &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+	gemm.ReLU(dst)
 }
 
 // SiLU applies x·σ(x) elementwise.

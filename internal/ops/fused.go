@@ -204,25 +204,44 @@ func (fr *fusedRun) run(lo, hi int) {
 
 		// Step 1: gather the input region (zeros at padding), then one
 		// GEMM expands it to MidC channels; activation follows in place.
-		for p := 0; p < rP; p++ {
-			ih := rh0 + p/rW
-			iw := rw0 + p%rW
-			if ih >= 0 && ih < h && iw >= 0 && iw < w {
+		// Interior tiles — the common case — have a fully in-bounds region
+		// and pack with row copies; only border tiles walk the offset table.
+		allValid := rh0 >= 0 && rw0 >= 0 && rh0+rH <= h && rw0+rW <= w
+		if allValid {
+			// The generic pool below still consults the mask (scratch is
+			// reused across tasks, so it must not go stale even when every
+			// position is in bounds).
+			for p := range valid[:rP] {
 				valid[p] = true
-				offs[p] = int32(ih*w + iw)
-			} else {
-				valid[p] = false
-				offs[p] = -1
 			}
-		}
-		for ic := 0; ic < inC; ic++ {
-			base := (bIdx*inC + ic) * h * w
-			row := xbuf[ic*rP : (ic+1)*rP]
-			for p, o := range offs[:rP] {
-				if o >= 0 {
-					row[p] = in.Data[base+int(o)]
+			for ic := 0; ic < inC; ic++ {
+				base := (bIdx*inC+ic)*h*w + rh0*w + rw0
+				row := xbuf[ic*rP : (ic+1)*rP]
+				for rr := 0; rr < rH; rr++ {
+					copy(row[rr*rW:rr*rW+rW], in.Data[base+rr*w:base+rr*w+rW])
+				}
+			}
+		} else {
+			for p := 0; p < rP; p++ {
+				ih := rh0 + p/rW
+				iw := rw0 + p%rW
+				if ih >= 0 && ih < h && iw >= 0 && iw < w {
+					valid[p] = true
+					offs[p] = int32(ih*w + iw)
 				} else {
-					row[p] = 0
+					valid[p] = false
+					offs[p] = -1
+				}
+			}
+			for ic := 0; ic < inC; ic++ {
+				base := (bIdx*inC + ic) * h * w
+				row := xbuf[ic*rP : (ic+1)*rP]
+				for p, o := range offs[:rP] {
+					if o >= 0 {
+						row[p] = in.Data[base+int(o)]
+					} else {
+						row[p] = 0
+					}
 				}
 			}
 		}
@@ -245,13 +264,44 @@ func (fr *fusedRun) run(lo, hi int) {
 
 		// Step 2: activation over valid positions, zero at padding (a
 		// padded position must not contribute applyAct(bias) downstream).
-		for mc := 0; mc < a.MidC; mc++ {
-			row := mid[mc*rP : (mc+1)*rP]
-			for p := 0; p < rP; p++ {
-				if valid[p] {
-					row[p] = applyAct(act, row[p])
-				} else {
-					row[p] = 0
+		// Two cases skip the padding mask entirely: interior tiles have no
+		// padded positions, and max pooling never reads them (its own mask
+		// check below skips invalid positions, so their values are dead).
+		// The specialized loops apply the same scalar math in the same
+		// order as applyAct, so outputs are bit-identical on every path.
+		// When the unrolled max-pool fast path below can absorb the
+		// activation (ReLU or identity), the whole pass is skipped: ReLU is
+		// itself a max, so clamping at the single read site computes the
+		// same window maximum as clamping every element first.
+		fastPool := hasPool && isMax && allValid && kh == 2 && kw == 2 && sh == 2 && sw == 2
+		actInPool := fastPool && (act == actReLU || act == actIdentity)
+		if actInPool {
+			// Activation handled inside the pool read below.
+		} else if allValid || (hasPool && isMax) {
+			switch act {
+			case actIdentity:
+				// Nothing to apply.
+			case actReLU:
+				for mc := 0; mc < a.MidC; mc++ {
+					gemm.ReLU(mid[mc*rP : (mc+1)*rP])
+				}
+			default:
+				for mc := 0; mc < a.MidC; mc++ {
+					row := mid[mc*rP : (mc+1)*rP]
+					for p, v := range row {
+						row[p] = applyAct(act, v)
+					}
+				}
+			}
+		} else {
+			for mc := 0; mc < a.MidC; mc++ {
+				row := mid[mc*rP : (mc+1)*rP]
+				for p := 0; p < rP; p++ {
+					if valid[p] {
+						row[p] = applyAct(act, row[p])
+					} else {
+						row[p] = 0
+					}
 				}
 			}
 		}
@@ -263,7 +313,28 @@ func (fr *fusedRun) run(lo, hi int) {
 		fCols := rP
 		fld := rP
 		rowStride := rW
-		if hasPool {
+		if fastPool {
+			// Unrolled fast path for the ubiquitous 2×2/2 max pool on an
+			// interior tile: the four candidates are compared in the exact
+			// row-major order of the generic loop below, starting from the
+			// same -Inf identity, so the result is bit-identical. With
+			// actInPool the window maximum of the raw values is clamped
+			// once at the end — ReLU commutes with max exactly.
+			clamp := actInPool && act == actReLU
+			for mc := 0; mc < a.MidC; mc++ {
+				src := mid[mc*rP:]
+				dst := pooled[mc*FusedTile*FusedTile:]
+				for ty := 0; ty < tileH; ty++ {
+					srow := src[ty*2*rW:]
+					gemm.MaxPool2x2Row(dst[ty*FusedTile:ty*FusedTile+tileW],
+						srow[:rW], srow[rW:2*rW], clamp)
+				}
+			}
+			fsrc = pooled
+			fCols = tileH * FusedTile
+			fld = FusedTile * FusedTile
+			rowStride = FusedTile
+		} else if hasPool {
 			for mc := 0; mc < a.MidC; mc++ {
 				src := mid[mc*rP:]
 				dst := pooled[mc*FusedTile*FusedTile:]

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"time"
+
+	"temco/internal/engine"
+	"temco/internal/exec"
+	"temco/internal/guard"
+	"temco/internal/ir"
+	"temco/internal/tensor"
+)
+
+// This file is the dynamic-batching stage: a coalescer goroutine between
+// the admission queue and the worker pool accumulates compatible requests
+// (same graph input shapes, same priority class) up to Config.MaxBatchSize
+// rows or until the Config.MaxBatchLatency window expires, packs them into
+// one batched input tensor padded to the nearest bucket of the compiled
+// ladder, runs a single engine pass, and scatters per-request output
+// slices back over each request's fan-back channel. Requests that cannot
+// batch — deadline too tight for the window, non-batchable input shapes,
+// more rows than the batch cap — bypass the coalescer and run solo through
+// the unchanged per-request path.
+
+// microbatch is one unit of work handed from the coalescer to a worker:
+// either a coalesced batch of compatible members, or (solo=true) a single
+// request that bypassed batching.
+type microbatch struct {
+	members []*item
+	rows    int      // total sample rows across members
+	prio    Priority // all members share one priority class
+	opened  time.Time
+	// deadline is when the accumulation window expires and the batch
+	// dispatches regardless of occupancy.
+	deadline time.Time
+	solo     bool
+}
+
+// coalesce drains the admission queue into microbatches until the session
+// closes. It is the only consumer of the queue when batching is enabled;
+// workers consume s.batchCh instead. On close the queue drains fully (pop
+// keeps returning queued items), the open batch dispatches, and closing
+// batchCh releases the workers.
+func (s *Session) coalesce() {
+	defer s.workers.Done()
+	defer close(s.batchCh)
+	var open *microbatch
+	for {
+		var it *item
+		if open == nil {
+			popped, ok := s.q.pop()
+			if !ok {
+				return
+			}
+			it = popped
+		} else {
+			popped, ok := s.q.popUntil(open.deadline)
+			if !ok {
+				s.dispatch(open)
+				return
+			}
+			if popped == nil {
+				// Window expired: ship what accumulated.
+				s.dispatch(open)
+				open = nil
+				continue
+			}
+			it = popped
+		}
+
+		it.rows = s.rowsFor(it)
+		now := time.Now()
+		if it.rows < 0 || it.rows >= s.cfg.MaxBatchSize {
+			// Not batchable (shape mismatch) or already a full batch on
+			// its own: no coalescing win, run it solo.
+			s.met.batchBypass.Inc()
+			s.batchCh <- &microbatch{members: []*item{it}, solo: true}
+			continue
+		}
+		windowEnd := now.Add(s.cfg.MaxBatchLatency)
+		if open != nil {
+			windowEnd = open.deadline
+		}
+		if dl, ok := it.ctx.Deadline(); ok && dl.Before(windowEnd) {
+			// The deadline cannot survive the accumulation window: waiting
+			// would cancel the request, so it bypasses batching.
+			s.met.batchBypass.Inc()
+			s.batchCh <- &microbatch{members: []*item{it}, solo: true}
+			continue
+		}
+		if open != nil && (it.req.Priority != open.prio || open.rows+it.rows > s.cfg.MaxBatchSize) {
+			// Incompatible with the open batch (different priority class,
+			// or it would overflow the cap): ship the open batch first.
+			s.dispatch(open)
+			open = nil
+		}
+		if open == nil {
+			open = &microbatch{
+				prio:     it.req.Priority,
+				opened:   now,
+				deadline: now.Add(s.cfg.MaxBatchLatency),
+			}
+		}
+		open.members = append(open.members, it)
+		open.rows += it.rows
+		s.met.batchPending.Add(1)
+		if open.rows >= s.cfg.MaxBatchSize {
+			s.dispatch(open)
+			open = nil
+		}
+	}
+}
+
+// dispatch hands a coalesced batch to a worker, closing its window
+// accounting.
+func (s *Session) dispatch(b *microbatch) {
+	s.met.batchPending.Add(-int64(len(b.members)))
+	s.met.batchWait.Observe(time.Since(b.opened).Seconds())
+	s.batchCh <- b
+}
+
+// rowsFor classifies a request for batching: it returns the request's
+// sample-row count when every input is a batched [N, sample...] tensor
+// matching the optimized graph's input shapes (with one shared N), and -1
+// when the request is not batchable. A -1 request still runs — solo, where
+// the executor applies its own (identical) shape validation.
+func (s *Session) rowsFor(it *item) int {
+	ins := it.req.Inputs
+	if len(ins) != len(s.opt.Inputs) {
+		return -1
+	}
+	rows := 0
+	for i, t := range ins {
+		want := s.opt.Inputs[i].Shape
+		if len(t.Shape) != len(want)+1 || t.Dim(0) < 1 {
+			return -1
+		}
+		for j, d := range want {
+			if t.Shape[j+1] != d {
+				return -1
+			}
+		}
+		if i == 0 {
+			rows = t.Dim(0)
+		} else if t.Dim(0) != rows {
+			return -1
+		}
+	}
+	return rows
+}
+
+// bucketFor returns the smallest compiled batch bucket holding rows, or
+// rows itself beyond the top of the ladder (the engine then plans that
+// layout lazily — only reachable for oversized solo requests).
+func (s *Session) bucketFor(rows int) int {
+	for _, b := range s.buckets {
+		if b >= rows {
+			return b
+		}
+	}
+	return rows
+}
+
+// packBuf is a worker-owned set of reusable batched input tensors, one set
+// per bucket, so the steady-state pack step allocates nothing.
+type packBuf struct {
+	byBucket map[int][]*tensor.Tensor
+}
+
+// inputsFor returns the bucket-shaped input tensors, building them on
+// first use of that bucket.
+func (pk *packBuf) inputsFor(g *ir.Graph, bucket int) []*tensor.Tensor {
+	if pk.byBucket == nil {
+		pk.byBucket = make(map[int][]*tensor.Tensor)
+	}
+	ins, ok := pk.byBucket[bucket]
+	if !ok {
+		ins = make([]*tensor.Tensor, len(g.Inputs))
+		for i, n := range g.Inputs {
+			ins[i] = tensor.New(append([]int{bucket}, n.Shape...)...)
+		}
+		pk.byBucket[bucket] = ins
+	}
+	return ins
+}
+
+// packBatch gathers the members' rows contiguously into the bucket-shaped
+// inputs and zeroes the padded tail, so a padded run is deterministic
+// regardless of what the reused buffer last held.
+func packBatch(ins []*tensor.Tensor, members []*item, bucket int) {
+	for i, dst := range ins {
+		per := dst.Len() / bucket
+		row := 0
+		for _, m := range members {
+			copy(dst.Data[row*per:], m.req.Inputs[i].Data)
+			row += m.rows
+		}
+		tail := dst.Data[row*per:]
+		for x := range tail {
+			tail[x] = 0
+		}
+	}
+}
+
+// processBatch executes one coalesced batch with the same layered failure
+// semantics as the solo path: breaker-routed graph choice, bounded retries
+// with jittered backoff, degradation classification — applied to the batch
+// as a unit (one breaker event per attempt). A member canceled before or
+// between attempts is delivered guard.ErrCanceled and dropped; the
+// survivors re-batch, possibly at a smaller bucket. A batch that exceeds
+// the memory budget at its bucket splits back to solo runs, which may
+// individually fit.
+func (s *Session) processBatch(b *microbatch, optInst, fbInst *engine.Instance, pk *packBuf) {
+	now := time.Now()
+	live := make([]*item, 0, len(b.members))
+	for _, it := range b.members {
+		it.queued = now.Sub(it.enq)
+		s.met.queueWait.Observe(it.queued.Seconds())
+		if err := it.ctx.Err(); err != nil {
+			s.deliver(it, nil, guard.New(guard.ErrCanceled, "serve.batch", err))
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.met.batchedRequests.Add(uint64(len(live)))
+	s.met.inFlight.Add(int64(len(live)))
+	start := time.Now()
+	// finishAll delivers one shared outcome to every live member and
+	// closes the batch's in-flight/latency accounting.
+	finishAll := func(outs [][]*tensor.Tensor, degraded bool, retries int, err error) {
+		exec := time.Since(start)
+		s.met.inFlight.Add(-int64(len(live)))
+		for i, it := range live {
+			s.met.runLatency.Observe(exec.Seconds())
+			if err != nil {
+				s.deliver(it, nil, err)
+				continue
+			}
+			s.deliver(it, &Response{
+				Outputs:  outs[i],
+				Degraded: degraded,
+				Retries:  retries,
+				Queued:   it.queued,
+				Exec:     exec,
+			}, nil)
+		}
+	}
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		useOpt, probe := s.br.allow()
+		g, inst := s.opt, optInst
+		if !useOpt {
+			g, inst = s.fb, fbInst
+		}
+		outs, err := s.runBatched(live, g, inst, pk)
+		canceled := err != nil && errors.Is(err, guard.ErrCanceled)
+		if useOpt {
+			if probe {
+				s.br.record(true, err == nil)
+			} else if !canceled {
+				s.br.record(false, err == nil)
+			}
+		}
+		if err == nil {
+			if !useOpt {
+				s.met.degradedServed.Add(uint64(len(live)))
+			}
+			finishAll(outs, !useOpt, retries, nil)
+			return
+		}
+		if canceled {
+			// The batch context only cancels on forced shutdown or when
+			// the last member deadline passes — individual member cancels
+			// never abort the shared run.
+			finishAll(nil, false, retries, err)
+			return
+		}
+		if errors.Is(err, guard.ErrBudgetExceeded) && len(live) > 1 {
+			// The padded bucket's arena exceeds the budget the members
+			// would individually fit under (or a transient budget fault
+			// hit the shared run): fall back to solo runs, which carry
+			// their own retry budget.
+			s.met.batchSplits.Inc()
+			s.met.inFlight.Add(-int64(len(live)))
+			for _, it := range live {
+				s.finish(it, optInst, fbInst)
+			}
+			return
+		}
+		if !retryable(err) || attempt >= s.cfg.MaxRetries {
+			if !useOpt {
+				// Degraded mode and the fallback failed too.
+				err = guard.New(guard.ErrDegraded, "serve.fallback", err)
+			}
+			finishAll(nil, false, retries, err)
+			return
+		}
+		retries++
+		s.met.retries.Add(uint64(len(live)))
+		t := time.NewTimer(jitterBackoff(s.cfg.RetryBackoff, attempt, rand.Float64()))
+		select {
+		case <-s.baseCtx.Done():
+			t.Stop()
+			finishAll(nil, false, retries, guard.New(guard.ErrCanceled, "serve.batch", s.baseCtx.Err()))
+			return
+		case <-t.C:
+		}
+		// Drop members canceled during the backoff; survivors re-batch
+		// (a smaller row count may land on a smaller bucket).
+		kept := live[:0]
+		for _, it := range live {
+			if cerr := it.ctx.Err(); cerr != nil {
+				s.met.inFlight.Add(-1)
+				s.met.runLatency.Observe(time.Since(start).Seconds())
+				s.deliver(it, nil, guard.New(guard.ErrCanceled, "serve.batch", cerr))
+				continue
+			}
+			kept = append(kept, it)
+		}
+		live = kept
+		if len(live) == 0 {
+			return
+		}
+	}
+}
+
+// runBatched executes one attempt of a coalesced batch: pack the members'
+// rows into the bucket-shaped inputs, run the graph once at the bucket
+// size, and scatter each member's row range of every output into tensors
+// the member owns. The run context derives from the session's baseCtx
+// (forced shutdown still cancels mid-kernel) bounded by the latest member
+// deadline, so one member's cancellation cannot corrupt its batchmates.
+func (s *Session) runBatched(live []*item, g *ir.Graph, inst *engine.Instance, pk *packBuf) ([][]*tensor.Tensor, error) {
+	rows := 0
+	var latest time.Time
+	bounded := true
+	for _, it := range live {
+		rows += it.rows
+		dl, ok := it.ctx.Deadline()
+		if !ok {
+			bounded = false
+		} else if dl.After(latest) {
+			latest = dl
+		}
+	}
+	bucket := s.bucketFor(rows)
+	ins := pk.inputsFor(s.opt, bucket)
+	packBatch(ins, live, bucket)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if bounded {
+		ctx, cancel = context.WithDeadline(s.baseCtx, latest)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	defer cancel()
+	s.met.batchedRuns.Inc()
+	s.met.paddedSlots.Add(uint64(bucket - rows))
+	s.met.batchOccupancy.Observe(float64(rows))
+	var res *exec.Result
+	var err error
+	if inst == nil {
+		res, err = exec.RunCtx(ctx, g, s.cfg.BudgetBytes, ins...)
+	} else {
+		res, err = inst.Run(ctx, ins...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	outs := make([][]*tensor.Tensor, len(live))
+	row := 0
+	for i, it := range live {
+		outs[i] = make([]*tensor.Tensor, len(res.Outputs))
+		for j, o := range res.Outputs {
+			per := o.Len() / bucket
+			slice := tensor.New(append([]int{it.rows}, o.Shape[1:]...)...)
+			copy(slice.Data, o.Data[row*per:(row+it.rows)*per])
+			outs[i][j] = slice
+		}
+		row += it.rows
+	}
+	return outs, nil
+}

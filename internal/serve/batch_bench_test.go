@@ -1,0 +1,121 @@
+package serve
+
+// BenchmarkBatchedServe measures end-to-end serving throughput and tail
+// latency through the full Session path — queue, coalescer, breaker,
+// worker — under concurrent closed-loop clients, with dynamic batching off
+// (the batch-1 baseline) and on at several (MaxBatchSize, window) points.
+// The req/s and p99_ms metrics are the acceptance numbers recorded in
+// results/batching.txt: batching at 8+ clients must deliver >=2x the
+// batch-1 throughput on alexnet and vgg11 with p99 bounded by the window
+// plus the batched run time.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"temco/internal/tensor"
+)
+
+func BenchmarkBatchedServe(b *testing.B) {
+	type knobs struct {
+		name   string
+		max    int
+		window time.Duration
+	}
+	configs := []knobs{
+		{"batch1", 0, 0}, // batching off: the per-request baseline
+		{"batch8_w1ms", 8, time.Millisecond},
+		{"batch16_w2ms", 16, 2 * time.Millisecond},
+		{"batch32_w5ms", 32, 5 * time.Millisecond},
+	}
+	for _, model := range []string{"alexnet", "vgg11"} {
+		opt, fb := benchGraphs(b, model)
+		for _, k := range configs {
+			for _, clients := range []int{8, 16} {
+				b.Run(fmt.Sprintf("%s/%s/clients=%d", model, k.name, clients), func(b *testing.B) {
+					s, err := New(opt, fb, Config{
+						Workers: 2, QueueSize: 256,
+						MaxBatchSize: k.max, MaxBatchLatency: k.window,
+						DefaultTimeout: 60 * time.Second,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ctx := context.Background()
+					inputs := make([]*tensor.Tensor, clients)
+					for c := range inputs {
+						x := tensor.New(append([]int{1}, opt.Inputs[0].Shape...)...)
+						x.FillNormal(tensor.NewRNG(uint64(17+c)), 0, 1)
+						inputs[c] = x
+					}
+					// Warm the engines' per-bucket buffers and the client
+					// rendezvous out of the timed loop.
+					var warm sync.WaitGroup
+					for c := 0; c < clients; c++ {
+						warm.Add(1)
+						go func(c int) {
+							defer warm.Done()
+							if _, err := s.Infer(ctx, Request{Inputs: []*tensor.Tensor{inputs[c]}}); err != nil {
+								b.Error(err)
+							}
+						}(c)
+					}
+					warm.Wait()
+					if b.Failed() {
+						b.FailNow()
+					}
+
+					var next atomic.Int64
+					lat := make([][]time.Duration, clients)
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for c := 0; c < clients; c++ {
+						wg.Add(1)
+						go func(c int) {
+							defer wg.Done()
+							req := Request{Inputs: []*tensor.Tensor{inputs[c]}}
+							for next.Add(1) <= int64(b.N) {
+								t0 := time.Now()
+								if _, err := s.Infer(ctx, req); err != nil {
+									b.Error(err)
+									return
+								}
+								lat[c] = append(lat[c], time.Since(t0))
+							}
+						}(c)
+					}
+					wg.Wait()
+					b.StopTimer()
+					if b.Failed() {
+						b.FailNow()
+					}
+
+					var all []time.Duration
+					for _, l := range lat {
+						all = append(all, l...)
+					}
+					sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+					if len(all) > 0 {
+						idx := (99 * len(all)) / 100
+						if idx >= len(all) {
+							idx = len(all) - 1
+						}
+						b.ReportMetric(float64(all[idx].Microseconds())/1000, "p99_ms")
+					}
+					if st := s.Stats(); st.BatchedRuns > 0 {
+						b.ReportMetric(float64(st.BatchedRequests)/float64(st.BatchedRuns), "rows/run")
+					}
+					if err := s.Close(ctx); err != nil {
+						b.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}

@@ -17,11 +17,11 @@ import (
 	"temco/internal/tensor"
 )
 
-func benchGraphs(b *testing.B, name string) (opt, fb *ir.Graph) {
-	b.Helper()
+func benchGraphs(tb testing.TB, name string) (opt, fb *ir.Graph) {
+	tb.Helper()
 	spec, err := models.Get(name)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	cfg := models.DefaultConfig()
 	cfg.H, cfg.W = 32, 32
@@ -31,11 +31,11 @@ func benchGraphs(b *testing.B, name string) (opt, fb *ir.Graph) {
 	}
 	opt, err = experiments.BuildVariant(spec, v, cfg, decompose.DefaultOptions())
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	fb, err = experiments.BuildVariant(spec, experiments.Decomposed, cfg, decompose.DefaultOptions())
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return opt, fb
 }

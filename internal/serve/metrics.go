@@ -18,6 +18,14 @@ type sessionMetrics struct {
 	breakerTransitions                *obs.Counter
 	inFlight                          *obs.Gauge
 	queueWait, runLatency             *obs.Histogram
+
+	// Batching-stage instruments. Registered unconditionally (they just
+	// stay zero with batching off) so the exposition surface is stable.
+	batchedRuns, batchedRequests *obs.Counter
+	paddedSlots, batchBypass     *obs.Counter
+	batchSplits                  *obs.Counter
+	batchPending                 *obs.Gauge
+	batchWait, batchOccupancy    *obs.Histogram
 }
 
 // newSessionMetrics builds and registers the session's instruments. Called
@@ -46,6 +54,24 @@ func newSessionMetrics(s *Session) *sessionMetrics {
 		"Time from admission to a worker picking the request up.", nil)
 	m.runLatency = reg.Histogram("temco_serve_run_seconds",
 		"Worker execution time per request, including retries and backoff.", nil)
+	m.batchedRuns = reg.Counter("temco_serve_batched_runs_total",
+		"Coalesced engine runs executed at a batch bucket.")
+	m.batchedRequests = reg.Counter("temco_serve_batched_requests_total",
+		"Requests served through a coalesced batch run.")
+	m.paddedSlots = reg.Counter("temco_serve_padded_slots_total",
+		"Padding rows added to reach the nearest batch bucket, across all batched runs.")
+	m.batchBypass = reg.Counter("temco_serve_batch_bypass_total",
+		"Requests that bypassed coalescing (tight deadline, unbatchable shape, or at/over the batch cap) and ran solo.")
+	m.batchSplits = reg.Counter("temco_serve_batch_splits_total",
+		"Batches split back into solo runs after a budget failure at their bucket.")
+	m.batchPending = reg.Gauge("temco_serve_batch_pending",
+		"Requests currently waiting in an open accumulation window.")
+	m.batchWait = reg.Histogram("temco_serve_batch_wait_seconds",
+		"Time a coalesced batch spent accumulating before dispatch.",
+		[]float64{0.00025, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.1})
+	m.batchOccupancy = reg.Histogram("temco_serve_batch_occupancy",
+		"Sample rows per batched run, before padding to the bucket.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
 
 	reg.GaugeFunc("temco_serve_queue_depth",
 		"Requests waiting in the admission queue.",

@@ -25,6 +25,15 @@ type item struct {
 	seq  uint64      // admission order, for FIFO within a priority
 	done chan result // buffered(1); the worker delivers exactly once
 	idx  int         // heap index
+
+	// queued is the time from admission until a worker started on the
+	// request (for batched requests: until the microbatch dispatched to a
+	// worker, so the accumulation window counts as queueing). Set exactly
+	// once, before any processing.
+	queued time.Duration
+	// rows is the request's sample-row count, cached by the coalescer
+	// (0 until classified; -1 when the inputs are not batchable).
+	rows int
 }
 
 type result struct {
@@ -70,6 +79,38 @@ func (q *queue) pop() (*item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.items).(*item), true
+}
+
+// popUntil is pop with a deadline: it blocks until an item arrives, the
+// deadline passes, or the queue is closed and drained. It returns
+// (item, true) on arrival, (nil, true) when the deadline expired with the
+// queue still open (the coalescer's accumulation window ran out), and
+// (nil, false) once the queue is closed and empty.
+func (q *queue) popUntil(deadline time.Time) (*item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var wake *time.Timer
+	defer func() {
+		if wake != nil {
+			wake.Stop()
+		}
+	}()
+	for len(q.items) == 0 && !q.closed {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return nil, true
+		}
+		if wake == nil {
+			// cond.Wait cannot time out; a one-shot broadcast at the
+			// deadline bounds the wait without polling.
+			wake = time.AfterFunc(d, q.cond.Broadcast)
+		}
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {

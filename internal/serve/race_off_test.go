@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation slows the heavier model sweeps, so they subset under it.
+const raceEnabled = false

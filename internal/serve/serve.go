@@ -72,6 +72,25 @@ type Config struct {
 	// (slab + largest kernel workspace, as exec.RunArenaCtx does) rather
 	// than by live-tensor tracking.
 	NoEngine bool
+	// MaxBatchSize enables dynamic request batching when > 1: a coalescer
+	// between the admission queue and the worker pool packs up to this
+	// many compatible sample rows (same graph inputs, same priority class)
+	// into one engine run at a bucket of the BatchBuckets ladder, and
+	// scatters per-request output slices back. 0 or 1 keeps today's
+	// batch-1 passthrough: each request runs alone, behaviorally unchanged.
+	MaxBatchSize int
+	// MaxBatchLatency is the accumulation window: how long the coalescer
+	// holds an open batch waiting for more rows before dispatching it
+	// partially full. A request whose deadline cannot survive the window
+	// bypasses batching and runs solo. Default 2ms when batching is on.
+	MaxBatchLatency time.Duration
+	// BatchBuckets is the compiled batch-size ladder: batched runs are
+	// padded up to the nearest bucket so every batched run hits an arena
+	// layout planned at session start (never the lazy O(n²) planning
+	// path). Must be strictly increasing and positive. The ladder is
+	// planned even with batching off, so direct multi-sample requests
+	// at a bucket size skip lazy planning too. Default 1, 4, 8, 16, 32.
+	BatchBuckets []int
 }
 
 func (c *Config) applyDefaults() {
@@ -98,7 +117,16 @@ func (c *Config) applyDefaults() {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = time.Second
 	}
+	if c.MaxBatchSize > 1 && c.MaxBatchLatency <= 0 {
+		c.MaxBatchLatency = 2 * time.Millisecond
+	}
+	if len(c.BatchBuckets) == 0 {
+		c.BatchBuckets = []int{1, 4, 8, 16, 32}
+	}
 }
+
+// batching reports whether the coalescer stage is enabled.
+func (c *Config) batching() bool { return c.MaxBatchSize > 1 }
 
 // Request is one inference call.
 type Request struct {
@@ -164,6 +192,28 @@ type Stats struct {
 	EngineFallback  bool `json:"engine_fallback"`
 	// EngineRuns counts completed compiled-engine runs across both graphs.
 	EngineRuns uint64 `json:"engine_runs"`
+	// Batching reports whether the coalescer stage is enabled; the fields
+	// below mirror the temco_serve_batch* instruments either way (all zero
+	// with batching off).
+	Batching bool `json:"batching"`
+	// BatchedRuns counts coalesced engine runs; BatchedRequests the
+	// requests they served (their ratio is the realized mean batch size).
+	BatchedRuns     uint64 `json:"batched_runs"`
+	BatchedRequests uint64 `json:"batched_requests"`
+	// PaddedSlots counts padding rows added to reach a bucket;
+	// BatchBypass requests that skipped coalescing and ran solo;
+	// BatchSplits batches split to solo runs after a budget failure.
+	PaddedSlots uint64 `json:"padded_slots"`
+	BatchBypass uint64 `json:"batch_bypass"`
+	BatchSplits uint64 `json:"batch_splits"`
+	// BatchPending is the number of requests sitting in an open
+	// accumulation window right now — queue depth the admission queue no
+	// longer sees, reported to the cluster tier for placement.
+	BatchPending int64 `json:"batch_pending"`
+	// BatchWaitSecondsTotal / BatchWaitCount summarize the accumulation
+	// window histogram (temco_serve_batch_wait_seconds).
+	BatchWaitSecondsTotal float64 `json:"batch_wait_seconds_total"`
+	BatchWaitCount        uint64  `json:"batch_wait_count"`
 }
 
 // Session is a concurrent inference session over an optimized graph and
@@ -180,6 +230,12 @@ type Session struct {
 	// interpreter). Engines are immutable and shared; each worker holds its
 	// own Instances.
 	optEng, fbEng *engine.Engine
+
+	// buckets is the runtime batch-bucket ladder (ascending), clipped to
+	// MaxBatchSize; batchCh carries coalesced microbatches from the
+	// coalescer goroutine to the workers (nil when batching is off).
+	buckets []int
+	batchCh chan *microbatch
 
 	// baseCtx is canceled on forced shutdown; every request context hangs
 	// off it so in-flight kernels stop mid-node when draining times out.
@@ -208,6 +264,12 @@ func New(optimized, fallback *ir.Graph, cfg Config) (*Session, error) {
 			len(fallback.Inputs), len(optimized.Inputs), len(fallback.Outputs), len(optimized.Outputs))
 	}
 	cfg.applyDefaults()
+	for i, b := range cfg.BatchBuckets {
+		if b < 1 || (i > 0 && b <= cfg.BatchBuckets[i-1]) {
+			return nil, guard.Errorf(guard.ErrInvalidModel, "serve.New",
+				"batch buckets must be positive and strictly increasing: %v", cfg.BatchBuckets)
+		}
+	}
 	s := &Session{
 		opt: optimized,
 		fb:  fallback,
@@ -215,18 +277,43 @@ func New(optimized, fallback *ir.Graph, cfg Config) (*Session, error) {
 		q:   newQueue(cfg.QueueSize),
 		br:  newBreaker(cfg.BreakerThreshold, cfg.ProbeInterval),
 	}
+	// The runtime ladder is the configured buckets clipped to the batch
+	// cap, with the cap itself as the top bucket so a full batch never
+	// pads. With batching off everything runs at batch-per-request sizes,
+	// but the full ladder is still compiled below.
+	if cfg.batching() {
+		for _, b := range cfg.BatchBuckets {
+			if b <= cfg.MaxBatchSize {
+				s.buckets = append(s.buckets, b)
+			}
+		}
+		if n := len(s.buckets); n == 0 || s.buckets[n-1] != cfg.MaxBatchSize {
+			s.buckets = append(s.buckets, cfg.MaxBatchSize)
+		}
+	} else {
+		s.buckets = []int{1}
+	}
 	if !cfg.NoEngine {
 		// Compile-or-fall-back: an engine that will not compile (e.g. an
 		// unsupported node kind) is not an error — the interpreter serves
 		// that graph with identical outputs, just without the plan reuse.
-		s.optEng, _ = engine.Compile(optimized, engine.Options{Batch: 1, BudgetBytes: cfg.BudgetBytes})
-		s.fbEng, _ = engine.Compile(fallback, engine.Options{Batch: 1, BudgetBytes: cfg.BudgetBytes})
+		// The whole bucket ladder is planned here, at session start, so no
+		// request ever pays the O(n²) layout check on the hot path.
+		ladder := append(append([]int(nil), cfg.BatchBuckets...), s.buckets...)
+		opts := engine.Options{Batch: 1, Batches: ladder, BudgetBytes: cfg.BudgetBytes}
+		s.optEng, _ = engine.Compile(optimized, opts)
+		s.fbEng, _ = engine.Compile(fallback, opts)
 	}
 	// Instruments go live after the structures their sampled closures read
 	// (queue, breaker, engines) exist, and before any worker starts.
 	s.met = newSessionMetrics(s)
 	s.br.onTransition = func(from, to BreakerState) { s.met.breakerTransitions.Inc() }
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.batching() {
+		s.batchCh = make(chan *microbatch)
+		s.workers.Add(1)
+		go s.coalesce()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -281,9 +368,12 @@ func (s *Session) Infer(ctx context.Context, req Request) (*Response, error) {
 	}
 }
 
-// worker drains the admission queue until the session closes. Each worker
-// owns its engine instances: the arena slab and output buffers are
-// per-worker, so the hot path never takes a lock or touches shared state.
+// worker executes requests until the session closes. Each worker owns its
+// engine instances: the arena slab and output buffers are per-worker, so
+// the hot path never takes a lock or touches shared state. Without
+// batching, workers drain the admission queue directly (the unchanged
+// batch-1 passthrough); with batching, they drain microbatches from the
+// coalescer.
 func (s *Session) worker() {
 	defer s.workers.Done()
 	var optInst, fbInst *engine.Instance
@@ -293,23 +383,55 @@ func (s *Session) worker() {
 	if s.fbEng != nil {
 		fbInst = s.fbEng.NewInstance()
 	}
+	if s.batchCh != nil {
+		var pk packBuf
+		for b := range s.batchCh {
+			if b.solo {
+				s.runSolo(b.members[0], optInst, fbInst)
+			} else {
+				s.processBatch(b, optInst, fbInst, &pk)
+			}
+		}
+		return
+	}
 	for {
 		it, ok := s.q.pop()
 		if !ok {
 			return
 		}
-		s.met.inFlight.Add(1)
-		start := time.Now()
-		resp, err := s.process(it, optInst, fbInst)
-		s.met.runLatency.Observe(time.Since(start).Seconds())
-		s.met.inFlight.Add(-1)
-		if err != nil {
-			s.met.failed.Inc()
-		} else {
-			s.met.completed.Inc()
-		}
-		it.done <- result{resp: resp, err: err}
+		s.runSolo(it, optInst, fbInst)
 	}
+}
+
+// runSolo runs one request end-to-end on this worker: queue-wait
+// accounting, execution via process, outcome counters, result delivery.
+func (s *Session) runSolo(it *item, optInst, fbInst *engine.Instance) {
+	it.queued = time.Since(it.enq)
+	s.met.queueWait.Observe(it.queued.Seconds())
+	s.finish(it, optInst, fbInst)
+}
+
+// finish executes process with in-flight/latency/outcome accounting and
+// delivers the result. it.queued must already be set (runSolo sets it; the
+// batch path sets it when the microbatch dispatches).
+func (s *Session) finish(it *item, optInst, fbInst *engine.Instance) {
+	s.met.inFlight.Add(1)
+	start := time.Now()
+	resp, err := s.process(it, optInst, fbInst)
+	s.met.runLatency.Observe(time.Since(start).Seconds())
+	s.met.inFlight.Add(-1)
+	s.deliver(it, resp, err)
+}
+
+// deliver counts the outcome and hands the result back to Infer over the
+// item's buffered fan-back channel.
+func (s *Session) deliver(it *item, resp *Response, err error) {
+	if err != nil {
+		s.met.failed.Inc()
+	} else {
+		s.met.completed.Inc()
+	}
+	it.done <- result{resp: resp, err: err}
 }
 
 // retryable reports whether a failure class is worth retrying: memory
@@ -325,8 +447,7 @@ func retryable(err error) bool {
 // else through the interpreter; error classification (and therefore the
 // retry and breaker behavior) is identical on both paths.
 func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response, error) {
-	queued := time.Since(it.enq)
-	s.met.queueWait.Observe(queued.Seconds())
+	queued := it.queued
 	if err := it.ctx.Err(); err != nil {
 		return nil, guard.New(guard.ErrCanceled, "serve.process", err)
 	}
@@ -425,6 +546,17 @@ func (s *Session) runOnce(it *item, g *ir.Graph, inst *engine.Instance) (*exec.R
 	return &exec.Result{Outputs: out, LayerCalls: res.LayerCalls}, nil
 }
 
+// BatchBuckets returns the runtime batch-bucket ladder (ascending) batched
+// runs pad to. With batching disabled it is [1].
+func (s *Session) BatchBuckets() []int { return append([]int(nil), s.buckets...) }
+
+// BatchConfig reports the batching knobs the session runs with: whether
+// the coalescer stage is enabled, the sample-row cap per batch, and the
+// accumulation window.
+func (s *Session) BatchConfig() (enabled bool, maxBatch int, window time.Duration) {
+	return s.cfg.batching(), s.cfg.MaxBatchSize, s.cfg.MaxBatchLatency
+}
+
 // Engines returns the compiled engines for the optimized and fallback
 // graphs (nil for a graph serving through the interpreter). Engines are
 // immutable; callers may take their own Instances, e.g. to probe
@@ -467,6 +599,15 @@ func (s *Session) Stats() Stats {
 		QueueWaitSecondsTotal: s.met.queueWait.Sum(),
 		QueueWaitCount:        s.met.queueWait.Count(),
 		RunSecondsTotal:       s.met.runLatency.Sum(),
+		Batching:              s.cfg.batching(),
+		BatchedRuns:           s.met.batchedRuns.Value(),
+		BatchedRequests:       s.met.batchedRequests.Value(),
+		PaddedSlots:           s.met.paddedSlots.Value(),
+		BatchBypass:           s.met.batchBypass.Value(),
+		BatchSplits:           s.met.batchSplits.Value(),
+		BatchPending:          s.met.batchPending.Value(),
+		BatchWaitSecondsTotal: s.met.batchWait.Sum(),
+		BatchWaitCount:        s.met.batchWait.Count(),
 	}
 	if s.optEng != nil {
 		st.EngineOptimized = true
