@@ -1,0 +1,375 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"temco/internal/cluster"
+)
+
+// decodeBody decodes a JSON response body, failing the test on garbage.
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	if err := decodeInto(resp, v); err != nil {
+		t.Fatalf("non-JSON response (status %d): %v", resp.StatusCode, err)
+	}
+}
+
+func decodeInto(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestDrainzEndpoint drives the full drain protocol against one real
+// session and leak-checks the teardown: POST /drainz flips the session
+// into draining, /readyz becomes a 503 drain progress report, admission
+// sheds retryably, and closing the drained session releases every
+// background goroutine (the shutdown-ordering guarantee).
+func TestDrainzEndpoint(t *testing.T) {
+	// Warm the memoized graphs before counting goroutines so the build
+	// does not pollute the leak baseline.
+	if _, _, err := testSession(testOptions()); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	o := testOptions()
+	sess, shape, err := testSession(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(sess, shape, -1, false))
+
+	// Non-POST is refused without touching the session.
+	resp, err := http.Get(ts.URL + "/drainz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /drainz: status %d", resp.StatusCode)
+	}
+	if sess.Ready() != true {
+		t.Fatal("GET /drainz must not drain the session")
+	}
+
+	// POST flips draining and reports the work still in the pipeline.
+	dresp, err := http.Post(ts.URL+"/drainz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dout map[string]any
+	decodeBody(t, dresp, &dout)
+	if dresp.StatusCode != http.StatusOK || dout["draining"] != true {
+		t.Fatalf("POST /drainz: status %d body %v", dresp.StatusCode, dout)
+	}
+	for _, k := range []string{"queue_depth", "in_flight", "batch_pending"} {
+		if _, ok := dout[k]; !ok {
+			t.Errorf("/drainz body missing progress field %q: %v", k, dout)
+		}
+	}
+
+	// /readyz is now the drain progress report: 503, reason "draining",
+	// with the same countdown fields the prober decodes.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h cluster.Health
+	decodeBody(t, rresp, &h)
+	if rresp.StatusCode != http.StatusServiceUnavailable || h.Ready || h.Reason != "draining" {
+		t.Fatalf("draining /readyz: status %d body %+v", rresp.StatusCode, h)
+	}
+
+	// Admission sheds retryably — the router's cue to place elsewhere.
+	iresp, iout := postInfer(t, ts.URL, inferRequest{Batch: 1})
+	if iresp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("draining infer: status %d body %v", iresp.StatusCode, iout)
+	}
+	if iresp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining shed must carry Retry-After")
+	}
+
+	// Drain is idempotent.
+	dresp2, err := http.Post(ts.URL+"/drainz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, dresp2, &dout)
+	if dresp2.StatusCode != http.StatusOK || dout["draining"] != true {
+		t.Fatalf("second POST /drainz: status %d body %v", dresp2.StatusCode, dout)
+	}
+
+	// Teardown in shutdown order — server first, then the session — and
+	// verify nothing leaks.
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := sess.Close(ctx); err != nil {
+		t.Fatalf("closing drained session: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak after drained-session close: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestReadyzAutoscaleFields: /readyz carries the autoscaler's inputs —
+// worker count, cumulative run seconds, and the p95 queue wait — once the
+// session has served work.
+func TestReadyzAutoscaleFields(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+	if resp, out := postInfer(t, ts.URL, inferRequest{Batch: 2}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup infer: status %d body %v", resp.StatusCode, out)
+	}
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h cluster.Health
+	decodeBody(t, resp, &h)
+	if h.Workers != testOptions().workers {
+		t.Fatalf("readyz workers: want %d, got %+v", testOptions().workers, h)
+	}
+	if h.RunSecondsTotal <= 0 {
+		t.Fatalf("readyz run_seconds_total must grow after an infer: %+v", h)
+	}
+	if h.QueueWaitP95MS < 0 {
+		t.Fatalf("readyz queue_wait_p95_ms negative: %+v", h)
+	}
+}
+
+// TestMembershipChurnSoak is the in-process membership churn soak: 8
+// clients at full load against a probed fleet while replicas join (with
+// probation), drain (real /drainz protocol), die abruptly, and rejoin.
+// Every response must be well-formed, a graceful drain must lose zero
+// requests (no partial aborts before the crash phase, drained session
+// idle when Drain returns), and nothing may leak. CI runs the race-built
+// variant on every push and a longer TEMCO_SOAK variant on the soak job.
+func TestMembershipChurnSoak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	o := testOptions()
+	o.queueSize = 4
+
+	sess0, shape, err := testSession(o) // warm the memoized graphs first
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	sess0.Close(wctx)
+	wcancel()
+
+	// Three real replicas: two seeded, one held back to join mid-run.
+	reps := []*soakReplica{newSoakReplica(t, o), newSoakReplica(t, o), newSoakReplica(t, o)}
+	table, err := cluster.NewTable([]string{reps[0].url(), reps[1].url()}, cluster.Config{
+		ProbeInterval:   25 * time.Millisecond,
+		FailThreshold:   2,
+		MaxProbeBackoff: 200 * time.Millisecond,
+		ProbationProbes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := cluster.NewRouter(table, cluster.RouterConfig{})
+	table.Start()
+	front := httptest.NewServer(http.HandlerFunc(router.ServeInfer))
+
+	healthyCount := func() int {
+		n := 0
+		for _, r := range table.Replicas() {
+			if r.State() == cluster.StateHealthy {
+				n++
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for healthyCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("seed fleet never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	dur := 2 * time.Second
+	if s := os.Getenv("TEMCO_SOAK"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			dur = d
+		}
+	}
+
+	// The orchestrator walks the membership timeline off the client path;
+	// it reports via channel because t.Fatal is test-goroutine-only.
+	type gracefulReport struct {
+		partialAborts uint64 // router partial aborts after the graceful phase
+		drainedDepth  int    // drained session's queue depth when Drain returned
+		drainedFlight int64
+	}
+	orchErr := make(chan error, 1)
+	report := make(chan gracefulReport, 1)
+	go func() {
+		orchErr <- func() error {
+			// Phase A1 — join: the third replica enters on probation and
+			// must pass consecutive probes before taking traffic.
+			time.Sleep(dur / 8)
+			added, err := table.Add(reps[2].url())
+			if err != nil {
+				return fmt.Errorf("live add: %v", err)
+			}
+			joinBy := time.Now().Add(dur/4 + 10*time.Second)
+			for added.State() != cluster.StateHealthy {
+				if time.Now().After(joinBy) {
+					return fmt.Errorf("added replica never passed probation: %v", added.State())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+
+			// Phase A2 — graceful drain of a seed replica under load: new
+			// placements stop, the replica's own queue runs dry, and Drain
+			// returns only once the router sees zero in-flight there.
+			time.Sleep(dur / 4)
+			dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer dcancel()
+			if err := table.Drain(dctx, reps[1].url()); err != nil {
+				return fmt.Errorf("graceful drain: %v", err)
+			}
+			st := reps[1].sess.Stats()
+			report <- gracefulReport{
+				partialAborts: router.Stats().PartialAborts,
+				drainedDepth:  st.QueueDepth,
+				drainedFlight: st.InFlight,
+			}
+
+			// Phase B — crash churn: abrupt kill and same-address restart.
+			time.Sleep(dur / 8)
+			reps[0].kill()
+			time.Sleep(dur / 8)
+			return reps[0].restart(shape)
+		}()
+	}()
+
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusTooManyRequests:     true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusInternalServerError: true,
+		http.StatusInsufficientStorage: true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusBadGateway:          true,
+	}
+	end := time.Now().Add(dur)
+	var ok, malformed atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; time.Now().Before(end); i++ {
+				body := fmt.Sprintf(`{"batch":1,"seed":%d}`, c*100000+i)
+				resp, err := client.Post(front.URL+"/infer", "application/json", strings.NewReader(body))
+				if err != nil {
+					malformed.Add(1)
+					continue
+				}
+				var out map[string]any
+				derr := decodeInto(resp, &out)
+				if derr != nil || !allowed[resp.StatusCode] {
+					t.Logf("malformed: status %d err %v body %v", resp.StatusCode, derr, out)
+					malformed.Add(1)
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					ok.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := <-orchErr; err != nil {
+		t.Fatal(err)
+	}
+	grace := <-report
+
+	st := router.Stats()
+	mem := table.Membership()
+	t.Logf("churn soak: ok=%d router=%+v membership=%+v", ok.Load(), st, mem)
+	if n := malformed.Load(); n != 0 {
+		t.Fatalf("%d malformed responses under membership churn", n)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("soak served nothing")
+	}
+
+	// Zero requests lost to the graceful phase: no partial aborts before
+	// the crash churn began, and the drained session was idle the moment
+	// Drain returned.
+	if grace.partialAborts != 0 {
+		t.Fatalf("graceful join+drain aborted %d in-flight requests", grace.partialAborts)
+	}
+	if grace.drainedDepth != 0 || grace.drainedFlight != 0 {
+		t.Fatalf("drained session not idle when Drain returned: depth=%d in-flight=%d",
+			grace.drainedDepth, grace.drainedFlight)
+	}
+	if mem.Adds != 1 || mem.Drains != 1 || mem.Removes != 1 {
+		t.Fatalf("membership counters after churn: %+v", mem)
+	}
+
+	// The fleet converges: the drained replica is gone, the joined and
+	// restarted replicas are healthy.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if len(table.Replicas()) == 2 && healthyCount() == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never converged after churn: %+v", table.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Teardown and leak check — including the drained-but-running session.
+	front.Close()
+	table.Close()
+	for _, r := range reps {
+		r.kill()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := r.sess.Close(ctx); err != nil {
+			t.Errorf("closing replica session: %v", err)
+		}
+		cancel()
+	}
+	leakBy := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(leakBy) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -24,6 +24,10 @@
 //	GET  /readyz  readiness (503 while draining); the ready body carries
 //	              queue depth, breaker state, and the degraded flag for the
 //	              temcor routing tier
+//	POST /drainz  flip the session into draining: admission sheds, queued
+//	              and in-flight work completes, /readyz turns into a drain
+//	              progress report (queue depth, in-flight); the process
+//	              keeps running until SIGTERM
 //	POST /quitz   exit the process immediately (only with -quitz armed)
 //	GET  /statsz  serving counters + injected-fault counters (JSON)
 //	GET  /metrics the same counters in Prometheus text format
@@ -194,6 +198,12 @@ func run(o options) error {
 
 	select {
 	case err := <-errc:
+		// The listener died before any shutdown signal: stop the session's
+		// background goroutines (workers, batch coalescer) before exiting so
+		// the failure path leaks nothing.
+		cctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		sess.Close(cctx)
+		cancel()
 		return guard.New(guard.ErrInternal, "temcod.listen", err)
 	case <-ctx.Done():
 	}
@@ -468,13 +478,43 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64, qui
 			InFlight:     st.InFlight,
 			BatchPending: st.BatchPending,
 			BreakerState: st.Breaker,
+			// Autoscale signal inputs: the temcor autoscaler differences
+			// RunSecondsTotal and BreakerTransitions between probes and
+			// compares the p95 queue wait against its target.
+			Workers:            st.Workers,
+			RunSecondsTotal:    st.RunSecondsTotal,
+			QueueWaitP95MS:     float64(sess.QueueWaitQuantile(0.95)) / float64(time.Millisecond),
+			BreakerTransitions: st.BreakerTransitions,
 		}
 		if !h.Ready {
+			// Draining: the 503 body doubles as the drain progress report —
+			// queue depth and in-flight count down to zero as the session
+			// empties.
 			h.Reason = "draining"
 			writeJSON(w, http.StatusServiceUnavailable, h)
 			return
 		}
 		writeJSON(w, http.StatusOK, h)
+	})
+	// /drainz flips the session's draining state: admission sheds from this
+	// instant (the temcor router retries those requests elsewhere), queued
+	// and in-flight work runs to completion on the live workers, and
+	// /readyz reports progress until the process is told to exit. Part of
+	// the cluster drain protocol — cluster.Table.Drain posts here — but
+	// also usable directly for a manual rolling restart.
+	mux.HandleFunc("/drainz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		sess.Drain()
+		st := sess.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"draining":      true,
+			"queue_depth":   st.QueueDepth,
+			"in_flight":     st.InFlight,
+			"batch_pending": st.BatchPending,
+		})
 	})
 	if quitz {
 		mux.HandleFunc("/quitz", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"temco/internal/cluster"
+)
+
+func adminDo(t *testing.T, method, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("non-JSON admin response from %s %s (status %d): %v", method, url, resp.StatusCode, err)
+	}
+	return resp, out
+}
+
+// waitState polls the table until the named replica reaches the wanted
+// state.
+func waitState(t *testing.T, table *cluster.Table, url string, want cluster.State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, r := range table.Replicas() {
+			if r.URL() == url && r.State() == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %s never reached %s: %+v", url, want, table.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestAdminReplicaLifecycle walks a replica through the admin API: added
+// on probation, promoted by passing probes, listed, refused as a
+// duplicate, and removed.
+func TestAdminReplicaLifecycle(t *testing.T) {
+	front, table, _ := newTestCluster(t, 1)
+	extra := newFakeReplica("extra")
+	defer extra.srv.Close()
+
+	// GET lists the current membership.
+	resp, out := adminDo(t, http.MethodGet, front.URL+"/admin/replicas", "")
+	if resp.StatusCode != http.StatusOK || out["membership"] == nil {
+		t.Fatalf("GET /admin/replicas: %d %v", resp.StatusCode, out)
+	}
+	if reps, ok := out["replicas"].([]any); !ok || len(reps) != 1 {
+		t.Fatalf("GET /admin/replicas table: %v", out["replicas"])
+	}
+
+	// POST adds the replica in the joining state — no traffic yet.
+	resp, out = adminDo(t, http.MethodPost, front.URL+"/admin/replicas", fmt.Sprintf(`{"url":%q}`, extra.srv.URL))
+	if resp.StatusCode != http.StatusOK || out["state"] != "joining" {
+		t.Fatalf("POST /admin/replicas: %d %v", resp.StatusCode, out)
+	}
+	// Probation passes (probe interval 10ms) and the replica joins service.
+	waitState(t, table, extra.srv.URL, cluster.StateHealthy)
+
+	// A duplicate add conflicts; garbage is a bad request; a missing URL too.
+	if resp, _ = adminDo(t, http.MethodPost, front.URL+"/admin/replicas", fmt.Sprintf(`{"url":%q}`, extra.srv.URL)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate add: status %d", resp.StatusCode)
+	}
+	if resp, _ = adminDo(t, http.MethodPost, front.URL+"/admin/replicas", `{"url":"not-a-url"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid add: status %d", resp.StatusCode)
+	}
+	if resp, _ = adminDo(t, http.MethodPost, front.URL+"/admin/replicas", `{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bodyless add: status %d", resp.StatusCode)
+	}
+
+	// DELETE removes immediately; a second delete is a 404.
+	resp, out = adminDo(t, http.MethodDelete, front.URL+"/admin/replicas?url="+extra.srv.URL, "")
+	if resp.StatusCode != http.StatusOK || out["removed"] == nil {
+		t.Fatalf("DELETE /admin/replicas: %d %v", resp.StatusCode, out)
+	}
+	if len(table.Replicas()) != 1 {
+		t.Fatalf("table after delete: %+v", table.Status())
+	}
+	if resp, _ = adminDo(t, http.MethodDelete, front.URL+"/admin/replicas?url="+extra.srv.URL, ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: status %d", resp.StatusCode)
+	}
+}
+
+// TestAdminDrain: the synchronous drain endpoint notifies the replica's
+// /drainz, waits it idle, and removes it; unknown replicas 404, non-POST
+// is refused.
+func TestAdminDrain(t *testing.T) {
+	front, table, reps := newTestCluster(t, 2)
+
+	resp, out := adminDo(t, http.MethodPost, front.URL+"/admin/drain", fmt.Sprintf(`{"url":%q}`, reps[1].srv.URL))
+	if resp.StatusCode != http.StatusOK || out["drained"] == nil {
+		t.Fatalf("POST /admin/drain: %d %v", resp.StatusCode, out)
+	}
+	if reps[1].drainzCalls() == 0 {
+		t.Fatal("drained replica never told to shed (/drainz)")
+	}
+	if len(table.Replicas()) != 1 {
+		t.Fatalf("drained replica still in the table: %+v", table.Status())
+	}
+	// Traffic keeps flowing on the survivor.
+	presp, err := http.Post(front.URL+"/infer", "application/json", strings.NewReader(`{"batch":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("infer after drain: status %d", presp.StatusCode)
+	}
+
+	if resp, _ = adminDo(t, http.MethodPost, front.URL+"/admin/drain", `{"url":"http://127.0.0.1:1"}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("drain of unknown replica: status %d", resp.StatusCode)
+	}
+	if resp, _ = adminDo(t, http.MethodGet, front.URL+"/admin/drain", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/drain: status %d", resp.StatusCode)
+	}
+}
+
+func TestReadReplicasFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "replicas.txt")
+	content := "# fleet\nhttp://a:1, http://b:2\n\nhttp://c:3 # trailing comment\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	urls, err := readReplicasFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if !reflect.DeepEqual(urls, want) {
+		t.Fatalf("parsed %v, want %v", urls, want)
+	}
+	if _, err := readReplicasFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestReconcile drives the file-reload path directly: new URLs join,
+// missing URLs drain away, and an empty list is refused outright.
+func TestReconcile(t *testing.T) {
+	_, table, reps, p := newTestProxy(t, 2)
+	extra := newFakeReplica("extra")
+	defer extra.srv.Close()
+
+	added, draining, err := p.reconcile([]string{reps[0].srv.URL, extra.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(added, []string{extra.srv.URL}) {
+		t.Fatalf("reconcile added %v", added)
+	}
+	if !reflect.DeepEqual(draining, []string{reps[1].srv.URL}) {
+		t.Fatalf("reconcile draining %v", draining)
+	}
+	// The drain runs asynchronously; the table converges to the new set.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		urls := map[string]bool{}
+		for _, r := range table.Replicas() {
+			urls[r.URL()] = true
+		}
+		if len(urls) == 2 && urls[reps[0].srv.URL] && urls[extra.srv.URL] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("table never converged on the reconciled set: %+v", table.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitState(t, table, extra.srv.URL, cluster.StateHealthy)
+
+	if _, _, err := p.reconcile(nil); err == nil {
+		t.Fatal("empty reconcile must refuse to drain the fleet")
+	}
+}
+
+// TestStatszMembershipAutoscale: the new /statsz sections are live — the
+// membership table counts the fleet and the autoscale signal publishes a
+// desired size.
+func TestStatszMembershipAutoscale(t *testing.T) {
+	front, _, _ := newTestCluster(t, 2)
+	resp, err := http.Get(front.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Membership.Replicas != 2 {
+		t.Fatalf("statsz membership: %+v", st.Membership)
+	}
+	if st.Autoscale.DesiredReplicas != 2 {
+		t.Fatalf("statsz autoscale signal: %+v", st.Autoscale)
+	}
+}

@@ -11,23 +11,46 @@
 // requests (-hedge) duplicate an attempt that outlives the observed
 // latency percentile.
 //
+// Membership is live: the admin API adds, drains, and removes replicas on
+// the running table. An added replica joins on probation (no traffic until
+// it passes -probation consecutive probes); a drained replica stops taking
+// placements immediately, is told to shed its own admission (POST
+// /drainz), and is removed only after the router-observed in-flight count
+// reaches zero. With -replicasfile the file is the membership source:
+// SIGHUP or an mtime change reconciles the table against it (new URLs
+// join, missing URLs drain). An autoscaler derives a desired-replicas
+// signal from probed health (run-seconds utilization, queue depth +
+// batch-pending, p95 queue wait, breaker transitions) with hysteresis and
+// publishes it on /statsz and /metrics — advisory only, for an external
+// operator or controller.
+//
 // Usage:
 //
 //	temcor -replicas http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	temcor -replicasfile /etc/temco/replicas.txt
 //	temcor -replicas ... -hedge -hedgequantile 0.95
 //
 // Endpoints:
 //
-//	POST /infer   proxied inference; response carries X-Temco-Replica
-//	GET  /healthz liveness (200 while the process runs)
-//	GET  /readyz  readiness (503 until at least one replica is routable)
-//	GET  /statsz  router counters + per-replica health table (JSON)
-//	GET  /metrics cluster registry in Prometheus text format
+//	POST /infer           proxied inference; response carries X-Temco-Replica
+//	GET  /healthz         liveness (200 while the process runs)
+//	GET  /readyz          readiness (503 until at least one replica is routable)
+//	GET  /statsz          router counters + per-replica health table +
+//	                      membership + autoscale signal (JSON)
+//	GET  /metrics         cluster registry in Prometheus text format
+//	GET  /admin/replicas  the live membership table
+//	POST /admin/replicas  {"url": "..."} — add a replica (joins on probation)
+//	DELETE /admin/replicas?url=... — remove a replica immediately (no drain)
+//	POST /admin/drain     {"url": "..."} — graceful drain, synchronous:
+//	                      returns once the replica is idle and removed, or
+//	                      504 when -draintimeout expires first (the replica
+//	                      stays in the table, still draining)
 //
 // /statsz and /metrics render the same cluster registry, so the two views
 // cannot drift. SIGINT/SIGTERM triggers graceful shutdown: the listener
 // closes, in-flight proxied requests drain (bounded by -draintimeout),
-// then the prober stops and the process exits.
+// then the prober stops and the process exits. SIGHUP reloads
+// -replicasfile.
 package main
 
 import (
@@ -40,7 +63,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -51,27 +76,36 @@ import (
 
 func main() {
 	var (
-		replicas  = flag.String("replicas", "", "comma-separated temcod base URLs (required)")
+		replicas  = flag.String("replicas", "", "comma-separated temcod base URLs")
+		repFile   = flag.String("replicasfile", "", "file of temcod base URLs (one per line, # comments); reloaded on SIGHUP and on file change")
 		addr      = flag.String("addr", ":8090", "HTTP listen address")
 		probeIvl  = flag.Duration("probeinterval", 250*time.Millisecond, "health probe interval per replica")
 		probeTO   = flag.Duration("probetimeout", 1*time.Second, "health probe timeout")
 		failThr   = flag.Int("failthreshold", 3, "consecutive probe failures that eject a replica")
 		maxProbe  = flag.Duration("maxprobebackoff", 8*time.Second, "re-probe backoff cap for ejected replicas")
+		probation = flag.Int("probation", 2, "consecutive successful probes an added replica needs before taking traffic")
 		retries   = flag.Int("retries", 2, "max additional replicas to try after a connection error or shed (-1 disables)")
 		attemptTO = flag.Duration("attempttimeout", 30*time.Second, "per-attempt proxy timeout")
 		hedge     = flag.Bool("hedge", false, "hedge slow attempts on a second replica (presumes idempotent inference)")
 		hedgeQ    = flag.Float64("hedgequantile", 0.95, "latency quantile that arms the hedge timer")
 		hedgeMin  = flag.Duration("minhedgedelay", 10*time.Millisecond, "floor on the hedge delay")
-		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful shutdown drain budget")
+		drain     = flag.Duration("draintimeout", 30*time.Second, "graceful drain budget (shutdown and /admin/drain)")
+		scaleTgt  = flag.Float64("scaletarget", 0.7, "autoscale target worker utilization")
+		scaleMin  = flag.Int("scalemin", 1, "autoscale floor for desired replicas")
+		scaleMax  = flag.Int("scalemax", 16, "autoscale ceiling for desired replicas")
+		scaleIvl  = flag.Duration("scaleinterval", time.Second, "autoscale evaluation period")
 	)
 	flag.Parse()
 	if err := run(options{
-		replicas: *replicas, addr: *addr,
+		replicas: *replicas, replicasFile: *repFile, addr: *addr,
 		probeInterval: *probeIvl, probeTimeout: *probeTO,
 		failThreshold: *failThr, maxProbeBackoff: *maxProbe,
-		retries: *retries, attemptTimeout: *attemptTO,
+		probation: *probation,
+		retries:   *retries, attemptTimeout: *attemptTO,
 		hedge: *hedge, hedgeQuantile: *hedgeQ, minHedgeDelay: *hedgeMin,
-		drain: *drain,
+		drain:    *drain,
+		scaleTgt: *scaleTgt, scaleMin: *scaleMin, scaleMax: *scaleMax,
+		scaleIvl: *scaleIvl,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "temcor:", err)
 		os.Exit(guard.ExitCode(err))
@@ -80,28 +114,45 @@ func main() {
 
 type options struct {
 	replicas        string
+	replicasFile    string
 	addr            string
 	probeInterval   time.Duration
 	probeTimeout    time.Duration
 	failThreshold   int
 	maxProbeBackoff time.Duration
+	probation       int
 	retries         int
 	attemptTimeout  time.Duration
 	hedge           bool
 	hedgeQuantile   float64
 	minHedgeDelay   time.Duration
 	drain           time.Duration
+	scaleTgt        float64
+	scaleMin        int
+	scaleMax        int
+	scaleIvl        time.Duration
 }
 
 func run(o options) error {
+	if o.replicas != "" && o.replicasFile != "" {
+		return guard.Errorf(guard.ErrInvalidModel, "flags", "-replicas and -replicasfile are mutually exclusive (the file is the membership source)")
+	}
 	var urls []string
-	for _, u := range strings.Split(o.replicas, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
+	if o.replicasFile != "" {
+		fileURLs, err := readReplicasFile(o.replicasFile)
+		if err != nil {
+			return err
+		}
+		urls = fileURLs
+	} else {
+		for _, u := range strings.Split(o.replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
 		}
 	}
 	if len(urls) == 0 {
-		return guard.Errorf(guard.ErrInvalidModel, "flags", "-replicas is required (comma-separated temcod base URLs)")
+		return guard.Errorf(guard.ErrInvalidModel, "flags", "-replicas or -replicasfile is required (temcod base URLs)")
 	}
 	// Process-wide collectors on the default registry; the cluster tier's
 	// instruments live on the table's own registry and /metrics renders both.
@@ -111,6 +162,7 @@ func run(o options) error {
 		ProbeTimeout:    o.probeTimeout,
 		FailThreshold:   o.failThreshold,
 		MaxProbeBackoff: o.maxProbeBackoff,
+		ProbationProbes: o.probation,
 	})
 	if err != nil {
 		return err
@@ -122,12 +174,43 @@ func run(o options) error {
 		HedgeQuantile:  o.hedgeQuantile,
 		MinHedgeDelay:  o.minHedgeDelay,
 	})
+	scaler := cluster.NewAutoscaler(table, cluster.AutoscaleConfig{
+		TargetUtilization: o.scaleTgt,
+		Min:               o.scaleMin,
+		Max:               o.scaleMax,
+		Interval:          o.scaleIvl,
+	})
 	table.Start()
 	defer table.Close()
+	scaler.Start()
+	defer scaler.Close()
 
-	srv := &http.Server{Addr: o.addr, Handler: newHandler(table, router)}
+	p := &proxy{
+		table:  table,
+		router: router,
+		scaler: scaler,
+		drain:  o.drain,
+		file:   o.replicasFile,
+	}
+
+	srv := &http.Server{Addr: o.addr, Handler: newHandler(p)}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if o.replicasFile != "" {
+		// SIGHUP and an mtime poll both reconcile against the file; either
+		// path alone suffices, together they cover "kill -HUP forgotten".
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				fmt.Println("temcor: SIGHUP, reloading", o.replicasFile)
+				p.reloadFromFile()
+			}
+		}()
+		go p.watchFile(ctx, 2*time.Second)
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -152,17 +235,149 @@ func run(o options) error {
 	return nil
 }
 
+// proxy bundles the routing tier's live components for the HTTP handlers
+// and the replicas-file reconciler.
+type proxy struct {
+	table  *cluster.Table
+	router *cluster.Router
+	scaler *cluster.Autoscaler
+	drain  time.Duration
+	file   string
+
+	reloadMu sync.Mutex // serializes file reloads (SIGHUP vs mtime poll)
+	lastMod  time.Time
+}
+
+// readReplicasFile parses a replicas file: one URL per line (commas also
+// accepted), blank lines and #-comments ignored.
+func readReplicasFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, guard.New(guard.ErrInvalidModel, "temcor.replicasfile", err)
+	}
+	var urls []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, u := range strings.Split(line, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	return urls, nil
+}
+
+// reloadFromFile re-reads the replicas file and reconciles the table.
+func (p *proxy) reloadFromFile() {
+	p.reloadMu.Lock()
+	defer p.reloadMu.Unlock()
+	urls, err := readReplicasFile(p.file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "temcor: reload:", err)
+		return
+	}
+	added, draining, err := p.reconcile(urls)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "temcor: reload:", err)
+		return
+	}
+	if len(added) > 0 || len(draining) > 0 {
+		fmt.Printf("temcor: reload: added %v, draining %v\n", added, draining)
+	}
+}
+
+// watchFile polls the replicas file's mtime and reloads on change, so a
+// config-management push takes effect without a signal.
+func (p *proxy) watchFile(ctx context.Context, interval time.Duration) {
+	if fi, err := os.Stat(p.file); err == nil {
+		p.lastMod = fi.ModTime()
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			fi, err := os.Stat(p.file)
+			if err != nil {
+				continue
+			}
+			if mod := fi.ModTime(); mod.After(p.lastMod) {
+				p.lastMod = mod
+				p.reloadFromFile()
+			}
+		}
+	}
+}
+
+// reconcile drives the table toward the given membership: URLs not yet in
+// the table are added (joining on probation), table members missing from
+// the list are drained asynchronously (bounded by the drain budget; a
+// timed-out drain leaves the replica in the table, still draining, for the
+// next reconcile or a manual remove). An empty list is refused — a
+// truncated config push must not drain the whole fleet.
+func (p *proxy) reconcile(urls []string) (added, draining []string, err error) {
+	want := map[string]bool{}
+	for _, u := range urls {
+		n, err := cluster.NormalizeURL(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		want[n] = true
+	}
+	if len(want) == 0 {
+		return nil, nil, guard.Errorf(guard.ErrInvalidModel, "temcor.reconcile", "replica list is empty; refusing to drain the whole fleet")
+	}
+	have := map[string]bool{}
+	for _, r := range p.table.Replicas() {
+		have[r.URL()] = true
+	}
+	for u := range want {
+		if !have[u] {
+			if _, err := p.table.Add(u); err == nil {
+				added = append(added, u)
+			}
+		}
+	}
+	for u := range have {
+		if !want[u] {
+			draining = append(draining, u)
+			go func(u string) {
+				ctx, cancel := context.WithTimeout(context.Background(), p.drain)
+				defer cancel()
+				if err := p.table.Drain(ctx, u); err != nil {
+					fmt.Fprintf(os.Stderr, "temcor: draining %s: %v\n", u, err)
+				}
+			}(u)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(draining)
+	return added, draining, nil
+}
+
 // statsResponse is the /statsz body: router counters next to the live
-// per-replica health table.
+// per-replica health table, membership activity, and the autoscale signal.
 type statsResponse struct {
 	Router     cluster.RouterStats     `json:"router"`
 	Replicas   []cluster.ReplicaStatus `json:"replicas"`
+	Membership cluster.MembershipStats `json:"membership"`
+	Autoscale  cluster.AutoscaleStats  `json:"autoscale"`
 	Routable   int                     `json:"routable"`
 	Goroutines int                     `json:"goroutines"`
 }
 
-// newHandler builds the temcor HTTP API over the table and router.
-func newHandler(table *cluster.Table, router *cluster.Router) http.Handler {
+// adminReplicaRequest is the POST /admin/replicas and /admin/drain body.
+type adminReplicaRequest struct {
+	URL string `json:"url"`
+}
+
+// newHandler builds the temcor HTTP API over the proxy's components.
+func newHandler(p *proxy) http.Handler {
+	table, router := p.table, p.router
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -183,19 +398,119 @@ func newHandler(table *cluster.Table, router *cluster.Router) http.Handler {
 		writeJSON(w, http.StatusOK, statsResponse{
 			Router:     router.Stats(),
 			Replicas:   table.Status(),
+			Membership: table.Membership(),
+			Autoscale:  p.scaler.Stats(),
 			Routable:   table.Routable(),
 			Goroutines: runtime.NumGoroutine(),
 		})
 	})
 	// /metrics renders the cluster registry (replica states, placements,
-	// retries, hedges, ejections) next to the process-wide default registry.
+	// retries, hedges, ejections, membership, desired replicas) next to the
+	// process-wide default registry.
 	mux.Handle("/metrics", obs.Handler(table.Metrics(), obs.Default()))
 	mux.HandleFunc("/infer", router.ServeInfer)
+	// Admin API: live membership. GET lists, POST adds (the replica joins
+	// on probation and takes no traffic until its probes pass), DELETE
+	// removes immediately with no drain — the graceful path is
+	// /admin/drain.
+	mux.HandleFunc("/admin/replicas", p.handleAdminReplicas)
+	mux.HandleFunc("/admin/drain", p.handleAdminDrain)
 	return mux
+}
+
+func (p *proxy) handleAdminReplicas(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"replicas":   p.table.Status(),
+			"membership": p.table.Membership(),
+		})
+	case http.MethodPost:
+		url, ok := adminURL(w, r)
+		if !ok {
+			return
+		}
+		rep, err := p.table.Add(url)
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "already present") {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"url": rep.URL(), "state": rep.State().String()})
+	case http.MethodDelete:
+		url, ok := adminURL(w, r)
+		if !ok {
+			return
+		}
+		if err := p.table.Remove(url); err != nil {
+			status := http.StatusNotFound
+			if _, nerr := cluster.NormalizeURL(url); nerr != nil {
+				status = http.StatusBadRequest
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"removed": url})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET, POST, or DELETE")
+	}
+}
+
+// handleAdminDrain runs the drain protocol synchronously: mark the replica
+// draining (placements stop at once), tell it to shed its own admission,
+// wait for router-observed in-flight to hit zero, remove. Bounded by the
+// request context and the -draintimeout budget; on timeout the replica
+// stays in the table, still draining, and the call may be retried.
+func (p *proxy) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	url, ok := adminURL(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.drain)
+	defer cancel()
+	if err := p.table.Drain(ctx, url); err != nil {
+		switch {
+		case errors.Is(err, guard.ErrCanceled):
+			writeError(w, http.StatusGatewayTimeout, err.Error())
+		case strings.Contains(err.Error(), "not in the table"):
+			writeError(w, http.StatusNotFound, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"drained": url})
+}
+
+// adminURL extracts the target replica URL from the JSON body or the ?url=
+// query parameter, writing a 400 when absent.
+func adminURL(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if u := r.URL.Query().Get("url"); u != "" {
+		return u, true
+	}
+	var req adminReplicaRequest
+	if r.Body != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err == nil && req.URL != "" {
+			return req.URL, true
+		}
+	}
+	writeError(w, http.StatusBadRequest, `want {"url": "..."} or ?url=`)
+	return "", false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
 }

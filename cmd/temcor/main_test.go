@@ -18,7 +18,8 @@ import (
 )
 
 // fakeReplica is a stub temcod: scriptable /readyz health plus an /infer
-// endpoint that answers with its own name.
+// endpoint that answers with its own name, and a /drainz endpoint that
+// flips it not-ready the way a draining temcod would.
 type fakeReplica struct {
 	name string
 	srv  *httptest.Server
@@ -26,6 +27,7 @@ type fakeReplica struct {
 	mu     sync.Mutex
 	health cluster.Health
 	status int
+	drainz int
 }
 
 func newFakeReplica(name string) *fakeReplica {
@@ -48,6 +50,15 @@ func newFakeReplica(name string) *fakeReplica {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"argmax":[1],"served_by":%q}`, f.name)
 	})
+	mux.HandleFunc("/drainz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.drainz++
+		f.health = cluster.Health{Ready: false, Reason: "draining"}
+		f.status = http.StatusServiceUnavailable
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"draining":true}`)
+	})
 	f.srv = httptest.NewServer(mux)
 	return f
 }
@@ -58,9 +69,23 @@ func (f *fakeReplica) set(h cluster.Health, status int) {
 	f.mu.Unlock()
 }
 
+func (f *fakeReplica) drainzCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drainz
+}
+
 // newTestCluster wires n fake replicas behind a probing table, a router,
-// and the temcor handler, waiting until every replica is classified.
+// an autoscaler, and the temcor handler, waiting until every replica is
+// classified.
 func newTestCluster(t *testing.T, n int) (*httptest.Server, *cluster.Table, []*fakeReplica) {
+	front, table, reps, _ := newTestProxy(t, n)
+	return front, table, reps
+}
+
+// newTestProxy is newTestCluster plus the proxy itself, for tests that
+// drive the admin API or the reconciler directly.
+func newTestProxy(t *testing.T, n int) (*httptest.Server, *cluster.Table, []*fakeReplica, *proxy) {
 	t.Helper()
 	reps := make([]*fakeReplica, n)
 	urls := make([]string, n)
@@ -73,8 +98,10 @@ func newTestCluster(t *testing.T, n int) (*httptest.Server, *cluster.Table, []*f
 		t.Fatal(err)
 	}
 	router := cluster.NewRouter(table, cluster.RouterConfig{})
+	scaler := cluster.NewAutoscaler(table, cluster.AutoscaleConfig{})
 	table.Start()
-	front := httptest.NewServer(newHandler(table, router))
+	p := &proxy{table: table, router: router, scaler: scaler, drain: 5 * time.Second}
+	front := httptest.NewServer(newHandler(p))
 	t.Cleanup(func() {
 		front.Close()
 		table.Close()
@@ -91,7 +118,7 @@ func newTestCluster(t *testing.T, n int) (*httptest.Server, *cluster.Table, []*f
 			}
 		}
 		if healthy == n {
-			return front, table, reps
+			return front, table, reps, p
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("fleet never became healthy: %d/%d", healthy, n)

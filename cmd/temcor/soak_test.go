@@ -255,3 +255,240 @@ func TestProcessClusterSoak(t *testing.T) {
 		}
 	}
 }
+
+// TestProcessMembershipChurnSoak is the membership churn soak at full
+// process fidelity: real binaries, a replica admin-added mid-load (joins
+// on probation), another gracefully drained through /admin/drain and then
+// SIGTERMed (must exit 0 — shutdown ordering), a third /quitz-killed and
+// restarted. Every response well-formed, the autoscale signal published,
+// the fleet converged. Gated by TEMCO_SOAK.
+func TestProcessMembershipChurnSoak(t *testing.T) {
+	soak := os.Getenv("TEMCO_SOAK")
+	if soak == "" {
+		t.Skip("set TEMCO_SOAK (e.g. 30s) to run the process-level membership churn soak")
+	}
+	dur := 10 * time.Second
+	if d, err := time.ParseDuration(soak); err == nil && d > 0 {
+		dur = d
+	}
+
+	bindir := t.TempDir()
+	temcod := filepath.Join(bindir, "temcod")
+	temcor := filepath.Join(bindir, "temcor")
+	for _, b := range [][2]string{{temcod, "temco/cmd/temcod"}, {temcor, "temco/cmd/temcor"}} {
+		out, err := exec.Command("go", "build", "-o", b[0], b[1]).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", b[1], err, out)
+		}
+	}
+
+	replicaArgs := func(port int) []string {
+		return []string{
+			"-model", "alexnet", "-res", "32", "-classes", "10", "-ratio", "0.25",
+			"-queue", "8", "-addr", fmt.Sprintf("127.0.0.1:%d", port), "-quitz",
+		}
+	}
+	// Three temcod processes; only the first two are seeded into temcor —
+	// the third joins live through the admin API.
+	ports := []int{freePort(t), freePort(t), freePort(t)}
+	urls := make([]string, 3)
+	replicas := make([]*daemon, 3)
+	for i, p := range ports {
+		replicas[i] = spawn(t, temcod, replicaArgs(p)...)
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	t.Cleanup(func() {
+		for _, d := range replicas {
+			if d != nil && d.cmd.ProcessState == nil {
+				d.cmd.Process.Kill()
+			}
+		}
+	})
+	for _, u := range urls {
+		waitReady(t, u, 60*time.Second)
+	}
+
+	routerPort := freePort(t)
+	routerURL := fmt.Sprintf("http://127.0.0.1:%d", routerPort)
+	router := spawn(t, temcor,
+		"-replicas", urls[0]+","+urls[1],
+		"-addr", fmt.Sprintf("127.0.0.1:%d", routerPort),
+		"-probeinterval", "50ms", "-failthreshold", "2", "-maxprobebackoff", "400ms",
+		"-probation", "2", "-scaleinterval", "250ms")
+	t.Cleanup(func() {
+		if router.cmd.ProcessState == nil {
+			router.cmd.Process.Kill()
+		}
+	})
+	waitReady(t, routerURL, 30*time.Second)
+
+	admin := &http.Client{Timeout: 60 * time.Second}
+	adminPost := func(path, url string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := admin.Post(routerURL+path, "application/json",
+			bytes.NewReader([]byte(fmt.Sprintf(`{"url":%q}`, url))))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("non-JSON admin response (status %d): %v", resp.StatusCode, err)
+		}
+		return resp, out
+	}
+	stateOf := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(routerURL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st statsResponse
+		jerr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if jerr != nil {
+			t.Fatal(jerr)
+		}
+		for _, r := range st.Replicas {
+			if r.URL == url {
+				return r.State
+			}
+		}
+		return "absent"
+	}
+
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusTooManyRequests: true,
+		http.StatusServiceUnavailable: true, http.StatusBadGateway: true,
+		http.StatusGatewayTimeout: true, http.StatusInternalServerError: true,
+		http.StatusInsufficientStorage: true,
+	}
+	end := time.Now().Add(dur)
+	var ok, malformed atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; time.Now().Before(end); i++ {
+				body, _ := json.Marshal(map[string]any{"batch": 1, "seed": c*100000 + i})
+				resp, err := client.Post(routerURL+"/infer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					malformed.Add(1)
+					continue
+				}
+				var out map[string]any
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if derr != nil || !allowed[resp.StatusCode] {
+					t.Logf("malformed: status %d err %v body %v", resp.StatusCode, derr, out)
+					malformed.Add(1)
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					ok.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Join: the third replica enters on probation and must reach healthy.
+	time.Sleep(dur / 5)
+	if resp, out := adminPost("/admin/replicas", urls[2]); resp.StatusCode != http.StatusOK || out["state"] != "joining" {
+		t.Fatalf("live add: %d %v", resp.StatusCode, out)
+	}
+	joinBy := time.Now().Add(15 * time.Second)
+	for stateOf(urls[2]) != "healthy" {
+		if time.Now().After(joinBy) {
+			t.Fatalf("added replica never promoted: %s", stateOf(urls[2]))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Graceful drain under load, then SIGTERM the drained process: it must
+	// exit 0 with its background goroutines stopped (shutdown ordering).
+	time.Sleep(dur / 5)
+	if resp, out := adminPost("/admin/drain", urls[1]); resp.StatusCode != http.StatusOK || out["drained"] == nil {
+		t.Fatalf("admin drain: %d %v", resp.StatusCode, out)
+	}
+	if st := stateOf(urls[1]); st != "absent" {
+		t.Fatalf("drained replica still in the table: %s", st)
+	}
+	replicas[1].cmd.Process.Signal(syscall.SIGTERM)
+	if code := replicas[1].exitCode(t, 45*time.Second); code != 0 {
+		t.Fatalf("drained replica exit code %d, want 0", code)
+	}
+
+	// Crash churn: /quitz kill and same-address restart.
+	time.Sleep(dur / 5)
+	resp, err := http.Post(urls[0]+"/quitz", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /quitz: %v", err)
+	}
+	resp.Body.Close()
+	if code := replicas[0].exitCode(t, 10*time.Second); code != 1 {
+		t.Fatalf("quitz-killed replica exit code %d, want 1", code)
+	}
+	time.Sleep(dur / 5)
+	replicas[0] = spawn(t, temcod, replicaArgs(ports[0])...)
+	waitReady(t, urls[0], 60*time.Second)
+
+	wg.Wait()
+	if n := malformed.Load(); n != 0 {
+		t.Fatalf("%d malformed responses during membership churn", n)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("soak served nothing")
+	}
+
+	// Convergence: the fleet is the restarted seed + the joined replica,
+	// both healthy, with the membership counters and the autoscale signal
+	// published on /statsz.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(routerURL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st statsResponse
+		jerr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if jerr != nil {
+			t.Fatal(jerr)
+		}
+		healthy := 0
+		for _, r := range st.Replicas {
+			if r.State == "healthy" {
+				healthy++
+			}
+		}
+		if healthy == 2 && len(st.Replicas) == 2 {
+			if st.Membership.Adds != 1 || st.Membership.Drains != 1 {
+				t.Fatalf("membership counters: %+v", st.Membership)
+			}
+			if st.Autoscale.DesiredReplicas < 1 || st.Autoscale.Evals == 0 {
+				t.Fatalf("autoscale signal never published: %+v", st.Autoscale)
+			}
+			t.Logf("membership churn soak: ok=%d router=%+v membership=%+v autoscale=%+v",
+				ok.Load(), st.Router, st.Membership, st.Autoscale)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never converged: %+v", st.Replicas)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Graceful shutdown all around.
+	router.cmd.Process.Signal(syscall.SIGTERM)
+	if code := router.exitCode(t, 45*time.Second); code != 0 {
+		t.Fatalf("temcor exit code %d, want 0", code)
+	}
+	for _, i := range []int{0, 2} {
+		replicas[i].cmd.Process.Signal(syscall.SIGTERM)
+		if code := replicas[i].exitCode(t, 45*time.Second); code != 0 {
+			t.Fatalf("replica %d exit code %d, want 0", i, code)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// AutoscaleConfig tunes the desired-replicas signal. Zero values take the
+// documented defaults.
+type AutoscaleConfig struct {
+	// TargetUtilization is the worker-busy fraction the fleet should run
+	// at; desired capacity is sized so busy+queued work fits under it.
+	// Default 0.7.
+	TargetUtilization float64
+	// Min and Max clamp the published signal. Defaults 1 and 16.
+	Min, Max int
+	// UpStreak is how many consecutive evaluations must propose a higher
+	// count before the signal scales up (then it jumps straight to the
+	// proposal — overload is answered fast). Default 2.
+	UpStreak int
+	// DownStreak is how many consecutive evaluations must propose a lower
+	// count before the signal steps DOWN BY ONE (scale-down is
+	// deliberately slow and stepped). Default 5.
+	DownStreak int
+	// QueueWaitTarget is the per-replica p95 queue wait above which the
+	// fleet counts as overloaded regardless of utilization. Default 100ms.
+	QueueWaitTarget time.Duration
+	// Interval is the evaluation period of the Start loop. Default 1s.
+	Interval time.Duration
+}
+
+func (c *AutoscaleConfig) applyDefaults() {
+	if c.TargetUtilization <= 0 || c.TargetUtilization > 1 {
+		c.TargetUtilization = 0.7
+	}
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+		if c.Max < 16 {
+			c.Max = 16
+		}
+	}
+	if c.UpStreak <= 0 {
+		c.UpStreak = 2
+	}
+	if c.DownStreak <= 0 {
+		c.DownStreak = 5
+	}
+	if c.QueueWaitTarget <= 0 {
+		c.QueueWaitTarget = 100 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+}
+
+// AutoscaleStats is the /statsz view of the signal.
+type AutoscaleStats struct {
+	// DesiredReplicas is the published, hysteresis-smoothed signal.
+	DesiredReplicas int `json:"desired_replicas"`
+	// LastRaw is the unsmoothed proposal from the latest evaluation.
+	LastRaw int `json:"last_raw"`
+	// BusyWorkers estimates fleet-wide busy workers from run-seconds
+	// deltas at the latest evaluation.
+	BusyWorkers float64 `json:"busy_workers"`
+	// QueuedRequests is queue depth + batch-pending summed over routable
+	// replicas at the latest evaluation.
+	QueuedRequests int `json:"queued_requests"`
+	// MaxQueueWaitP95MS is the worst per-replica estimated p95 queue wait.
+	MaxQueueWaitP95MS float64 `json:"max_queue_wait_p95_ms"`
+	// Evals counts evaluations; ScaleUps/ScaleDowns count published moves.
+	Evals      uint64 `json:"evals_total"`
+	ScaleUps   uint64 `json:"scale_ups_total"`
+	ScaleDowns uint64 `json:"scale_downs_total"`
+}
+
+// autosample is the per-replica cumulative state differenced between
+// evaluations.
+type autosample struct {
+	runSeconds  float64
+	transitions uint64
+}
+
+// Autoscaler derives a desired-replicas signal from the health the prober
+// already collects: run-seconds utilization, queue depth + BatchPending,
+// p95 queue wait, and breaker transitions. The signal is advisory — temcor
+// publishes it on /statsz and /metrics for an external operator or
+// controller; nothing in-process acts on it. Hysteresis (UpStreak /
+// DownStreak) keeps it from flapping at steady load.
+type Autoscaler struct {
+	t   *Table
+	cfg AutoscaleConfig
+
+	mu      sync.Mutex
+	prev    map[string]autosample
+	prevAt  time.Time
+	desired int
+	upRun   int
+	downRun int
+	stats   AutoscaleStats
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewAutoscaler builds the signal over a table and registers its gauges on
+// the table's metrics registry. The initial desired count is the current
+// table size clamped to [Min, Max].
+func NewAutoscaler(t *Table, cfg AutoscaleConfig) *Autoscaler {
+	cfg.applyDefaults()
+	a := &Autoscaler{
+		t:    t,
+		cfg:  cfg,
+		prev: map[string]autosample{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	a.desired = a.clamp(len(t.snapshot()))
+	a.stats.DesiredReplicas = a.desired
+	a.stats.LastRaw = a.desired
+	reg := t.Metrics()
+	reg.GaugeFunc("temco_cluster_desired_replicas",
+		"Autoscale signal: replicas the fleet should have (hysteresis-smoothed, advisory).",
+		func() float64 { return float64(a.Desired()) })
+	reg.CounterFunc("temco_cluster_autoscale_evals_total",
+		"Autoscale signal evaluations.",
+		func() float64 { return float64(a.Stats().Evals) })
+	return a
+}
+
+func (a *Autoscaler) clamp(n int) int {
+	if n < a.cfg.Min {
+		return a.cfg.Min
+	}
+	if n > a.cfg.Max {
+		return a.cfg.Max
+	}
+	return n
+}
+
+// Desired returns the published signal.
+func (a *Autoscaler) Desired() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.desired
+}
+
+// Stats returns the /statsz view.
+func (a *Autoscaler) Stats() AutoscaleStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Evaluate runs one evaluation at the given instant and returns the
+// published desired count. The Start loop calls this on its ticker; tests
+// call it directly with scripted clocks and health.
+//
+// The raw proposal sizes capacity so current work fits under
+// TargetUtilization: busy workers (run-seconds delta per elapsed second)
+// plus queued requests (queue depth + batch pending, each wanting a worker
+// slot), divided by target × average-workers-per-replica. Two overload
+// overrides lift the proposal to at least current+1: any routable
+// replica's breaker transitioned since the last evaluation, or the worst
+// p95 queue wait exceeds QueueWaitTarget. Hysteresis then publishes: up
+// only after UpStreak consecutive higher proposals (jumping to the
+// proposal), down one step after DownStreak consecutive lower ones.
+func (a *Autoscaler) Evaluate(now time.Time) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	elapsed := now.Sub(a.prevAt).Seconds()
+	first := a.prevAt.IsZero()
+
+	var (
+		busy         float64
+		queued       int
+		totalWorkers int
+		routable     int
+		maxP95MS     float64
+		flap         bool
+	)
+	next := map[string]autosample{}
+	for _, r := range a.t.snapshot() {
+		r.mu.Lock()
+		st, h := r.state, r.health
+		r.mu.Unlock()
+		if st != StateHealthy && st != StateDegraded {
+			continue
+		}
+		routable++
+		w := h.Workers
+		if w <= 0 {
+			w = 1
+		}
+		totalWorkers += w
+		queued += h.QueueDepth + int(h.BatchPending)
+		if h.QueueWaitP95MS > maxP95MS {
+			maxP95MS = h.QueueWaitP95MS
+		}
+		next[r.url] = autosample{runSeconds: h.RunSecondsTotal, transitions: h.BreakerTransitions}
+		if p, ok := a.prev[r.url]; ok && elapsed > 0 {
+			d := (h.RunSecondsTotal - p.runSeconds) / elapsed
+			if d < 0 {
+				d = 0
+			}
+			if d > float64(w) {
+				d = float64(w)
+			}
+			busy += d
+			if h.BreakerTransitions > p.transitions {
+				flap = true
+			}
+		}
+	}
+	a.prev = next
+	a.prevAt = now
+
+	if first || routable == 0 {
+		// No baseline to difference against (or nothing routable to
+		// measure): hold the signal.
+		return a.desired
+	}
+
+	perReplica := float64(totalWorkers) / float64(routable)
+	need := busy + float64(queued)
+	raw := int(math.Ceil(need / (a.cfg.TargetUtilization * perReplica)))
+	if flap || maxP95MS > float64(a.cfg.QueueWaitTarget)/float64(time.Millisecond) {
+		if raw <= routable {
+			raw = routable + 1
+		}
+	}
+	raw = a.clamp(raw)
+
+	a.stats.Evals++
+	a.stats.LastRaw = raw
+	a.stats.BusyWorkers = busy
+	a.stats.QueuedRequests = queued
+	a.stats.MaxQueueWaitP95MS = maxP95MS
+
+	switch {
+	case raw > a.desired:
+		a.upRun++
+		a.downRun = 0
+		if a.upRun >= a.cfg.UpStreak {
+			a.desired = raw
+			a.upRun = 0
+			a.stats.ScaleUps++
+		}
+	case raw < a.desired:
+		a.downRun++
+		a.upRun = 0
+		if a.downRun >= a.cfg.DownStreak {
+			a.desired--
+			a.downRun = 0
+			a.stats.ScaleDowns++
+		}
+	default:
+		a.upRun, a.downRun = 0, 0
+	}
+	a.stats.DesiredReplicas = a.desired
+	return a.desired
+}
+
+// Start launches the evaluation loop at cfg.Interval. Idempotent.
+func (a *Autoscaler) Start() {
+	a.startOnce.Do(func() {
+		go func() {
+			defer close(a.done)
+			tick := time.NewTicker(a.cfg.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-a.stop:
+					return
+				case <-tick.C:
+					a.Evaluate(time.Now())
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the evaluation loop and waits for it to exit. Idempotent;
+// safe to call even when Start never ran.
+func (a *Autoscaler) Close() {
+	a.closeOnce.Do(func() { close(a.stop) })
+	a.startOnce.Do(func() { close(a.done) })
+	<-a.done
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// scaleHarness scripts a two-replica fleet through the autoscaler with a
+// deterministic clock: each step writes per-replica cumulative health and
+// evaluates one tick later.
+type scaleHarness struct {
+	tab *Table
+	a   *Autoscaler
+	now time.Time
+}
+
+func newScaleHarness(t *testing.T, cfg AutoscaleConfig) *scaleHarness {
+	t.Helper()
+	tab, err := NewTable([]string{"http://r1:1", "http://r2:1"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scaleHarness{tab: tab, a: NewAutoscaler(tab, cfg), now: time.Unix(3000, 0)}
+}
+
+// step writes the same health to every replica and evaluates one second
+// later, returning the published desired count.
+func (h *scaleHarness) step(health Health) int {
+	for _, r := range h.tab.Replicas() {
+		setReplica(h.tab, r, StateHealthy, health)
+	}
+	h.now = h.now.Add(time.Second)
+	return h.a.Evaluate(h.now)
+}
+
+func TestAutoscalerScalesUpUnderOverload(t *testing.T) {
+	h := newScaleHarness(t, AutoscaleConfig{TargetUtilization: 0.7, Min: 1, Max: 10, UpStreak: 2, DownStreak: 3})
+	if got := h.a.Desired(); got != 2 {
+		t.Fatalf("initial desired: want the table size 2, got %d", got)
+	}
+
+	// Baseline evaluation: establishes the cumulative samples.
+	idle := Health{Ready: true, Workers: 2}
+	if got := h.step(idle); got != 2 {
+		t.Fatalf("baseline eval moved the signal: %d", got)
+	}
+
+	// Saturation: both workers fully busy on each replica (run-seconds grows
+	// by workers × elapsed) plus a deep queue. The raw proposal jumps, but
+	// hysteresis holds the signal until UpStreak consecutive evaluations.
+	busy := func(i int) Health {
+		return Health{Ready: true, Workers: 2, RunSecondsTotal: float64(2 * i), QueueDepth: 5, BatchPending: 1}
+	}
+	if got := h.step(busy(1)); got != 2 {
+		t.Fatalf("one overloaded eval must not move the signal yet (UpStreak 2): %d", got)
+	}
+	got := h.step(busy(2))
+	if got <= 2 {
+		t.Fatalf("two consecutive overloaded evals must scale up: %d", got)
+	}
+	st := h.a.Stats()
+	if st.ScaleUps != 1 || st.LastRaw != got {
+		t.Fatalf("stats after scale-up: %+v", st)
+	}
+	// busy = 4 workers, queued = 12 → need 16 worker-equivalents at target
+	// 0.7 × 2 workers/replica = ceil(16/1.4) = 12, clamped to Max 10.
+	if got != 10 {
+		t.Fatalf("raw sizing: want clamp at 10, got %d", got)
+	}
+}
+
+func TestAutoscalerStableAtSteadyLoad(t *testing.T) {
+	h := newScaleHarness(t, AutoscaleConfig{TargetUtilization: 0.7, Min: 1, Max: 10, UpStreak: 2, DownStreak: 3})
+	h.step(Health{Ready: true, Workers: 2}) // baseline
+
+	// Moderate steady load: 0.8 busy workers per replica, empty queue —
+	// 1.6 worker-equivalents against a 2.8 capacity at target, so the
+	// proposal matches the current fleet and the signal must not move over
+	// many evaluations.
+	for i := 1; i <= 20; i++ {
+		health := Health{Ready: true, Workers: 2, RunSecondsTotal: 0.8 * float64(i)}
+		if got := h.step(health); got != 2 {
+			t.Fatalf("eval %d: steady load flapped the signal to %d", i, got)
+		}
+	}
+	st := h.a.Stats()
+	if st.ScaleUps != 0 || st.ScaleDowns != 0 {
+		t.Fatalf("steady load must publish no moves: %+v", st)
+	}
+}
+
+func TestAutoscalerScalesDownSlowly(t *testing.T) {
+	h := newScaleHarness(t, AutoscaleConfig{TargetUtilization: 0.7, Min: 1, Max: 10, UpStreak: 1, DownStreak: 3})
+	h.step(Health{Ready: true, Workers: 2}) // baseline
+
+	// Spike up first (UpStreak 1 publishes immediately).
+	h.step(Health{Ready: true, Workers: 2, RunSecondsTotal: 2, QueueDepth: 8})
+	high := h.a.Desired()
+	if high <= 2 {
+		t.Fatalf("precondition: scale-up failed, desired %d", high)
+	}
+
+	// Idle: the proposal collapses to Min, but the signal steps down one
+	// replica per DownStreak window — never a cliff.
+	idleAt := func(i int) Health {
+		return Health{Ready: true, Workers: 2, RunSecondsTotal: 2} // cumulative stops growing
+	}
+	for i := 1; i < 3; i++ {
+		if got := h.step(idleAt(i)); got != high {
+			t.Fatalf("eval %d: scale-down before DownStreak (desired %d, was %d)", i, got, high)
+		}
+	}
+	if got := h.step(idleAt(3)); got != high-1 {
+		t.Fatalf("after DownStreak: want a single step down to %d, got %d", high-1, got)
+	}
+	if st := h.a.Stats(); st.ScaleDowns != 1 {
+		t.Fatalf("stats after scale-down: %+v", st)
+	}
+}
+
+func TestAutoscalerOverloadOverrides(t *testing.T) {
+	// Breaker transitions between evaluations mean the fleet is faulting
+	// under pressure: the proposal lifts above the current size even at low
+	// measured utilization.
+	h := newScaleHarness(t, AutoscaleConfig{TargetUtilization: 0.7, Min: 1, Max: 10, UpStreak: 1, DownStreak: 100})
+	h.step(Health{Ready: true, Workers: 2})
+	if got := h.step(Health{Ready: true, Workers: 2, BreakerTransitions: 3}); got != 3 {
+		t.Fatalf("breaker transitions must lift desired above the fleet size: %d", got)
+	}
+
+	// A p95 queue wait past the target is the same kind of evidence.
+	h2 := newScaleHarness(t, AutoscaleConfig{TargetUtilization: 0.7, Min: 1, Max: 10, UpStreak: 1, DownStreak: 100, QueueWaitTarget: 100 * time.Millisecond})
+	h2.step(Health{Ready: true, Workers: 2})
+	if got := h2.step(Health{Ready: true, Workers: 2, QueueWaitP95MS: 400}); got != 3 {
+		t.Fatalf("queue-wait p95 past target must lift desired: %d", got)
+	}
+}
+
+func TestAutoscalerIgnoresUnroutableReplicas(t *testing.T) {
+	h := newScaleHarness(t, AutoscaleConfig{TargetUtilization: 0.7, Min: 1, Max: 10, UpStreak: 1})
+	h.step(Health{Ready: true, Workers: 2})
+
+	// One replica drains away: its queue must not count toward demand.
+	reps := h.tab.Replicas()
+	setReplica(h.tab, reps[0], StateHealthy, Health{Ready: true, Workers: 2, RunSecondsTotal: 1})
+	setReplica(h.tab, reps[1], StateDraining, Health{Ready: false, Workers: 2, QueueDepth: 50})
+	h.now = h.now.Add(time.Second)
+	if got := h.a.Evaluate(h.now); got != 2 {
+		t.Fatalf("draining replica's queue leaked into the signal: %d", got)
+	}
+	if st := h.a.Stats(); st.QueuedRequests != 0 {
+		t.Fatalf("queued must exclude unroutable replicas: %+v", st)
+	}
+}

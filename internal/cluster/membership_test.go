@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"temco/internal/guard"
+)
+
+// drainableStub is a fake temcod with the full drain surface: scriptable
+// /readyz plus a /drainz hook that records hits and flips the health.
+type drainableStub struct {
+	srv *httptest.Server
+
+	mu       sync.Mutex
+	health   Health
+	status   int
+	drainsTo *Health // health after /drainz, nil = keep reporting ready
+
+	drainz atomic.Int64
+}
+
+func newDrainableStub() *drainableStub {
+	s := &drainableStub{health: Health{Ready: true, BreakerState: "closed"}, status: http.StatusOK}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		h, st := s.health, s.status
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(st)
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/drainz", func(w http.ResponseWriter, r *http.Request) {
+		s.drainz.Add(1)
+		s.mu.Lock()
+		if s.drainsTo != nil {
+			s.health, s.status = *s.drainsTo, http.StatusServiceUnavailable
+		}
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"draining":true}`)
+	})
+	s.srv = httptest.NewServer(mux)
+	return s
+}
+
+func (s *drainableStub) set(h Health, status int) {
+	s.mu.Lock()
+	s.health, s.status = h, status
+	s.mu.Unlock()
+}
+
+func TestAddJoinsOnProbationAndPromotes(t *testing.T) {
+	seed := newDrainableStub()
+	joiner := newDrainableStub()
+	defer seed.srv.Close()
+	defer joiner.srv.Close()
+
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tab, err := NewTable([]string{seed.srv.URL}, Config{ProbeInterval: 100 * time.Millisecond, ProbationProbes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.now = clk.now
+	tab.ProbeOnce()
+	if st := tab.Replicas()[0].State(); st != StateHealthy {
+		t.Fatalf("seed: want healthy, got %v", st)
+	}
+
+	// Add: the replica appears in StateJoining and is invisible to pick.
+	r, err := tab.Add(joiner.srv.URL + "/") // trailing slash must normalize away
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.URL() != joiner.srv.URL {
+		t.Fatalf("Add normalization: %q", r.URL())
+	}
+	if st := r.State(); st != StateJoining {
+		t.Fatalf("added replica: want joining, got %v", st)
+	}
+	if _, err := tab.Add(joiner.srv.URL); err == nil {
+		t.Fatal("duplicate Add must fail")
+	}
+	if ms := tab.Membership(); ms.Replicas != 2 || ms.Joining != 1 || ms.Adds != 1 {
+		t.Fatalf("membership after Add: %+v", ms)
+	}
+	for _, key := range []string{"", "a", "b", "c", "d", "e"} {
+		if got := tab.pick(key, nil); got == r {
+			t.Fatal("joining replica must not take traffic")
+		}
+	}
+
+	// Probation: one successful probe is not enough.
+	tab.ProbeOnce() // nextProbe was zero, so the joiner is due immediately
+	if st := r.State(); st != StateJoining {
+		t.Fatalf("after 1/2 probation probes: want joining, got %v", st)
+	}
+	if got := tab.pick("k", nil); got == r {
+		t.Fatal("mid-probation replica must not take traffic")
+	}
+	clk.advance(100 * time.Millisecond)
+	tab.ProbeOnce()
+	if st := r.State(); st != StateHealthy {
+		t.Fatalf("after 2/2 probation probes: want healthy, got %v", st)
+	}
+	if r.snapshot().Probation {
+		t.Fatal("promotion must clear the probation flag")
+	}
+
+	// Remove: immediate, and idempotent only in the error.
+	if err := tab.Remove(joiner.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Replicas()) != 1 {
+		t.Fatalf("replicas after Remove: %d", len(tab.Replicas()))
+	}
+	if err := tab.Remove(joiner.srv.URL); err == nil {
+		t.Fatal("removing an absent replica must fail")
+	}
+	if ms := tab.Membership(); ms.Removes != 1 {
+		t.Fatalf("membership after Remove: %+v", ms)
+	}
+}
+
+func TestProbationFailureResetsStreak(t *testing.T) {
+	seed := newDrainableStub()
+	joiner := newDrainableStub()
+	defer seed.srv.Close()
+	defer joiner.srv.Close()
+
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tab, err := NewTable([]string{seed.srv.URL}, Config{ProbeInterval: 100 * time.Millisecond, ProbationProbes: 2, FailThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.now = clk.now
+	r, err := tab.Add(joiner.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tab.ProbeOnce() // streak 1/2
+	// A failure mid-probation: the replica stays joining (never
+	// degraded-suspect, which could take traffic) and the streak resets.
+	joiner.set(Health{}, http.StatusTeapot)
+	clk.advance(100 * time.Millisecond)
+	tab.ProbeOnce()
+	if st := r.State(); st != StateJoining {
+		t.Fatalf("failed probation probe: want joining, got %v", st)
+	}
+	joiner.set(Health{Ready: true, BreakerState: "closed"}, http.StatusOK)
+	clk.advance(100 * time.Millisecond)
+	tab.ProbeOnce() // streak 1/2 again — the earlier success no longer counts
+	if st := r.State(); st != StateJoining {
+		t.Fatalf("probation streak must reset on failure: got %v", st)
+	}
+	clk.advance(100 * time.Millisecond)
+	tab.ProbeOnce()
+	if st := r.State(); st != StateHealthy {
+		t.Fatalf("want healthy after two consecutive successes, got %v", st)
+	}
+}
+
+func TestDrainProtocol(t *testing.T) {
+	stub := newDrainableStub()
+	other := newDrainableStub()
+	defer stub.srv.Close()
+	defer other.srv.Close()
+
+	tab, err := NewTable([]string{stub.srv.URL, other.srv.URL}, Config{ProbeInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.ProbeOnce()
+	r := tab.lookup(stub.srv.URL)
+	if r == nil || r.State() != StateHealthy {
+		t.Fatalf("precondition: %v", r)
+	}
+
+	// One router-observed request is still on the replica: Drain must wait.
+	r.inFlight.Add(1)
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { done <- tab.Drain(ctx, stub.srv.URL) }()
+
+	// The mark is immediate: placements stop before the wait completes.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.State() != StateDraining {
+		if time.Now().After(deadline) {
+			t.Fatal("drain mark never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		if got := tab.pick("k", nil); got == r {
+			t.Fatal("draining replica took a placement")
+		}
+	}
+	// Sticky: a clean ready=true probe must not resurrect it.
+	tab.probe(r)
+	if st := r.State(); st != StateDraining {
+		t.Fatalf("probe resurrected a draining replica: %v", st)
+	}
+	// The replica itself was told to shed.
+	for stub.drainz.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("/drainz never hit")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Drain returned with in-flight work: %v", err)
+	default:
+	}
+
+	// Last request completes: Drain finishes and removes the replica.
+	r.inFlight.Add(-1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if tab.lookup(stub.srv.URL) != nil {
+		t.Fatal("drained replica still in the table")
+	}
+	if ms := tab.Membership(); ms.Drains != 1 || ms.Removes != 1 {
+		t.Fatalf("membership after Drain: %+v", ms)
+	}
+}
+
+func TestDrainTimeoutLeavesReplicaDraining(t *testing.T) {
+	stub := newDrainableStub()
+	defer stub.srv.Close()
+	tab, err := NewTable([]string{stub.srv.URL}, Config{ProbeInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.ProbeOnce()
+	r := tab.lookup(stub.srv.URL)
+	r.inFlight.Add(1) // never drains
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = tab.Drain(ctx, stub.srv.URL)
+	if err == nil || !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("want guard.ErrCanceled, got %v", err)
+	}
+	// The replica stays in the table, still draining and still sticky, so
+	// the operator can retry or force-remove.
+	if tab.lookup(stub.srv.URL) == nil {
+		t.Fatal("timed-out drain must not remove the replica")
+	}
+	snap := r.snapshot()
+	if snap.State != "draining" || !snap.DrainRequested {
+		t.Fatalf("after timeout: %+v", snap)
+	}
+	// Retrying after the work completes succeeds.
+	r.inFlight.Add(-1)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := tab.Drain(ctx2, stub.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if tab.lookup(stub.srv.URL) != nil {
+		t.Fatal("retried drain must remove the replica")
+	}
+}
+
+func TestDrainUnknownReplica(t *testing.T) {
+	tab, err := NewTable([]string{"http://127.0.0.1:1"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Drain(context.Background(), "http://127.0.0.1:2"); err == nil {
+		t.Fatal("draining an unknown replica must fail")
+	}
+}
+
+// TestMembershipChurnRace drives Add/Remove/Drain concurrently against
+// pick, ProbeOnce, the prober loop, and the metrics closures — the -race
+// regression for the live table. Includes remove-while-probing and
+// add-then-immediate-drain interleavings.
+func TestMembershipChurnRace(t *testing.T) {
+	seedA := newDrainableStub()
+	seedB := newDrainableStub()
+	defer seedA.srv.Close()
+	defer seedB.srv.Close()
+
+	tab, err := NewTable([]string{seedA.srv.URL, seedB.srv.URL}, Config{
+		ProbeInterval:   2 * time.Millisecond,
+		ProbeTimeout:    100 * time.Millisecond,
+		ProbationProbes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Start()
+	defer tab.Close()
+
+	churn := newDrainableStub()
+	defer churn.srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Router-side traffic: pick + in-flight bumps.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r := tab.pick(fmt.Sprintf("key-%d", i), nil); r != nil {
+					r.inFlight.Add(1)
+					r.placements.Add(1)
+					r.inFlight.Add(-1)
+				}
+			}
+		}(i)
+	}
+	// Stats/metrics scrapes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tab.Status()
+			tab.Routable()
+			tab.Membership()
+		}
+	}()
+	// Membership churn: add-then-immediate-drain on a live URL.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := tab.Add(churn.srv.URL); err == nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				_ = tab.Drain(ctx, churn.srv.URL)
+				cancel()
+				_ = tab.Remove(churn.srv.URL) // in case the drain timed out
+			}
+		}
+	}()
+	// Remove-while-probing on an unreachable URL (probes fail fast).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := tab.Add("http://127.0.0.1:1"); err == nil {
+				go tab.ProbeOnce()
+				_ = tab.Remove("http://127.0.0.1:1")
+			}
+		}
+	}()
+	// Extra probe rounds racing the prober loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tab.ProbeOnce()
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The seeds must have survived the churn untouched.
+	if tab.lookup(seedA.srv.URL) == nil || tab.lookup(seedB.srv.URL) == nil {
+		t.Fatal("seed replicas lost during churn")
+	}
+}

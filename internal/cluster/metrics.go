@@ -14,6 +14,9 @@ type metrics struct {
 	probes, probeFailures *obs.Counter
 	ejections, revivals   *obs.Counter
 
+	// Membership counters: live Add/Remove/Drain operations on the table.
+	adds, removes, drains *obs.Counter
+
 	// Router counters, registered here so the whole tier scrapes as one.
 	placements, retries     *obs.Counter
 	hedges, hedgeWins       *obs.Counter
@@ -32,6 +35,12 @@ func newMetrics(t *Table) *metrics {
 		"Replicas ejected to the dead state after consecutive probe failures.")
 	m.revivals = reg.Counter("temco_cluster_revivals_total",
 		"Dead replicas revived by a successful re-probe.")
+	m.adds = reg.Counter("temco_cluster_adds_total",
+		"Replicas added to the live table (they join on probation).")
+	m.removes = reg.Counter("temco_cluster_removes_total",
+		"Replicas removed from the live table (including drain completions).")
+	m.drains = reg.Counter("temco_cluster_drains_total",
+		"Graceful drains requested on the live table.")
 	m.placements = reg.Counter("temco_cluster_placements_total",
 		"Proxied attempts placed on a replica (including retries and hedges).")
 	m.retries = reg.Counter("temco_cluster_retries_total",
@@ -48,16 +57,23 @@ func newMetrics(t *Table) *metrics {
 		"End-to-end proxied request latency, including retries and hedges.", nil)
 
 	reg.GaugeFunc("temco_cluster_replicas",
-		"Configured replicas.",
-		func() float64 { return float64(len(t.replicas)) })
+		"Replicas currently in the table (all states).",
+		func() float64 { return float64(len(t.snapshot())) })
 	reg.GaugeFunc("temco_cluster_routable_replicas",
 		"Replicas currently able to take traffic (healthy or degraded).",
 		func() float64 { return float64(t.Routable()) })
+	reg.GaugeFunc("temco_cluster_joining_replicas",
+		"Replicas in the joining state, waiting out probation probes.",
+		func() float64 { return float64(t.Membership().Joining) })
+	reg.GaugeFunc("temco_cluster_draining_replicas",
+		"Replicas in the draining state (graceful decommission in progress).",
+		func() float64 { return float64(t.Membership().Draining) })
 	reg.GaugeVecFunc("temco_cluster_replica_state",
-		"Per-replica health state: 0 healthy, 1 degraded, 2 draining, 3 dead.",
+		"Per-replica health state: 0 healthy, 1 degraded, 2 draining, 3 dead, 4 joining.",
 		func() []obs.LabeledValue {
-			out := make([]obs.LabeledValue, len(t.replicas))
-			for i, r := range t.replicas {
+			reps := t.snapshot()
+			out := make([]obs.LabeledValue, len(reps))
+			for i, r := range reps {
 				out[i] = obs.LabeledValue{
 					Labels: [][2]string{{"replica", r.url}},
 					Value:  float64(r.State()),
@@ -68,8 +84,9 @@ func newMetrics(t *Table) *metrics {
 	reg.GaugeVecFunc("temco_cluster_replica_queue_depth",
 		"Per-replica admission queue depth from the last successful probe.",
 		func() []obs.LabeledValue {
-			out := make([]obs.LabeledValue, len(t.replicas))
-			for i, r := range t.replicas {
+			reps := t.snapshot()
+			out := make([]obs.LabeledValue, len(reps))
+			for i, r := range reps {
 				r.mu.Lock()
 				depth := r.health.QueueDepth
 				r.mu.Unlock()
@@ -83,8 +100,9 @@ func newMetrics(t *Table) *metrics {
 	reg.GaugeVecFunc("temco_cluster_replica_batch_pending",
 		"Per-replica requests waiting in the batch-accumulation window, from the last successful probe.",
 		func() []obs.LabeledValue {
-			out := make([]obs.LabeledValue, len(t.replicas))
-			for i, r := range t.replicas {
+			reps := t.snapshot()
+			out := make([]obs.LabeledValue, len(reps))
+			for i, r := range reps {
 				r.mu.Lock()
 				pending := r.health.BatchPending
 				r.mu.Unlock()
@@ -98,8 +116,9 @@ func newMetrics(t *Table) *metrics {
 	reg.GaugeVecFunc("temco_cluster_replica_in_flight",
 		"Per-replica requests currently proxied by this router.",
 		func() []obs.LabeledValue {
-			out := make([]obs.LabeledValue, len(t.replicas))
-			for i, r := range t.replicas {
+			reps := t.snapshot()
+			out := make([]obs.LabeledValue, len(reps))
+			for i, r := range reps {
 				out[i] = obs.LabeledValue{
 					Labels: [][2]string{{"replica", r.url}},
 					Value:  float64(r.inFlight.Load()),
@@ -110,8 +129,9 @@ func newMetrics(t *Table) *metrics {
 	reg.CounterVecFunc("temco_cluster_replica_placements_total",
 		"Per-replica proxied attempt placements.",
 		func() []obs.LabeledValue {
-			out := make([]obs.LabeledValue, len(t.replicas))
-			for i, r := range t.replicas {
+			reps := t.snapshot()
+			out := make([]obs.LabeledValue, len(reps))
+			for i, r := range reps {
 				out[i] = obs.LabeledValue{
 					Labels: [][2]string{{"replica", r.url}},
 					Value:  float64(r.placements.Load()),

@@ -47,6 +47,21 @@ type Health struct {
 	// BreakerState is the replica's breaker position: closed, open,
 	// half-open.
 	BreakerState string `json:"breaker_state"`
+	// Workers is the replica's executor pool size, the denominator of the
+	// autoscaler's utilization estimate.
+	Workers int `json:"workers,omitempty"`
+	// RunSecondsTotal is the replica's cumulative worker execution time;
+	// the autoscaler differences consecutive probes to estimate busy
+	// workers per second.
+	RunSecondsTotal float64 `json:"run_seconds_total,omitempty"`
+	// QueueWaitP95MS is the replica's estimated p95 queue wait in
+	// milliseconds (from its fixed-bucket histogram, so upper-bound
+	// biased).
+	QueueWaitP95MS float64 `json:"queue_wait_p95_ms,omitempty"`
+	// BreakerTransitions counts the replica's breaker state changes; a
+	// rising value between probes means the replica is faulting under
+	// pressure.
+	BreakerTransitions uint64 `json:"breaker_transitions,omitempty"`
 }
 
 // State classifies a replica from the router's point of view.
@@ -66,6 +81,10 @@ const (
 	// StateDead: probes failed FailThreshold times in a row; the replica is
 	// ejected and re-probed on an exponential backoff.
 	StateDead
+	// StateJoining: the replica was added to a live table and has not yet
+	// passed its probation probes. It receives no traffic until
+	// ProbationProbes consecutive successful probes promote it.
+	StateJoining
 )
 
 // String renders the state for stats endpoints and metrics.
@@ -79,6 +98,8 @@ func (s State) String() string {
 		return "draining"
 	case StateDead:
 		return "dead"
+	case StateJoining:
+		return "joining"
 	default:
 		return "unknown"
 	}
@@ -95,6 +116,11 @@ type Replica struct {
 	lastOK      time.Time // when health was last refreshed
 	consecFails int       // consecutive failed probes
 	nextProbe   time.Time // ejected replicas re-probe no earlier than this
+	probation   bool      // added live: must pass probation probes first
+	probeStreak int       // consecutive successful probes while on probation
+	// drainRequested is the sticky decommission flag: once Drain marks a
+	// replica, no probe outcome may return it to service.
+	drainRequested bool
 
 	// inFlight counts router-side requests currently proxied to this
 	// replica; it sharpens the queue-depth signal between probe rounds.
@@ -121,6 +147,12 @@ type ReplicaStatus struct {
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	InFlight            int64  `json:"in_flight"`
 	Placements          uint64 `json:"placements_total"`
+	// Probation: the replica joined live and has not yet passed its
+	// probation probes.
+	Probation bool `json:"probation,omitempty"`
+	// DrainRequested: a Drain is in progress (or timed out); the replica
+	// can never take traffic again.
+	DrainRequested bool `json:"drain_requested,omitempty"`
 }
 
 // snapshot returns a consistent view of the replica for stats and metrics.
@@ -134,6 +166,8 @@ func (r *Replica) snapshot() ReplicaStatus {
 		ConsecutiveFailures: r.consecFails,
 		InFlight:            r.inFlight.Load(),
 		Placements:          r.placements.Load(),
+		Probation:           r.probation,
+		DrainRequested:      r.drainRequested,
 	}
 }
 
@@ -149,6 +183,9 @@ type Config struct {
 	// MaxProbeBackoff caps the exponential re-probe backoff for dead
 	// replicas. Default 8s.
 	MaxProbeBackoff time.Duration
+	// ProbationProbes is how many consecutive successful probes a replica
+	// added to a live table needs before it may take traffic. Default 2.
+	ProbationProbes int
 	// Client performs probes and proxied requests. Default: a dedicated
 	// client with pooled connections and no global timeout (per-request
 	// contexts bound every call).
@@ -167,6 +204,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxProbeBackoff <= 0 {
 		c.MaxProbeBackoff = 8 * time.Second
+	}
+	if c.ProbationProbes <= 0 {
+		c.ProbationProbes = 2
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Transport: &http.Transport{

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitInFlightZero polls until every replica's router-observed in-flight
+// count returns to zero — the invariant the drain-until-idle wait and
+// least-loaded placement both depend on.
+func waitInFlightZero(t *testing.T, tab *Table) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := int64(0)
+		for _, r := range tab.Replicas() {
+			total += r.inFlight.Load()
+		}
+		if total == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, r := range tab.Replicas() {
+				t.Logf("%s: in-flight %d", r.URL(), r.inFlight.Load())
+			}
+			t.Fatal("router in-flight counters never returned to zero")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRouterInFlightHedgedLosers: every hedged round leaves both the
+// winner's and the loser's in-flight counter at zero once the canceled
+// loser unwinds. A decrement leak here would permanently skew placement
+// and wedge Table.Drain's wait.
+func TestRouterInFlightHedgedLosers(t *testing.T) {
+	slow := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(300 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprint(w, `{"argmax":[1]}`)
+	})
+	fast := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"argmax":[2]}`)
+	})
+	defer slow.srv.Close()
+	defer fast.srv.Close()
+
+	rt, front, tab := routerUnderTest(t,
+		RouterConfig{Hedge: true, MinHedgeDelay: time.Millisecond, MaxRetries: 0},
+		[]int{0, 5}, slow, fast) // primary = slow (lower depth), hedge = fast
+	for i := 0; i < digestWarmup; i++ {
+		rt.lat.observe(time.Millisecond)
+	}
+
+	for i := 0; i < 10; i++ {
+		resp := postJSON(t, front.URL, `{"batch":1}`, nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if tab.met.hedges.Value() == 0 {
+		t.Fatal("precondition: no hedges fired")
+	}
+	waitInFlightZero(t, tab)
+}
+
+// TestRouterInFlightClientCancel: a client that disconnects mid-attempt
+// must not strand the in-flight count.
+func TestRouterInFlightClientCancel(t *testing.T) {
+	stall := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprint(w, `{"argmax":[1]}`)
+	})
+	defer stall.srv.Close()
+	_, front, tab := routerUnderTest(t, RouterConfig{MaxRetries: 0}, nil, stall)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, front.URL, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	waitInFlightZero(t, tab)
+}
+
+// TestRouterInFlightMixedChurn interleaves hedged wins, client cancels,
+// connection errors, and shed responses, then asserts the counters land on
+// zero — the composite regression for least-loaded placement drift.
+func TestRouterInFlightMixedChurn(t *testing.T) {
+	shed := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeRouterError(w, http.StatusTooManyRequests, "shed", true)
+	})
+	jittery := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprint(w, `{"argmax":[3]}`)
+	})
+	defer shed.srv.Close()
+	defer jittery.srv.Close()
+
+	rt, front, tab := routerUnderTest(t,
+		RouterConfig{Hedge: true, MinHedgeDelay: time.Millisecond, MaxRetries: 2},
+		nil, shed, jittery)
+	for i := 0; i < digestWarmup; i++ {
+		rt.lat.observe(time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(3+i%7)*time.Millisecond)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, front.URL, nil)
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	waitInFlightZero(t, tab)
+}

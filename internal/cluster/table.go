@@ -9,25 +9,49 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"temco/internal/guard"
 	"temco/internal/obs"
 )
 
-// Table is the probed replica set. Start launches the prober loop; Close
-// stops it. Safe for concurrent use by the prober, the router, and stats
-// scrapes.
+// Table is the probed replica set. Membership is live: Add admits a new
+// replica in StateJoining (it must pass probation probes before taking
+// traffic), Remove deletes one immediately, and Drain runs the graceful
+// decommission protocol. Start launches the prober loop; Close stops it.
+// Safe for concurrent use by the prober, the router, admin handlers, and
+// stats scrapes.
 type Table struct {
-	cfg      Config
-	replicas []*Replica
-	met      *metrics
-	now      func() time.Time // injectable clock for deterministic tests
+	cfg Config
+	met *metrics
+	now func() time.Time // injectable clock for deterministic tests
 
+	mu       sync.RWMutex // guards the replicas slice (not the replicas themselves)
+	replicas []*Replica
+
+	started   atomic.Bool
+	adHoc     sync.WaitGroup // one-off probation probes fired by Add
 	startOnce sync.Once
 	closeOnce sync.Once
 	stop      chan struct{}
 	done      chan struct{}
+}
+
+// NormalizeURL canonicalizes a replica base URL the way the table stores
+// it: trimmed, no trailing slash, http(s) scheme required. Every API that
+// names a replica (Add, Remove, Drain, the temcor admin handlers, the
+// replicas-file reconciler) normalizes through here, so the same backend
+// can never appear twice under cosmetically different spellings.
+func NormalizeURL(u string) (string, error) {
+	u = strings.TrimRight(strings.TrimSpace(u), "/")
+	if u == "" {
+		return "", guard.Errorf(guard.ErrInvalidModel, "cluster", "empty replica URL")
+	}
+	if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+		return "", guard.Errorf(guard.ErrInvalidModel, "cluster", "replica %q: want an http(s) URL", u)
+	}
+	return u, nil
 }
 
 // NewTable builds a table over the given replica base URLs (scheme://host:port,
@@ -45,43 +69,206 @@ func NewTable(urls []string, cfg Config) (*Table, error) {
 	}
 	seen := map[string]bool{}
 	for _, u := range urls {
-		u = strings.TrimRight(strings.TrimSpace(u), "/")
-		if u == "" {
-			return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.NewTable", "empty replica URL")
-		}
-		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
-			return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.NewTable", "replica %q: want an http(s) URL", u)
+		u, err := NormalizeURL(u)
+		if err != nil {
+			return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.NewTable", "%v", err)
 		}
 		if seen[u] {
 			return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.NewTable", "duplicate replica %q", u)
 		}
 		seen[u] = true
-		// Until the first probe answers, a replica is degraded-suspect: the
-		// router may use it if nothing healthy exists yet, and the first
-		// probe round resolves the real state within ProbeInterval.
+		// Until the first probe answers, a seed replica is degraded-suspect:
+		// the router may use it if nothing healthy exists yet, and the first
+		// probe round resolves the real state within ProbeInterval. Seed
+		// replicas skip probation — a cold fleet must be able to serve its
+		// first request before any probe lands.
 		t.replicas = append(t.replicas, &Replica{url: u, state: StateDegraded})
 	}
 	t.met = newMetrics(t)
 	return t, nil
 }
 
-// Replicas returns the fixed replica set.
-func (t *Table) Replicas() []*Replica { return t.replicas }
+// snapshot returns a stable copy of the current replica slice. Callers
+// iterate the copy lock-free; element pointers stay valid even if the
+// membership changes mid-iteration (a removed replica simply stops being
+// probed or picked on the next snapshot).
+func (t *Table) snapshot() []*Replica {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Replica, len(t.replicas))
+	copy(out, t.replicas)
+	return out
+}
+
+// lookup returns the live replica with the given (normalized) URL, or nil.
+func (t *Table) lookup(url string) *Replica {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.replicas {
+		if r.url == url {
+			return r
+		}
+	}
+	return nil
+}
+
+// Replicas returns a snapshot of the current replica set.
+func (t *Table) Replicas() []*Replica { return t.snapshot() }
+
+// Add admits a new replica into the live table in StateJoining. The
+// replica takes no traffic until ProbationProbes consecutive successful
+// probes promote it; if the prober is running, the first probation probe
+// fires immediately rather than at the next ticker round.
+func (t *Table) Add(url string) (*Replica, error) {
+	u, err := NormalizeURL(url)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{url: u, state: StateJoining, probation: true}
+	t.mu.Lock()
+	for _, ex := range t.replicas {
+		if ex.url == u {
+			t.mu.Unlock()
+			return nil, guard.Errorf(guard.ErrInvalidModel, "cluster.Add", "replica %q already present", u)
+		}
+	}
+	next := make([]*Replica, len(t.replicas), len(t.replicas)+1)
+	copy(next, t.replicas)
+	t.replicas = append(next, r)
+	t.mu.Unlock()
+	t.met.adds.Inc()
+	if t.started.Load() {
+		select {
+		case <-t.stop:
+			// Table already closing: leave the probe to nobody.
+		default:
+			t.adHoc.Add(1)
+			go func() {
+				defer t.adHoc.Done()
+				t.probe(r)
+			}()
+		}
+	}
+	return r, nil
+}
+
+// Remove deletes a replica from the table immediately. In-flight probes or
+// proxied requests holding the replica pointer finish harmlessly; the
+// replica is simply absent from every subsequent snapshot. Use Drain for a
+// graceful decommission.
+func (t *Table) Remove(url string) error {
+	u, err := NormalizeURL(url)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	for i, r := range t.replicas {
+		if r.url == u {
+			next := make([]*Replica, 0, len(t.replicas)-1)
+			next = append(next, t.replicas[:i]...)
+			next = append(next, t.replicas[i+1:]...)
+			t.replicas = next
+			t.mu.Unlock()
+			t.met.removes.Inc()
+			return nil
+		}
+	}
+	t.mu.Unlock()
+	return guard.Errorf(guard.ErrInvalidModel, "cluster.Remove", "replica %q not in the table", u)
+}
+
+// drainPoll is how often Drain re-checks the router-observed in-flight
+// count while waiting for a draining replica to go idle.
+const drainPoll = 5 * time.Millisecond
+
+// Drain decommissions a replica gracefully:
+//
+//  1. The replica is marked draining with a sticky flag — pick stops
+//     placing on it immediately (retries and hedges included), and no
+//     probe outcome can return it to service.
+//  2. The replica itself is told to stop admitting work (best-effort POST
+//     /drainz), so directly-connected clients shed too and its admission
+//     queue empties.
+//  3. Drain waits for the router-observed in-flight count to reach zero,
+//     bounded by ctx, then removes the replica from the table.
+//
+// On ctx expiry the replica is left in the table, still draining and
+// still sticky, and a guard.ErrCanceled error reports the remaining
+// in-flight count; the caller may retry Drain or force Remove. A request
+// that raced placement onto the replica just before the mark is either
+// completed before removal (Drain waited for it) or shed by the draining
+// replica with a retryable 429/503 the router retries elsewhere — either
+// way no request is lost to a graceful drain.
+func (t *Table) Drain(ctx context.Context, url string) error {
+	u, err := NormalizeURL(url)
+	if err != nil {
+		return err
+	}
+	r := t.lookup(u)
+	if r == nil {
+		return guard.Errorf(guard.ErrInvalidModel, "cluster.Drain", "replica %q not in the table", u)
+	}
+	r.mu.Lock()
+	already := r.drainRequested
+	r.drainRequested = true
+	r.state = StateDraining
+	r.mu.Unlock()
+	if !already {
+		t.met.drains.Inc()
+	}
+	t.notifyDrain(ctx, u)
+	for {
+		if inflight := r.inFlight.Load(); inflight == 0 {
+			// Treat a concurrent Remove as success: the replica is gone.
+			if err := t.Remove(u); err != nil && t.lookup(u) != nil {
+				return err
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return guard.Errorf(guard.ErrCanceled, "cluster.Drain",
+				"replica %q still has %d in-flight after drain wait: %v", u, r.inFlight.Load(), ctx.Err())
+		case <-time.After(drainPoll):
+		}
+	}
+}
+
+// notifyDrain tells the replica itself to stop admitting new work (POST
+// /drainz). Best-effort: a replica that is unreachable or predates the
+// hook still drains from the router side alone, it just keeps accepting
+// direct traffic until it is removed.
+func (t *Table) notifyDrain(ctx context.Context, url string) {
+	nctx, cancel := context.WithTimeout(ctx, t.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(nctx, http.MethodPost, url+"/drainz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+}
 
 // Status snapshots every replica for the /statsz table.
 func (t *Table) Status() []ReplicaStatus {
-	out := make([]ReplicaStatus, len(t.replicas))
-	for i, r := range t.replicas {
+	reps := t.snapshot()
+	out := make([]ReplicaStatus, len(reps))
+	for i, r := range reps {
 		out[i] = r.snapshot()
 	}
 	return out
 }
 
 // Routable reports how many replicas can take traffic (healthy or
-// degraded): the router's readiness signal.
+// degraded): the router's readiness signal. Joining and draining members
+// do not count.
 func (t *Table) Routable() int {
 	n := 0
-	for _, r := range t.replicas {
+	for _, r := range t.snapshot() {
 		if st := r.State(); st == StateHealthy || st == StateDegraded {
 			n++
 		}
@@ -89,14 +276,44 @@ func (t *Table) Routable() int {
 	return n
 }
 
+// MembershipStats summarizes live-membership activity for /statsz.
+type MembershipStats struct {
+	Replicas int    `json:"replicas"`
+	Joining  int    `json:"joining"`
+	Draining int    `json:"draining"`
+	Adds     uint64 `json:"adds_total"`
+	Removes  uint64 `json:"removes_total"`
+	Drains   uint64 `json:"drains_total"`
+}
+
+// Membership returns the current membership summary.
+func (t *Table) Membership() MembershipStats {
+	ms := MembershipStats{
+		Adds:    t.met.adds.Value(),
+		Removes: t.met.removes.Value(),
+		Drains:  t.met.drains.Value(),
+	}
+	for _, r := range t.snapshot() {
+		ms.Replicas++
+		switch r.State() {
+		case StateJoining:
+			ms.Joining++
+		case StateDraining:
+			ms.Draining++
+		}
+	}
+	return ms
+}
+
 // Metrics returns the cluster registry (replica states, placements,
-// retries, hedges, ejections), ready for obs.Handler.
+// retries, hedges, ejections, membership), ready for obs.Handler.
 func (t *Table) Metrics() *obs.Registry { return t.met.reg }
 
 // Start launches the prober loop: one immediate round, then a round every
 // ProbeInterval. Idempotent.
 func (t *Table) Start() {
 	t.startOnce.Do(func() {
+		t.started.Store(true)
 		go func() {
 			defer close(t.done)
 			t.ProbeOnce()
@@ -120,16 +337,18 @@ func (t *Table) Close() {
 	t.closeOnce.Do(func() { close(t.stop) })
 	t.startOnce.Do(func() { close(t.done) }) // Start never ran: nothing to wait for
 	<-t.done
+	t.adHoc.Wait()
 }
 
 // ProbeOnce runs one probe round: every replica whose re-probe time has
 // arrived is probed concurrently, and the round returns when all answers
 // are in. The prober calls this on its ticker; tests call it directly for
-// deterministic state transitions.
+// deterministic state transitions. A replica removed mid-round is still
+// probed to completion once — harmless, its pointer just leaves the table.
 func (t *Table) ProbeOnce() {
 	now := t.now()
 	var wg sync.WaitGroup
-	for _, r := range t.replicas {
+	for _, r := range t.snapshot() {
 		r.mu.Lock()
 		due := !r.nextProbe.After(now)
 		r.mu.Unlock()
@@ -185,7 +404,9 @@ func (t *Table) probe(r *Replica) {
 }
 
 // probeOK records a successful probe: the replica answered coherently, so
-// the failure streak resets and the next probe is one interval out.
+// the failure streak resets and the next probe is one interval out. A
+// sticky drain always wins; a probation replica needs ProbationProbes
+// consecutive successes before the probed state takes effect.
 func (t *Table) probeOK(r *Replica, st State, h Health) {
 	now := t.now()
 	r.mu.Lock()
@@ -193,26 +414,53 @@ func (t *Table) probeOK(r *Replica, st State, h Health) {
 	if r.state == StateDead {
 		t.met.revivals.Inc()
 	}
-	r.state = st
 	r.health = h
 	r.lastOK = now
 	r.consecFails = 0
 	r.nextProbe = now.Add(t.cfg.ProbeInterval)
+	switch {
+	case r.drainRequested:
+		// Decommission in progress: no probe outcome returns the replica
+		// to service, even a clean ready=true answer.
+		r.state = StateDraining
+	case r.probation && st != StateDraining:
+		r.probeStreak++
+		if r.probeStreak >= t.cfg.ProbationProbes {
+			r.probation = false
+			r.state = st
+		} else {
+			r.state = StateJoining
+		}
+	default:
+		// A joining replica that reports itself draining shows as draining
+		// but keeps its probation: if it comes back ready it resumes the
+		// probation streak, not traffic.
+		r.state = st
+	}
 }
 
 // probeFailed records a failed probe (connection error, timeout, garbage
-// body). Below the threshold the replica turns degraded-suspect; at the
-// threshold it is ejected to StateDead and re-probed on an exponential
-// backoff capped at MaxProbeBackoff.
+// body). Below the threshold the replica turns degraded-suspect (joining
+// replicas stay joining — probation never admits on a failure, and the
+// streak resets); at the threshold it is ejected to StateDead and
+// re-probed on an exponential backoff capped at MaxProbeBackoff.
 func (t *Table) probeFailed(r *Replica) {
 	t.met.probeFailures.Inc()
 	now := t.now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.consecFails++
+	r.probeStreak = 0
 	if r.consecFails < t.cfg.FailThreshold {
 		if r.state != StateDead {
-			r.state = StateDegraded
+			switch {
+			case r.drainRequested:
+				r.state = StateDraining
+			case r.probation:
+				r.state = StateJoining
+			default:
+				r.state = StateDegraded
+			}
 		}
 		r.nextProbe = now.Add(t.cfg.ProbeInterval)
 		return
@@ -234,8 +482,8 @@ func (t *Table) probeFailed(r *Replica) {
 
 // pick chooses a replica for one attempt, excluding already-tried ones.
 // Healthy replicas are preferred; degraded ones serve only when nothing
-// healthy remains; draining and dead replicas never serve. Among the
-// candidates, placement is least-loaded (last reported queue depth plus
+// healthy remains; joining, draining, and dead replicas never serve. Among
+// the candidates, placement is least-loaded (last reported queue depth plus
 // in-flight, sharpened by the router's own in-flight count); ties — and
 // the whole decision when every candidate's health report has gone stale —
 // fall back to rendezvous hashing on key, so a keyed workload keeps
@@ -244,6 +492,7 @@ func (t *Table) probeFailed(r *Replica) {
 func (t *Table) pick(key string, exclude map[string]bool) *Replica {
 	now := t.now()
 	stale := now.Add(-3 * t.cfg.ProbeInterval)
+	reps := t.snapshot()
 	var candidates []*Replica
 	fresh := 0
 	for pass := 0; pass < 2 && len(candidates) == 0; pass++ {
@@ -251,7 +500,7 @@ func (t *Table) pick(key string, exclude map[string]bool) *Replica {
 		if pass == 1 {
 			want = StateDegraded
 		}
-		for _, r := range t.replicas {
+		for _, r := range reps {
 			if exclude[r.url] {
 				continue
 			}

@@ -77,6 +77,42 @@ func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64, sum float
 	return bounds, cumulative, h.Sum(), h.count.Load()
 }
 
+// Quantile estimates the q-quantile from the bucket counts: linear
+// interpolation inside the covering bucket (Prometheus histogram_quantile
+// semantics), with the +Inf overflow reported as the largest finite bound.
+// The estimate is upper-bound biased like any fixed-bucket quantile.
+// Returns 0 when nothing has been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum, _, _ := h.Snapshot()
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var prev uint64
+	for i, c := range cum {
+		if float64(c) >= rank && c > prev {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := (rank - float64(prev)) / float64(c-prev)
+			return lo + (bounds[i]-lo)*frac
+		}
+		prev = c
+	}
+	return bounds[len(bounds)-1]
+}
+
 // write renders the histogram in exposition format under name. The _count
 // line repeats the +Inf bucket (not the count atomic) so the exposition
 // invariant count == bucket{+Inf} holds even when Observe races a scrape.

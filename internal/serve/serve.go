@@ -623,6 +623,22 @@ func (s *Session) Stats() Stats {
 // Ready reports whether the session accepts new requests.
 func (s *Session) Ready() bool { return !s.draining.Load() }
 
+// Drain flips the session into draining without stopping it: new Infer
+// calls shed immediately with guard.ErrOverloaded while queued and
+// in-flight requests run to completion on the live worker pool. Unlike
+// Close, the session keeps answering Stats and Ready afterwards, so
+// /readyz can report drain progress (queue depth, in-flight) until the
+// process is told to exit; a later Close performs the usual shutdown.
+// Idempotent.
+func (s *Session) Drain() { s.draining.Store(true) }
+
+// QueueWaitQuantile estimates the q-quantile of the admission queue-wait
+// distribution from the session's fixed-bucket histogram. Upper-bound
+// biased like any bucketed quantile; zero until something was observed.
+func (s *Session) QueueWaitQuantile(q float64) time.Duration {
+	return time.Duration(s.met.queueWait.Quantile(q) * float64(time.Second))
+}
+
 // Degraded reports whether the optimized graph's breaker is currently not
 // closed (requests are or may be served by the fallback).
 func (s *Session) Degraded() bool {
