@@ -10,6 +10,7 @@
 //	experiments -exp time -res 32 -batches 4,32 -reps 3
 //	experiments -exp accuracy
 //	experiments -exp ablation
+//	experiments -exp aliasing -time-res 32 -batches 1,8 -reps 50
 //	experiments -exp all
 //
 // The TEMCO_WORKERS environment variable overrides kernel parallelism
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: peak|timeline|time|accuracy|ablation|all")
+		exp     = flag.String("exp", "all", "experiment: peak|timeline|time|accuracy|ablation|aliasing|all")
 		res     = flag.Int("res", 64, "input resolution for memory experiments")
 		timeRes = flag.Int("time-res", 32, "input resolution for timing experiments")
 		batch   = flag.Int("batch", 4, "batch size for memory experiments")
@@ -133,6 +134,23 @@ func run(exp string, res, timeRes, batch int, batchesCSV string, reps int, ratio
 		}
 		fmt.Println("A2: layer transformations (paper §3.3)")
 		fmt.Println(a2)
+	}
+	if all || exp == "aliasing" {
+		var bs []int
+		for _, s := range strings.Split(batchesCSV, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -batches: %w", err)
+			}
+			bs = append(bs, v)
+		}
+		acfg := mcfg
+		acfg.H, acfg.W = timeRes, timeRes
+		r, err := experiments.Aliasing(names, acfg, dopts, bs, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
 	}
 	return nil
 }

@@ -151,6 +151,7 @@ func run(o options) error {
 	obs.RegisterProcessMetrics(obs.Default())
 	gemm.RegisterMetrics(obs.Default())
 	faultinject.RegisterMetrics(obs.Default())
+	obs.RegisterCopyMetrics(obs.Default())
 	if o.traceOut != "" {
 		tracer := obs.EnableTrace(obs.TraceConfig{Capacity: 1 << 18})
 		defer func() {
@@ -427,8 +428,12 @@ type batchingStatsz struct {
 }
 
 type statsResponse struct {
-	Serve      serve.Stats          `json:"serve"`
-	GemmPool   gemm.PoolStats       `json:"gemm_pool"`
+	Serve    serve.Stats    `json:"serve"`
+	GemmPool gemm.PoolStats `json:"gemm_pool"`
+	// Copies is the process-wide data-movement ledger: bytes the executors
+	// moved with plain copies vs copies the alias plans eliminated
+	// (DESIGN.md §14).
+	Copies     obs.CopyStats        `json:"copies"`
 	Engine     engineStatsz         `json:"engine"`
 	Batching   batchingStatsz       `json:"batching"`
 	Faults     faultinject.Counters `json:"faults"`
@@ -555,6 +560,7 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64, qui
 		writeJSON(w, http.StatusOK, statsResponse{
 			Serve:      sess.Stats(),
 			GemmPool:   gemm.PoolStatsSnapshot(),
+			Copies:     obs.CopyStatsSnapshot(),
 			Engine:     es,
 			Batching:   bs,
 			Faults:     faultinject.CountersSnapshot(),

@@ -74,12 +74,25 @@ type step struct {
 	fusedPln *ops.FusedPlan
 }
 
-// layout is the per-batch-size arena plan.
+// layout is the per-batch-size arena plan. The alias-derived fields are
+// baked here at plan time so the run loop consults plain slices, never the
+// plan's maps: concatSkip[i] flags the concat inputs already resident in
+// slot i's region, flatView[i] marks flatten slots that share their
+// input's storage, and elimCopies/elimBytes pre-total the copies every run
+// of this layout avoids (published to the obs counters per run without
+// re-walking the plan).
 type layout struct {
 	batch      int
 	offsets    []int64 // byte offset per schedule slot
 	arenaBytes int64
 	maxWS      int64
+
+	concatSkip [][]bool
+	flatView   []bool
+	views      int
+	inPlace    int
+	elimCopies uint64
+	elimBytes  int64
 }
 
 // Engine is a compiled graph: immutable after Compile and safe for
@@ -114,6 +127,14 @@ type Stats struct {
 	PrePackedBytes int64 `json:"prepacked_bytes"`
 	// PlannedBatches lists the batch sizes with baked arena layouts.
 	PlannedBatches []int `json:"planned_batches"`
+	// AliasViews and AliasInPlace count the view-classed tensors and
+	// in-place elementwise ops in the Options.Batch alias plan (0 when
+	// aliasing is off — see TEMCO_NOALIAS).
+	AliasViews   int `json:"alias_views"`
+	AliasInPlace int `json:"alias_in_place"`
+	// CopyBytesEliminatedPerRun is the tensor bytes each run of the
+	// Options.Batch layout avoids copying thanks to the alias plan.
+	CopyBytesEliminatedPerRun int64 `json:"copy_bytes_eliminated_per_run"`
 }
 
 // Compile builds the execution artifact for g. The graph is validated
@@ -219,13 +240,33 @@ func (e *Engine) layoutFor(batch int) (*layout, error) {
 	if err := asg.Check(); err != nil {
 		return nil, guard.New(guard.ErrInternal, "engine.layout", err)
 	}
-	l := &layout{batch: batch, offsets: make([]int64, len(e.g.Nodes)), arenaBytes: asg.ArenaBytes}
+	l := &layout{batch: batch, offsets: make([]int64, len(e.g.Nodes)), arenaBytes: asg.ArenaBytes,
+		concatSkip: make([][]bool, len(e.g.Nodes)), flatView: make([]bool, len(e.g.Nodes))}
 	for i, n := range e.g.Nodes {
 		off, ok := asg.Offsets[n]
 		if !ok {
 			return nil, guard.Errorf(guard.ErrInternal, "engine.layout", "node %s has no arena offset", n)
 		}
 		l.offsets[i] = off
+	}
+	if al := asg.Alias; al != nil {
+		l.views, l.inPlace = al.Views, al.InPlace
+		for i, n := range e.g.Nodes {
+			if sk := al.ConcatSkip[n]; sk != nil {
+				l.concatSkip[i] = sk
+				for j, p := range n.Inputs {
+					if sk[j] {
+						l.elimCopies++
+						l.elimBytes += p.OutBytes(batch)
+					}
+				}
+			}
+			if n.Kind == ir.KindFlatten && al.StorageOf(n).Class == memplan.StorageView {
+				l.flatView[i] = true
+				l.elimCopies++
+				l.elimBytes += n.OutBytes(batch)
+			}
+		}
 	}
 	for _, n := range e.g.Nodes {
 		if ws := memplan.Workspace(n, batch); ws > l.maxWS {
@@ -244,6 +285,9 @@ func (e *Engine) Stats() Stats {
 	if l, ok := e.layouts[e.opts.Batch]; ok {
 		st.ArenaBytes = l.arenaBytes
 		st.MaxWorkspaceBytes = l.maxWS
+		st.AliasViews = l.views
+		st.AliasInPlace = l.inPlace
+		st.CopyBytesEliminatedPerRun = l.elimBytes
 	}
 	for b := range e.layouts {
 		st.PlannedBatches = append(st.PlannedBatches, b)

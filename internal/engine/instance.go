@@ -128,6 +128,7 @@ func (it *Instance) Run(ctx context.Context, inputs ...*tensor.Tensor) (r *exec.
 			"arena needs %d bytes (+%d workspace), budget is %d",
 			st.lay.arenaBytes, st.lay.maxWS, e.opts.BudgetBytes)
 	}
+	var copied int64
 	for i, sl := range e.inSlots {
 		dst := st.vals[sl]
 		if !shapeEq(inputs[i].Shape, dst.Shape) {
@@ -135,6 +136,7 @@ func (it *Instance) Run(ctx context.Context, inputs ...*tensor.Tensor) (r *exec.
 				"input %d has shape %v, want %v", i, inputs[i].Shape, dst.Shape)
 		}
 		copy(dst.Data, inputs[i].Data)
+		copied += int64(dst.Len()) * 4
 	}
 	// Telemetry hooks: one atomic load each, nil (and therefore free) when
 	// disabled. When enabled, spans carry the step's arena offset and the
@@ -173,9 +175,11 @@ func (it *Instance) Run(ctx context.Context, inputs ...*tensor.Tensor) (r *exec.
 		if tr != nil {
 			t0, p0 = tr.Since(), gemm.PoolStatsSnapshot()
 		}
-		if err := st.compute(ctx, e.g.Name, s, i); err != nil {
+		stepCopy, err := st.compute(ctx, e.g.Name, s, i)
+		if err != nil {
 			return nil, fmt.Errorf("engine: node %s: %w", s.node, err)
 		}
+		copied += stepCopy
 		if tr != nil {
 			p1 := gemm.PoolStatsSnapshot()
 			tr.Record(obs.Span{
@@ -183,6 +187,7 @@ func (it *Instance) Run(ctx context.Context, inputs ...*tensor.Tensor) (r *exec.
 				Lane: lane, Step: i, Start: t0, Dur: tr.Since() - t0,
 				LiveBytes: watermark, ArenaOff: st.lay.offsets[i],
 				PackHits: p1.Hits - p0.Hits, PackMisses: p1.Misses - p0.Misses,
+				CopyBytes: stepCopy,
 			})
 		}
 		if mr != nil {
@@ -192,26 +197,30 @@ func (it *Instance) Run(ctx context.Context, inputs ...*tensor.Tensor) (r *exec.
 	for j, sl := range e.outSlots {
 		copy(st.outs[j].Data, st.vals[sl].Data)
 	}
+	obs.CountCopies(copied, st.lay.elimCopies, st.lay.elimBytes)
 	e.runs.Add(1)
 	return &st.res, nil
 }
 
-// compute dispatches one baked step. It mirrors exec's arena compute —
-// same kernels, same fault hook, same Flatten copy — except that conv,
-// linear, and fused nodes consume the plans and pre-packed weight panels
-// prepared at compile time.
-func (st *state) compute(ctx context.Context, scope string, s *step, slot int) error {
+// compute dispatches one baked step and returns the bytes it moved with
+// plain copies. It mirrors exec's arena compute — same kernels, same fault
+// hook, same alias-plan-driven concat skips and flatten views — except
+// that conv, linear, and fused nodes consume the plans and pre-packed
+// weight panels prepared at compile time. The elementwise kernels are
+// in-place safe, so slots the plan placed on their input's storage just
+// work.
+func (st *state) compute(ctx context.Context, scope string, s *step, slot int) (int64, error) {
 	faultinject.Kernel(scope)
 	out := st.vals[slot]
 	in := st.ins[slot]
 	switch s.kind {
 	case ir.KindConv2D:
 		if err := ops.ConvPlannedCtx(ctx, out, in[0], s.w, s.b, s.conv, s.convPlan); err != nil {
-			return guard.New(guard.ErrCanceled, "engine.compute", err)
+			return 0, guard.New(guard.ErrCanceled, "engine.compute", err)
 		}
 	case ir.KindLinear:
 		if err := ops.LinearPrePackedCtx(ctx, out, in[0], s.linPW, s.b, s.lin); err != nil {
-			return guard.New(guard.ErrCanceled, "engine.compute", err)
+			return 0, guard.New(guard.ErrCanceled, "engine.compute", err)
 		}
 	case ir.KindReLU:
 		ops.ReLU(out, in[0])
@@ -232,19 +241,28 @@ func (st *state) compute(ctx context.Context, scope string, s *step, slot int) e
 	case ir.KindAdd:
 		ops.Add(out, in[0], in[1])
 	case ir.KindConcat:
+		if skip := st.lay.concatSkip[slot]; skip != nil {
+			return ops.ConcatPartial(out, in, skip), nil
+		}
 		ops.Concat(out, in)
+		return int64(out.Len()) * 4, nil
 	case ir.KindFlatten:
+		if st.lay.flatView[slot] {
+			// Shares the input's storage: nothing to move.
+			return 0, nil
+		}
 		copy(out.Data, in[0].Data)
+		return int64(out.Len()) * 4, nil
 	case ir.KindSoftmax:
 		ops.Softmax(out, in[0])
 	case ir.KindFused:
 		if err := ops.FusedPlannedCtx(ctx, out, in[0], s.fused, s.fusedPln); err != nil {
-			return guard.New(guard.ErrCanceled, "engine.compute", err)
+			return 0, guard.New(guard.ErrCanceled, "engine.compute", err)
 		}
 	default:
-		return fmt.Errorf("unsupported kind %v", s.kind)
+		return 0, fmt.Errorf("unsupported kind %v", s.kind)
 	}
-	return nil
+	return 0, nil
 }
 
 func shapeEq(a, b []int) bool {

@@ -8,6 +8,7 @@ import (
 	"temco/internal/guard"
 	"temco/internal/ir"
 	"temco/internal/memplan"
+	"temco/internal/obs"
 	"temco/internal/ops"
 	"temco/internal/tensor"
 )
@@ -19,10 +20,31 @@ import (
 // demonstrates the memory plan end-to-end and cross-validates the
 // simulator: outputs must match Run exactly.
 //
+// Alias-aware plans (DESIGN.md §14) place concat inputs inside the concat
+// output's region (the concat step skips them), make flatten a zero-copy
+// view, run dying elementwise inputs in place, and let the executor borrow
+// a caller's input buffer outright when the plan proves nothing aliases or
+// mutates it. All of it is plan-driven: with TEMCO_NOALIAS=1 the layout
+// degrades to one region per tensor and this function behaves exactly as
+// before.
+//
 // Outputs are copied out of the arena before returning, since their
 // storage is recycled across calls.
 func RunArena(g *ir.Graph, a memplan.Assignment, inputs ...*tensor.Tensor) (*Result, error) {
 	return RunArenaCtx(context.Background(), g, a, 0, inputs...)
+}
+
+// copyAcct accumulates one run's copy accounting; published to the obs
+// counters once at the end of the run.
+type copyAcct struct {
+	copied    int64
+	elim      uint64
+	elimBytes int64
+}
+
+func (c *copyAcct) eliminate(bytes int64) {
+	c.elim++
+	c.elimBytes += bytes
 }
 
 // RunArenaCtx is RunArena with resource guards: ctx is checked between
@@ -71,17 +93,30 @@ func RunArenaCtx(ctx context.Context, g *ir.Graph, a memplan.Assignment, budgetB
 		}
 		return tensor.FromSlice(arena[off/4:off/4+elems], shape...), nil
 	}
+	var acct copyAcct
 	vals := make(map[*ir.Node]*tensor.Tensor, len(g.Nodes))
 	for i, in := range g.Inputs {
 		want := append([]int{batch}, in.Shape...)
 		if !shapeEq(inputs[i].Shape, want) {
 			return nil, fmt.Errorf("exec: input %d has shape %v, want %v", i, inputs[i].Shape, want)
 		}
+		// Borrow the caller's buffer when the plan proves it safe: nothing
+		// views the input's region (a view would read the arena bytes the
+		// borrow leaves unwritten) and nothing mutates it in place. The
+		// plan forbids in-place on borrowable inputs by construction, so a
+		// borrowed caller tensor is never written. Otherwise copy into the
+		// arena — possibly at a view offset inside a concat output.
+		if a.Alias.BorrowableInput(in) {
+			vals[in] = inputs[i]
+			acct.eliminate(in.OutBytes(batch))
+			continue
+		}
 		dst, err := view(in)
 		if err != nil {
 			return nil, err
 		}
 		copy(dst.Data, inputs[i].Data)
+		acct.copied += in.OutBytes(batch)
 		vals[in] = dst
 	}
 	res := &Result{}
@@ -104,7 +139,15 @@ func RunArenaCtx(ctx context.Context, g *ir.Graph, a memplan.Assignment, budgetB
 		for i, p := range n.Inputs {
 			in[i] = vals[p]
 		}
-		if err := guard.Safe("exec.compute", func() error { return compute(ctx, g.Name, n, in, out) }); err != nil {
+		var skip []bool
+		if a.Alias != nil {
+			skip = a.Alias.ConcatSkip[n]
+		}
+		flatView := n.Kind == ir.KindFlatten && a.Alias != nil &&
+			a.Alias.StorageOf(n).Class == memplan.StorageView
+		if err := guard.Safe("exec.compute", func() error {
+			return compute(ctx, g.Name, n, in, out, skip, flatView, &acct)
+		}); err != nil {
 			return nil, fmt.Errorf("exec: node %s: %w", n, err)
 		}
 		vals[n] = out
@@ -113,14 +156,18 @@ func RunArenaCtx(ctx context.Context, g *ir.Graph, a memplan.Assignment, budgetB
 	for _, o := range g.Outputs {
 		res.Outputs = append(res.Outputs, vals[o].Clone())
 	}
+	obs.CountCopies(acct.copied, acct.elim, acct.elimBytes)
 	return res, nil
 }
 
 // compute runs node n's kernel writing into the caller-provided output
-// tensor. Unlike the pooled Run path, Flatten copies (no aliasing inside
-// an arena). The context reaches the long-running conv/fused kernels,
-// which bail out mid-node when it is canceled.
-func compute(ctx context.Context, scope string, n *ir.Node, in []*tensor.Tensor, out *tensor.Tensor) error {
+// tensor. Concat copies only the inputs the alias plan left owned (skip
+// flags mark the views already resident in out); Flatten copies unless the
+// plan made it a view. The context reaches the long-running conv/fused
+// kernels, which bail out mid-node when it is canceled. The elementwise
+// kernels are in-place safe: when the plan put out on its input's storage
+// they read each element before overwriting it.
+func compute(ctx context.Context, scope string, n *ir.Node, in []*tensor.Tensor, out *tensor.Tensor, skip []bool, flatView bool, acct *copyAcct) error {
 	faultinject.Kernel(scope)
 	switch n.Kind {
 	case ir.KindConv2D:
@@ -150,9 +197,28 @@ func compute(ctx context.Context, scope string, n *ir.Node, in []*tensor.Tensor,
 	case ir.KindAdd:
 		ops.Add(out, in[0], in[1])
 	case ir.KindConcat:
-		ops.Concat(out, in)
+		if skip != nil {
+			acct.copied += ops.ConcatPartial(out, in, skip)
+			for j, t := range in {
+				if skip[j] {
+					acct.eliminate(int64(t.Len()) * 4)
+				}
+			}
+		} else {
+			ops.Concat(out, in)
+			for _, t := range in {
+				acct.copied += int64(t.Len()) * 4
+			}
+		}
 	case ir.KindFlatten:
-		copy(out.Data, in[0].Data)
+		if flatView {
+			// The plan placed out on in[0]'s storage: same bytes, same
+			// order — nothing to move.
+			acct.eliminate(int64(out.Len()) * 4)
+		} else {
+			copy(out.Data, in[0].Data)
+			acct.copied += int64(out.Len()) * 4
+		}
 	case ir.KindSoftmax:
 		ops.Softmax(out, in[0])
 	case ir.KindFused:

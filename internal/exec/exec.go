@@ -84,6 +84,7 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 	}
 	var measuredLive int64
 	var liveBytes int64
+	var acct copyAcct
 	res := &Result{}
 	for i, n := range g.Nodes {
 		if err := ctx.Err(); err != nil {
@@ -114,8 +115,18 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 			}
 			vals[n] = out
 			res.LayerCalls++
+			// This path materializes concat with a copy but always aliases
+			// flatten (the reshape above shares storage).
+			var stepCopy int64
+			switch n.Kind {
+			case ir.KindConcat:
+				stepCopy = int64(out.Len()) * 4
+				acct.copied += stepCopy
+			case ir.KindFlatten:
+				acct.eliminate(n.OutBytes(batch))
+			}
 			if tr != nil {
-				endSpan(tr, t0, n, lane, i, liveBytes, -1)
+				endSpan(tr, t0, n, lane, i, liveBytes, -1, stepCopy)
 			}
 		}
 		if mr != nil {
@@ -139,6 +150,7 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 		}
 		res.Outputs = append(res.Outputs, t)
 	}
+	obs.CountCopies(acct.copied, acct.elim, acct.elimBytes)
 	return res, nil
 }
 
@@ -168,13 +180,14 @@ func beginSpan(tr *obs.Tracer) obsStart {
 
 // endSpan records one per-step span. All arguments are scalars and
 // interned strings; recording never allocates (see obs.Tracer.Record).
-func endSpan(tr *obs.Tracer, t0 obsStart, n *ir.Node, lane uint64, step int, live, arenaOff int64) {
+func endSpan(tr *obs.Tracer, t0 obsStart, n *ir.Node, lane uint64, step int, live, arenaOff, copyBytes int64) {
 	p1 := gemm.PoolStatsSnapshot()
 	tr.Record(obs.Span{
 		Name: n.Name, Cat: "exec", Kind: n.Kind.String(), Lane: lane, Step: step,
 		Start: t0.at, Dur: tr.Since() - t0.at,
 		LiveBytes: live, ArenaOff: arenaOff,
 		PackHits: p1.Hits - t0.pool.Hits, PackMisses: p1.Misses - t0.pool.Misses,
+		CopyBytes: copyBytes,
 	})
 }
 

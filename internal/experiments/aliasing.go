@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"temco/internal/decompose"
+	"temco/internal/engine"
+	"temco/internal/ir"
+	"temco/internal/memplan"
+	"temco/internal/models"
+	"temco/internal/tensor"
+)
+
+// AliasingRow compares one (model, variant, batch) triple with alias-aware
+// planning off and on (DESIGN.md §14).
+type AliasingRow struct {
+	Model   string
+	Variant Variant
+	Batch   int
+	// ArenaOff / ArenaOn are the planned arena bytes without and with
+	// aliasing.
+	ArenaOff, ArenaOn int64
+	// Views / InPlace describe the alias plan (concat + flatten views, and
+	// the in-place elementwise subset).
+	Views, InPlace int
+	// ElimBytes is the memcpy traffic the plan removes per run.
+	ElimBytes int64
+	// ThroughputOff / ThroughputOn are steady-state engine runs per second
+	// under each mode (0 when timing was skipped).
+	ThroughputOff, ThroughputOn float64
+}
+
+// AliasingResult aggregates the data-movement-elimination comparison.
+type AliasingResult struct {
+	Rows []AliasingRow
+}
+
+// Aliasing measures what alias-aware planning buys on the given models:
+// planned peak arena bytes and steady-state engine throughput, aliasing
+// off vs on, per variant (the decomposed baseline and the fully optimized
+// graph) and batch size. reps <= 0 skips the throughput timing and
+// reports plan numbers only.
+func Aliasing(names []string, mcfg models.Config, dopts decompose.Options, batches []int, reps int) (AliasingResult, error) {
+	var res AliasingResult
+	prev := memplan.SetAliasing(true)
+	defer memplan.SetAliasing(prev)
+	for _, name := range names {
+		spec, err := models.Get(name)
+		if err != nil {
+			return res, err
+		}
+		opt := Fusion
+		if spec.HasSkips {
+			opt = SkipOptFusion
+		}
+		for _, v := range []Variant{Decomposed, opt} {
+			g, err := BuildVariant(spec, v, mcfg, dopts)
+			if err != nil {
+				return res, err
+			}
+			for _, batch := range batches {
+				on := memplan.AssignOffsets(g, batch)
+				if err := on.Check(); err != nil {
+					return res, fmt.Errorf("%s/%v b%d: %w", name, v, batch, err)
+				}
+				off := memplan.AssignOffsetsNoAlias(g, batch)
+				row := AliasingRow{
+					Model: name, Variant: v, Batch: batch,
+					ArenaOff: off.ArenaBytes, ArenaOn: on.ArenaBytes,
+				}
+				if on.Alias != nil {
+					row.Views = on.Alias.Views
+					row.InPlace = on.Alias.InPlace
+					row.ElimBytes = on.Alias.EliminatedBytes
+				}
+				if reps > 0 {
+					memplan.SetAliasing(false)
+					row.ThroughputOff, err = engineThroughput(g, batch, reps)
+					memplan.SetAliasing(true)
+					if err != nil {
+						return res, err
+					}
+					if row.ThroughputOn, err = engineThroughput(g, batch, reps); err != nil {
+						return res, err
+					}
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// engineThroughput compiles g under the current aliasing mode and times
+// reps steady-state runs on one instance.
+func engineThroughput(g *ir.Graph, batch, reps int) (float64, error) {
+	e, err := engine.Compile(g, engine.Options{Batch: batch})
+	if err != nil {
+		return 0, err
+	}
+	in := g.Inputs[0]
+	x := tensor.New(append([]int{batch}, in.Shape...)...)
+	x.FillNormal(tensor.NewRNG(7), 0, 1)
+	inst := e.NewInstance()
+	ctx := context.Background()
+	if _, err := inst.Run(ctx, x); err != nil { // warm: allocates the slab
+		return 0, err
+	}
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := inst.Run(ctx, x); err != nil {
+			return 0, err
+		}
+	}
+	return float64(reps) / time.Since(t0).Seconds(), nil
+}
+
+// String renders the comparison as a fixed-width table.
+func (r AliasingResult) String() string {
+	s := "Data-movement elimination: alias-aware planning off vs on (DESIGN.md §14)\n"
+	s += fmt.Sprintf("%-12s %-16s %5s %12s %12s %7s %5s %7s %10s %10s %10s\n",
+		"model", "variant", "batch", "arena(MB)", "aliased(MB)", "ratio",
+		"views", "inplace", "elim(KB)", "thr off/s", "thr on/s")
+	for _, row := range r.Rows {
+		ratio := 1.0
+		if row.ArenaOff > 0 {
+			ratio = float64(row.ArenaOn) / float64(row.ArenaOff)
+		}
+		s += fmt.Sprintf("%-12s %-16s %5d %12.2f %12.2f %6.1f%% %5d %7d %10.1f %10.1f %10.1f\n",
+			row.Model, row.Variant, row.Batch,
+			mb(row.ArenaOff), mb(row.ArenaOn), ratio*100,
+			row.Views, row.InPlace, float64(row.ElimBytes)/1024,
+			row.ThroughputOff, row.ThroughputOn)
+	}
+	return s
+}

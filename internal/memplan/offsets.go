@@ -14,6 +14,12 @@ import (
 // arena so that overlapping-lifetime tensors never overlap in memory. The
 // arena size is an upper bound a real allocator can achieve with static
 // planning; PeakInternal (the live-byte maximum) is the lower bound.
+//
+// With alias-aware planning (alias.go, DESIGN.md §14) only *owned* storage
+// roots get regions; view-classed tensors (concat inputs, flatten outputs,
+// in-place elementwise results) are placed at fixed offsets inside their
+// root's region, and a root's liveness interval extends over every sharer
+// so the region exists from the first producer write to the last read.
 
 // Assignment is a static arena layout for one graph and batch size.
 type Assignment struct {
@@ -21,11 +27,17 @@ type Assignment struct {
 	Batch int
 	// Offsets maps every node (graph inputs included — they count toward
 	// internal-tensor memory, paper Eq. (3)) to its tensor's byte offset.
+	// View-classed tensors resolve to absolute offsets inside their root's
+	// region, so executors slice the arena uniformly.
 	Offsets map[*ir.Node]int64
 	// ArenaBytes is the total arena size the layout needs.
 	ArenaBytes int64
-	// PeakInternal is the simulator's live-byte peak (lower bound).
+	// PeakInternal is the simulator's live-byte peak (lower bound) under
+	// the same alias plan this layout was built with.
 	PeakInternal int64
+	// Alias is the storage-class plan the layout honors; nil when aliasing
+	// is off (every tensor owned, the classic layout).
+	Alias *AliasPlan
 }
 
 // Fragmentation returns ArenaBytes/PeakInternal − 1: the fraction of arena
@@ -45,27 +57,53 @@ type interval struct {
 }
 
 // AssignOffsets computes a greedy best-fit arena layout for g's internal
-// tensors at the given batch size. Tensors are placed in decreasing size
-// order (the heuristic [31] reports best results with); each is placed at
-// the lowest offset where it fits below or between already-placed tensors
-// whose lifetimes overlap its own.
+// tensors at the given batch size, honoring the alias-aware storage plan
+// when aliasing is enabled (TEMCO_NOALIAS=1 or SetAliasing(false) restores
+// the classic one-region-per-tensor layout). Owned tensors are placed in
+// decreasing size order (the heuristic [31] reports best results with);
+// each is placed at the lowest offset where it fits below or between
+// already-placed tensors whose lifetimes overlap its own.
 func AssignOffsets(g *ir.Graph, batch int) Assignment {
+	return assignOffsets(g, batch, BuildAliasPlan(g, batch))
+}
+
+// AssignOffsetsNoAlias computes the classic layout with every tensor
+// owned, regardless of the aliasing switch. Comparisons and bisection use
+// it as the baseline.
+func AssignOffsetsNoAlias(g *ir.Graph, batch int) Assignment {
+	return assignOffsets(g, batch, nil)
+}
+
+func assignOffsets(g *ir.Graph, batch int, plan *AliasPlan) Assignment {
 	live := Analyze(g)
-	p := Simulate(g, batch, 0)
-	ivs := make([]*interval, 0, len(g.Nodes))
-	for _, n := range g.Nodes {
-		end := live.End[n]
-		if end > len(g.Nodes) {
-			end = len(g.Nodes)
+	p := SimulateAlias(g, batch, 0, plan)
+	// One interval per owned storage root, spanning every sharer.
+	var roots map[*ir.Node][2]int
+	if plan != nil {
+		roots = plan.groupIntervals(live, len(g.Nodes))
+	} else {
+		roots = make(map[*ir.Node][2]int, len(g.Nodes))
+		for _, n := range g.Nodes {
+			end := live.End[n]
+			if end > len(g.Nodes) {
+				end = len(g.Nodes)
+			}
+			roots[n] = [2]int{live.Begin[n], end}
 		}
-		ivs = append(ivs, &interval{node: n, begin: live.Begin[n], end: end, size: n.OutBytes(batch)})
+	}
+	ivs := make([]*interval, 0, len(roots))
+	for r, be := range roots {
+		ivs = append(ivs, &interval{node: r, begin: be[0], end: be[1], size: r.OutBytes(batch)})
 	}
 	// Largest first; ties by definition order for determinism.
 	sort.SliceStable(ivs, func(i, j int) bool {
 		if ivs[i].size != ivs[j].size {
 			return ivs[i].size > ivs[j].size
 		}
-		return ivs[i].begin < ivs[j].begin
+		if ivs[i].begin != ivs[j].begin {
+			return ivs[i].begin < ivs[j].begin
+		}
+		return ivs[i].node.ID < ivs[j].node.ID
 	})
 	var placed []*interval
 	var arena int64
@@ -95,10 +133,19 @@ func AssignOffsets(g *ir.Graph, batch int) Assignment {
 		}
 		placed = append(placed, iv)
 	}
-	out := Assignment{Graph: g, Batch: batch, Offsets: make(map[*ir.Node]int64, len(ivs)),
-		ArenaBytes: arena, PeakInternal: p.PeakInternal}
+	out := Assignment{Graph: g, Batch: batch, Offsets: make(map[*ir.Node]int64, len(g.Nodes)),
+		ArenaBytes: arena, PeakInternal: p.PeakInternal, Alias: plan}
+	rootOff := make(map[*ir.Node]int64, len(ivs))
 	for _, iv := range ivs {
-		out.Offsets[iv.node] = iv.offset
+		rootOff[iv.node] = iv.offset
+	}
+	for _, n := range g.Nodes {
+		if plan == nil {
+			out.Offsets[n] = rootOff[n]
+			continue
+		}
+		r, rel := plan.Root(n)
+		out.Offsets[n] = rootOff[r] + rel
 	}
 	return out
 }
@@ -109,22 +156,57 @@ func overlaps(a, b *interval) bool {
 	return a.begin <= b.end && b.begin <= a.end
 }
 
-// Check verifies the layout: no two simultaneously-live tensors may
-// intersect in the arena. It returns an error naming the first conflict.
+// Check verifies the layout. Owned regions with overlapping (extended)
+// lifetimes must not intersect in the arena; view-classed tensors must sit
+// exactly at their declared offset inside their root's region. It returns
+// an error naming the first conflict.
 func (a Assignment) Check() error {
-	live := Analyze(a.Graph)
-	nodes := make([]*ir.Node, 0, len(a.Offsets))
-	for n := range a.Offsets {
-		nodes = append(nodes, n)
+	if err := a.Alias.Validate(); err != nil {
+		return err
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
-	for i, n := range nodes {
-		ni := interval{begin: live.Begin[n], end: min(live.End[n], len(a.Graph.Nodes)), size: n.OutBytes(a.Batch), offset: a.Offsets[n]}
-		if ni.offset+ni.size > a.ArenaBytes {
-			return fmt.Errorf("memplan: %s exceeds arena: %d+%d > %d", n, ni.offset, ni.size, a.ArenaBytes)
+	live := Analyze(a.Graph)
+	var rootIv map[*ir.Node][2]int
+	if a.Alias != nil {
+		rootIv = a.Alias.groupIntervals(live, len(a.Graph.Nodes))
+	} else {
+		rootIv = make(map[*ir.Node][2]int, len(a.Graph.Nodes))
+		for _, n := range a.Graph.Nodes {
+			rootIv[n] = [2]int{live.Begin[n], min(live.End[n], len(a.Graph.Nodes))}
 		}
-		for _, m := range nodes[i+1:] {
-			mi := interval{begin: live.Begin[m], end: min(live.End[m], len(a.Graph.Nodes)), size: m.OutBytes(a.Batch), offset: a.Offsets[m]}
+	}
+	// Views: exact placement inside the root, fully contained.
+	for _, n := range a.Graph.Nodes {
+		off, ok := a.Offsets[n]
+		if !ok {
+			return fmt.Errorf("memplan: %s has no arena offset", n)
+		}
+		if off+n.OutBytes(a.Batch) > a.ArenaBytes {
+			return fmt.Errorf("memplan: %s exceeds arena: %d+%d > %d", n, off, n.OutBytes(a.Batch), a.ArenaBytes)
+		}
+		if a.Alias == nil {
+			continue
+		}
+		r, rel := a.Alias.Root(n)
+		if a.Offsets[n] != a.Offsets[r]+rel {
+			return fmt.Errorf("memplan: view %s at offset %d, declared %d inside root %s at %d",
+				n, a.Offsets[n], rel, r, a.Offsets[r])
+		}
+		if rel+n.OutBytes(a.Batch) > r.OutBytes(a.Batch) {
+			return fmt.Errorf("memplan: view %s overflows root %s", n, r)
+		}
+	}
+	// Owned roots: pairwise disjoint when simultaneously live.
+	roots := make([]*ir.Node, 0, len(rootIv))
+	for r := range rootIv {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	for i, n := range roots {
+		be := rootIv[n]
+		ni := interval{begin: be[0], end: be[1], size: n.OutBytes(a.Batch), offset: a.Offsets[n]}
+		for _, m := range roots[i+1:] {
+			mbe := rootIv[m]
+			mi := interval{begin: mbe[0], end: mbe[1], size: m.OutBytes(a.Batch), offset: a.Offsets[m]}
 			if overlaps(&ni, &mi) && ni.offset < mi.offset+mi.size && mi.offset < ni.offset+ni.size {
 				return fmt.Errorf("memplan: %s and %s overlap in arena and in time", n, m)
 			}

@@ -2,10 +2,13 @@ package memplan
 
 // Property-based check of the static arena layout: for arbitrary graphs,
 // AssignOffsets must place every pair of simultaneously-live tensors in
-// disjoint byte ranges, and the arena it claims must sit between the
-// simulator's live-byte peak (Eq. 3/4 lower bound) and the no-reuse sum of
-// all tensor sizes. The fuzz corpus doubles as a regression suite under
-// plain `go test` (seed entries run without -fuzz).
+// disjoint byte ranges — except where the alias plan *declares* an overlap
+// (a view inside its root's region, at exactly the declared offset) — and
+// the arena it claims must sit between the simulator's live-byte peak
+// (Eq. 3/4 lower bound) and the no-reuse sum of all tensor sizes. Both the
+// default (alias-aware) and the explicit no-alias layout are checked. The
+// fuzz corpus doubles as a regression suite under plain `go test` (seed
+// entries run without -fuzz).
 
 import (
 	"testing"
@@ -81,13 +84,43 @@ func fuzzGraph(data []byte) *ir.Graph {
 
 func checkAssignment(t *testing.T, g *ir.Graph, batch int) {
 	t.Helper()
-	a := AssignOffsets(g, batch)
+	checkLayout(t, g, AssignOffsets(g, batch), batch)
+	// The explicit baseline must satisfy the same properties with every
+	// tensor owned — and must really be alias-free.
+	na := AssignOffsetsNoAlias(g, batch)
+	if na.Alias != nil {
+		t.Fatalf("AssignOffsetsNoAlias carries an alias plan")
+	}
+	checkLayout(t, g, na, batch)
+}
+
+func checkLayout(t *testing.T, g *ir.Graph, a Assignment, batch int) {
+	t.Helper()
 	if err := a.Check(); err != nil {
 		t.Fatalf("batch %d: %v", batch, err)
 	}
-	// Independent re-derivation of the non-overlap property, not trusting
-	// Check's interval math.
+	// Independent re-derivation of the overlap properties, not trusting
+	// Check's interval math: walk the declared view chains one hop at a
+	// time (bounded, so a cyclic plan fails instead of hanging) to find
+	// every node's storage root and offset inside it.
 	live := Analyze(g)
+	rootOf := make(map[*ir.Node]*ir.Node, len(g.Nodes))
+	relOf := make(map[*ir.Node]int64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		r, rel := n, int64(0)
+		for hops := 0; ; hops++ {
+			if hops > len(g.Nodes) {
+				t.Fatalf("view chain from %s does not terminate", n)
+			}
+			s := a.Alias.StorageOf(r)
+			if s.Class == StorageOwned {
+				break
+			}
+			rel += s.ByteOff
+			r = s.Base
+		}
+		rootOf[n], relOf[n] = r, rel
+	}
 	var sum int64
 	for _, n := range g.Nodes {
 		off, ok := a.Offsets[n]
@@ -102,10 +135,26 @@ func checkAssignment(t *testing.T, g *ir.Graph, batch int) {
 		if off+size > a.ArenaBytes {
 			t.Fatalf("node %s [%d, %d) exceeds arena %d", n, off, off+size, a.ArenaBytes)
 		}
+		// A view's overlap is accepted only as declared: exactly at its
+		// offset inside the root, fully contained.
+		r := rootOf[n]
+		if off != a.Offsets[r]+relOf[n] {
+			t.Fatalf("view %s at %d, declared %d inside root %s at %d",
+				n, off, relOf[n], r, a.Offsets[r])
+		}
+		if relOf[n]+size > r.OutBytes(batch) {
+			t.Fatalf("view %s [%d,+%d) overflows root %s (%d bytes)",
+				n, relOf[n], size, r, r.OutBytes(batch))
+		}
 	}
+	// Any *accidental* overlap — two simultaneously-live tensors on
+	// distinct storage roots sharing bytes — is rejected.
 	for i, n := range g.Nodes {
 		nb, ne := live.Begin[n], live.End[n]
 		for _, m := range g.Nodes[i+1:] {
+			if rootOf[n] == rootOf[m] {
+				continue // declared sharing, verified exact above
+			}
 			mb, me := live.Begin[m], live.End[m]
 			if nb > me || mb > ne {
 				continue // lifetimes disjoint: may share bytes
@@ -117,15 +166,60 @@ func checkAssignment(t *testing.T, g *ir.Graph, batch int) {
 			}
 		}
 	}
+	// Stronger root-level restatement: owned regions must stay disjoint
+	// over their *extended* intervals (a root is busy from the first
+	// definition of any sharer — producers write their concat rows before
+	// the concat's own slot — through the last use of any sharer).
+	ivs := make(map[*ir.Node][2]int)
+	for _, n := range g.Nodes {
+		r := rootOf[n]
+		b, e := live.Begin[n], live.End[n]
+		if e > len(g.Nodes) {
+			e = len(g.Nodes)
+		}
+		cur, ok := ivs[r]
+		if !ok {
+			cur = [2]int{b, e}
+		} else {
+			if b < cur[0] {
+				cur[0] = b
+			}
+			if e > cur[1] {
+				cur[1] = e
+			}
+		}
+		ivs[r] = cur
+	}
+	roots := make([]*ir.Node, 0, len(ivs))
+	for r := range ivs {
+		roots = append(roots, r)
+	}
+	for i, n := range roots {
+		for _, m := range roots[i+1:] {
+			if ivs[n][0] > ivs[m][1] || ivs[m][0] > ivs[n][1] {
+				continue
+			}
+			no, mo := a.Offsets[n], a.Offsets[m]
+			if no < mo+m.OutBytes(batch) && mo < no+n.OutBytes(batch) {
+				t.Fatalf("busy-overlapping roots %s and %s share arena bytes", n, m)
+			}
+		}
+	}
 	if a.ArenaBytes < a.PeakInternal {
 		t.Fatalf("arena %d below the simulated live-byte peak %d", a.ArenaBytes, a.PeakInternal)
 	}
 	if a.ArenaBytes > sum {
 		t.Fatalf("arena %d exceeds the no-reuse total %d", a.ArenaBytes, sum)
 	}
-	p := Simulate(g, batch, 0)
+	p := SimulateAlias(g, batch, 0, a.Alias)
 	if a.PeakInternal != p.PeakInternal {
 		t.Fatalf("assignment peak %d disagrees with simulator %d", a.PeakInternal, p.PeakInternal)
+	}
+	if a.Alias == nil {
+		// Without a plan the alias simulator must reduce to the classic one.
+		if s := Simulate(g, batch, 0); s.PeakInternal != p.PeakInternal {
+			t.Fatalf("SimulateAlias(nil) peak %d disagrees with Simulate %d", p.PeakInternal, s.PeakInternal)
+		}
 	}
 }
 

@@ -1,0 +1,73 @@
+package obs
+
+import "sync/atomic"
+
+// Process-wide copy-accounting counters. The alias-aware memory plan
+// (memplan.BuildAliasPlan, DESIGN.md §14) turns concat inputs, flatten
+// reshapes, and borrowable graph inputs into views, so the memcpy that
+// would have materialized them never runs. These counters make that
+// visible: CopyBytes is the data movement both executors still perform
+// (concat fallbacks, flatten copies, input copy-in), CopiesEliminated /
+// EliminatedBytes is what the plan proved away. A rising copy-bytes rate
+// under stable load means requests are falling off the alias fast path
+// (e.g. batch buckets where concat aliasing is refused).
+var (
+	copyBytes        atomic.Uint64
+	copiesEliminated atomic.Uint64
+	copyElimBytes    atomic.Uint64
+)
+
+// CountCopies adds one run's copy accounting: copied bytes actually moved,
+// the number of whole-tensor copies the alias plan eliminated, and the
+// bytes those would have moved. Executors accumulate locally per run and
+// publish once, so the steady-state cost is three atomic adds.
+func CountCopies(copied int64, eliminated uint64, eliminatedBytes int64) {
+	if copied > 0 {
+		copyBytes.Add(uint64(copied))
+	}
+	if eliminated > 0 {
+		copiesEliminated.Add(eliminated)
+		copyElimBytes.Add(uint64(eliminatedBytes))
+	}
+}
+
+// CopyStats is a point-in-time snapshot of the copy-accounting counters,
+// surfaced by temcod's /statsz endpoint. Counters are cumulative since
+// process start; callers diff snapshots for rates.
+type CopyStats struct {
+	// CopyBytes totals tensor bytes moved by executor copies (concat
+	// inputs, flatten reshapes, graph-input copy-in).
+	CopyBytes uint64 `json:"copy_bytes"`
+	// CopiesEliminated counts whole-tensor copies the alias plan removed
+	// (aliased concat inputs, flatten views, borrowed inputs).
+	CopiesEliminated uint64 `json:"copies_eliminated"`
+	// EliminatedBytes totals the bytes those eliminated copies would have
+	// moved.
+	EliminatedBytes uint64 `json:"eliminated_bytes"`
+}
+
+// CopyStatsSnapshot reads the copy-accounting counters.
+func CopyStatsSnapshot() CopyStats {
+	return CopyStats{
+		CopyBytes:        copyBytes.Load(),
+		CopiesEliminated: copiesEliminated.Load(),
+		EliminatedBytes:  copyElimBytes.Load(),
+	}
+}
+
+// RegisterCopyMetrics exposes the copy-accounting counters on an
+// obs.Registry as sampled CounterFuncs: the package atomics stay the
+// single source of truth, so /metrics and a CopyStatsSnapshot in the same
+// process can never disagree. Register on Default() once at process start
+// (registration is idempotent per registry).
+func RegisterCopyMetrics(reg *Registry) {
+	reg.CounterFunc("temco_copy_bytes_total",
+		"Tensor bytes moved by executor copies (concat, flatten, input copy-in).",
+		func() float64 { return float64(copyBytes.Load()) })
+	reg.CounterFunc("temco_copies_eliminated_total",
+		"Whole-tensor copies eliminated by the alias-aware memory plan.",
+		func() float64 { return float64(copiesEliminated.Load()) })
+	reg.CounterFunc("temco_copy_eliminated_bytes_total",
+		"Bytes the alias-eliminated copies would have moved.",
+		func() float64 { return float64(copyElimBytes.Load()) })
+}

@@ -33,6 +33,10 @@ type Span struct {
 	// PackHits / PackMisses are the gemm workspace-pool hits and misses
 	// this step incurred (pool reuse visible per step).
 	PackHits, PackMisses uint64
+	// CopyBytes is the tensor bytes this step moved with plain copies
+	// (concat fallbacks, flatten copies); 0 on steps the alias plan turned
+	// into views.
+	CopyBytes int64
 }
 
 // TraceConfig tunes EnableTrace.
@@ -159,6 +163,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		if sp.PackHits > 0 || sp.PackMisses > 0 {
 			args["pack_hits"] = sp.PackHits
 			args["pack_misses"] = sp.PackMisses
+		}
+		if sp.CopyBytes > 0 {
+			args["copy_bytes"] = sp.CopyBytes
 		}
 		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
 			Name: sp.Name,

@@ -152,3 +152,43 @@ func concatRange(out *tensor.Tensor, ins []*tensor.Tensor, lo, hi int) {
 		}
 	}
 }
+
+// ConcatPartial concatenates along the channel dimension like Concat, but
+// skips inputs whose rows the alias plan already placed inside out (their
+// producers wrote the destination directly; copying would be a self-move).
+// It returns the bytes actually copied. skip must have one entry per
+// input; a repeated input may be skipped at one occurrence and copied at
+// another — ranges inside out are disjoint per occurrence, so the copy is
+// safe either way.
+func ConcatPartial(out *tensor.Tensor, ins []*tensor.Tensor, skip []bool) int64 {
+	n := out.Dim(0)
+	var copied int64
+	for i, in := range ins {
+		if !skip[i] {
+			copied += int64(in.Len()) * 4
+		}
+	}
+	if Workers <= 1 {
+		concatPartialRange(out, ins, skip, 0, n)
+		return copied
+	}
+	parallelFor(n, func(lo, hi int) { concatPartialRange(out, ins, skip, lo, hi) })
+	return copied
+}
+
+func concatPartialRange(out *tensor.Tensor, ins []*tensor.Tensor, skip []bool, lo, hi int) {
+	outC := out.Dim(1)
+	hw := out.Dim(2) * out.Dim(3)
+	for bi := lo; bi < hi; bi++ {
+		cOff := 0
+		for i, in := range ins {
+			c := in.Dim(1)
+			if !skip[i] {
+				src := in.Data[bi*c*hw : (bi+1)*c*hw]
+				dst := out.Data[(bi*outC+cOff)*hw : (bi*outC+cOff+c)*hw]
+				copy(dst, src)
+			}
+			cOff += c
+		}
+	}
+}
