@@ -100,6 +100,8 @@ func main() {
 		faults    = flag.String("faults", "", `fault injection spec, e.g. "seed=42,scope=optimized,panic=0.05,budget=0.02,slow=0.01:5ms,alloc=0.01,blackhole=0.05,httpdelay=0.1:20ms"`)
 		traceOut  = flag.String("trace", "", "record per-step spans and write Chrome trace_event JSON to this file at shutdown")
 		quitz     = flag.Bool("quitz", false, "expose POST /quitz, which exits the process immediately (soak-test kill hook)")
+		flight    = flag.Bool("flight", true, "arm the tail-sampled request flight recorder behind GET /debugz/requests")
+		flightN   = flag.Int("flightsample", 16, "flight recorder keeps 1-in-N plain OK requests (errors, sheds, and the slow tail are always kept)")
 	)
 	flag.Parse()
 	if err := run(options{
@@ -110,6 +112,7 @@ func main() {
 		drain: *drain, noEngine: !*engineOn, batchMax: *batchMax,
 		batchWindow: *batchWin, faults: *faults,
 		traceOut: *traceOut, quitz: *quitz,
+		flight: *flight, flightSample: *flightN,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "temcod:", err)
 		os.Exit(guard.ExitCode(err))
@@ -117,31 +120,38 @@ func main() {
 }
 
 type options struct {
-	model       string
-	res         int
-	classes     int
-	ratio       float64
-	method      string
-	seed        uint64
-	addr        string
-	queueSize   int
-	workers     int
-	deadline    time.Duration
-	retries     int
-	membudgetMB int64
-	breaker     int
-	probe       time.Duration
-	drain       time.Duration
-	noEngine    bool
-	batchMax    int
-	batchWindow time.Duration
-	faults      string
-	traceOut    string
-	quitz       bool
+	model        string
+	res          int
+	classes      int
+	ratio        float64
+	method       string
+	seed         uint64
+	addr         string
+	queueSize    int
+	workers      int
+	deadline     time.Duration
+	retries      int
+	membudgetMB  int64
+	breaker      int
+	probe        time.Duration
+	drain        time.Duration
+	noEngine     bool
+	batchMax     int
+	batchWindow  time.Duration
+	faults       string
+	traceOut     string
+	quitz        bool
+	flight       bool
+	flightSample int
 }
 
+// logx is the daemon's structured logger: JSON lines on stderr, rate
+// limited, carrying trace_id/request_id when the context has a trace.
+var logx = obs.NewLogger(nil, "temcod")
+
 func run(o options) error {
-	if _, err := ops.WorkersFromEnv(); err != nil {
+	kernelWorkers, err := ops.WorkersFromEnv()
+	if err != nil {
 		return err
 	}
 	// Process-wide collectors on the default registry: runtime gauges plus
@@ -152,6 +162,12 @@ func run(o options) error {
 	gemm.RegisterMetrics(obs.Default())
 	faultinject.RegisterMetrics(obs.Default())
 	obs.RegisterCopyMetrics(obs.Default())
+	obs.RegisterBuildInfo(obs.Default(), buildInfo(kernelWorkers))
+	obs.RegisterFlightMetrics(obs.Default())
+	if o.flight {
+		obs.EnableFlightRecorder(obs.FlightConfig{SampleRate: o.flightSample})
+		defer obs.DisableFlightRecorder()
+	}
 	if o.traceOut != "" {
 		tracer := obs.EnableTrace(obs.TraceConfig{Capacity: 1 << 18})
 		defer func() {
@@ -202,6 +218,7 @@ func run(o options) error {
 		// The listener died before any shutdown signal: stop the session's
 		// background goroutines (workers, batch coalescer) before exiting so
 		// the failure path leaks nothing.
+		logx.Error("listener failed", "err", err.Error())
 		cctx, cancel := context.WithTimeout(context.Background(), o.drain)
 		sess.Close(cctx)
 		cancel()
@@ -438,6 +455,22 @@ type statsResponse struct {
 	Batching   batchingStatsz       `json:"batching"`
 	Faults     faultinject.Counters `json:"faults"`
 	Goroutines int                  `json:"goroutines"`
+	Build      obs.BuildInfo        `json:"build"`
+	// Flight is the flight recorder's admission ledger; nil while recording
+	// is disabled (then GET /debugz/requests answers 503 too).
+	Flight        *obs.FlightStats `json:"flight,omitempty"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+}
+
+// buildInfo assembles the identity published on temco_build_info and
+// /statsz: the linked version, toolchain, SIMD state, kernel worker count.
+func buildInfo(workers int) obs.BuildInfo {
+	return obs.BuildInfo{
+		Version:   obs.Version,
+		GoVersion: runtime.Version(),
+		SIMD:      gemm.SIMD(),
+		Workers:   workers,
+	}
 }
 
 // measureSteadyAllocs probes the optimized engine's per-run allocation
@@ -557,16 +590,27 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64, qui
 		} else {
 			bs.MaxBatch = 0
 		}
-		writeJSON(w, http.StatusOK, statsResponse{
-			Serve:      sess.Stats(),
-			GemmPool:   gemm.PoolStatsSnapshot(),
-			Copies:     obs.CopyStatsSnapshot(),
-			Engine:     es,
-			Batching:   bs,
-			Faults:     faultinject.CountersSnapshot(),
-			Goroutines: runtime.NumGoroutine(),
-		})
+		resp := statsResponse{
+			Serve:         sess.Stats(),
+			GemmPool:      gemm.PoolStatsSnapshot(),
+			Copies:        obs.CopyStatsSnapshot(),
+			Engine:        es,
+			Batching:      bs,
+			Faults:        faultinject.CountersSnapshot(),
+			Goroutines:    runtime.NumGoroutine(),
+			Build:         buildInfo(ops.Workers),
+			UptimeSeconds: obs.Uptime().Seconds(),
+		}
+		if fr := obs.Flight(); fr != nil {
+			fs := fr.Stats()
+			resp.Flight = &fs
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
+	// The flight-recorder API: retained request timelines with per-request
+	// Chrome trace export (see obs.FlightPath docs).
+	mux.Handle(obs.FlightPath, obs.FlightHandler())
+	mux.Handle(obs.FlightPath+"/", obs.FlightHandler())
 	// /metrics renders the session's registry next to the process-wide
 	// default registry (runtime, gemm pool, fault counters) in Prometheus
 	// text format — the same instruments /statsz serializes as JSON.
@@ -613,6 +657,10 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64, qui
 		resp, err := sess.Infer(r.Context(), sreq)
 		if err != nil {
 			status := statusFor(err)
+			if rt := obs.RequestFrom(r.Context()); rt != nil {
+				rt.SetError(err.Error())
+			}
+			logx.ErrorCtx(r.Context(), "infer failed", "status", status, "err", err.Error())
 			// Backpressure statuses tell well-behaved clients (and the temcor
 			// router) when trying again is worthwhile.
 			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
@@ -631,7 +679,10 @@ func newHandler(sess *serve.Session, inputShape []int, steadyAllocs float64, qui
 			ExecMS:   float64(resp.Exec) / float64(time.Millisecond),
 		})
 	})
-	return withHTTPFaults(mux)
+	// Tracing wraps the fault layer so every response — including injected
+	// blackholes' would-be responses and real sheds — carries the request id,
+	// and /infer timelines reach the flight recorder even on fault paths.
+	return obs.TraceHTTP(withHTTPFaults(mux), "/infer")
 }
 
 // withHTTPFaults is the replica-level fault layer: when an injector with

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"temco/internal/obs"
+)
+
+// TestRequestIDEchoedOnEveryStatus: every response out of the daemon —
+// success, client error, method error, unknown path, and the draining
+// shed — carries X-Temco-Request-Id, so any status code can be chased
+// into logs and the flight recorder.
+func TestRequestIDEchoedOnEveryStatus(t *testing.T) {
+	ts, _ := newTestServer(t, testOptions())
+
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"infer ok", "POST", "/infer", `{"batch":1,"seed":3}`, 200},
+		{"bad body", "POST", "/infer", `{"batch":`, 400},
+		{"bad method", "GET", "/infer", "", 405},
+		{"unknown path", "GET", "/nosuch", "", 404},
+	}
+	for _, c := range cases {
+		resp := do(c.method, c.path, c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Fatalf("%s: status %d, want %d", c.name, resp.StatusCode, c.wantStatus)
+		}
+		if rid := resp.Header.Get(obs.RequestIDHeader); !strings.HasPrefix(rid, "req-") {
+			t.Errorf("%s (%d): %s = %q", c.name, resp.StatusCode, obs.RequestIDHeader, rid)
+		}
+	}
+
+	// Drain the session: the retryable shed must still carry the id.
+	if resp := do("POST", "/drainz", ""); resp.StatusCode != 200 {
+		t.Fatalf("drainz: status %d", resp.StatusCode)
+	}
+	resp := do("POST", "/infer", `{"batch":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("draining infer: status %d, want 429", resp.StatusCode)
+	}
+	if rid := resp.Header.Get(obs.RequestIDHeader); !strings.HasPrefix(rid, "req-") {
+		t.Errorf("draining shed lost the request id: %q", rid)
+	}
+}
+
+// TestInferTraceEndToEnd: one /infer with an inherited traceparent lands
+// in the flight recorder as a single timeline whose spans cover the
+// serving tier and the per-step engine work, retrievable over
+// /debugz/requests in both JSON and Chrome trace form.
+func TestInferTraceEndToEnd(t *testing.T) {
+	obs.EnableFlightRecorder(obs.FlightConfig{SampleRate: 1})
+	defer obs.DisableFlightRecorder()
+	ts, _ := newTestServer(t, testOptions())
+
+	parent := obs.NewTraceContext()
+	req, err := http.NewRequest("POST", ts.URL+"/infer", bytes.NewReader([]byte(`{"batch":1,"seed":5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, parent.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("infer: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Temco-Trace-Id"); got != parent.TraceID {
+		t.Fatalf("trace id not inherited across the hop: %q vs %q", got, parent.TraceID)
+	}
+	rid := resp.Header.Get(obs.RequestIDHeader)
+
+	tl, found := obs.Flight().Get(parent.TraceID)
+	if !found {
+		t.Fatalf("no retained timeline for trace %s", parent.TraceID)
+	}
+	if tl.RequestID != rid || tl.Status != "ok" {
+		t.Fatalf("timeline identity wrong: %+v", tl)
+	}
+	stages := map[string]bool{}
+	for _, sp := range tl.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"serve.admit", "serve.queue", "serve.run", "engine.step"} {
+		if !stages[want] {
+			t.Errorf("timeline missing %s span (have %v)", want, stages)
+		}
+	}
+
+	// The same timeline over the HTTP surface.
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b
+	}
+
+	lresp, lbody := get(obs.FlightPath)
+	if lresp.StatusCode != 200 || !strings.Contains(string(lbody), rid) {
+		t.Fatalf("%s (status %d) does not list %s", obs.FlightPath, lresp.StatusCode, rid)
+	}
+	dresp, dbody := get(obs.FlightPath + "/" + rid)
+	if dresp.StatusCode != 200 {
+		t.Fatalf("detail: status %d", dresp.StatusCode)
+	}
+	var full obs.ReqTimeline
+	if err := json.Unmarshal(dbody, &full); err != nil {
+		t.Fatalf("detail is not a timeline: %v", err)
+	}
+	if full.TraceID != parent.TraceID || len(full.Spans) == 0 {
+		t.Fatalf("detail content wrong: %+v", full)
+	}
+	cresp, cbody := get(obs.FlightPath + "/" + rid + "?format=chrome")
+	if cresp.StatusCode != 200 || !json.Valid(cbody) {
+		t.Fatalf("chrome export: status %d valid=%v", cresp.StatusCode, json.Valid(cbody))
+	}
+	for _, want := range []string{`"serving"`, `"kernels"`} {
+		if !strings.Contains(string(cbody), want) {
+			t.Errorf("chrome export missing the %s lane", want)
+		}
+	}
+}
+
+// TestStatszBuildAndFlightSections: /statsz surfaces the build info
+// gauge's source data, process uptime, and — while recording is armed —
+// the flight recorder's ledger.
+func TestStatszBuildAndFlightSections(t *testing.T) {
+	obs.EnableFlightRecorder(obs.FlightConfig{})
+	defer obs.DisableFlightRecorder()
+	ts, _ := newTestServer(t, testOptions())
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Build         obs.BuildInfo    `json:"build"`
+		Flight        *obs.FlightStats `json:"flight"`
+		UptimeSeconds float64          `json:"uptime_seconds"`
+	}
+	decodeBody(t, resp, &out)
+	if out.Build.Version == "" || out.Build.GoVersion == "" {
+		t.Fatalf("build info incomplete: %+v", out.Build)
+	}
+	if out.Build.Workers <= 0 {
+		t.Fatalf("build.workers = %d", out.Build.Workers)
+	}
+	if out.UptimeSeconds <= 0 {
+		t.Fatalf("uptime_seconds = %v", out.UptimeSeconds)
+	}
+	if out.Flight == nil {
+		t.Fatal("armed recorder missing from /statsz")
+	}
+}
+
+// TestMetricsExemplarsPassLint: after a traced request the /metrics
+// exposition carries trace_id exemplars on histogram buckets and still
+// passes the OpenMetrics-shape lint the CI smoke runs.
+func TestMetricsExemplarsPassLint(t *testing.T) {
+	// Mirror run()'s registrations (idempotent) so the test exposition
+	// carries the same build/flight/process families the daemon serves.
+	obs.RegisterProcessMetrics(obs.Default())
+	obs.RegisterBuildInfo(obs.Default(), buildInfo(1))
+	obs.RegisterFlightMetrics(obs.Default())
+	obs.EnableFlightRecorder(obs.FlightConfig{SampleRate: 1})
+	defer obs.DisableFlightRecorder()
+	ts, _ := newTestServer(t, testOptions())
+
+	// A traced infer stamps the latency histograms' exemplars.
+	if resp, _ := postInfer(t, ts.URL, inferRequest{Batch: 1, Seed: 11}); resp.StatusCode != 200 {
+		t.Fatalf("infer: status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte(` # {trace_id="`)) {
+		t.Fatal("exposition has no trace_id exemplar after a traced request")
+	}
+	if err := obs.CheckExposition(body); err != nil {
+		t.Fatalf("exemplar-bearing exposition fails lint: %v", err)
+	}
+	for _, name := range []string{"temco_build_info{", "temco_flight_seen_total", "temco_process_uptime_seconds"} {
+		if !bytes.Contains(body, []byte(name)) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}

@@ -94,6 +94,8 @@ func main() {
 		scaleMin  = flag.Int("scalemin", 1, "autoscale floor for desired replicas")
 		scaleMax  = flag.Int("scalemax", 16, "autoscale ceiling for desired replicas")
 		scaleIvl  = flag.Duration("scaleinterval", time.Second, "autoscale evaluation period")
+		flight    = flag.Bool("flight", true, "arm the tail-sampled request flight recorder behind GET /debugz/requests")
+		flightN   = flag.Int("flightsample", 16, "flight recorder keeps 1-in-N plain OK requests (errors, sheds, and the slow tail are always kept)")
 	)
 	flag.Parse()
 	if err := run(options{
@@ -106,6 +108,7 @@ func main() {
 		drain:    *drain,
 		scaleTgt: *scaleTgt, scaleMin: *scaleMin, scaleMax: *scaleMax,
 		scaleIvl: *scaleIvl,
+		flight:   *flight, flightSample: *flightN,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "temcor:", err)
 		os.Exit(guard.ExitCode(err))
@@ -131,7 +134,13 @@ type options struct {
 	scaleMin        int
 	scaleMax        int
 	scaleIvl        time.Duration
+	flight          bool
+	flightSample    int
 }
+
+// logx is the router's structured logger: JSON lines on stderr, rate
+// limited, carrying trace_id/request_id when the context has a trace.
+var logx = obs.NewLogger(nil, "temcor")
 
 func run(o options) error {
 	if o.replicas != "" && o.replicasFile != "" {
@@ -157,6 +166,15 @@ func run(o options) error {
 	// Process-wide collectors on the default registry; the cluster tier's
 	// instruments live on the table's own registry and /metrics renders both.
 	obs.RegisterProcessMetrics(obs.Default())
+	obs.RegisterBuildInfo(obs.Default(), obs.BuildInfo{
+		Version:   obs.Version,
+		GoVersion: runtime.Version(),
+	})
+	obs.RegisterFlightMetrics(obs.Default())
+	if o.flight {
+		obs.EnableFlightRecorder(obs.FlightConfig{SampleRate: o.flightSample})
+		defer obs.DisableFlightRecorder()
+	}
 	table, err := cluster.NewTable(urls, cluster.Config{
 		ProbeInterval:   o.probeInterval,
 		ProbeTimeout:    o.probeTimeout,
@@ -222,6 +240,7 @@ func run(o options) error {
 
 	select {
 	case err := <-errc:
+		logx.Error("listener failed", "err", err.Error())
 		return guard.New(guard.ErrInternal, "temcor.listen", err)
 	case <-ctx.Done():
 	}
@@ -275,12 +294,12 @@ func (p *proxy) reloadFromFile() {
 	defer p.reloadMu.Unlock()
 	urls, err := readReplicasFile(p.file)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "temcor: reload:", err)
+		logx.Error("replicas reload failed", "file", p.file, "err", err.Error())
 		return
 	}
 	added, draining, err := p.reconcile(urls)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "temcor: reload:", err)
+		logx.Error("replicas reconcile failed", "file", p.file, "err", err.Error())
 		return
 	}
 	if len(added) > 0 || len(draining) > 0 {
@@ -349,7 +368,7 @@ func (p *proxy) reconcile(urls []string) (added, draining []string, err error) {
 				ctx, cancel := context.WithTimeout(context.Background(), p.drain)
 				defer cancel()
 				if err := p.table.Drain(ctx, u); err != nil {
-					fmt.Fprintf(os.Stderr, "temcor: draining %s: %v\n", u, err)
+					logx.Error("drain failed", "replica", u, "err", err.Error())
 				}
 			}(u)
 		}
@@ -368,6 +387,11 @@ type statsResponse struct {
 	Autoscale  cluster.AutoscaleStats  `json:"autoscale"`
 	Routable   int                     `json:"routable"`
 	Goroutines int                     `json:"goroutines"`
+	Build      obs.BuildInfo           `json:"build"`
+	// Flight is the flight recorder's admission ledger; nil while recording
+	// is disabled (then GET /debugz/requests answers 503 too).
+	Flight        *obs.FlightStats `json:"flight,omitempty"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
 }
 
 // adminReplicaRequest is the POST /admin/replicas and /admin/drain body.
@@ -395,15 +419,28 @@ func newHandler(p *proxy) http.Handler {
 		})
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, statsResponse{
-			Router:     router.Stats(),
-			Replicas:   table.Status(),
-			Membership: table.Membership(),
-			Autoscale:  p.scaler.Stats(),
-			Routable:   table.Routable(),
-			Goroutines: runtime.NumGoroutine(),
-		})
+		resp := statsResponse{
+			Router:        router.Stats(),
+			Replicas:      table.Status(),
+			Membership:    table.Membership(),
+			Autoscale:     p.scaler.Stats(),
+			Routable:      table.Routable(),
+			Goroutines:    runtime.NumGoroutine(),
+			Build:         obs.BuildInfo{Version: obs.Version, GoVersion: runtime.Version()},
+			UptimeSeconds: obs.Uptime().Seconds(),
+		}
+		if fr := obs.Flight(); fr != nil {
+			fs := fr.Stats()
+			resp.Flight = &fs
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
+	// The flight-recorder API: retained request timelines with per-request
+	// Chrome trace export. The router's timelines show placement, retries,
+	// hedges, and per-attempt outcomes; the replica's own /debugz/requests
+	// holds the serving-side half of the same trace id.
+	mux.Handle(obs.FlightPath, obs.FlightHandler())
+	mux.Handle(obs.FlightPath+"/", obs.FlightHandler())
 	// /metrics renders the cluster registry (replica states, placements,
 	// retries, hedges, ejections, membership, desired replicas) next to the
 	// process-wide default registry.
@@ -415,7 +452,11 @@ func newHandler(p *proxy) http.Handler {
 	// /admin/drain.
 	mux.HandleFunc("/admin/replicas", p.handleAdminReplicas)
 	mux.HandleFunc("/admin/drain", p.handleAdminDrain)
-	return mux
+	// Tracing is the outermost layer: every response (including relayed
+	// sheds and router-level 502/503s) echoes X-Temco-Request-Id, and each
+	// /infer gets a live ReqTrace the router annotates with its placement
+	// ladder before the sealed timeline reaches the flight recorder.
+	return obs.TraceHTTP(mux, "/infer")
 }
 
 func (p *proxy) handleAdminReplicas(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"temco/internal/obs"
+)
+
+// tracedFront wraps the router in the same TraceHTTP middleware temcor
+// mounts, so these tests exercise the real ingress path: mint/inherit the
+// trace, thread it through placement, seal the timeline into the flight
+// recorder.
+func tracedFront(t *testing.T, rt *Router) *httptest.Server {
+	t.Helper()
+	front := httptest.NewServer(obs.TraceHTTP(http.HandlerFunc(rt.ServeInfer), "/infer"))
+	t.Cleanup(front.Close)
+	return front
+}
+
+// stageEvents collects a timeline's (stage, detail) pairs for assertions.
+func stageEvents(tl obs.ReqTimeline) map[string][]string {
+	out := map[string][]string{}
+	for _, sp := range tl.Spans {
+		out[sp.Stage] = append(out[sp.Stage], sp.Detail)
+	}
+	return out
+}
+
+// traceSink records every traceparent an inferStub receives.
+type traceSink struct {
+	mu      sync.Mutex
+	parents []obs.TraceContext
+}
+
+func (s *traceSink) observe(t *testing.T, r *http.Request) {
+	t.Helper()
+	tc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if !ok {
+		t.Errorf("replica received no valid traceparent: %q", r.Header.Get(obs.TraceparentHeader))
+		return
+	}
+	s.mu.Lock()
+	s.parents = append(s.parents, tc)
+	s.mu.Unlock()
+}
+
+func (s *traceSink) all() []obs.TraceContext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]obs.TraceContext(nil), s.parents...)
+}
+
+// TestRouterTraceRetryCoherent: a retry onto another replica stays ONE
+// trace — pick, failed attempt, retry, and winner all on the same
+// timeline, and the outbound hop carries a child of that trace.
+func TestRouterTraceRetryCoherent(t *testing.T) {
+	fr := obs.EnableFlightRecorder(obs.FlightConfig{SampleRate: 1})
+	defer obs.DisableFlightRecorder()
+
+	var sink traceSink
+	good := newInferStub(nil)
+	good.handler = func(w http.ResponseWriter, r *http.Request) {
+		sink.observe(t, r)
+		fmt.Fprint(w, `{"ok":true}`)
+	}
+	defer good.srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	tab, err := NewTable([]string{deadURL, good.srv.URL}, Config{ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+	setReplica(tab, tab.Replicas()[0], StateHealthy, Health{Ready: true, QueueDepth: 0})
+	setReplica(tab, tab.Replicas()[1], StateHealthy, Health{Ready: true, QueueDepth: 5})
+	rt := NewRouter(tab, RouterConfig{})
+	front := tracedFront(t, rt)
+
+	resp := postJSON(t, front.URL+"/infer", `{"batch":1}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Temco-Trace-Id")
+
+	tl, found := fr.Get(traceID)
+	if !found {
+		t.Fatalf("no timeline retained for trace %s", traceID)
+	}
+	ev := stageEvents(tl)
+	if len(ev["route.pick"]) == 0 || ev["route.pick"][0] != deadURL {
+		t.Fatalf("route.pick missing or wrong: %v", ev["route.pick"])
+	}
+	if len(ev["route.retry"]) == 0 {
+		t.Fatalf("retry not on the timeline: %v", ev)
+	}
+	if len(ev["route.attempt"]) < 2 {
+		t.Fatalf("want both attempts on one timeline, got %v", ev["route.attempt"])
+	}
+	if len(ev["route.winner"]) != 1 || ev["route.winner"][0] != good.srv.URL {
+		t.Fatalf("winner replica not labeled: %v", ev["route.winner"])
+	}
+	// The replica-side hop is a child of the same trace.
+	parents := sink.all()
+	if len(parents) != 1 || parents[0].TraceID != traceID {
+		t.Fatalf("outbound traceparent wrong: %+v (trace %s)", parents, traceID)
+	}
+}
+
+// TestRouterTraceHedgeWinnerAndLoser: a hedged request produces one
+// coherent trace — the hedge fire, the winning replica, and the canceled
+// loser are all labeled — and both outbound attempts share the trace id
+// with distinct span ids.
+func TestRouterTraceHedgeWinnerAndLoser(t *testing.T) {
+	fr := obs.EnableFlightRecorder(obs.FlightConfig{SampleRate: 1})
+	defer obs.DisableFlightRecorder()
+
+	var sink traceSink
+	slow := newInferStub(nil)
+	slow.handler = func(w http.ResponseWriter, r *http.Request) {
+		sink.observe(t, r)
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(500 * time.Millisecond):
+		}
+		fmt.Fprint(w, `{"who":"slow"}`)
+	}
+	defer slow.srv.Close()
+	fast := newInferStub(nil)
+	fast.handler = func(w http.ResponseWriter, r *http.Request) {
+		sink.observe(t, r)
+		fmt.Fprint(w, `{"who":"fast"}`)
+	}
+	defer fast.srv.Close()
+
+	rt, _, _ := routerUnderTest(t, RouterConfig{Hedge: true, MinHedgeDelay: 5 * time.Millisecond},
+		[]int{0, 5}, slow, fast)
+	for i := 0; i < digestWarmup; i++ {
+		rt.lat.observe(5 * time.Millisecond)
+	}
+	front := tracedFront(t, rt)
+
+	resp := postJSON(t, front.URL+"/infer", `{"batch":1}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Temco-Trace-Id")
+
+	tl, found := fr.Get(traceID)
+	if !found {
+		t.Fatalf("no timeline retained for trace %s", traceID)
+	}
+	ev := stageEvents(tl)
+	if len(ev["route.hedge"]) != 1 || ev["route.hedge"][0] != fast.srv.URL {
+		t.Fatalf("hedge fire not labeled: %v", ev["route.hedge"])
+	}
+	if len(ev["route.winner"]) != 1 || ev["route.winner"][0] != fast.srv.URL {
+		t.Fatalf("winner not labeled: %v", ev["route.winner"])
+	}
+	if len(ev["route.cancelled"]) != 1 || ev["route.cancelled"][0] != slow.srv.URL {
+		t.Fatalf("canceled loser not labeled: %v", ev["route.cancelled"])
+	}
+	parents := sink.all()
+	if len(parents) != 2 {
+		t.Fatalf("want 2 outbound attempts, saw %d", len(parents))
+	}
+	if parents[0].TraceID != traceID || parents[1].TraceID != traceID {
+		t.Fatalf("attempts split the trace: %+v", parents)
+	}
+	if parents[0].SpanID == parents[1].SpanID {
+		t.Fatal("hedged attempts must be distinct spans")
+	}
+}
+
+// TestRouterTraceShedRelay: a fleet-wide shed is classed "shed" on the
+// timeline with the relaying replica labeled, and the flight recorder
+// keeps it.
+func TestRouterTraceShedRelay(t *testing.T) {
+	fr := obs.EnableFlightRecorder(obs.FlightConfig{SampleRate: 1})
+	defer obs.DisableFlightRecorder()
+
+	shedding := newInferStub(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"overloaded","status":429}`)
+	})
+	defer shedding.srv.Close()
+	rt, _, _ := routerUnderTest(t, RouterConfig{}, nil, shedding)
+	front := tracedFront(t, rt)
+
+	resp := postJSON(t, front.URL+"/infer", `{"batch":1}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Temco-Trace-Id")
+
+	tl, found := fr.Get(traceID)
+	if !found {
+		t.Fatal("shed timeline not retained")
+	}
+	if tl.Status != "shed" {
+		t.Fatalf("status %q, want shed", tl.Status)
+	}
+	if ev := stageEvents(tl); len(ev["route.shed_relay"]) != 1 || ev["route.shed_relay"][0] != shedding.srv.URL {
+		t.Fatalf("shed relay not labeled: %v", ev)
+	}
+	st := fr.Stats()
+	if st.ShedKept != st.ShedSeen || st.ShedSeen == 0 {
+		t.Fatalf("shed retention broken: %+v", st)
+	}
+}

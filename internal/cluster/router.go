@@ -8,9 +8,12 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"temco/internal/obs"
 )
 
 // ShardKeyHeader carries an optional client affinity key: requests with
@@ -150,6 +153,17 @@ func (rt *Router) ServeInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	// reqRT is the request's trace (attached by temcor's HTTP middleware);
+	// nil when untraced, which skips every annotation below.
+	reqRT := obs.RequestFrom(r.Context())
+	observeProxy := func() {
+		sec := time.Since(start).Seconds()
+		if reqRT != nil {
+			rt.table.met.proxyLatency.ObserveWithExemplar(sec, reqRT.Context().TraceID)
+		} else {
+			rt.table.met.proxyLatency.Observe(sec)
+		}
+	}
 	key := r.Header.Get(ShardKeyHeader)
 	tried := map[string]bool{}
 	var lastShed *attemptResult
@@ -160,14 +174,20 @@ func (rt *Router) ServeInfer(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		tried[primary.url] = true
+		if reqRT != nil {
+			reqRT.Event("route.pick", primary.url)
+		}
 		results := rt.launch(r.Context(), primary, key, tried, body)
 		partial := false
 		for _, res := range results {
 			if res.final() {
 				rt.lat.observe(res.dur)
-				rt.table.met.proxyLatency.Observe(time.Since(start).Seconds())
+				observeProxy()
 				if res.rep != primary {
 					rt.table.met.hedgeWins.Inc()
+				}
+				if reqRT != nil {
+					reqRT.Event("route.winner", res.rep.url)
 				}
 				relay(w, res)
 				return
@@ -187,22 +207,36 @@ func (rt *Router) ServeInfer(w http.ResponseWriter, r *http.Request) {
 			// The replica executed the request and the answer was lost;
 			// re-executing is not the router's call to make.
 			rt.table.met.partialAbort.Inc()
+			if reqRT != nil {
+				reqRT.Event("route.partial_abort", "")
+				reqRT.SetError("replica died mid-response; not retried")
+			}
 			writeRouterError(w, http.StatusBadGateway,
 				"replica died mid-response; not retried", true)
 			return
 		}
 		if attempt < rt.cfg.MaxRetries {
 			rt.table.met.retries.Inc()
+			if reqRT != nil {
+				reqRT.Event("route.retry", "")
+			}
 		}
 	}
-	rt.table.met.proxyLatency.Observe(time.Since(start).Seconds())
+	observeProxy()
 	if lastShed != nil {
 		// Every attempt was shed or hit a draining replica: relay the last
 		// complete backpressure response, Retry-After included.
+		if reqRT != nil {
+			reqRT.Event("route.shed_relay", lastShed.rep.url)
+			reqRT.SetStatus("shed")
+		}
 		relay(w, lastShed)
 		return
 	}
 	rt.table.met.noReplica.Inc()
+	if reqRT != nil {
+		reqRT.Event("route.no_replica", "")
+	}
 	status := http.StatusServiceUnavailable
 	msg := "no replica available"
 	if connErrs > 0 {
@@ -221,6 +255,7 @@ func (rt *Router) ServeInfer(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) launch(ctx context.Context, primary *Replica, key string, tried map[string]bool, body []byte) []*attemptResult {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	reqRT := obs.RequestFrom(ctx)
 	resc := make(chan *attemptResult, 2)
 	launched := 1
 	go rt.attempt(actx, primary, body, resc)
@@ -242,7 +277,21 @@ func (rt *Router) launch(ctx context.Context, primary *Replica, key string, trie
 		select {
 		case res := <-resc:
 			out = append(out, res)
-			if res.final() || len(out) == launched {
+			if res.final() {
+				// The loser is recorded here, synchronously, before the
+				// timeline can be sealed: once this function returns the
+				// handler relays and Finishes, and a late record from the
+				// canceled attempt would be dropped.
+				if reqRT != nil && len(out) < launched {
+					loser := primary
+					if res.rep == primary {
+						loser = hedgeRep
+					}
+					reqRT.Event("route.cancelled", loser.url)
+				}
+				return out
+			}
+			if len(out) == launched {
 				return out
 			}
 		case <-hedgeC:
@@ -250,6 +299,9 @@ func (rt *Router) launch(ctx context.Context, primary *Replica, key string, trie
 			tried[hedgeRep.url] = true
 			launched++
 			rt.table.met.hedges.Inc()
+			if reqRT != nil {
+				reqRT.Event("route.hedge", hedgeRep.url)
+			}
 			go rt.attempt(actx, hedgeRep, body, resc)
 		}
 	}
@@ -263,6 +315,7 @@ func (rt *Router) attempt(ctx context.Context, rep *Replica, body []byte, resc c
 	rep.placements.Add(1)
 	rep.inFlight.Add(1)
 	defer rep.inFlight.Add(-1)
+	reqRT := obs.RequestFrom(ctx)
 	start := time.Now()
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
@@ -272,16 +325,33 @@ func (rt *Router) attempt(ctx context.Context, rep *Replica, body []byte, resc c
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if reqRT != nil {
+		// Each attempt is its own hop: a child span id on the same trace,
+		// and the shared request id, so the replica's flight-recorder entry
+		// joins this trace on both keys.
+		child := reqRT.Context().Child()
+		req.Header.Set(obs.TraceparentHeader, child.Traceparent())
+		req.Header.Set(obs.RequestIDHeader, child.RequestID)
+	}
 	resp, err := rt.table.cfg.Client.Do(req)
 	if err != nil {
+		if reqRT != nil {
+			reqRT.Span("route.attempt", rep.url+" conn_error", start, time.Since(start))
+		}
 		resc <- &attemptResult{rep: rep, connErr: err}
 		return
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
+		if reqRT != nil {
+			reqRT.Span("route.attempt", rep.url+" partial", start, time.Since(start))
+		}
 		resc <- &attemptResult{rep: rep, status: resp.StatusCode, partial: true}
 		return
+	}
+	if reqRT != nil {
+		reqRT.Span("route.attempt", rep.url+" status="+strconv.Itoa(resp.StatusCode), start, time.Since(start))
 	}
 	resc <- &attemptResult{
 		rep:         rep,

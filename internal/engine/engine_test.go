@@ -22,6 +22,7 @@ import (
 	"temco/internal/ir"
 	"temco/internal/memplan"
 	"temco/internal/models"
+	"temco/internal/obs"
 	"temco/internal/ops"
 	"temco/internal/tensor"
 )
@@ -378,6 +379,44 @@ func TestEngineZeroAllocSteadyState(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("%s: %v allocs per steady-state Run, want 0", name, allocs)
 		}
+	}
+}
+
+// TestEngineZeroAllocSteadyStateRecorderArmed: enabling the flight
+// recorder must not cost the engine anything when the request itself is
+// untraced — the disabled path through the instrumentation is one
+// context lookup returning nil, so steady-state Run stays allocation-free
+// with recording compiled in and globally armed.
+func TestEngineZeroAllocSteadyStateRecorderArmed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	obs.EnableFlightRecorder(obs.FlightConfig{})
+	defer obs.DisableFlightRecorder()
+	prev := ops.SetWorkers(1)
+	defer ops.SetWorkers(prev)
+	ctx := context.Background()
+	g := buildOptimized(t, "alexnet")
+	e, err := engine.Compile(g, engine.Options{Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := e.NewInstance()
+	x := randInput(g, 1, 9)
+	for i := 0; i < 2; i++ {
+		if _, err := inst.Run(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var runErr error
+	allocs := testing.AllocsPerRun(20, func() {
+		_, runErr = inst.Run(ctx, x)
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if allocs != 0 {
+		t.Errorf("%v allocs per steady-state Run with recorder armed, want 0", allocs)
 	}
 }
 

@@ -145,6 +145,11 @@ func (it *Instance) Run(ctx context.Context, inputs ...*tensor.Tensor) (r *exec.
 	// hold against the planner's arena size.
 	tr := obs.TraceFor(e.g.Name)
 	mr := obs.MemRecorderFor(e.g.Name)
+	// rt links this run's per-step spans onto the owning request's
+	// timeline when the serving tier attached one to ctx. Nil on a plain
+	// context (one interface lookup, no allocation), so the zero-alloc
+	// steady-state gate holds with recording compiled in but disabled.
+	rt := obs.RequestFrom(ctx)
 	var lane uint64
 	if tr != nil {
 		lane = tr.Lane()
@@ -175,11 +180,20 @@ func (it *Instance) Run(ctx context.Context, inputs ...*tensor.Tensor) (r *exec.
 		if tr != nil {
 			t0, p0 = tr.Since(), gemm.PoolStatsSnapshot()
 		}
+		var r0 time.Duration
+		if rt != nil {
+			r0 = rt.Since()
+		}
 		stepCopy, err := st.compute(ctx, e.g.Name, s, i)
 		if err != nil {
 			return nil, fmt.Errorf("engine: node %s: %w", s.node, err)
 		}
 		copied += stepCopy
+		if rt != nil {
+			// Node names are interned strings and the span buffer is
+			// preallocated, so this stays allocation-free.
+			rt.SpanAt("engine.step", s.node.Name, i, r0, rt.Since()-r0)
+		}
 		if tr != nil {
 			p1 := gemm.PoolStatsSnapshot()
 			tr.Record(obs.Span{

@@ -78,6 +78,9 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 	// this executor really keeps live.
 	tr := obs.TraceFor(g.Name)
 	mr := obs.MemRecorderFor(g.Name)
+	// rt links per-step spans onto the owning request's timeline when the
+	// serving tier attached one; nil on a plain context.
+	rt := obs.RequestFrom(ctx)
 	var lane uint64
 	if tr != nil {
 		lane = tr.Lane()
@@ -106,6 +109,10 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 		if tr != nil {
 			t0 = beginSpan(tr)
 		}
+		var r0 time.Duration
+		if rt != nil {
+			r0 = rt.Since()
+		}
 		if n.Kind != ir.KindInput {
 			out, err := guard.SafeValue("exec.dispatch", func() (*tensor.Tensor, error) {
 				return dispatch(ctx, g.Name, n, vals, batch)
@@ -127,6 +134,9 @@ func RunCtx(ctx context.Context, g *ir.Graph, budgetBytes int64, inputs ...*tens
 			}
 			if tr != nil {
 				endSpan(tr, t0, n, lane, i, liveBytes, -1, stepCopy)
+			}
+			if rt != nil {
+				rt.SpanAt("exec.step", n.Name, i, r0, rt.Since()-r0)
 			}
 		}
 		if mr != nil {

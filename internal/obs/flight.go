@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder keeps a bounded set of completed request timelines for
+// after-the-fact debugging ("what did the slow request at 14:02 actually
+// do"), with tail sampling: every error/shed/degraded/deadline request is
+// kept, the slowest tail of OK requests is kept, and 1-in-SampleRate of
+// the remaining OK requests is kept as a baseline. Storage is three
+// preallocated rings — one per retention class — so a shed storm cannot
+// evict the error timelines an operator is actually hunting, and the
+// enabled-path overhead is bounded by the rings (no growth under load).
+
+// ReqTimeline is one finished request's immutable record.
+type ReqTimeline struct {
+	TraceID    string        `json:"trace_id"`
+	RequestID  string        `json:"request_id"`
+	ParentID   string        `json:"parent_id,omitempty"`
+	Start      time.Time     `json:"start"`
+	DurNS      time.Duration `json:"dur_ns"`
+	Status     string        `json:"status"`
+	HTTPStatus int           `json:"http_status"`
+	Err        string        `json:"error,omitempty"`
+	// Siblings are the request ids that rode the same coalesced batch.
+	Siblings []string  `json:"siblings,omitempty"`
+	Spans    []ReqSpan `json:"spans"`
+	// DroppedSpans counts spans that did not fit the per-request buffer.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+}
+
+// FlightConfig tunes EnableFlightRecorder. Zero values take the defaults.
+type FlightConfig struct {
+	// Capacity is the ring size per retention class (error, shed, ok).
+	// Default 256.
+	Capacity int
+	// SampleRate keeps 1-in-N of plain OK requests (beyond the always-kept
+	// slow tail). 1 keeps everything. Default 16.
+	SampleRate int
+	// TailQuantile is the OK-latency quantile above which an OK request
+	// counts as slow tail and is always kept. Default 0.9.
+	TailQuantile float64
+}
+
+func (c *FlightConfig) applyDefaults() {
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	if c.SampleRate <= 0 {
+		c.SampleRate = 16
+	}
+	if c.TailQuantile <= 0 || c.TailQuantile >= 1 {
+		c.TailQuantile = 0.9
+	}
+}
+
+// FlightStats is the recorder's admission ledger, surfaced on /statsz and
+// /debugz/requests.
+type FlightStats struct {
+	Seen       uint64 `json:"seen"`
+	Kept       uint64 `json:"kept"`
+	ErrorsSeen uint64 `json:"errors_seen"`
+	ErrorsKept uint64 `json:"errors_kept"`
+	ShedSeen   uint64 `json:"shed_seen"`
+	ShedKept   uint64 `json:"shed_kept"`
+	TailKept   uint64 `json:"tail_kept"`
+	Sampled    uint64 `json:"sampled"`
+	Capacity   int    `json:"capacity_per_class"`
+	// TailThresholdMS is the current slow-tail cutoff (0 until warmup).
+	TailThresholdMS float64 `json:"tail_threshold_ms"`
+}
+
+// ring is one retention class's preallocated timeline buffer.
+type ring struct {
+	buf []ReqTimeline
+	n   int // total writes; write cursor is n % len(buf)
+}
+
+func (r *ring) add(tl ReqTimeline) {
+	r.buf[r.n%len(r.buf)] = tl
+	r.n++
+}
+
+// snapshot appends the ring's live timelines to out, oldest first.
+func (r *ring) snapshot(out []ReqTimeline) []ReqTimeline {
+	live := r.n
+	if live > len(r.buf) {
+		live = len(r.buf)
+	}
+	for i := r.n - live; i < r.n; i++ {
+		out = append(out, r.buf[i%len(r.buf)])
+	}
+	return out
+}
+
+// tailWindow is the OK-latency sample ring backing the slow-tail
+// estimate; tailWarmup is how many samples it needs before the tail
+// cutoff arms (mirroring the router's latencyDigest warmup).
+const (
+	tailWindow = 256
+	tailWarmup = 32
+)
+
+// FlightRecorder implements the tail-sampled ring store. Safe for
+// concurrent use; Record takes one mutex and never allocates beyond the
+// timeline the caller already built.
+type FlightRecorder struct {
+	cfg FlightConfig
+
+	mu       sync.Mutex
+	errs     ring // error/degraded/deadline
+	shed     ring
+	ok       ring // slow tail + 1-in-N baseline
+	lats     [tailWindow]float64
+	latN     int
+	thresh   float64 // cached TailQuantile cutoff, seconds
+	seen     uint64
+	kept     uint64
+	errSeen  uint64
+	errKept  uint64
+	shedSeen uint64
+	shedKept uint64
+	tailKept uint64
+	sampled  uint64
+}
+
+// flightActive is the hook registry: nil means recording is disabled and
+// Flight() costs one atomic load.
+var flightActive atomic.Pointer[FlightRecorder]
+
+// EnableFlightRecorder installs a recorder (replacing any previous one)
+// and returns it. The rings are preallocated here, never grown.
+func EnableFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	cfg.applyDefaults()
+	fr := &FlightRecorder{
+		cfg:  cfg,
+		errs: ring{buf: make([]ReqTimeline, cfg.Capacity)},
+		shed: ring{buf: make([]ReqTimeline, cfg.Capacity)},
+		ok:   ring{buf: make([]ReqTimeline, cfg.Capacity)},
+	}
+	flightActive.Store(fr)
+	return fr
+}
+
+// DisableFlightRecorder removes the installed recorder.
+func DisableFlightRecorder() { flightActive.Store(nil) }
+
+// Flight returns the installed recorder, or nil when recording is
+// disabled (the common case: one atomic load, no other work).
+func Flight() *FlightRecorder { return flightActive.Load() }
+
+// Record applies the tail-sampling policy to one finished timeline and
+// reports whether it was kept. Non-ok timelines are always kept (the
+// policy invariant the soak tests assert); OK timelines are kept when
+// they land in the slow tail or the 1-in-N baseline sample.
+func (fr *FlightRecorder) Record(tl ReqTimeline) bool {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.seen++
+	switch tl.Status {
+	case "shed":
+		fr.shedSeen++
+		fr.shedKept++
+		fr.shed.add(tl)
+	case "ok":
+		sec := tl.DurNS.Seconds()
+		tail := fr.observeLatLocked(sec)
+		if tail {
+			fr.tailKept++
+			fr.ok.add(tl)
+		} else if fr.cfg.SampleRate <= 1 || fr.seen%uint64(fr.cfg.SampleRate) == 0 {
+			fr.sampled++
+			fr.ok.add(tl)
+		} else {
+			return false
+		}
+	default: // error, degraded, deadline — and any future non-ok class
+		fr.errSeen++
+		fr.errKept++
+		fr.errs.add(tl)
+	}
+	fr.kept++
+	return true
+}
+
+// observeLatLocked feeds one OK latency into the tail estimator and
+// reports whether it clears the current cutoff. The cutoff recomputes
+// every 16 observations (sort of a 256-sample window), so the estimate
+// tracks drifting load without per-record sorting.
+func (fr *FlightRecorder) observeLatLocked(sec float64) bool {
+	fr.lats[fr.latN%tailWindow] = sec
+	fr.latN++
+	if fr.latN >= tailWarmup && (fr.latN == tailWarmup || fr.latN%16 == 0) {
+		n := fr.latN
+		if n > tailWindow {
+			n = tailWindow
+		}
+		buf := make([]float64, n)
+		copy(buf, fr.lats[:n])
+		sort.Float64s(buf)
+		idx := int(fr.cfg.TailQuantile * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		fr.thresh = buf[idx]
+	}
+	return fr.latN > tailWarmup && fr.thresh > 0 && sec >= fr.thresh
+}
+
+// Stats snapshots the admission ledger.
+func (fr *FlightRecorder) Stats() FlightStats {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return FlightStats{
+		Seen:            fr.seen,
+		Kept:            fr.kept,
+		ErrorsSeen:      fr.errSeen,
+		ErrorsKept:      fr.errKept,
+		ShedSeen:        fr.shedSeen,
+		ShedKept:        fr.shedKept,
+		TailKept:        fr.tailKept,
+		Sampled:         fr.sampled,
+		Capacity:        fr.cfg.Capacity,
+		TailThresholdMS: fr.thresh * 1e3,
+	}
+}
+
+// Snapshot returns up to limit retained timelines, newest first across
+// all classes. limit <= 0 returns everything retained.
+func (fr *FlightRecorder) Snapshot(limit int) []ReqTimeline {
+	fr.mu.Lock()
+	out := make([]ReqTimeline, 0, 3*fr.cfg.Capacity)
+	out = fr.errs.snapshot(out)
+	out = fr.shed.snapshot(out)
+	out = fr.ok.snapshot(out)
+	fr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Get finds a retained timeline by request id or trace id.
+func (fr *FlightRecorder) Get(id string) (ReqTimeline, bool) {
+	for _, tl := range fr.Snapshot(0) {
+		if tl.RequestID == id || tl.TraceID == id {
+			return tl, true
+		}
+	}
+	return ReqTimeline{}, false
+}
+
+// RegisterFlightMetrics bridges the recorder's admission ledger onto reg.
+// The closures read the globally installed recorder at scrape time, so
+// they are safe to register before EnableFlightRecorder runs (and report
+// zero while recording is disabled).
+func RegisterFlightMetrics(reg *Registry) {
+	sample := func(f func(FlightStats) float64) func() float64 {
+		return func() float64 {
+			fr := Flight()
+			if fr == nil {
+				return 0
+			}
+			return f(fr.Stats())
+		}
+	}
+	reg.CounterFunc("temco_flight_seen_total",
+		"Finished request timelines offered to the flight recorder.",
+		sample(func(s FlightStats) float64 { return float64(s.Seen) }))
+	reg.CounterFunc("temco_flight_kept_total",
+		"Timelines retained by the tail-sampling policy.",
+		sample(func(s FlightStats) float64 { return float64(s.Kept) }))
+	reg.CounterFunc("temco_flight_errors_kept_total",
+		"Error/degraded/deadline timelines retained (policy keeps 100%).",
+		sample(func(s FlightStats) float64 { return float64(s.ErrorsKept) }))
+}
+
+// tierLanes maps a span's stage prefix onto a Chrome trace tid so one
+// request's export stacks router, serving, batching, and kernel work on
+// separate named lanes of a single timeline.
+func tierLane(stage string) (uint64, string) {
+	for i := 0; i < len(stage); i++ {
+		if stage[i] == '.' {
+			stage = stage[:i]
+			break
+		}
+	}
+	switch stage {
+	case "route":
+		return 1, "router"
+	case "serve":
+		return 2, "serving"
+	case "batch":
+		return 3, "batching"
+	case "engine", "exec":
+		return 4, "kernels"
+	default:
+		return 5, "other"
+	}
+}
+
+// WriteRequestChromeTrace renders one retained timeline as Chrome
+// trace_event JSON (chrome://tracing, Perfetto): spans become complete
+// ("X") events on per-tier lanes, with thread_name metadata naming the
+// lanes and the request itself as the process name.
+func WriteRequestChromeTrace(w io.Writer, tl ReqTimeline) error {
+	ct := chromeTrace{DisplayTimeUnit: "ms"}
+	ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": tl.RequestID + " (" + tl.Status + ")"},
+	})
+	named := map[uint64]bool{}
+	for _, sp := range tl.Spans {
+		tid, laneName := tierLane(sp.Stage)
+		if !named[tid] {
+			named[tid] = true
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": laneName},
+			})
+		}
+		name := sp.Stage
+		if sp.Step >= 0 && sp.Detail != "" {
+			name = sp.Detail
+		}
+		args := map[string]any{"stage": sp.Stage}
+		if sp.Detail != "" {
+			args["detail"] = sp.Detail
+		}
+		if sp.Step >= 0 {
+			args["step"] = sp.Step
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: name,
+			Cat:  sp.Stage,
+			Ph:   "X",
+			Ts:   float64(sp.StartNS) / float64(time.Microsecond),
+			Dur:  float64(sp.DurNS) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	return json.NewEncoder(w).Encode(ct)
+}

@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okTimeline(id string, dur time.Duration) ReqTimeline {
+	return ReqTimeline{
+		TraceID:    strings.Repeat("a", 20) + fmt.Sprintf("%012d", len(id)),
+		RequestID:  id,
+		Start:      time.Now(),
+		DurNS:      dur,
+		Status:     "ok",
+		HTTPStatus: 200,
+	}
+}
+
+func TestFlightRecorderKeepsAllErrorsAndSheds(t *testing.T) {
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 8})
+	defer DisableFlightRecorder()
+	for i := 0; i < 50; i++ {
+		tl := okTimeline(fmt.Sprintf("req-err%04d", i), time.Millisecond)
+		if i%2 == 0 {
+			tl.Status = "error"
+		} else {
+			tl.Status = "shed"
+		}
+		if !fr.Record(tl) {
+			t.Fatalf("non-ok timeline %d was not kept", i)
+		}
+	}
+	st := fr.Stats()
+	if st.ErrorsKept != st.ErrorsSeen || st.ErrorsSeen != 25 {
+		t.Fatalf("errors kept %d / seen %d, want 25/25", st.ErrorsKept, st.ErrorsSeen)
+	}
+	if st.ShedKept != st.ShedSeen || st.ShedSeen != 25 {
+		t.Fatalf("sheds kept %d / seen %d, want 25/25", st.ShedKept, st.ShedSeen)
+	}
+}
+
+func TestFlightRecorderShedFloodDoesNotEvictErrors(t *testing.T) {
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 4})
+	defer DisableFlightRecorder()
+	errTL := okTimeline("req-the-error", time.Millisecond)
+	errTL.Status = "error"
+	fr.Record(errTL)
+	for i := 0; i < 100; i++ {
+		tl := okTimeline(fmt.Sprintf("req-shed%04d", i), time.Millisecond)
+		tl.Status = "shed"
+		fr.Record(tl)
+	}
+	if _, found := fr.Get("req-the-error"); !found {
+		t.Fatal("shed flood evicted the error timeline from its class ring")
+	}
+}
+
+func TestFlightRecorderSamplesOK(t *testing.T) {
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 64, SampleRate: 4})
+	defer DisableFlightRecorder()
+	kept := 0
+	for i := 0; i < 40; i++ {
+		// Zero-duration keeps the tail estimator's threshold at zero, so
+		// only the 1-in-N baseline sample can keep these.
+		if fr.Record(okTimeline(fmt.Sprintf("req-ok%04d", i), 0)) {
+			kept++
+		}
+	}
+	st := fr.Stats()
+	if st.TailKept != 0 {
+		t.Fatalf("tail kept %d zero-duration timelines", st.TailKept)
+	}
+	if st.Sampled != 10 || kept != 10 {
+		t.Fatalf("sampled %d (kept %d), want 10 of 40 at 1-in-4", st.Sampled, kept)
+	}
+}
+
+func TestFlightRecorderKeepsSlowTail(t *testing.T) {
+	// SampleRate high enough that the baseline sample never fires here, so
+	// every OK keep below is a tail keep.
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 64, SampleRate: 1 << 20})
+	defer DisableFlightRecorder()
+	for i := 0; i < 48; i++ {
+		d := time.Millisecond
+		if i%2 == 1 {
+			d = 10 * time.Millisecond
+		}
+		fr.Record(okTimeline(fmt.Sprintf("req-warm%04d", i), d))
+	}
+	slow := okTimeline("req-slowpoke", 100*time.Millisecond)
+	if !fr.Record(slow) {
+		t.Fatal("slow-tail timeline was not kept")
+	}
+	st := fr.Stats()
+	if st.TailKept == 0 {
+		t.Fatal("TailKept is zero after a 100ms outlier cleared warmup")
+	}
+	if st.TailThresholdMS <= 0 {
+		t.Fatalf("tail threshold %.3fms not armed after warmup", st.TailThresholdMS)
+	}
+	if _, found := fr.Get("req-slowpoke"); !found {
+		t.Fatal("slow timeline not retrievable by request id")
+	}
+}
+
+func TestFlightRecorderSnapshotNewestFirst(t *testing.T) {
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 8, SampleRate: 1})
+	defer DisableFlightRecorder()
+	base := time.Now()
+	for i := 0; i < 3; i++ {
+		tl := okTimeline(fmt.Sprintf("req-order%d", i), time.Millisecond)
+		tl.Status = "error"
+		tl.Start = base.Add(time.Duration(i) * time.Second)
+		fr.Record(tl)
+	}
+	got := fr.Snapshot(0)
+	if len(got) != 3 {
+		t.Fatalf("snapshot has %d timelines, want 3", len(got))
+	}
+	if got[0].RequestID != "req-order2" || got[2].RequestID != "req-order0" {
+		t.Fatalf("snapshot not newest-first: %s, %s, %s",
+			got[0].RequestID, got[1].RequestID, got[2].RequestID)
+	}
+	if lim := fr.Snapshot(2); len(lim) != 2 || lim[0].RequestID != "req-order2" {
+		t.Fatalf("limit=2 snapshot wrong: %+v", lim)
+	}
+}
+
+func TestFlightRecorderGetByTraceID(t *testing.T) {
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 8})
+	defer DisableFlightRecorder()
+	tl := okTimeline("req-bytrace", time.Millisecond)
+	tl.Status = "error"
+	fr.Record(tl)
+	if got, found := fr.Get(tl.TraceID); !found || got.RequestID != "req-bytrace" {
+		t.Fatalf("lookup by trace id failed: found=%v got=%+v", found, got)
+	}
+	if _, found := fr.Get("req-nope"); found {
+		t.Fatal("Get found a timeline that was never recorded")
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	DisableFlightRecorder()
+	h := FlightHandler()
+
+	// Disabled: the endpoint documents that recording is off.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", FlightPath, nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("disabled recorder answered %d, want 503", rec.Code)
+	}
+
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 8})
+	defer DisableFlightRecorder()
+	tl := okTimeline("req-handler01", 2*time.Millisecond)
+	tl.Status = "error"
+	tl.Err = "engine exploded"
+	tl.Spans = []ReqSpan{
+		{Stage: "serve.queue", Step: -1, DurNS: time.Millisecond},
+		{Stage: "engine.step", Detail: "conv1", Step: 0, DurNS: time.Millisecond},
+	}
+	fr.Record(tl)
+
+	// List view: stats plus summaries.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", FlightPath+"?n=5", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list answered %d", rec.Code)
+	}
+	var list struct {
+		Stats    FlightStats       `json:"stats"`
+		Requests []timelineSummary `json:"requests"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list is not JSON: %v", err)
+	}
+	if list.Stats.ErrorsKept != 1 || len(list.Requests) != 1 || list.Requests[0].RequestID != "req-handler01" {
+		t.Fatalf("list content wrong: %+v", list)
+	}
+
+	// Detail by request id.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", FlightPath+"/req-handler01", nil))
+	var got ReqTimeline
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("detail is not JSON: %v", err)
+	}
+	if got.Err != "engine exploded" || len(got.Spans) != 2 {
+		t.Fatalf("detail content wrong: %+v", got)
+	}
+
+	// Chrome trace export.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", FlightPath+"/req-handler01?format=chrome", nil))
+	body := rec.Body.String()
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatal("chrome export is not valid JSON")
+	}
+	for _, want := range []string{`"serving"`, `"kernels"`, `"ph":"X"`, "req-handler01 (error)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("chrome export missing %s", want)
+		}
+	}
+
+	// Unknown id.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", FlightPath+"/req-missing", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id answered %d, want 404", rec.Code)
+	}
+}
+
+func TestTraceHTTPMintsAndEchoesIDs(t *testing.T) {
+	DisableFlightRecorder()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/infer" && RequestFrom(r.Context()) == nil {
+			t.Error("traced path has no ReqTrace in context")
+		}
+		if r.URL.Path != "/infer" && RequestFrom(r.Context()) != nil {
+			t.Error("untraced path carries a ReqTrace")
+		}
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := TraceHTTP(inner, "/infer")
+
+	for _, path := range []string{"/infer", "/statsz"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		rid := rec.Header().Get(RequestIDHeader)
+		if !strings.HasPrefix(rid, "req-") {
+			t.Fatalf("%s: request id header %q", path, rid)
+		}
+		if tid := rec.Header().Get("X-Temco-Trace-Id"); len(tid) != 32 {
+			t.Fatalf("%s: trace id header %q", path, tid)
+		}
+	}
+}
+
+func TestTraceHTTPInheritsTraceparent(t *testing.T) {
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 8, SampleRate: 1})
+	defer DisableFlightRecorder()
+	var seen TraceContext
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestFrom(r.Context()).Context()
+	})
+	h := TraceHTTP(inner, "/infer")
+
+	parent := NewTraceContext()
+	req := httptest.NewRequest("POST", "/infer", nil)
+	req.Header.Set(TraceparentHeader, parent.Traceparent())
+	req.Header.Set(RequestIDHeader, "req-upstream01")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if seen.TraceID != parent.TraceID {
+		t.Fatalf("trace id not inherited: %q vs %q", seen.TraceID, parent.TraceID)
+	}
+	if seen.ParentID != parent.SpanID {
+		t.Fatalf("inherited context not a child hop: parent=%q want %q", seen.ParentID, parent.SpanID)
+	}
+	if seen.RequestID != "req-upstream01" {
+		t.Fatalf("upstream request id not honored: %q", seen.RequestID)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != "req-upstream01" {
+		t.Fatalf("response echoed %q", got)
+	}
+	// The sealed timeline landed in the recorder under the inherited ids.
+	if tl, found := fr.Get("req-upstream01"); !found || tl.TraceID != parent.TraceID {
+		t.Fatalf("flight recorder lookup failed: found=%v tl=%+v", found, tl)
+	}
+}
+
+func TestTraceHTTPRecordsErrorStatus(t *testing.T) {
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 8})
+	defer DisableFlightRecorder()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	h := TraceHTTP(inner, "/infer")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/infer", nil))
+	rid := rec.Header().Get(RequestIDHeader)
+	tl, found := fr.Get(rid)
+	if !found {
+		t.Fatalf("error timeline for %s not retained", rid)
+	}
+	if tl.Status != "error" || tl.HTTPStatus != http.StatusInternalServerError {
+		t.Fatalf("timeline classed %q/%d, want error/500", tl.Status, tl.HTTPStatus)
+	}
+}
+
+func TestRegisterFlightMetrics(t *testing.T) {
+	DisableFlightRecorder()
+	reg := NewRegistry()
+	RegisterFlightMetrics(reg)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "temco_flight_seen_total 0") {
+		t.Fatalf("disabled recorder should report 0:\n%s", buf.String())
+	}
+
+	fr := EnableFlightRecorder(FlightConfig{Capacity: 8})
+	defer DisableFlightRecorder()
+	tl := okTimeline("req-metrics01", time.Millisecond)
+	tl.Status = "error"
+	fr.Record(tl)
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "temco_flight_seen_total 1") ||
+		!strings.Contains(out, "temco_flight_errors_kept_total 1") {
+		t.Fatalf("enabled recorder counts missing:\n%s", out)
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("flight metrics exposition fails lint: %v", err)
+	}
+}
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("temco_test_latency_seconds", "Test latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.ObserveWithExemplar(0.05, strings.Repeat("ab", 16))
+
+	tid, v, ok := h.Exemplar()
+	if !ok || tid != strings.Repeat("ab", 16) || v != 0.05 {
+		t.Fatalf("exemplar = %q/%v/%v", tid, v, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, ` # {trace_id="`+strings.Repeat("ab", 16)+`"} 0.05`) {
+		t.Fatalf("exposition missing exemplar:\n%s", out)
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exemplar-bearing exposition fails lint: %v", err)
+	}
+}
+
+func TestCheckExemplarRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		// Exemplar on a non-bucket sample.
+		"# TYPE temco_x counter\ntemco_x 1 # {trace_id=\"abc\"} 1\n",
+		// Bare hash tail that is not an exemplar.
+		"# TYPE temco_y histogram\ntemco_y_bucket{le=\"+Inf\"} 1 # junk\ntemco_y_sum 1\ntemco_y_count 1\n",
+	} {
+		if err := CheckExposition([]byte(line)); err == nil {
+			t.Errorf("lint accepted malformed exposition:\n%s", line)
+		}
+	}
+}

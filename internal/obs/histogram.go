@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency buckets, in seconds. They span 500µs
@@ -26,6 +27,17 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
 	sum    atomic.Uint64   // float64 bits
 	count  atomic.Uint64
+	// ex is the latest trace-carrying observation; rendered as an
+	// OpenMetrics-style exemplar on the covering bucket line so a latency
+	// spike on /metrics links to a concrete flight-recorded request.
+	ex atomic.Pointer[exemplar]
+}
+
+// exemplar is one observation annotated with the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
+	at      time.Time
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -56,6 +68,26 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and, when traceID is non-empty,
+// remembers it as the histogram's exemplar (last writer wins — the point
+// is "show me one recent request behind this latency", not a census).
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.ex.Store(&exemplar{traceID: traceID, value: v, at: time.Now()})
+	}
+}
+
+// Exemplar returns the latest trace-carrying observation; ok is false
+// when none has been recorded.
+func (h *Histogram) Exemplar() (traceID string, value float64, ok bool) {
+	e := h.ex.Load()
+	if e == nil {
+		return "", 0, false
+	}
+	return e.traceID, e.value, true
 }
 
 // Sum returns the sum of all observed values.
@@ -116,13 +148,29 @@ func (h *Histogram) Quantile(q float64) float64 {
 // write renders the histogram in exposition format under name. The _count
 // line repeats the +Inf bucket (not the count atomic) so the exposition
 // invariant count == bucket{+Inf} holds even when Observe races a scrape.
+// When an exemplar exists, the first bucket covering its value carries it
+// as an OpenMetrics-style suffix: ` # {trace_id="..."} value timestamp`.
 func (h *Histogram) write(bw *bufio.Writer, name string) {
 	bounds, cum, sum, _ := h.Snapshot()
+	ex := h.ex.Load()
+	exWritten := false
+	writeEx := func(covering bool) {
+		if ex == nil || exWritten || !covering {
+			bw.WriteByte('\n')
+			return
+		}
+		exWritten = true
+		fmt.Fprintf(bw, " # {trace_id=%q} %s %s\n",
+			ex.traceID, formatFloat(ex.value),
+			strconv.FormatFloat(float64(ex.at.UnixNano())/1e9, 'f', 3, 64))
+	}
 	for i, b := range bounds {
-		fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum[i])
+		fmt.Fprintf(bw, "%s_bucket{le=%q} %d", name, formatFloat(b), cum[i])
+		writeEx(ex != nil && ex.value <= b)
 	}
 	inf := cum[len(cum)-1]
-	fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, inf)
+	fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d", name, inf)
+	writeEx(ex != nil)
 	fmt.Fprintf(bw, "%s_sum %s\n", name, strconv.FormatFloat(sum, 'g', -1, 64))
 	fmt.Fprintf(bw, "%s_count %d\n", name, inf)
 }

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FlightPath is where both daemons mount the flight-recorder API:
+// GET FlightPath           — retained timeline summaries + recorder stats
+// GET FlightPath/{id}      — one full timeline (request id or trace id)
+// GET FlightPath/{id}?format=chrome — the same as Chrome trace_event JSON
+const FlightPath = "/debugz/requests"
+
+// statusWriter captures the handler's status code for the sealed timeline
+// while passing the optional interfaces the daemons rely on through
+// (Flusher for /quitz, Hijacker for the blackhole fault layer).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, fmt.Errorf("obs: response writer does not support hijacking")
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// TraceHTTP wraps a daemon's handler with the request-tracing middleware:
+//
+//   - every request gets a TraceContext — inherited from an incoming W3C
+//     traceparent (the temcor→temcod hop) or freshly minted — and every
+//     response echoes X-Temco-Request-Id, whatever the status code;
+//   - requests to tracePath additionally carry a live ReqTrace in their
+//     context for the tiers below to annotate, and the sealed timeline is
+//     offered to the flight recorder (when one is enabled) on completion.
+//
+// With recording disabled the per-request cost is the header work plus
+// one atomic load; nothing is retained.
+func TraceHTTP(h http.Handler, tracePath string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader))
+		if ok {
+			tc = tc.Child()
+		} else {
+			tc = NewTraceContext()
+		}
+		if rid := r.Header.Get(RequestIDHeader); rid != "" {
+			tc.RequestID = rid
+		}
+		w.Header().Set(RequestIDHeader, tc.RequestID)
+		w.Header().Set("X-Temco-Trace-Id", tc.TraceID)
+		if r.URL.Path != tracePath {
+			h.ServeHTTP(w, r)
+			return
+		}
+		rt := NewReqTrace(tc)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r.WithContext(ContextWithRequest(r.Context(), rt)))
+		tl := rt.Finish(sw.status)
+		if fr := Flight(); fr != nil {
+			fr.Record(tl)
+		}
+	})
+}
+
+// timelineSummary is the list view of one retained timeline: enough to
+// pick a request out of the lineup without shipping every span.
+type timelineSummary struct {
+	RequestID  string  `json:"request_id"`
+	TraceID    string  `json:"trace_id"`
+	Status     string  `json:"status"`
+	HTTPStatus int     `json:"http_status"`
+	Start      string  `json:"start"`
+	DurMS      float64 `json:"dur_ms"`
+	Spans      int     `json:"spans"`
+	Siblings   int     `json:"siblings,omitempty"`
+	Err        string  `json:"error,omitempty"`
+}
+
+// FlightHandler serves the flight-recorder API (mount at FlightPath and
+// FlightPath+"/"). It answers 503 while no recorder is enabled, so the
+// endpoint itself documents whether recording is armed.
+func FlightHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fr := Flight()
+		if fr == nil {
+			writeFlightJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"error": "flight recorder disabled", "status": http.StatusServiceUnavailable})
+			return
+		}
+		id := strings.Trim(strings.TrimPrefix(r.URL.Path, FlightPath), "/")
+		if id == "" {
+			limit := 0
+			if n := r.URL.Query().Get("n"); n != "" {
+				if v, err := strconv.Atoi(n); err == nil && v > 0 {
+					limit = v
+				}
+			}
+			tls := fr.Snapshot(limit)
+			sums := make([]timelineSummary, len(tls))
+			for i, tl := range tls {
+				sums[i] = timelineSummary{
+					RequestID:  tl.RequestID,
+					TraceID:    tl.TraceID,
+					Status:     tl.Status,
+					HTTPStatus: tl.HTTPStatus,
+					Start:      tl.Start.UTC().Format(time.RFC3339Nano),
+					DurMS:      float64(tl.DurNS) / float64(time.Millisecond),
+					Spans:      len(tl.Spans),
+					Siblings:   len(tl.Siblings),
+					Err:        tl.Err,
+				}
+			}
+			writeFlightJSON(w, http.StatusOK, map[string]any{
+				"stats":    fr.Stats(),
+				"requests": sums,
+			})
+			return
+		}
+		tl, found := fr.Get(id)
+		if !found {
+			writeFlightJSON(w, http.StatusNotFound,
+				map[string]any{"error": "no retained timeline for " + id, "status": http.StatusNotFound})
+			return
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			WriteRequestChromeTrace(w, tl)
+			return
+		}
+		writeFlightJSON(w, http.StatusOK, tl)
+	})
+}
+
+func writeFlightJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

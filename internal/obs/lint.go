@@ -68,7 +68,19 @@ func CheckExposition(data []byte) error {
 		if strings.HasPrefix(text, "#") {
 			continue // comment
 		}
-		name, labels, value, err := parseSample(text)
+		sample := text
+		if i := strings.Index(text, " # "); i >= 0 {
+			// OpenMetrics-style exemplar suffix on a bucket line:
+			// `name_bucket{le="..."} N # {trace_id="..."} value [ts]`.
+			if err := checkExemplar(text[i+3:]); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+			sample = text[:i]
+			if !strings.Contains(sample, "_bucket") {
+				return fmt.Errorf("line %d: exemplar on a non-bucket sample: %q", line, text)
+			}
+		}
+		name, labels, value, err := parseSample(sample)
 		if err != nil {
 			return fmt.Errorf("line %d: %v", line, err)
 		}
@@ -119,6 +131,37 @@ func CheckExposition(data []byte) error {
 	}
 	if len(families) == 0 {
 		return fmt.Errorf("no metric families found")
+	}
+	return nil
+}
+
+// checkExemplar validates an exemplar suffix (the part after " # "):
+// `{label="value",...} value [timestamp]`.
+func checkExemplar(s string) error {
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Errorf("malformed exemplar %q: want {labels} value", s)
+	}
+	j := strings.IndexByte(s, '}')
+	if j < 0 {
+		return fmt.Errorf("malformed exemplar %q: unterminated label set", s)
+	}
+	for _, kv := range strings.Split(s[1:j], ",") {
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if _, uqErr := strconv.Unquote(v); !ok || uqErr != nil || !validName(k) {
+			return fmt.Errorf("malformed exemplar label %q", kv)
+		}
+	}
+	fields := strings.Fields(s[j+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("malformed exemplar %q: want value [timestamp]", s)
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return fmt.Errorf("bad exemplar number %q: %v", f, err)
+		}
 	}
 	return nil
 }

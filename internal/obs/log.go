@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Logger is a small structured-logging facility for the daemons' error
+// paths: one JSON object per line, every line carrying the component and
+// (when the context has a request trace) trace_id/request_id, so a log
+// line, a /metrics exemplar, and a flight-recorder timeline all join on
+// the same ids. Emission is token-bucket rate-limited — an error storm
+// degrades to counting instead of melting the disk — and dropped lines
+// are counted and reported on the next emitted line.
+type Logger struct {
+	component string
+
+	mu      sync.Mutex
+	w       io.Writer
+	perSec  float64
+	burst   float64
+	tokens  float64
+	last    time.Time
+	dropped uint64
+}
+
+// NewLogger builds a logger writing to w (nil means stderr) under the
+// given component name, with a default limit of 50 lines/s (burst 100).
+func NewLogger(w io.Writer, component string) *Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return &Logger{
+		component: component,
+		w:         w,
+		perSec:    50,
+		burst:     100,
+		tokens:    100,
+		last:      time.Now(),
+	}
+}
+
+// SetLimit tunes the rate limit: perSec sustained lines per second with
+// the given burst. perSec <= 0 disables the limit.
+func (l *Logger) SetLimit(perSec, burst float64) {
+	l.mu.Lock()
+	l.perSec, l.burst, l.tokens = perSec, burst, burst
+	l.mu.Unlock()
+}
+
+// Dropped reports how many lines the rate limiter suppressed.
+func (l *Logger) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// allowLocked refills the token bucket and spends one token, reporting
+// whether this line may be emitted.
+func (l *Logger) allowLocked(now time.Time) bool {
+	if l.perSec <= 0 {
+		return true
+	}
+	l.tokens += now.Sub(l.last).Seconds() * l.perSec
+	l.last = now
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}
+
+// Info / Warn / Error emit one line at the given level. kv are alternating
+// key, value pairs appended as JSON fields.
+func (l *Logger) Info(msg string, kv ...any)  { l.emit(nil, "info", msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.emit(nil, "warn", msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.emit(nil, "error", msg, kv) }
+
+// InfoCtx / WarnCtx / ErrorCtx additionally pull trace_id/request_id from
+// the context's request trace, when one is attached.
+func (l *Logger) InfoCtx(ctx context.Context, msg string, kv ...any) {
+	l.emit(RequestFrom(ctx), "info", msg, kv)
+}
+func (l *Logger) WarnCtx(ctx context.Context, msg string, kv ...any) {
+	l.emit(RequestFrom(ctx), "warn", msg, kv)
+}
+func (l *Logger) ErrorCtx(ctx context.Context, msg string, kv ...any) {
+	l.emit(RequestFrom(ctx), "error", msg, kv)
+}
+
+// emit renders and writes one line under the rate limit.
+func (l *Logger) emit(rt *ReqTrace, level, msg string, kv []any) {
+	now := time.Now()
+	rec := make(map[string]any, 8+len(kv)/2)
+	rec["ts"] = now.UTC().Format(time.RFC3339Nano)
+	rec["level"] = level
+	rec["component"] = l.component
+	rec["msg"] = msg
+	if rt != nil {
+		tc := rt.Context()
+		rec["trace_id"] = tc.TraceID
+		rec["request_id"] = tc.RequestID
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		rec[k] = kv[i+1]
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.allowLocked(now) {
+		l.dropped++
+		return
+	}
+	if l.dropped > 0 {
+		rec["dropped"] = l.dropped
+		l.dropped = 0
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		// Unmarshalable value in kv: degrade to the message alone rather
+		// than losing the line.
+		b, _ = json.Marshal(map[string]any{
+			"ts": rec["ts"], "level": level, "component": l.component, "msg": msg,
+		})
+	}
+	l.w.Write(append(b, '\n'))
+}

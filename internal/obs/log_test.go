@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestLoggerEmitsStructuredLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "temcod")
+	l.Error("infer failed", "status", 500, "err", "engine exploded")
+	l.Info("started")
+
+	recs := logLines(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("got %d lines, want 2", len(recs))
+	}
+	r := recs[0]
+	if r["level"] != "error" || r["component"] != "temcod" || r["msg"] != "infer failed" {
+		t.Fatalf("core fields wrong: %v", r)
+	}
+	if r["status"] != float64(500) || r["err"] != "engine exploded" {
+		t.Fatalf("kv fields wrong: %v", r)
+	}
+	if _, ok := r["ts"].(string); !ok {
+		t.Fatalf("ts missing: %v", r)
+	}
+	if recs[1]["level"] != "info" {
+		t.Fatalf("second line wrong: %v", recs[1])
+	}
+}
+
+func TestLoggerCtxCarriesTraceIDs(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "temcor")
+	rt := NewReqTrace(NewTraceContext())
+	ctx := ContextWithRequest(context.Background(), rt)
+	l.ErrorCtx(ctx, "relay failed", "replica", "http://r1")
+	l.WarnCtx(context.Background(), "no trace here")
+
+	recs := logLines(t, &buf)
+	if recs[0]["trace_id"] != rt.Context().TraceID || recs[0]["request_id"] != rt.Context().RequestID {
+		t.Fatalf("trace ids not on line: %v", recs[0])
+	}
+	if _, ok := recs[1]["trace_id"]; ok {
+		t.Fatalf("untraced context grew a trace_id: %v", recs[1])
+	}
+}
+
+func TestLoggerRateLimitCountsDrops(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "temcod")
+	l.SetLimit(0.001, 2) // two-line burst, effectively no refill in-test
+	for i := 0; i < 10; i++ {
+		l.Error("storm")
+	}
+	if got := l.Dropped(); got != 8 {
+		t.Fatalf("Dropped() = %d, want 8", got)
+	}
+	if recs := logLines(t, &buf); len(recs) != 2 {
+		t.Fatalf("emitted %d lines under a burst of 2", len(recs))
+	}
+	// The next emitted line carries the suppressed count.
+	l.SetLimit(0, 0) // disable the limit
+	l.Error("after storm")
+	recs := logLines(t, &buf)
+	last := recs[len(recs)-1]
+	if last["dropped"] != float64(8) {
+		t.Fatalf("dropped count not reported on next line: %v", last)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("dropped counter not reset after reporting")
+	}
+}
+
+func TestLoggerMarshalFallback(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, "temcod")
+	l.Error("bad value", "fn", func() {}) // funcs cannot marshal
+	recs := logLines(t, &buf)
+	if len(recs) != 1 || recs[0]["msg"] != "bad value" {
+		t.Fatalf("fallback line missing: %v", recs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric. Safe for concurrent use;
@@ -287,13 +288,57 @@ func Handler(regs ...*Registry) http.Handler {
 	})
 }
 
-// RegisterProcessMetrics adds Go runtime instruments (goroutines, heap
-// bytes, GC cycles) to reg. Idempotent; heap figures are sampled from
+// Version identifies the build on temco_build_info and /statsz. "dev"
+// unless overridden at link time:
+//
+//	go build -ldflags "-X temco/internal/obs.Version=v1.2.3" ./...
+var Version = "dev"
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// Uptime returns how long the process has been up (since obs was
+// initialized, which for the daemons is process start).
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// BuildInfo labels the temco_build_info gauge and the /statsz build
+// section: what is running, with which toolchain, and whether the SIMD
+// kernels are live.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	SIMD      bool   `json:"simd"`
+	Workers   int    `json:"workers"`
+}
+
+// RegisterBuildInfo registers the conventional build-info gauge: constant
+// value 1, with the build identity in labels.
+func RegisterBuildInfo(reg *Registry, info BuildInfo) {
+	simd := "off"
+	if info.SIMD {
+		simd = "on"
+	}
+	labels := [][2]string{
+		{"version", info.Version},
+		{"go_version", info.GoVersion},
+		{"simd", simd},
+		{"workers", strconv.Itoa(info.Workers)},
+	}
+	reg.GaugeVecFunc("temco_build_info",
+		"Build identity: constant 1, labeled with version, Go toolchain, SIMD state, and worker count.",
+		func() []LabeledValue { return []LabeledValue{{Labels: labels, Value: 1}} })
+}
+
+// RegisterProcessMetrics adds Go runtime instruments (goroutines, uptime,
+// heap bytes, GC cycles) to reg. Idempotent; heap figures are sampled from
 // runtime.ReadMemStats at scrape time.
 func RegisterProcessMetrics(reg *Registry) {
 	reg.GaugeFunc("temco_process_goroutines",
 		"Number of live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("temco_process_uptime_seconds",
+		"Seconds since process start.",
+		func() float64 { return Uptime().Seconds() })
 	reg.GaugeFunc("temco_process_heap_alloc_bytes",
 		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
 		func() float64 {

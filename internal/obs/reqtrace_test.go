@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("id widths: trace=%q span=%q", tc.TraceID, tc.SpanID)
+	}
+	if !strings.HasPrefix(tc.RequestID, "req-") {
+		t.Fatalf("request id %q does not carry the req- prefix", tc.RequestID)
+	}
+	h := tc.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent %q has length %d, want 55", h, len(h))
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected %q", h)
+	}
+	if got.TraceID != tc.TraceID || got.SpanID != tc.SpanID || !got.Sampled {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, tc)
+	}
+}
+
+func TestTraceparentChild(t *testing.T) {
+	tc := NewTraceContext()
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Fatal("Child must keep the trace id")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Fatal("Child must mint a new span id")
+	}
+	if child.ParentID != tc.SpanID {
+		t.Fatalf("ParentID = %q, want the parent's span id %q", child.ParentID, tc.SpanID)
+	}
+	if child.RequestID != tc.RequestID {
+		t.Fatal("Child must keep the request id")
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-traceparent",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // all-zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
+		"00-" + strings.Repeat("G", 32) + "-" + strings.Repeat("a", 16) + "-01", // non-hex
+		"00-" + strings.Repeat("a", 31) + "-" + strings.Repeat("a", 16) + "-01", // short
+		"ff-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16) + "-01", // bad version
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent accepted %q", h)
+		}
+	}
+}
+
+func TestStatusForHTTP(t *testing.T) {
+	cases := map[int]string{
+		200: "ok", 204: "ok",
+		429: "shed", 503: "shed",
+		504: "deadline",
+		400: "error", 500: "error", 502: "error",
+	}
+	for code, want := range cases {
+		if got := statusForHTTP(code); got != want {
+			t.Errorf("statusForHTTP(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+func TestReqTraceSpansAndFinish(t *testing.T) {
+	rt := NewReqTrace(NewTraceContext())
+	rt.Event("serve.admit", "")
+	rt.SpanAt("engine.step", "conv1", 0, 0, time.Millisecond)
+	rt.Span("serve.queue", "", time.Now().Add(-time.Millisecond), time.Millisecond)
+	rt.AddSibling("req-aaaa")
+	tl := rt.Finish(200)
+	if tl.Status != "ok" || tl.HTTPStatus != 200 {
+		t.Fatalf("status = %q/%d, want ok/200", tl.Status, tl.HTTPStatus)
+	}
+	if len(tl.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tl.Spans))
+	}
+	if tl.Spans[1].Step != 0 || tl.Spans[0].Step != -1 {
+		t.Fatalf("step fields wrong: %+v", tl.Spans)
+	}
+	if len(tl.Siblings) != 1 || tl.Siblings[0] != "req-aaaa" {
+		t.Fatalf("siblings = %v", tl.Siblings)
+	}
+	// Post-Finish records (a hedge loser reporting late) must be dropped.
+	rt.Event("route.cancelled", "late")
+	rt.SetStatus("error")
+	if tl2 := rt.Finish(200); len(tl2.Spans) != 3 || tl2.Status != "ok" {
+		t.Fatalf("post-Finish records leaked: %d spans, status %q", len(tl2.Spans), tl2.Status)
+	}
+}
+
+func TestReqTraceExplicitStatusWins(t *testing.T) {
+	rt := NewReqTrace(NewTraceContext())
+	rt.SetStatus("degraded")
+	rt.SetError("fallback served")
+	tl := rt.Finish(200)
+	if tl.Status != "degraded" || tl.Err != "fallback served" {
+		t.Fatalf("explicit status lost: %+v", tl)
+	}
+}
+
+func TestReqTraceSpanCapDropsAndCounts(t *testing.T) {
+	rt := NewReqTrace(NewTraceContext())
+	for i := 0; i < reqTraceSpanCap+10; i++ {
+		rt.SpanAt("engine.step", "n", i, 0, 0)
+	}
+	tl := rt.Finish(200)
+	if len(tl.Spans) != reqTraceSpanCap {
+		t.Fatalf("got %d spans, want cap %d", len(tl.Spans), reqTraceSpanCap)
+	}
+	if tl.DroppedSpans != 10 {
+		t.Fatalf("DroppedSpans = %d, want 10", tl.DroppedSpans)
+	}
+}
+
+func TestReqTraceConcurrent(t *testing.T) {
+	rt := NewReqTrace(NewTraceContext())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rt.SpanAt("exec.step", "n", i, 0, 0)
+				if i%10 == 0 {
+					rt.Event("serve.retry", "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	tl := rt.Finish(200)
+	if len(tl.Spans)+tl.DroppedSpans != 8*55 {
+		t.Fatalf("spans %d + dropped %d != %d recorded", len(tl.Spans), tl.DroppedSpans, 8*55)
+	}
+}
+
+func TestContextWithRequest(t *testing.T) {
+	if RequestFrom(context.Background()) != nil {
+		t.Fatal("plain context must carry no trace")
+	}
+	rt := NewReqTrace(NewTraceContext())
+	ctx := ContextWithRequest(context.Background(), rt)
+	if RequestFrom(ctx) != rt {
+		t.Fatal("trace lost in context round trip")
+	}
+}

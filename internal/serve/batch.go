@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"math/rand/v2"
+	"strconv"
 	"time"
 
 	"temco/internal/engine"
 	"temco/internal/exec"
 	"temco/internal/guard"
 	"temco/internal/ir"
+	"temco/internal/obs"
 	"temco/internal/tensor"
 )
 
@@ -217,7 +219,12 @@ func (s *Session) processBatch(b *microbatch, optInst, fbInst *engine.Instance, 
 	live := make([]*item, 0, len(b.members))
 	for _, it := range b.members {
 		it.queued = now.Sub(it.enq)
-		s.met.queueWait.Observe(it.queued.Seconds())
+		if it.rt != nil {
+			it.rt.Span("serve.queue", "", it.enq, it.queued)
+			s.met.queueWait.ObserveWithExemplar(it.queued.Seconds(), it.rt.Context().TraceID)
+		} else {
+			s.met.queueWait.Observe(it.queued.Seconds())
+		}
 		if err := it.ctx.Err(); err != nil {
 			s.deliver(it, nil, guard.New(guard.ErrCanceled, "serve.batch", err))
 			continue
@@ -226,6 +233,21 @@ func (s *Session) processBatch(b *microbatch, optInst, fbInst *engine.Instance, 
 	}
 	if len(live) == 0 {
 		return
+	}
+	// Traced members record the accumulation window they sat in and link
+	// every batch mate's request id, so /debugz/requests/{id} shows who
+	// shared the engine run. Done once per batch — survivor re-batches after
+	// a retry do not duplicate the links.
+	for _, it := range live {
+		if it.rt == nil {
+			continue
+		}
+		it.rt.Span("batch.window", "", b.opened, now.Sub(b.opened))
+		for _, other := range live {
+			if other != it && other.rt != nil {
+				it.rt.AddSibling(other.rt.Context().RequestID)
+			}
+		}
 	}
 	s.met.batchedRequests.Add(uint64(len(live)))
 	s.met.inFlight.Add(int64(len(live)))
@@ -269,6 +291,12 @@ func (s *Session) processBatch(b *microbatch, optInst, fbInst *engine.Instance, 
 		if err == nil {
 			if !useOpt {
 				s.met.degradedServed.Add(uint64(len(live)))
+				for _, it := range live {
+					if it.rt != nil {
+						it.rt.Event("serve.degraded", "fallback")
+						it.rt.SetStatus("degraded")
+					}
+				}
 			}
 			finishAll(outs, !useOpt, retries, nil)
 			return
@@ -302,6 +330,11 @@ func (s *Session) processBatch(b *microbatch, optInst, fbInst *engine.Instance, 
 		}
 		retries++
 		s.met.retries.Add(uint64(len(live)))
+		for _, it := range live {
+			if it.rt != nil {
+				it.rt.Event("serve.retry", "batch")
+			}
+		}
 		t := time.NewTimer(jitterBackoff(s.cfg.RetryBackoff, attempt, rand.Float64()))
 		select {
 		case <-s.baseCtx.Done():
@@ -362,6 +395,23 @@ func (s *Session) runBatched(live []*item, g *ir.Graph, inst *engine.Instance, p
 	s.met.batchedRuns.Inc()
 	s.met.paddedSlots.Add(uint64(bucket - rows))
 	s.met.batchOccupancy.Observe(float64(rows))
+	// Every traced member learns which bucket this attempt padded to; the
+	// first traced member is the batch's primary trace — the run context
+	// derives from baseCtx (not the members' contexts), so the engine's
+	// per-step spans need an explicit carrier to land on a timeline.
+	var primary *obs.ReqTrace
+	for _, it := range live {
+		if it.rt != nil {
+			if primary == nil {
+				primary = it.rt
+			}
+			it.rt.Event("batch.bucket", strconv.Itoa(bucket))
+		}
+	}
+	if primary != nil {
+		ctx = obs.ContextWithRequest(ctx, primary)
+	}
+	runStart := time.Now()
 	var res *exec.Result
 	var err error
 	if inst == nil {
@@ -369,9 +419,15 @@ func (s *Session) runBatched(live []*item, g *ir.Graph, inst *engine.Instance, p
 	} else {
 		res, err = inst.Run(ctx, ins...)
 	}
+	for _, it := range live {
+		if it.rt != nil {
+			it.rt.Span("batch.run", g.Name, runStart, time.Since(runStart))
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
+	scStart := time.Now()
 	outs := make([][]*tensor.Tensor, len(live))
 	row := 0
 	for i, it := range live {
@@ -383,6 +439,11 @@ func (s *Session) runBatched(live []*item, g *ir.Graph, inst *engine.Instance, p
 			outs[i][j] = slice
 		}
 		row += it.rows
+	}
+	for _, it := range live {
+		if it.rt != nil {
+			it.rt.Span("batch.scatter", "", scStart, time.Since(scStart))
+		}
 	}
 	return outs, nil
 }

@@ -5,6 +5,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"temco/internal/obs"
 )
 
 // Priority orders queued requests: higher priorities are dequeued first;
@@ -34,6 +36,9 @@ type item struct {
 	// rows is the request's sample-row count, cached by the coalescer
 	// (0 until classified; -1 when the inputs are not batchable).
 	rows int
+	// rt is the request's trace, resolved once at admission from the
+	// caller context (nil when the caller attached none).
+	rt *obs.ReqTrace
 }
 
 type result struct {

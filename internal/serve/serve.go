@@ -33,6 +33,7 @@ import (
 	"temco/internal/exec"
 	"temco/internal/guard"
 	"temco/internal/ir"
+	"temco/internal/obs"
 	"temco/internal/tensor"
 )
 
@@ -336,8 +337,15 @@ func (s *Session) Infer(ctx context.Context, req Request) (*Response, error) {
 	if len(req.Inputs) == 0 {
 		return nil, guard.Errorf(guard.ErrInvalidModel, "serve.Infer", "request has no inputs")
 	}
+	// The request trace rides the caller context (temcod's HTTP middleware
+	// attaches it); nil when no one is tracing, which costs nothing below.
+	rt := obs.RequestFrom(ctx)
 	if s.draining.Load() {
 		s.met.shed.Inc()
+		if rt != nil {
+			rt.Event("serve.shed", "draining")
+			rt.SetStatus("shed")
+		}
 		return nil, guard.Errorf(guard.ErrOverloaded, "serve.Infer", "session draining")
 	}
 	timeout := req.Timeout
@@ -350,13 +358,20 @@ func (s *Session) Infer(ctx context.Context, req Request) (*Response, error) {
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
-	it := &item{ctx: rctx, req: &req, enq: time.Now(), done: make(chan result, 1)}
+	it := &item{ctx: rctx, req: &req, enq: time.Now(), done: make(chan result, 1), rt: rt}
 	if !s.q.push(it) {
 		s.met.shed.Inc()
+		if rt != nil {
+			rt.Event("serve.shed", "queue_full")
+			rt.SetStatus("shed")
+		}
 		return nil, guard.Errorf(guard.ErrOverloaded, "serve.Infer",
 			"admission queue full (%d queued)", s.cfg.QueueSize)
 	}
 	s.met.accepted.Inc()
+	if rt != nil {
+		rt.Event("serve.admit", "")
+	}
 	select {
 	case r := <-it.done:
 		return r.resp, r.err
@@ -407,7 +422,12 @@ func (s *Session) worker() {
 // accounting, execution via process, outcome counters, result delivery.
 func (s *Session) runSolo(it *item, optInst, fbInst *engine.Instance) {
 	it.queued = time.Since(it.enq)
-	s.met.queueWait.Observe(it.queued.Seconds())
+	if it.rt != nil {
+		it.rt.Span("serve.queue", "", it.enq, it.queued)
+		s.met.queueWait.ObserveWithExemplar(it.queued.Seconds(), it.rt.Context().TraceID)
+	} else {
+		s.met.queueWait.Observe(it.queued.Seconds())
+	}
 	s.finish(it, optInst, fbInst)
 }
 
@@ -418,7 +438,11 @@ func (s *Session) finish(it *item, optInst, fbInst *engine.Instance) {
 	s.met.inFlight.Add(1)
 	start := time.Now()
 	resp, err := s.process(it, optInst, fbInst)
-	s.met.runLatency.Observe(time.Since(start).Seconds())
+	if it.rt != nil {
+		s.met.runLatency.ObserveWithExemplar(time.Since(start).Seconds(), it.rt.Context().TraceID)
+	} else {
+		s.met.runLatency.Observe(time.Since(start).Seconds())
+	}
 	s.met.inFlight.Add(-1)
 	s.deliver(it, resp, err)
 }
@@ -459,7 +483,13 @@ func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response
 		if !useOpt {
 			g, inst = s.fb, fbInst
 		}
+		aStart := time.Now()
 		res, err := s.runOnce(it, g, inst)
+		if it.rt != nil {
+			// g.Name is a live string either way; the span names which graph
+			// served the attempt (the fallback name marks breaker routing).
+			it.rt.Span("serve.run", g.Name, aStart, time.Since(aStart))
+		}
 		canceled := err != nil && errors.Is(err, guard.ErrCanceled)
 		if useOpt {
 			if probe {
@@ -473,6 +503,10 @@ func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response
 		if err == nil {
 			if !useOpt {
 				s.met.degradedServed.Inc()
+				if it.rt != nil {
+					it.rt.Event("serve.degraded", "fallback")
+					it.rt.SetStatus("degraded")
+				}
 			}
 			return &Response{
 				Outputs:  res.Outputs,
@@ -495,6 +529,9 @@ func (s *Session) process(it *item, optInst, fbInst *engine.Instance) (*Response
 		}
 		retries++
 		s.met.retries.Inc()
+		if it.rt != nil {
+			it.rt.Event("serve.retry", "")
+		}
 		t := time.NewTimer(jitterBackoff(s.cfg.RetryBackoff, attempt, rand.Float64()))
 		select {
 		case <-it.ctx.Done():
